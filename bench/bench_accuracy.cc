@@ -1,0 +1,61 @@
+// Figure 5: accuracy of the signature strategies Q+T_0, Q_1, Q+T_1, Q_2,
+// Q+T_2, Q_3, Q+T_3 on datasets D1, D2, D3 (Table 5 error profiles,
+// Type I injection; paper: 1655 inputs, q=4, K=1, c=0).
+//
+// Expected shapes (paper):
+//   (i)   Q_H (H>0) beats Q+T_0 (tokens only) by 5-25 points;
+//   (ii)  Q+T_H is about as accurate as Q_H;
+//   (iii) accuracy grows Q_1 -> Q_2 but flattens by Q_3;
+//   (iv)  cleaner datasets score higher (D3 > D2 > D1).
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "support/bench_env.h"
+
+using namespace fuzzymatch;
+using namespace fuzzymatch::bench;
+
+namespace {
+
+Status Run() {
+  FM_ASSIGN_OR_RETURN(BenchEnv env, MakeBenchEnv());
+  std::printf("Figure 5 — accuracy per strategy and dataset "
+              "(|R| = %zu, %zu inputs per dataset)\n\n",
+              env.ref_size, env.num_inputs);
+
+  const std::vector<DatasetSpec> datasets = {
+      WithInputs(DatasetD1(), env.num_inputs),
+      WithInputs(DatasetD2(), env.num_inputs),
+      WithInputs(DatasetD3(), env.num_inputs)};
+
+  PrintRow({"Strategy", "D1", "D2", "D3"});
+  for (const EtiParams& params : PaperStrategies()) {
+    FM_ASSIGN_OR_RETURN(auto matcher, BuildStrategy(env, params));
+    std::vector<std::string> cells = {params.StrategyName()};
+    for (const DatasetSpec& spec : datasets) {
+      FM_ASSIGN_OR_RETURN(
+          const std::vector<InputTuple> inputs,
+          GenerateInputs(env.customers, spec, &matcher->weights()));
+      FM_ASSIGN_OR_RETURN(const EvalResult result,
+                          Evaluate(*matcher, inputs));
+      cells.push_back(StringPrintf("%.1f%%", 100 * result.accuracy));
+    }
+    PrintRow(cells);
+  }
+  std::printf("\nExpected shape (paper): Q_H and Q+T_H (H>=1) comparable "
+              "and 5-25 points above\nQ+T_0; little gain past H=2; D3 >= "
+              "D2 >= D1.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,214 @@
+// Google-benchmark microbenchmarks for the primitives the fuzzy match
+// pipeline is built from: hashing, edit distance, q-grams, min-hash, the
+// token-sequence DP, ETI lookups, and the storage engine's hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "common/hash.h"
+#include "common/md5.h"
+#include "common/random.h"
+#include "core/fuzzy_match.h"
+#include "eti/eti_builder.h"
+#include "storage/key_codec.h"
+#include "gen/customer_gen.h"
+#include "match/eti_matcher.h"
+#include "sim/fms.h"
+#include "storage/database.h"
+#include "storage/external_sort.h"
+#include "text/edit_distance.h"
+#include "text/minhash.h"
+#include "text/qgram.h"
+
+namespace fuzzymatch {
+namespace {
+
+std::string RandomWord(Rng& rng, size_t len) {
+  std::string w(len, 'a');
+  for (auto& c : w) {
+    c = static_cast<char>('a' + rng.Uniform(26));
+  }
+  return w;
+}
+
+void BM_Hash64(benchmark::State& state) {
+  Rng rng(1);
+  const std::string s = RandomWord(rng, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hash64(s, 42));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Hash64)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_Md5(benchmark::State& state) {
+  Rng rng(2);
+  const std::string s = RandomWord(rng, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5::Hash(s));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5)->Arg(16)->Arg(64);
+
+void BM_Levenshtein(benchmark::State& state) {
+  Rng rng(3);
+  const std::string a = RandomWord(rng, static_cast<size_t>(state.range(0)));
+  const std::string b = RandomWord(rng, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein)->Arg(6)->Arg(12)->Arg(24)->Arg(64);
+
+void BM_BoundedLevenshtein(benchmark::State& state) {
+  Rng rng(4);
+  const std::string a = RandomWord(rng, 24);
+  std::string b = a;
+  b[3] = '!';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BoundedLevenshtein(a, b, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_BoundedLevenshtein)->Arg(2)->Arg(8);
+
+void BM_QGramSet(benchmark::State& state) {
+  Rng rng(5);
+  const std::string s = RandomWord(rng, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QGramSet(s, 4));
+  }
+}
+BENCHMARK(BM_QGramSet);
+
+void BM_MinHashSignature(benchmark::State& state) {
+  Rng rng(6);
+  const MinHasher hasher(4, static_cast<int>(state.range(0)), 9);
+  const std::string s = RandomWord(rng, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Signature(s));
+  }
+}
+BENCHMARK(BM_MinHashSignature)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_FmsTupleSimilarity(benchmark::State& state) {
+  const IdfWeights weights = IdfWeights::Builder().Finish();
+  const FmsSimilarity fms(&weights);
+  const Tokenizer tok;
+  const auto u = tok.TokenizeTuple(
+      Row{std::string("beoing company intl"), std::string("seattle"),
+          std::string("wa"), std::string("98004")});
+  const auto v = tok.TokenizeTuple(
+      Row{std::string("boeing company international"),
+          std::string("seattle"), std::string("wa"), std::string("98004")});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fms.Similarity(u, v));
+  }
+}
+BENCHMARK(BM_FmsTupleSimilarity);
+
+/// Shared heavyweight fixture: 20k-row relation + Q+T_2 ETI.
+struct MatchFixture {
+  MatchFixture() {
+    auto db_or = Database::Open(DatabaseOptions{.path = "",
+                                                .pool_pages = 32 * 1024});
+    db = std::move(*db_or);
+    auto table = db->CreateTable("customers",
+                                 CustomerGenerator::CustomerSchema());
+    ref = *table;
+    CustomerGenOptions gen_options;
+    gen_options.num_tuples = 20000;
+    CustomerGenerator generator(gen_options);
+    (void)generator.Populate(ref);
+    FuzzyMatchConfig config;
+    config.eti.signature_size = 2;
+    config.eti.index_tokens = true;
+    auto matcher_or = FuzzyMatcher::Build(db.get(), "customers", config);
+    matcher = std::move(*matcher_or);
+  }
+
+  static MatchFixture& Get() {
+    static MatchFixture fixture;
+    return fixture;
+  }
+
+  std::unique_ptr<Database> db;
+  Table* ref = nullptr;
+  std::unique_ptr<FuzzyMatcher> matcher;
+};
+
+void BM_EtiLookup(benchmark::State& state) {
+  MatchFixture& f = MatchFixture::Get();
+  const Eti& eti = f.matcher->eti();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eti.Lookup("company", 0, 0));
+  }
+}
+BENCHMARK(BM_EtiLookup);
+
+void BM_FuzzyMatchQuery(benchmark::State& state) {
+  MatchFixture& f = MatchFixture::Get();
+  auto row = f.ref->Get(123);
+  Row dirty = *row;
+  (*dirty[0])[1] = 'x';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.matcher->FindMatches(dirty));
+  }
+}
+BENCHMARK(BM_FuzzyMatchQuery);
+
+void BM_TableGet(benchmark::State& state) {
+  MatchFixture& f = MatchFixture::Get();
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.ref->Get(static_cast<Tid>(rng.Uniform(20000))));
+  }
+}
+BENCHMARK(BM_TableGet);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  auto pager = Pager::OpenInMemory();
+  BufferPool pool(pager.get(), 4096);
+  auto tree = BPlusTree::Create(&pool);
+  Rng rng(9);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    KeyEncoder enc;
+    enc.AppendU64(Mix64(i++));
+    benchmark::DoNotOptimize(tree->Put(enc.key(), "value"));
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_ExternalSort(benchmark::State& state) {
+  Rng rng(10);
+  std::vector<std::string> records;
+  for (int i = 0; i < 10000; ++i) {
+    records.push_back(RandomWord(rng, 24));
+  }
+  for (auto _ : state) {
+    ExternalSorter::Options options;
+    options.memory_budget_bytes = 1u << 20;
+    ExternalSorter sorter(options);
+    for (const auto& r : records) {
+      (void)sorter.Add(r);
+    }
+    auto stream = sorter.Finish();
+    std::string rec;
+    size_t n = 0;
+    while (*(*stream)->Next(&rec)) {
+      ++n;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_ExternalSort);
+
+}  // namespace
+}  // namespace fuzzymatch
+
+BENCHMARK_MAIN();

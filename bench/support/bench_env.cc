@@ -1,0 +1,148 @@
+#include "support/bench_env.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "match/naive_matcher.h"
+
+namespace fuzzymatch {
+namespace bench {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) {
+    FM_LOG(Warning) << "ignoring unparsable " << name << "=" << v;
+    return fallback;
+  }
+  return static_cast<size_t>(parsed);
+}
+
+Result<BenchEnv> MakeBenchEnv() {
+  BenchEnv env;
+  env.ref_size = EnvSize("FM_REF_SIZE", 100000);
+  env.num_inputs = EnvSize("FM_NUM_INPUTS", 1655);
+
+  DatabaseOptions db_options;
+  db_options.pool_pages = 64 * 1024;  // 512 MiB of 8 KiB frames, in memory
+  FM_ASSIGN_OR_RETURN(env.db, Database::Open(db_options));
+
+  CustomerGenOptions gen_options;
+  gen_options.num_tuples = env.ref_size;
+  CustomerGenerator generator(gen_options);
+  FM_ASSIGN_OR_RETURN(
+      env.customers,
+      env.db->CreateTable("customers", CustomerGenerator::CustomerSchema()));
+  FM_RETURN_IF_ERROR(generator.Populate(env.customers));
+  return env;
+}
+
+DatasetSpec WithInputs(DatasetSpec spec, size_t num_inputs) {
+  spec.num_inputs = num_inputs;
+  return spec;
+}
+
+std::vector<EtiParams> PaperStrategies(int q) {
+  std::vector<EtiParams> out;
+  for (const int h : {0, 1, 2, 3}) {
+    for (const bool tokens : {false, true}) {
+      if (h == 0 && !tokens) {
+        continue;  // Q_0 indexes nothing
+      }
+      EtiParams p;
+      p.q = q;
+      p.signature_size = h;
+      p.index_tokens = tokens;
+      out.push_back(p);
+    }
+  }
+  // Paper order: Q+T_0, Q_1, Q+T_1, Q_2, Q+T_2, Q_3, Q+T_3 — already the
+  // natural order of the loop above.
+  return out;
+}
+
+double Accuracy(const std::vector<InputTuple>& inputs,
+                const std::vector<std::vector<Match>>& results) {
+  FM_CHECK_EQ(inputs.size(), results.size());
+  if (inputs.empty()) {
+    return 0.0;
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    for (const Match& m : results[i]) {
+      if (m.tid == inputs[i].seed_tid) {
+        ++correct;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(inputs.size());
+}
+
+Result<std::unique_ptr<FuzzyMatcher>> BuildStrategy(
+    BenchEnv& env, const EtiParams& params,
+    const MatcherOptions& matcher_options) {
+  FuzzyMatchConfig config;
+  config.eti = params;
+  config.matcher = matcher_options;
+  return FuzzyMatcher::Build(env.db.get(), "customers", config);
+}
+
+Result<EvalResult> Evaluate(FuzzyMatcher& matcher,
+                            const std::vector<InputTuple>& inputs) {
+  matcher.ResetAggregateStats();
+  size_t correct = 0;
+  for (const InputTuple& input : inputs) {
+    FM_ASSIGN_OR_RETURN(const std::vector<Match> matches,
+                        matcher.FindMatches(input.dirty));
+    for (const Match& m : matches) {
+      if (m.tid == input.seed_tid) {
+        ++correct;
+        break;
+      }
+    }
+  }
+  EvalResult result;
+  result.accuracy = inputs.empty() ? 0.0
+                                   : static_cast<double>(correct) /
+                                         static_cast<double>(inputs.size());
+  result.stats = matcher.aggregate_stats();
+  return result;
+}
+
+Result<double> NaiveProbeSeconds(BenchEnv& env, const IdfWeights& weights,
+                                 size_t probes) {
+  auto table = env.db->GetTable("customers");
+  if (!table.ok()) return table.status();
+  NaiveMatcher naive(*table, &weights, NaiveMatcher::SimilarityKind::kFms,
+                     MatcherOptions{});
+  FM_RETURN_IF_ERROR(naive.Prepare());
+  // Probe with dirty versions of arbitrary reference tuples.
+  DatasetSpec spec = DatasetD2();
+  spec.num_inputs = probes;
+  spec.seed = 4242;
+  FM_ASSIGN_OR_RETURN(const std::vector<InputTuple> inputs,
+                      GenerateInputs(*table, spec, nullptr));
+  double total = 0.0;
+  for (const InputTuple& input : inputs) {
+    QueryStats stats;
+    FM_RETURN_IF_ERROR(naive.FindMatches(input.dirty, &stats).status());
+    total += stats.elapsed_seconds;
+  }
+  return total / static_cast<double>(inputs.size());
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%-14s", cells[i].c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace fuzzymatch

@@ -1,0 +1,77 @@
+// Shared environment for the experiment harnesses: a seeded synthetic
+// Customer reference relation, dataset generation, and result-table
+// printing helpers. Scale is controlled by environment variables so the
+// same binaries run as quick smoke checks or full paper-scale sweeps:
+//   FM_REF_SIZE    reference relation cardinality (default 100000)
+//   FM_NUM_INPUTS  input tuples per dataset (default 1655, as the paper)
+
+#ifndef FUZZYMATCH_BENCH_SUPPORT_BENCH_ENV_H_
+#define FUZZYMATCH_BENCH_SUPPORT_BENCH_ENV_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fuzzy_match.h"
+#include "gen/customer_gen.h"
+#include "gen/dataset.h"
+#include "storage/database.h"
+
+namespace fuzzymatch {
+namespace bench {
+
+/// Reads a size_t environment override.
+size_t EnvSize(const char* name, size_t fallback);
+
+/// An in-memory database populated with the synthetic Customer relation.
+struct BenchEnv {
+  std::unique_ptr<Database> db;
+  Table* customers = nullptr;
+  size_t ref_size = 0;
+  size_t num_inputs = 0;
+};
+
+/// Builds the standard bench environment (deterministic; honours
+/// FM_REF_SIZE / FM_NUM_INPUTS).
+Result<BenchEnv> MakeBenchEnv();
+
+/// Applies `num_inputs` to a dataset spec.
+DatasetSpec WithInputs(DatasetSpec spec, size_t num_inputs);
+
+/// The paper's seven signature strategies in Figure 5/6 order:
+/// Q+T_0, Q_1, Q+T_1, Q_2, Q+T_2, Q_3, Q+T_3 (with the given q).
+std::vector<EtiParams> PaperStrategies(int q = 4);
+
+/// Fraction of inputs whose seed tid is among the returned matches.
+double Accuracy(const std::vector<InputTuple>& inputs,
+                const std::vector<std::vector<Match>>& results);
+
+/// Prints one aligned row of a results table.
+void PrintRow(const std::vector<std::string>& cells);
+
+/// Builds a FuzzyMatcher over env.customers with the given index strategy
+/// and query options.
+Result<std::unique_ptr<FuzzyMatcher>> BuildStrategy(
+    BenchEnv& env, const EtiParams& params,
+    const MatcherOptions& matcher_options = {});
+
+/// Outcome of running one input dataset through one matcher.
+struct EvalResult {
+  double accuracy = 0.0;       // seed recovered as (one of) the closest
+  AggregateStats stats;        // totals over the dataset's queries
+};
+
+/// Runs every input through the matcher (resets aggregate stats first).
+Result<EvalResult> Evaluate(FuzzyMatcher& matcher,
+                            const std::vector<InputTuple>& inputs);
+
+/// Seconds the naive algorithm needs to process ONE input tuple (the
+/// paper's unit of normalized elapsed time), averaged over a few probes.
+Result<double> NaiveProbeSeconds(BenchEnv& env, const IdfWeights& weights,
+                                 size_t probes = 3);
+
+}  // namespace bench
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_BENCH_SUPPORT_BENCH_ENV_H_

@@ -1,0 +1,117 @@
+// Duplicate-prevention gatekeeper — the paper's second motivating use
+// (Section 1): "a fuzzy match operation that is resilient to input errors
+// can effectively prevent the proliferation of fuzzy duplicates in a
+// relation".
+//
+// New customer registrations stream in. Each is fuzzily matched against
+// the current customer relation:
+//   - a strong match  -> rejected as a duplicate of the matched customer;
+//   - otherwise       -> admitted, and inserted into BOTH the relation and
+//                        the ETI via incremental maintenance, so the very
+//                        next registration is checked against it too.
+//
+// Run: dedup_gatekeeper [initial_customers] [registrations]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fuzzy_match.h"
+#include "gen/customer_gen.h"
+#include "gen/error_model.h"
+
+using namespace fuzzymatch;
+
+int main(int argc, char** argv) {
+  const size_t initial = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
+                                  : 10000;
+  const size_t registrations =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 300;
+  constexpr double kDuplicateThreshold = 0.85;
+
+  auto db_or = Database::Open(DatabaseOptions{});
+  if (!db_or.ok()) return 1;
+  auto db = std::move(*db_or);
+  auto table_or =
+      db->CreateTable("customers", CustomerGenerator::CustomerSchema());
+  if (!table_or.ok()) return 1;
+  CustomerGenOptions gen_options;
+  gen_options.num_tuples = initial;
+  CustomerGenerator generator(gen_options);
+  if (!generator.Populate(*table_or).ok()) return 1;
+
+  FuzzyMatchConfig config;
+  config.eti.signature_size = 3;
+  config.eti.index_tokens = true;
+  auto matcher_or = FuzzyMatcher::Build(db.get(), "customers", config);
+  if (!matcher_or.ok()) {
+    std::fprintf(stderr, "build: %s\n",
+                 matcher_or.status().ToString().c_str());
+    return 1;
+  }
+  auto& matcher = *matcher_or;
+  std::printf("gatekeeping a %zu-customer relation (threshold %.2f)\n\n",
+              initial, kDuplicateThreshold);
+
+  // The registration stream: half genuinely-new customers, half noisy
+  // re-registrations of existing ones (the duplicates to catch).
+  CustomerGenOptions fresh_options;
+  fresh_options.seed = 777;
+  fresh_options.num_tuples = registrations;
+  CustomerGenerator fresh(fresh_options);
+  ErrorModelOptions error_options;
+  error_options.column_error_prob = {0.6, 0.3, 0.2, 0.3};
+  const ErrorInjector injector(error_options);
+  Rng rng(4242);
+
+  size_t admitted = 0, rejected = 0, true_duplicates = 0,
+         caught_duplicates = 0;
+  for (size_t i = 0; i < registrations; ++i) {
+    Row registration;
+    bool is_duplicate = false;
+    if (rng.Bernoulli(0.5)) {
+      // A real customer registering again, sloppily.
+      const Tid existing =
+          static_cast<Tid>(rng.Uniform(matcher->reference().row_count()));
+      auto row = matcher->GetReferenceTuple(existing);
+      if (!row.ok()) return 1;
+      registration = injector.Inject(*row, rng);
+      is_duplicate = true;
+      ++true_duplicates;
+    } else {
+      registration = fresh.NextRow();
+    }
+
+    auto matches = matcher->FindMatches(registration);
+    if (!matches.ok()) return 1;
+    const bool strong_match =
+        !matches->empty() &&
+        (*matches)[0].similarity >= kDuplicateThreshold;
+    if (strong_match) {
+      ++rejected;
+      caught_duplicates += is_duplicate;
+    } else {
+      // Admit: becomes part of the reference, ETI updated in place.
+      auto tid = matcher->InsertReferenceTuple(registration);
+      if (!tid.ok()) {
+        std::fprintf(stderr, "insert: %s\n",
+                     tid.status().ToString().c_str());
+        return 1;
+      }
+      ++admitted;
+    }
+  }
+
+  std::printf("registrations : %zu (%zu were duplicates)\n", registrations,
+              true_duplicates);
+  std::printf("admitted      : %zu\n", admitted);
+  std::printf("rejected      : %zu (%zu correctly, %zu false alarms)\n",
+              rejected, caught_duplicates, rejected - caught_duplicates);
+  std::printf("missed dups   : %zu\n", true_duplicates - caught_duplicates);
+  std::printf("relation grew : %zu -> %llu tuples\n", initial,
+              static_cast<unsigned long long>(
+                  matcher->reference().row_count()));
+  std::printf("\nEvery admitted tuple was added to the ETI incrementally — "
+              "re-registering it\nimmediately afterwards would now be "
+              "caught.\n");
+  return 0;
+}

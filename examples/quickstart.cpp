@@ -1,0 +1,130 @@
+// Quickstart: the paper's worked example (Tables 1 and 2).
+//
+// Builds the 3-row organization reference relation, constructs a fuzzy
+// matcher over it, and pushes the four dirty input tuples of Table 2
+// through — including I3 and I4, the inputs on which plain edit distance
+// picks the wrong target.
+
+#include <cstdio>
+
+#include "core/fuzzy_match.h"
+#include "sim/ed_tuple.h"
+#include "text/tokenizer.h"
+
+using namespace fuzzymatch;
+
+namespace {
+
+const char* FieldOrNull(const std::optional<std::string>& f) {
+  return f ? f->c_str() : "NULL";
+}
+
+void PrintRow(const char* label, const Row& row) {
+  std::printf("%-4s [%s | %s | %s | %s]\n", label, FieldOrNull(row[0]),
+              FieldOrNull(row[1]), FieldOrNull(row[2]), FieldOrNull(row[3]));
+}
+
+}  // namespace
+
+int main() {
+  // 1. A database with the reference relation (Table 1).
+  auto db_or = Database::Open(DatabaseOptions{});
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "open db: %s\n", db_or.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(*db_or);
+  auto table_or =
+      db->CreateTable("orgs", Schema({"name", "city", "state", "zipcode"}));
+  if (!table_or.ok()) return 1;
+  Table* orgs = *table_or;
+
+  const std::vector<Row> reference = {
+      {std::string("Boeing Company"), std::string("Seattle"),
+       std::string("WA"), std::string("98004")},
+      {std::string("Bon Corporation"), std::string("Seattle"),
+       std::string("WA"), std::string("98014")},
+      {std::string("Companions"), std::string("Seattle"), std::string("WA"),
+       std::string("98024")},
+  };
+  std::printf("Reference relation (Table 1):\n");
+  for (size_t i = 0; i < reference.size(); ++i) {
+    if (!orgs->Insert(reference[i]).ok()) return 1;
+    PrintRow(("R" + std::to_string(i + 1)).c_str(), reference[i]);
+  }
+
+  // 2. Build the error tolerant index. Small relation, so a small q and
+  // the token transposition operation switched on (Section 5.3).
+  FuzzyMatchConfig config;
+  config.eti.q = 3;
+  config.eti.signature_size = 2;
+  config.eti.index_tokens = true;
+  config.matcher.fms.enable_transposition = true;
+  // Token swaps are a common data-entry slip, so price them at a small
+  // constant rather than the swapped tokens' weights (Section 5.3 allows
+  // either); with only 3 reference tuples the IDF weights are too flat for
+  // the average-cost variant to recover I4.
+  config.matcher.fms.transposition_cost = TranspositionCost::kConstant;
+  config.matcher.fms.transposition_constant = 0.25;
+  auto matcher_or = FuzzyMatcher::Build(db.get(), "orgs", config);
+  if (!matcher_or.ok()) {
+    std::fprintf(stderr, "build: %s\n",
+                 matcher_or.status().ToString().c_str());
+    return 1;
+  }
+  auto& matcher = *matcher_or;
+  std::printf("\nBuilt ETI: %llu rows over %llu reference tuples\n",
+              static_cast<unsigned long long>(matcher->eti().entry_count()),
+              static_cast<unsigned long long>(
+                  matcher->build_stats().reference_tuples));
+
+  // 3. Fuzzy match the dirty inputs of Table 2.
+  const std::vector<Row> inputs = {
+      {std::string("Beoing Company"), std::string("Seattle"),
+       std::string("WA"), std::string("98004")},
+      {std::string("Beoing Co."), std::string("Seattle"), std::string("WA"),
+       std::string("98004")},
+      {std::string("Boeing Corporation"), std::string("Seattle"),
+       std::string("WA"), std::string("98004")},
+      {std::string("Company Beoing"), std::string("Seattle"), std::nullopt,
+       std::string("98014")},
+  };
+
+  std::printf("\nFuzzy matching the inputs of Table 2 (fms vs ed):\n");
+  const Tokenizer tokenizer;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    PrintRow(("I" + std::to_string(i + 1)).c_str(), inputs[i]);
+    auto matches = matcher->FindMatches(inputs[i]);
+    if (!matches.ok() || matches->empty()) {
+      std::printf("     -> no match\n");
+      continue;
+    }
+    const Match& best = (*matches)[0];
+    auto target = matcher->GetReferenceTuple(best.tid);
+    if (!target.ok()) return 1;
+    std::printf("     -> fms picks R%u (similarity %.3f): %s\n",
+                best.tid + 1, best.similarity,
+                FieldOrNull((*target)[0]));
+
+    // Show what plain edit distance would have picked.
+    const auto u = tokenizer.TokenizeTuple(inputs[i]);
+    double best_ed = -1.0;
+    size_t ed_pick = 0;
+    for (size_t r = 0; r < reference.size(); ++r) {
+      const double sim =
+          EdTupleSimilarity(u, tokenizer.TokenizeTuple(reference[r]));
+      if (sim > best_ed) {
+        best_ed = sim;
+        ed_pick = r;
+      }
+    }
+    std::printf("        ed  picks R%zu (similarity %.3f)%s\n", ed_pick + 1,
+                best_ed, ed_pick != best.tid ? "  <-- disagrees" : "");
+  }
+
+  std::printf(
+      "\nI3 and I4 are the paper's motivating cases: fms resolves both to "
+      "R1\nwhile character-level edit distance is misled by token length "
+      "and order.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "common/csv.h"
+
+namespace fuzzymatch {
+
+Result<bool> CsvReader::Next(std::vector<std::string>* fields) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  bool field_was_quoted = false;
+
+  for (;;) {
+    const int ci = in_->get();
+    if (ci == std::char_traits<char>::eof()) {
+      if (in_quotes) {
+        return Status::Corruption("unterminated quoted CSV field");
+      }
+      if (!saw_any) {
+        return false;
+      }
+      fields->push_back(std::move(field));
+      ++records_;
+      return true;
+    }
+    const char c = static_cast<char>(ci);
+    saw_any = true;
+
+    if (in_quotes) {
+      if (c == '"') {
+        if (in_->peek() == '"') {
+          in_->get();
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+
+    switch (c) {
+      case '"':
+        if (field.empty() && !field_was_quoted) {
+          in_quotes = true;
+          field_was_quoted = true;
+        } else {
+          return Status::Corruption("stray quote inside CSV field");
+        }
+        break;
+      case ',':
+        fields->push_back(std::move(field));
+        field.clear();
+        field_was_quoted = false;
+        break;
+      case '\r':
+        // Swallow; the record ends at the following '\n'.
+        break;
+      case '\n':
+        fields->push_back(std::move(field));
+        ++records_;
+        return true;
+      default:
+        field.push_back(c);
+        break;
+    }
+  }
+}
+
+std::string CsvEscapeField(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::Write(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      out_->put(',');
+    }
+    *out_ << CsvEscapeField(fields[i]);
+  }
+  out_->put('\n');
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,52 @@
+// Minimal RFC-4180 CSV reading/writing (quoted fields, "" escapes,
+// embedded newlines, CRLF or LF). Used by the command-line tool to load
+// reference relations and dirty feeds from files.
+
+#ifndef FUZZYMATCH_COMMON_CSV_H_
+#define FUZZYMATCH_COMMON_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fuzzymatch {
+
+/// Streams records from a CSV input.
+class CsvReader {
+ public:
+  /// `in` must outlive the reader.
+  explicit CsvReader(std::istream* in) : in_(in) {}
+
+  /// Reads the next record; returns false at end of input. Fields are
+  /// unescaped. Fails on malformed quoting.
+  Result<bool> Next(std::vector<std::string>* fields);
+
+  /// Number of records read so far.
+  uint64_t records_read() const { return records_; }
+
+ private:
+  std::istream* in_;
+  uint64_t records_ = 0;
+};
+
+/// Writes records to a CSV output, quoting only when needed.
+class CsvWriter {
+ public:
+  /// `out` must outlive the writer.
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  void Write(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Escapes one field (exposed for tests).
+std::string CsvEscapeField(const std::string& field);
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_COMMON_CSV_H_

@@ -1,0 +1,35 @@
+// Fast non-cryptographic 64-bit hashing.
+//
+// Used for min-hash signature coordinates, the token-frequency cache, and
+// the candidate-score hash table. Seeded variants give the independent hash
+// function family h_1..h_H required by min-hash (Section 4.1 of the paper).
+
+#ifndef FUZZYMATCH_COMMON_HASH_H_
+#define FUZZYMATCH_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fuzzymatch {
+
+/// Mixes a 64-bit value (splitmix64 finalizer); bijective.
+uint64_t Mix64(uint64_t x);
+
+/// Hashes `data` with the given seed. Distinct seeds give (empirically)
+/// independent hash functions; this is an xxhash-style multiply/rotate mix.
+uint64_t Hash64(const void* data, size_t len, uint64_t seed);
+
+/// Convenience overload for string views.
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// Combines two hash values (order-dependent).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_COMMON_HASH_H_

@@ -1,0 +1,76 @@
+// Minimal leveled logging plus CHECK macros.
+//
+// FM_CHECK* are for programmer errors (invariant violations) and abort;
+// recoverable conditions go through Status instead.
+
+#ifndef FUZZYMATCH_COMMON_LOGGING_H_
+#define FUZZYMATCH_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fuzzymatch {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum level emitted to stderr (default kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log message; emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fuzzymatch
+
+#define FM_LOG(level)                                            \
+  ::fuzzymatch::internal::LogMessage(::fuzzymatch::LogLevel::k##level, \
+                                     __FILE__, __LINE__)
+
+#define FM_CHECK(cond)                                        \
+  if (!(cond))                                                \
+  FM_LOG(Fatal) << "Check failed: " #cond " "
+
+#define FM_CHECK_OP_(a, b, op) FM_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define FM_CHECK_EQ(a, b) FM_CHECK_OP_(a, b, ==)
+#define FM_CHECK_NE(a, b) FM_CHECK_OP_(a, b, !=)
+#define FM_CHECK_LT(a, b) FM_CHECK_OP_(a, b, <)
+#define FM_CHECK_LE(a, b) FM_CHECK_OP_(a, b, <=)
+#define FM_CHECK_GT(a, b) FM_CHECK_OP_(a, b, >)
+#define FM_CHECK_GE(a, b) FM_CHECK_OP_(a, b, >=)
+
+/// Aborts if `expr` evaluates to a non-OK Status.
+#define FM_CHECK_OK(expr)                                  \
+  do {                                                     \
+    const ::fuzzymatch::Status fm_log_macro_s__ = (expr);  \
+    FM_CHECK(fm_log_macro_s__.ok()) << fm_log_macro_s__;   \
+  } while (false)
+
+#endif  // FUZZYMATCH_COMMON_LOGGING_H_

@@ -1,0 +1,158 @@
+#include "common/md5.h"
+
+#include <cstring>
+
+namespace fuzzymatch {
+
+namespace {
+
+// Per-round left-rotation amounts (RFC 1321).
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * abs(sin(i + 1))).
+constexpr uint32_t kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+inline uint32_t Rotl32(uint32_t x, int r) { return (x << r) | (x >> (32 - r)); }
+
+}  // namespace
+
+std::string Md5Digest::ToHex() const {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    out[2 * i] = kHex[bytes[i] >> 4];
+    out[2 * i + 1] = kHex[bytes[i] & 0xf];
+  }
+  return out;
+}
+
+uint64_t Md5Digest::Low64() const {
+  uint64_t v;
+  std::memcpy(&v, bytes.data(), sizeof(v));
+  return v;
+}
+
+uint64_t Md5Digest::High64() const {
+  uint64_t v;
+  std::memcpy(&v, bytes.data() + 8, sizeof(v));
+  return v;
+}
+
+Md5::Md5() { Reset(); }
+
+void Md5::Reset() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xefcdab89;
+  state_[2] = 0x98badcfe;
+  state_[3] = 0x10325476;
+  bit_count_ = 0;
+  buffer_len_ = 0;
+}
+
+void Md5::ProcessBlock(const uint8_t* block) {
+  uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    std::memcpy(&m[i], block + 4 * i, 4);
+  }
+
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+
+  for (int i = 0; i < 64; ++i) {
+    uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) & 15;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) & 15;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) & 15;
+    }
+    const uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + Rotl32(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::Update(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  bit_count_ += static_cast<uint64_t>(len) * 8;
+
+  if (buffer_len_ > 0) {
+    const size_t need = 64 - buffer_len_;
+    const size_t take = len < need ? len : need;
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == 64) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+
+  while (len >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    len -= 64;
+  }
+
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffer_len_ = len;
+  }
+}
+
+Md5Digest Md5::Finish() {
+  const uint64_t total_bits = bit_count_;
+
+  static const uint8_t kPad[64] = {0x80};
+  // Pad to 56 mod 64 bytes, then append the 64-bit length.
+  const size_t pad_len =
+      (buffer_len_ < 56) ? (56 - buffer_len_) : (120 - buffer_len_);
+  Update(kPad, pad_len);
+
+  uint8_t length_bytes[8];
+  std::memcpy(length_bytes, &total_bits, 8);
+  // Update() also advances bit_count_, which is fine: we captured it above.
+  Update(length_bytes, 8);
+
+  Md5Digest digest;
+  std::memcpy(digest.bytes.data(), state_, 16);
+  return digest;
+}
+
+Md5Digest Md5::Hash(std::string_view s) {
+  Md5 md5;
+  md5.Update(s);
+  return md5.Finish();
+}
+
+}  // namespace fuzzymatch

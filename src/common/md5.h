@@ -1,0 +1,64 @@
+// MD5 message digest (RFC 1321).
+//
+// The paper's "cache without collisions" (Section 4.4.1) keys the
+// token-frequency cache by a 16-byte MD5 digest instead of the token string.
+// MD5 is used here purely as a 128-bit fingerprint, not for security.
+
+#ifndef FUZZYMATCH_COMMON_MD5_H_
+#define FUZZYMATCH_COMMON_MD5_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fuzzymatch {
+
+/// A 128-bit MD5 digest.
+struct Md5Digest {
+  std::array<uint8_t, 16> bytes{};
+
+  bool operator==(const Md5Digest& other) const { return bytes == other.bytes; }
+  bool operator!=(const Md5Digest& other) const { return !(*this == other); }
+
+  /// Lowercase hex representation (32 characters).
+  std::string ToHex() const;
+
+  /// First 8 bytes as a little-endian uint64 (handy hash-table key).
+  uint64_t Low64() const;
+  /// Last 8 bytes as a little-endian uint64.
+  uint64_t High64() const;
+};
+
+/// Incremental MD5 computation.
+class Md5 {
+ public:
+  Md5();
+
+  /// Absorbs `len` bytes.
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Finalizes and returns the digest. The object must not be reused
+  /// afterwards without Reset().
+  Md5Digest Finish();
+
+  /// Restores the initial state.
+  void Reset();
+
+  /// One-shot convenience.
+  static Md5Digest Hash(std::string_view s);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[4];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_COMMON_MD5_H_

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (min-hash seeding, error injection, synthetic
+// data generation) draw from explicitly-seeded Rng instances so experiments
+// are reproducible run to run.
+
+#ifndef FUZZYMATCH_COMMON_RANDOM_H_
+#define FUZZYMATCH_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fuzzymatch {
+
+/// xoshiro256** PRNG. Not cryptographically secure; fast and high quality
+/// for simulation purposes.
+class Rng {
+ public:
+  /// Seeds deterministically from a single 64-bit value.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling (unbiased).
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(Uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples from a Zipf distribution over ranks {0, ..., n-1}:
+/// P(rank k) proportional to 1 / (k+1)^theta. Used to give synthetic tokens
+/// the skewed frequency profile (and hence IDF variance) of real data.
+class ZipfSampler {
+ public:
+  /// Precomputes the CDF; n must be >= 1, theta >= 0 (theta = 0 is uniform).
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_COMMON_RANDOM_H_

@@ -1,0 +1,95 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+
+#ifndef FUZZYMATCH_COMMON_RESULT_H_
+#define FUZZYMATCH_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fuzzymatch {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value could not be produced.
+///
+/// Typical use:
+///
+///   Result<int> ParsePort(const std::string& s);
+///   ...
+///   FM_ASSIGN_OR_RETURN(int port, ParsePort(arg));
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Constructs from a non-OK status (implicit, enables
+  /// `return Status::NotFound(...)`). `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ engaged
+  std::optional<T> value_;
+};
+
+}  // namespace fuzzymatch
+
+#define FM_RESULT_CONCAT_INNER_(a, b) a##b
+#define FM_RESULT_CONCAT_(a, b) FM_RESULT_CONCAT_INNER_(a, b)
+
+/// Evaluates a Result<T> expression; on error returns its Status from the
+/// enclosing function, otherwise assigns the value to `lhs` (which may be a
+/// declaration such as `auto x`).
+#define FM_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  FM_ASSIGN_OR_RETURN_IMPL_(                                         \
+      FM_RESULT_CONCAT_(fm_result_macro_r__, __LINE__), lhs, rexpr)
+
+#define FM_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) {                                 \
+    return result.status();                           \
+  }                                                   \
+  lhs = std::move(result).value()
+
+#endif  // FUZZYMATCH_COMMON_RESULT_H_

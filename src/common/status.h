@@ -1,0 +1,140 @@
+// Status: error model for the fuzzymatch library.
+//
+// Library code does not use exceptions for control flow (following the
+// Arrow/RocksDB idiom). Fallible operations return Status, or Result<T>
+// (see common/result.h) when they also produce a value.
+
+#ifndef FUZZYMATCH_COMMON_STATUS_H_
+#define FUZZYMATCH_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fuzzymatch {
+
+/// Machine-readable classification of an error.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kIOError = 4,
+  kCorruption = 5,
+  kOutOfRange = 6,
+  kNotSupported = 7,
+  kResourceExhausted = 8,
+  kInternal = 9,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status holds either success (OK) or an error code plus message.
+///
+/// The OK state is represented by a null rep pointer, so returning and
+/// checking OK statuses is as cheap as a pointer move/compare.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message; `code` must not
+  /// be kOk (use the default constructor for that).
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Named constructors, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The status code; kOk iff ok().
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the message.
+  /// OK statuses are returned unchanged.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<Rep> rep_;  // null == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace fuzzymatch
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define FM_RETURN_IF_ERROR(expr)                       \
+  do {                                                 \
+    ::fuzzymatch::Status fm_status_macro_s__ = (expr); \
+    if (!fm_status_macro_s__.ok()) {                   \
+      return fm_status_macro_s__;                      \
+    }                                                  \
+  } while (false)
+
+#endif  // FUZZYMATCH_COMMON_STATUS_H_

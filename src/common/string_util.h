@@ -1,0 +1,39 @@
+// Small string helpers shared across the library.
+
+#ifndef FUZZYMATCH_COMMON_STRING_UTIL_H_
+#define FUZZYMATCH_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fuzzymatch {
+
+/// ASCII-lowercases a copy of `s` (the paper ignores case when tokenizing).
+std::string AsciiLower(std::string_view s);
+
+/// ASCII lowercase of a single character.
+inline char AsciiLowerChar(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitAndTrim(std::string_view s,
+                                      std::string_view delims);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_COMMON_STRING_UTIL_H_

@@ -1,0 +1,33 @@
+// Wall-clock timing for the experiment harnesses.
+
+#ifndef FUZZYMATCH_COMMON_TIMER_H_
+#define FUZZYMATCH_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace fuzzymatch {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_COMMON_TIMER_H_

@@ -1,0 +1,42 @@
+// LEB128 variable-length integer encoding (row codec, tid-lists).
+
+#ifndef FUZZYMATCH_COMMON_VARINT_H_
+#define FUZZYMATCH_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace fuzzymatch {
+
+/// Appends `v` to `out` as LEB128 (1-10 bytes).
+inline void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Parses a varint from the front of `*in`, consuming its bytes.
+inline Result<uint64_t> GetVarint64(std::string_view* in) {
+  uint64_t v = 0;
+  int shift = 0;
+  size_t i = 0;
+  while (i < in->size() && shift <= 63) {
+    const uint8_t b = static_cast<uint8_t>((*in)[i++]);
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      in->remove_prefix(i);
+      return v;
+    }
+    shift += 7;
+  }
+  return Status::Corruption("truncated or overlong varint");
+}
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_COMMON_VARINT_H_

@@ -1,0 +1,60 @@
+#include "core/batch_cleaner.h"
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace fuzzymatch {
+
+BatchCleaner::BatchCleaner(const FuzzyMatcher* matcher, Options options)
+    : matcher_(matcher), options_(options) {
+  FM_CHECK(matcher != nullptr);
+}
+
+Result<CleanResult> BatchCleaner::Clean(const Row& input) const {
+  FM_ASSIGN_OR_RETURN(const std::vector<Match> matches,
+                      matcher_->FindMatches(input));
+  CleanResult result;
+  if (matches.empty() ||
+      matches[0].similarity < options_.load_threshold) {
+    result.outcome = CleanOutcome::kRouted;
+    result.output = input;
+    if (!matches.empty()) {
+      result.best_match = matches[0];
+    }
+    return result;
+  }
+  result.best_match = matches[0];
+  FM_ASSIGN_OR_RETURN(result.output,
+                      matcher_->GetReferenceTuple(matches[0].tid));
+  result.outcome = matches[0].similarity >= 1.0 ? CleanOutcome::kValidated
+                                                : CleanOutcome::kCorrected;
+  return result;
+}
+
+Result<CleanStats> BatchCleaner::CleanBatch(const std::vector<Row>& inputs,
+                                            const Sink& sink) const {
+  Timer timer;
+  CleanStats stats;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    FM_ASSIGN_OR_RETURN(const CleanResult result, Clean(inputs[i]));
+    ++stats.processed;
+    switch (result.outcome) {
+      case CleanOutcome::kValidated:
+        ++stats.validated;
+        break;
+      case CleanOutcome::kCorrected:
+        ++stats.corrected;
+        break;
+      case CleanOutcome::kRouted:
+        ++stats.routed;
+        break;
+    }
+    if (sink) {
+      FM_RETURN_IF_ERROR(sink(i, result));
+    }
+  }
+  stats.elapsed_seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace fuzzymatch

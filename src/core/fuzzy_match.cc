@@ -1,0 +1,62 @@
+#include "core/fuzzy_match.h"
+
+namespace fuzzymatch {
+
+std::unique_ptr<FuzzyMatcher> FuzzyMatcher::Assemble(FuzzyMatchConfig config,
+                                                     Table* ref,
+                                                     BuiltEti built) {
+  auto matcher = std::unique_ptr<FuzzyMatcher>(new FuzzyMatcher());
+  matcher->config_ = std::move(config);
+  matcher->config_.eti = built.eti.params();
+  matcher->ref_ = ref;
+  matcher->eti_ = std::make_unique<Eti>(std::move(built.eti));
+  matcher->weights_ = std::make_unique<IdfWeights>(std::move(built.weights));
+  matcher->build_stats_ = built.stats;
+  matcher->matcher_ = std::make_unique<EtiMatcher>(
+      ref, matcher->eti_.get(), matcher->weights_.get(),
+      matcher->config_.matcher);
+  return matcher;
+}
+
+Result<std::unique_ptr<FuzzyMatcher>> FuzzyMatcher::Build(
+    Database* db, const std::string& ref_table_name,
+    FuzzyMatchConfig config) {
+  FM_ASSIGN_OR_RETURN(Table * ref, db->GetTable(ref_table_name));
+
+  EtiBuilder::Options build_options;
+  build_options.params = config.eti;
+  build_options.cache_kind = config.cache_kind;
+  build_options.bounded_buckets = config.bounded_cache_buckets;
+  build_options.sort_memory_bytes = config.sort_memory_bytes;
+  build_options.temp_dir = config.temp_dir;
+  FM_ASSIGN_OR_RETURN(BuiltEti built, EtiBuilder::Build(db, ref,
+                                                        build_options));
+  return Assemble(std::move(config), ref, std::move(built));
+}
+
+Result<std::unique_ptr<FuzzyMatcher>> FuzzyMatcher::Open(
+    Database* db, const std::string& ref_table_name,
+    const std::string& strategy_name, FuzzyMatchConfig config) {
+  FM_ASSIGN_OR_RETURN(Table * ref, db->GetTable(ref_table_name));
+  FM_ASSIGN_OR_RETURN(
+      BuiltEti built,
+      EtiBuilder::Attach(db, ref, strategy_name, config.cache_kind,
+                         config.bounded_cache_buckets));
+  return Assemble(std::move(config), ref, std::move(built));
+}
+
+Result<Tid> FuzzyMatcher::InsertReferenceTuple(const Row& row) {
+  FM_ASSIGN_OR_RETURN(const Tid tid, ref_->Insert(row));
+  const Tokenizer tokenizer = eti_->MakeTokenizer();
+  FM_RETURN_IF_ERROR(eti_->IndexTuple(tid, tokenizer.TokenizeTuple(row)));
+  return tid;
+}
+
+Status FuzzyMatcher::RemoveReferenceTuple(Tid tid) {
+  FM_ASSIGN_OR_RETURN(const Row row, ref_->Get(tid));
+  const Tokenizer tokenizer = eti_->MakeTokenizer();
+  FM_RETURN_IF_ERROR(eti_->UnindexTuple(tid, tokenizer.TokenizeTuple(row)));
+  return ref_->Delete(tid);
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,110 @@
+// FuzzyMatcher: the library's public entry point.
+//
+// Implements the paper's end-to-end operation (Figure 1's template): build
+// an Error Tolerant Index over a clean reference relation once, then
+// fuzzily match incoming tuples against it online.
+//
+//   Database db = ...;                       // storage engine
+//   Table* customers = ...;                  // clean reference relation
+//   FM_ASSIGN_OR_RETURN(auto matcher,
+//       FuzzyMatcher::Build(&db, "customers", config));
+//   auto matches = matcher->Match(dirty_row);
+//   if (!matches->empty() && (*matches)[0].similarity >= 0.8) { ... }
+
+#ifndef FUZZYMATCH_CORE_FUZZY_MATCH_H_
+#define FUZZYMATCH_CORE_FUZZY_MATCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "eti/eti_builder.h"
+#include "match/eti_matcher.h"
+#include "match/match_types.h"
+#include "storage/database.h"
+
+namespace fuzzymatch {
+
+/// Everything configurable about one fuzzy-match deployment.
+struct FuzzyMatchConfig {
+  /// Index-construction parameters (q, H, Q+T, stop threshold, seed).
+  EtiParams eti;
+  /// Query-time parameters (K, threshold c, OSC, fms knobs).
+  MatcherOptions matcher;
+  /// Token-frequency cache flavour (Section 4.4.1).
+  FrequencyCacheKind cache_kind = FrequencyCacheKind::kExact;
+  size_t bounded_cache_buckets = 1u << 20;
+  /// ETI build resources.
+  size_t sort_memory_bytes = 64u << 20;
+  std::string temp_dir = "/tmp";
+};
+
+/// A built fuzzy-match operator over one reference relation.
+class FuzzyMatcher {
+ public:
+  /// Builds the ETI and weight table for `ref_table_name` inside `db` and
+  /// returns a ready matcher. The ETI persists in `db` as a standard
+  /// relation + index named after the table and strategy.
+  static Result<std::unique_ptr<FuzzyMatcher>> Build(
+      Database* db, const std::string& ref_table_name,
+      FuzzyMatchConfig config = {});
+
+  /// Re-attaches to an ETI built in a previous session (the paper: "we
+  /// can use it for subsequent batches of input tuples if the reference
+  /// table does not change"). Only the main-memory token-frequency cache
+  /// is rebuilt (one reference scan); the index itself is reused.
+  /// `strategy_name` is EtiParams::StrategyName() of the original build;
+  /// `config.eti` is ignored (the persisted parameters win).
+  static Result<std::unique_ptr<FuzzyMatcher>> Open(
+      Database* db, const std::string& ref_table_name,
+      const std::string& strategy_name, FuzzyMatchConfig config = {});
+
+  /// Incremental maintenance (extension; the paper defers it): inserts a
+  /// new clean tuple into the reference relation AND the ETI, so later
+  /// queries can match against it immediately. IDF weights are a
+  /// main-memory snapshot and drift slightly until the next
+  /// Build/Open — acceptable because log-scaled frequencies move slowly.
+  Result<Tid> InsertReferenceTuple(const Row& row);
+
+  /// Removes a reference tuple from both the relation and the ETI.
+  Status RemoveReferenceTuple(Tid tid);
+
+  /// The K-fuzzy-match operation for one input tuple: at most K reference
+  /// tuples with fms >= c, most similar first.
+  Result<std::vector<Match>> FindMatches(const Row& input,
+                                   QueryStats* stats = nullptr) const {
+    return matcher_->FindMatches(input, stats);
+  }
+
+  /// Fetches a matched reference tuple.
+  Result<Row> GetReferenceTuple(Tid tid) const { return ref_->Get(tid); }
+
+  const Table& reference() const { return *ref_; }
+  const Eti& eti() const { return *eti_; }
+  const IdfWeights& weights() const { return *weights_; }
+  const EtiBuildStats& build_stats() const { return build_stats_; }
+  const AggregateStats& aggregate_stats() const {
+    return matcher_->aggregate_stats();
+  }
+  void ResetAggregateStats() { matcher_->ResetAggregateStats(); }
+  const FuzzyMatchConfig& config() const { return config_; }
+
+ private:
+  FuzzyMatcher() = default;
+
+  /// Shared tail of Build() and Open().
+  static std::unique_ptr<FuzzyMatcher> Assemble(FuzzyMatchConfig config,
+                                                Table* ref, BuiltEti built);
+
+  FuzzyMatchConfig config_;
+  Table* ref_ = nullptr;
+  std::unique_ptr<Eti> eti_;
+  std::unique_ptr<IdfWeights> weights_;
+  EtiBuildStats build_stats_;
+  std::unique_ptr<EtiMatcher> matcher_;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_CORE_FUZZY_MATCH_H_

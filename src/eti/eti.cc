@@ -1,0 +1,274 @@
+#include "eti/eti.h"
+
+#include <cstring>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "eti/signature.h"
+#include "eti/tid_list.h"
+#include "storage/key_codec.h"
+
+namespace fuzzymatch {
+
+namespace {
+
+std::string EncodeU32Field(uint32_t v) {
+  std::string out(4, '\0');
+  std::memcpy(out.data(), &v, 4);
+  return out;
+}
+
+Result<uint32_t> DecodeU32Field(const std::optional<std::string>& field) {
+  if (!field || field->size() != 4) {
+    return Status::Corruption("bad u32 field in ETI row");
+  }
+  uint32_t v;
+  std::memcpy(&v, field->data(), 4);
+  return v;
+}
+
+}  // namespace
+
+std::string EtiParams::StrategyName() const {
+  if (full_qgram_index) {
+    return index_tokens ? "FULLQG+T" : "FULLQG";
+  }
+  return StringPrintf("%s_%d", index_tokens ? "Q+T" : "Q", signature_size);
+}
+
+Eti::Eti(Table* rows, BPlusTree* index, EtiParams params)
+    : rows_(rows), index_(index), params_(std::move(params)) {}
+
+Schema Eti::RowSchema() {
+  return Schema({"qgram", "coordinate", "column", "frequency", "tidlist"});
+}
+
+std::string Eti::IndexKey(std::string_view gram, uint32_t coordinate,
+                          uint32_t column) {
+  KeyEncoder enc;
+  enc.AppendString(gram).AppendU32(coordinate).AppendU32(column);
+  return enc.Take();
+}
+
+Row Eti::EncodeRow(std::string_view gram, uint32_t coordinate,
+                   uint32_t column, const EtiEntry& entry) {
+  Row row(5);
+  row[0] = std::string(gram);
+  row[1] = EncodeU32Field(coordinate);
+  row[2] = EncodeU32Field(column);
+  row[3] = EncodeU32Field(entry.frequency);
+  if (entry.is_stop) {
+    row[4] = std::nullopt;  // NULL tid-list, per the paper
+  } else {
+    row[4] = EncodeTidList(entry.tids);
+  }
+  return row;
+}
+
+Result<EtiEntry> Eti::DecodeEntry(const Row& row) {
+  if (row.size() != 5) {
+    return Status::Corruption("ETI row has wrong arity");
+  }
+  EtiEntry entry;
+  FM_ASSIGN_OR_RETURN(entry.frequency, DecodeU32Field(row[3]));
+  if (!row[4].has_value()) {
+    entry.is_stop = true;
+    return entry;
+  }
+  FM_ASSIGN_OR_RETURN(entry.tids, DecodeTidList(*row[4]));
+  return entry;
+}
+
+Status Eti::MutateEntry(std::string_view gram, uint32_t coordinate,
+                        uint32_t column, Tid tid, bool add) {
+  const std::string key = IndexKey(gram, coordinate, column);
+  auto rid_bytes = index_->Get(key);
+  if (!rid_bytes.ok()) {
+    if (!rid_bytes.status().IsNotFound()) {
+      return rid_bytes.status();
+    }
+    if (!add) {
+      return Status::OK();  // removing a coordinate that was never there
+    }
+    // Fresh row for a brand-new coordinate.
+    EtiEntry entry;
+    entry.frequency = 1;
+    entry.tids = {tid};
+    FM_ASSIGN_OR_RETURN(
+        const Table::InsertInfo info,
+        rows_->InsertWithLocation(EncodeRow(gram, coordinate, column,
+                                            entry)));
+    return index_->Insert(key, info.rid.Encode());
+  }
+
+  FM_ASSIGN_OR_RETURN(const Rid rid, Rid::Decode(*rid_bytes));
+  FM_ASSIGN_OR_RETURN(const Row row, rows_->GetByRid(rid));
+  FM_ASSIGN_OR_RETURN(EtiEntry entry, DecodeEntry(row));
+
+  if (add) {
+    if (entry.is_stop) {
+      ++entry.frequency;
+    } else {
+      if (!entry.tids.empty() && entry.tids.back() >= tid) {
+        return Status::InvalidArgument(
+            "IndexTuple requires monotonically growing tids");
+      }
+      entry.tids.push_back(tid);
+      ++entry.frequency;
+      if (entry.frequency > params_.stop_qgram_threshold) {
+        entry.is_stop = true;
+        entry.tids.clear();
+      }
+    }
+  } else {
+    if (entry.frequency == 0) {
+      return Status::Corruption("ETI row with zero frequency");
+    }
+    --entry.frequency;
+    if (!entry.is_stop) {
+      const auto it =
+          std::find(entry.tids.begin(), entry.tids.end(), tid);
+      if (it == entry.tids.end()) {
+        return Status::NotFound("tid not present in ETI row");
+      }
+      entry.tids.erase(it);
+      // A now-empty row stays in the relation with frequency 0 (rows are
+      // never physically reclaimed; lookups simply yield no tids).
+    }
+  }
+
+  FM_ASSIGN_OR_RETURN(
+      const Rid new_rid,
+      rows_->UpdateByRid(rid, EncodeRow(gram, coordinate, column, entry)));
+  if (new_rid != rid) {
+    FM_RETURN_IF_ERROR(index_->Put(key, new_rid.Encode()));
+  }
+  return Status::OK();
+}
+
+Status Eti::IndexTuple(Tid tid, const TokenizedTuple& tokens) {
+  const MinHasher hasher = MakeHasher();
+  for (uint32_t col = 0; col < tokens.size(); ++col) {
+    // Dedupe per column: a token appearing twice contributes once.
+    std::vector<std::string> distinct(tokens[col]);
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    // Coordinates can also repeat across distinct tokens (two tokens with
+    // the same min-hash coordinate); dedupe those as well.
+    std::vector<std::pair<std::string, uint32_t>> coords;
+    for (const auto& token : distinct) {
+      for (const auto& tc :
+           MakeTokenCoordinates(hasher, params_, token, 0.0)) {
+        coords.emplace_back(tc.gram, tc.coordinate);
+      }
+    }
+    std::sort(coords.begin(), coords.end());
+    coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+    for (const auto& [gram, coordinate] : coords) {
+      FM_RETURN_IF_ERROR(MutateEntry(gram, coordinate, col, tid, true));
+    }
+  }
+  return Status::OK();
+}
+
+Status Eti::UnindexTuple(Tid tid, const TokenizedTuple& tokens) {
+  const MinHasher hasher = MakeHasher();
+  for (uint32_t col = 0; col < tokens.size(); ++col) {
+    std::vector<std::string> distinct(tokens[col]);
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    std::vector<std::pair<std::string, uint32_t>> coords;
+    for (const auto& token : distinct) {
+      for (const auto& tc :
+           MakeTokenCoordinates(hasher, params_, token, 0.0)) {
+        coords.emplace_back(tc.gram, tc.coordinate);
+      }
+    }
+    std::sort(coords.begin(), coords.end());
+    coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+    for (const auto& [gram, coordinate] : coords) {
+      FM_RETURN_IF_ERROR(MutateEntry(gram, coordinate, col, tid, false));
+    }
+  }
+  return Status::OK();
+}
+
+Status SaveEtiParams(Database* db, const std::string& eti_name,
+                     const EtiParams& params) {
+  FM_ASSIGN_OR_RETURN(Table * meta,
+                      db->CreateTable(eti_name + "_meta",
+                                      Schema({"key", "value"})));
+  const std::vector<std::pair<std::string, std::string>> kv = {
+      {"q", StringPrintf("%d", params.q)},
+      {"signature_size", StringPrintf("%d", params.signature_size)},
+      {"index_tokens", params.index_tokens ? "1" : "0"},
+      {"full_qgram_index", params.full_qgram_index ? "1" : "0"},
+      {"stop_qgram_threshold",
+       StringPrintf("%u", params.stop_qgram_threshold)},
+      {"minhash_seed",
+       StringPrintf("%llu",
+                    static_cast<unsigned long long>(params.minhash_seed))},
+      {"delimiters", params.delimiters},
+  };
+  for (const auto& [key, value] : kv) {
+    FM_RETURN_IF_ERROR(meta->Insert(Row{key, value}).status());
+  }
+  return Status::OK();
+}
+
+Result<EtiParams> LoadEtiParams(Database* db, const std::string& eti_name) {
+  FM_ASSIGN_OR_RETURN(Table * meta, db->GetTable(eti_name + "_meta"));
+  EtiParams params;
+  Table::Scanner scanner = meta->Scan();
+  Tid tid;
+  Row row;
+  for (;;) {
+    FM_ASSIGN_OR_RETURN(const bool more, scanner.Next(&tid, &row));
+    if (!more) break;
+    if (row.size() != 2 || !row[0] || !row[1]) {
+      return Status::Corruption("bad ETI meta row");
+    }
+    const std::string& key = *row[0];
+    const std::string& value = *row[1];
+    if (key == "q") {
+      params.q = std::atoi(value.c_str());
+    } else if (key == "signature_size") {
+      params.signature_size = std::atoi(value.c_str());
+    } else if (key == "index_tokens") {
+      params.index_tokens = (value == "1");
+    } else if (key == "full_qgram_index") {
+      params.full_qgram_index = (value == "1");
+    } else if (key == "stop_qgram_threshold") {
+      params.stop_qgram_threshold =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "minhash_seed") {
+      params.minhash_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "delimiters") {
+      params.delimiters = value;
+    }
+  }
+  return params;
+}
+
+Result<std::optional<EtiEntry>> Eti::Lookup(std::string_view gram,
+                                            uint32_t coordinate,
+                                            uint32_t column) const {
+  const std::string key = IndexKey(gram, coordinate, column);
+  auto rid_bytes = index_->Get(key);
+  if (!rid_bytes.ok()) {
+    if (rid_bytes.status().IsNotFound()) {
+      return std::optional<EtiEntry>(std::nullopt);
+    }
+    return rid_bytes.status();
+  }
+  FM_ASSIGN_OR_RETURN(const Rid rid, Rid::Decode(*rid_bytes));
+  FM_ASSIGN_OR_RETURN(const Row row, rows_->GetByRid(rid));
+  FM_ASSIGN_OR_RETURN(EtiEntry entry, DecodeEntry(row));
+  return std::optional<EtiEntry>(std::move(entry));
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,248 @@
+#include "eti/eti_builder.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "eti/signature.h"
+#include "eti/tid_list.h"
+#include "storage/external_sort.h"
+#include "storage/key_codec.h"
+
+namespace fuzzymatch {
+
+namespace {
+
+/// One decoded pre-ETI row.
+struct PreEtiRow {
+  std::string gram;
+  uint32_t coordinate;
+  uint32_t column;
+  Tid tid;
+};
+
+std::string EncodePreEtiRow(std::string_view gram, uint32_t coordinate,
+                            uint32_t column, Tid tid) {
+  KeyEncoder enc;
+  enc.AppendString(gram).AppendU32(coordinate).AppendU32(column).AppendU32(
+      tid);
+  return enc.Take();
+}
+
+Result<PreEtiRow> DecodePreEtiRow(std::string_view record) {
+  KeyDecoder dec(record);
+  PreEtiRow row;
+  FM_ASSIGN_OR_RETURN(row.gram, dec.ReadString());
+  FM_ASSIGN_OR_RETURN(row.coordinate, dec.ReadU32());
+  FM_ASSIGN_OR_RETURN(row.column, dec.ReadU32());
+  FM_ASSIGN_OR_RETURN(row.tid, dec.ReadU32());
+  if (!dec.Done()) {
+    return Status::Corruption("trailing bytes in pre-ETI row");
+  }
+  return row;
+}
+
+/// Accumulates one [QGram, Coordinate, Column] group and flushes it as an
+/// ETI row. Tid-lists that reach the stop threshold are dropped and the
+/// row is marked as a stop q-gram (NULL tid-list), still recording the
+/// true frequency.
+class GroupWriter {
+ public:
+  GroupWriter(Table* eti_table, BPlusTree* eti_index, uint32_t stop_threshold)
+      : eti_table_(eti_table),
+        eti_index_(eti_index),
+        stop_threshold_(stop_threshold) {}
+
+  Status Consume(const PreEtiRow& row) {
+    if (!open_ || row.gram != gram_ || row.coordinate != coordinate_ ||
+        row.column != column_) {
+      FM_RETURN_IF_ERROR(Flush());
+      open_ = true;
+      gram_ = row.gram;
+      coordinate_ = row.coordinate;
+      column_ = row.column;
+      frequency_ = 0;
+      tids_.clear();
+      last_tid_ = 0;
+    }
+    // Sorted input: duplicates (same token twice in one column of one
+    // tuple) are adjacent.
+    if (frequency_ > 0 && row.tid == last_tid_) {
+      return Status::OK();
+    }
+    ++frequency_;
+    last_tid_ = row.tid;
+    if (frequency_ <= stop_threshold_ && frequency_ == tids_.size() + 1) {
+      tids_.push_back(row.tid);
+    }
+    if (frequency_ > stop_threshold_) {
+      tids_.clear();  // stop q-gram: keep counting, drop the list
+    }
+    return Status::OK();
+  }
+
+  Status Flush() {
+    if (!open_) {
+      return Status::OK();
+    }
+    EtiEntry entry;
+    entry.frequency = frequency_;
+    entry.is_stop = frequency_ > stop_threshold_;
+    if (!entry.is_stop) {
+      entry.tids = std::move(tids_);
+    }
+    stop_qgrams_ += entry.is_stop ? 1 : 0;
+    ++eti_rows_;
+    const Row row = Eti::EncodeRow(gram_, coordinate_, column_, entry);
+    FM_ASSIGN_OR_RETURN(const Table::InsertInfo info,
+                        eti_table_->InsertWithLocation(row));
+    FM_RETURN_IF_ERROR(eti_index_->Insert(
+        Eti::IndexKey(gram_, coordinate_, column_), info.rid.Encode()));
+    tids_.clear();
+    open_ = false;
+    return Status::OK();
+  }
+
+  uint64_t eti_rows() const { return eti_rows_; }
+  uint64_t stop_qgrams() const { return stop_qgrams_; }
+
+ private:
+  Table* eti_table_;
+  BPlusTree* eti_index_;
+  uint32_t stop_threshold_;
+
+  bool open_ = false;
+  std::string gram_;
+  uint32_t coordinate_ = 0;
+  uint32_t column_ = 0;
+  uint32_t frequency_ = 0;
+  Tid last_tid_ = 0;
+  std::vector<Tid> tids_;
+  uint64_t eti_rows_ = 0;
+  uint64_t stop_qgrams_ = 0;
+};
+
+}  // namespace
+
+Result<BuiltEti> EtiBuilder::Build(Database* db, Table* ref,
+                                   const Options& options) {
+  const EtiParams& params = options.params;
+  if (params.q < 1) {
+    return Status::InvalidArgument("q must be >= 1");
+  }
+  if (params.signature_size < 0) {
+    return Status::InvalidArgument("signature size must be >= 0");
+  }
+  if (params.signature_size == 0 && !params.index_tokens &&
+      !params.full_qgram_index) {
+    return Status::InvalidArgument(
+        "Q_0 indexes nothing; enable token indexing or use H >= 1");
+  }
+
+  Timer total_timer;
+  Timer phase_timer;
+  EtiBuildStats stats;
+
+  const std::string eti_name =
+      ref->name() + "_eti_" + params.StrategyName();
+  FM_ASSIGN_OR_RETURN(Table * eti_table,
+                      db->CreateTable(eti_name, Eti::RowSchema()));
+  FM_ASSIGN_OR_RETURN(BPlusTree * eti_index,
+                      db->CreateIndex(eti_name + "_idx"));
+  FM_RETURN_IF_ERROR(SaveEtiParams(db, eti_name, params));
+
+  const Tokenizer tokenizer(params.delimiters);
+  const MinHasher hasher(params.q, params.signature_size,
+                         params.minhash_seed);
+  IdfWeights::Builder weights_builder(
+      MakeFrequencyCache(options.cache_kind, options.bounded_buckets));
+
+  ExternalSorter::Options sort_options;
+  sort_options.memory_budget_bytes = options.sort_memory_bytes;
+  sort_options.temp_dir = options.temp_dir;
+  ExternalSorter sorter(sort_options);
+
+  // Phase 1: scan R, feed the weight builder, emit pre-ETI rows.
+  {
+    Table::Scanner scanner = ref->Scan();
+    Tid tid;
+    Row row;
+    for (;;) {
+      FM_ASSIGN_OR_RETURN(const bool more, scanner.Next(&tid, &row));
+      if (!more) break;
+      ++stats.reference_tuples;
+      const TokenizedTuple tokens = tokenizer.TokenizeTuple(row);
+      weights_builder.AddTuple(tokens);
+      for (uint32_t col = 0; col < tokens.size(); ++col) {
+        for (const auto& token : tokens[col]) {
+          for (const TokenCoordinate& tc : MakeTokenCoordinates(
+                   hasher, params, token, /*token_weight=*/0)) {
+            FM_RETURN_IF_ERROR(sorter.Add(
+                EncodePreEtiRow(tc.gram, tc.coordinate, col, tid)));
+            ++stats.pre_eti_rows;
+          }
+        }
+      }
+    }
+  }
+  stats.scan_seconds = phase_timer.ElapsedSeconds();
+  phase_timer.Reset();
+
+  // Phase 2: sort (the ETI-query's ORDER BY), group, write ETI rows.
+  stats.spilled_runs = sorter.spilled_runs();
+  FM_ASSIGN_OR_RETURN(std::unique_ptr<SortedStream> stream, sorter.Finish());
+  GroupWriter writer(eti_table, eti_index, params.stop_qgram_threshold);
+  std::string record;
+  for (;;) {
+    FM_ASSIGN_OR_RETURN(const bool more, stream->Next(&record));
+    if (!more) break;
+    FM_ASSIGN_OR_RETURN(const PreEtiRow row, DecodePreEtiRow(record));
+    FM_RETURN_IF_ERROR(writer.Consume(row));
+  }
+  FM_RETURN_IF_ERROR(writer.Flush());
+  stats.eti_rows = writer.eti_rows();
+  stats.stop_qgrams = writer.stop_qgrams();
+  stats.merge_seconds = phase_timer.ElapsedSeconds();
+  stats.total_seconds = total_timer.ElapsedSeconds();
+
+  return BuiltEti{Eti(eti_table, eti_index, params),
+                  weights_builder.Finish(), stats};
+}
+
+Result<BuiltEti> EtiBuilder::Attach(Database* db, Table* ref,
+                                    const std::string& strategy_name,
+                                    FrequencyCacheKind cache_kind,
+                                    size_t bounded_buckets) {
+  const std::string eti_name = ref->name() + "_eti_" + strategy_name;
+  FM_ASSIGN_OR_RETURN(EtiParams params, LoadEtiParams(db, eti_name));
+  FM_ASSIGN_OR_RETURN(Table * eti_table, db->GetTable(eti_name));
+  FM_ASSIGN_OR_RETURN(BPlusTree * eti_index,
+                      db->GetIndex(eti_name + "_idx"));
+
+  Timer timer;
+  EtiBuildStats stats;
+  stats.eti_rows = eti_table->row_count();
+
+  // Rebuild the main-memory token-frequency cache (Section 4.4.1) with
+  // one scan of the reference relation; everything index-shaped is reused
+  // as-is.
+  const Tokenizer tokenizer(params.delimiters);
+  IdfWeights::Builder weights_builder(
+      MakeFrequencyCache(cache_kind, bounded_buckets));
+  Table::Scanner scanner = ref->Scan();
+  Tid tid;
+  Row row;
+  for (;;) {
+    FM_ASSIGN_OR_RETURN(const bool more, scanner.Next(&tid, &row));
+    if (!more) break;
+    ++stats.reference_tuples;
+    weights_builder.AddTuple(tokenizer.TokenizeTuple(row));
+  }
+  stats.scan_seconds = timer.ElapsedSeconds();
+  stats.total_seconds = stats.scan_seconds;
+
+  return BuiltEti{Eti(eti_table, eti_index, std::move(params)),
+                  weights_builder.Finish(), stats};
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,78 @@
+// ETI construction (Section 4.2 of the paper).
+//
+// The builder scans the reference relation once, feeding both the
+// token-frequency cache (for IDF weights) and the pre-ETI row stream
+// [QGram, Coordinate, Column, Tid]. The pre-ETI is sorted by an external
+// merge sort — standing in for the paper's SQL "ORDER BY" ETI-query — and
+// consecutive groups become ETI rows with frequency and (delta-compressed)
+// tid-list, persisted as a regular relation plus a B+-tree on
+// [QGram, Coordinate, Column].
+
+#ifndef FUZZYMATCH_ETI_ETI_BUILDER_H_
+#define FUZZYMATCH_ETI_ETI_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "eti/eti.h"
+#include "storage/database.h"
+#include "text/idf_weights.h"
+
+namespace fuzzymatch {
+
+/// Build-time metrics (drives Figure 7 and the resource analysis of §4.4).
+struct EtiBuildStats {
+  uint64_t reference_tuples = 0;
+  uint64_t pre_eti_rows = 0;
+  uint64_t eti_rows = 0;
+  uint64_t stop_qgrams = 0;
+  uint64_t spilled_runs = 0;
+  double scan_seconds = 0;   // reference scan + pre-ETI emission
+  double merge_seconds = 0;  // sort/merge + grouping + ETI writes
+  double total_seconds = 0;
+};
+
+/// Everything query processing needs, produced in one build pass.
+struct BuiltEti {
+  Eti eti;
+  IdfWeights weights;
+  EtiBuildStats stats;
+};
+
+class EtiBuilder {
+ public:
+  struct Options {
+    EtiParams params;
+    /// Token-frequency cache flavour (Section 4.4.1).
+    FrequencyCacheKind cache_kind = FrequencyCacheKind::kExact;
+    /// Bucket count for the kBounded cache.
+    size_t bounded_buckets = 1u << 20;
+    /// External sort memory budget.
+    size_t sort_memory_bytes = 64u << 20;
+    /// Spill directory for sort runs.
+    std::string temp_dir = "/tmp";
+  };
+
+  /// Builds the ETI for `ref` inside `db`. The ETI relation is named
+  /// "<ref>_eti_<strategy>" and its index "<ref>_eti_<strategy>_idx";
+  /// the build parameters persist in "<ref>_eti_<strategy>_meta".
+  /// Building the same strategy twice fails with AlreadyExists.
+  static Result<BuiltEti> Build(Database* db, Table* ref,
+                                const Options& options);
+
+  /// Re-attaches to an ETI built in an earlier session ("we can use it
+  /// for subsequent batches of input tuples", Section 6.2.2.1): reads the
+  /// persisted parameters and rebuilds only the main-memory
+  /// token-frequency cache with one scan of the reference relation —
+  /// skipping the pre-ETI sort and all index writes. `strategy_name` is
+  /// EtiParams::StrategyName() of the original build (e.g. "Q+T_3").
+  static Result<BuiltEti> Attach(
+      Database* db, Table* ref, const std::string& strategy_name,
+      FrequencyCacheKind cache_kind = FrequencyCacheKind::kExact,
+      size_t bounded_buckets = 1u << 20);
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_ETI_ETI_BUILDER_H_

@@ -1,0 +1,63 @@
+#include "eti/signature.h"
+
+#include "text/qgram.h"
+
+namespace fuzzymatch {
+
+namespace {
+
+std::vector<TokenCoordinate> MakeCoordinatesImpl(
+    const MinHasher& hasher, bool index_tokens, bool full_qgrams,
+    std::string_view token, double token_weight) {
+  std::vector<TokenCoordinate> out;
+  const std::vector<std::string> sig =
+      full_qgrams ? QGramSet(token, hasher.q()) : hasher.Signature(token);
+  if (token.size() > kMaxIndexedTokenLength) {
+    // Degenerate giant token: q-gram coordinates only (the whole-token key
+    // would exceed the index's entry limit).
+    index_tokens = false;
+  }
+  if (index_tokens) {
+    if (sig.empty()) {
+      // Token-only strategy (Q+T_0 for long tokens): full weight on the
+      // token coordinate.
+      out.push_back({std::string(token), 0, token_weight});
+      return out;
+    }
+    out.push_back({std::string(token), 0, token_weight / 2.0});
+    const double share =
+        token_weight / (2.0 * static_cast<double>(sig.size()));
+    for (uint32_t j = 0; j < sig.size(); ++j) {
+      out.push_back({sig[j], full_qgrams ? 1 : j + 1, share});
+    }
+    return out;
+  }
+  if (sig.empty()) {
+    return out;  // Q_0 would index nothing; rejected at build time.
+  }
+  const double share = token_weight / static_cast<double>(sig.size());
+  for (uint32_t j = 0; j < sig.size(); ++j) {
+    out.push_back({sig[j], full_qgrams ? 1 : j + 1, share});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TokenCoordinate> MakeTokenCoordinates(const MinHasher& hasher,
+                                                  const EtiParams& params,
+                                                  std::string_view token,
+                                                  double token_weight) {
+  return MakeCoordinatesImpl(hasher, params.index_tokens,
+                             params.full_qgram_index, token, token_weight);
+}
+
+std::vector<TokenCoordinate> MakeTokenCoordinates(const MinHasher& hasher,
+                                                  bool index_tokens,
+                                                  std::string_view token,
+                                                  double token_weight) {
+  return MakeCoordinatesImpl(hasher, index_tokens, /*full_qgrams=*/false,
+                             token, token_weight);
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,56 @@
+// Signature coordinates of a token: the (gram, coordinate) pairs a token
+// contributes to the ETI, and the per-coordinate weight shares used at
+// query time.
+//
+// Q strategy: coordinates 1..H carry the min-hash q-grams, each probing
+// with weight w(t)/|mh(t)|. Q+T (Section 5.1) prepends the token itself as
+// coordinate 0 and splits the token's importance equally between the token
+// and its signature: w(t)/2 for the token, w(t)/(2·|mh(t)|) per q-gram.
+// Tokens no longer than q have mh(t) = [t] (a single coordinate).
+//
+// The full-q-gram baseline mode (EtiParams::full_qgram_index) replaces the
+// min-hash sample with ALL q-grams of the token, every one on coordinate 1
+// with share w(t)/|QG(t)|.
+
+#ifndef FUZZYMATCH_ETI_SIGNATURE_H_
+#define FUZZYMATCH_ETI_SIGNATURE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eti/eti.h"
+#include "text/minhash.h"
+
+namespace fuzzymatch {
+
+/// One ETI coordinate of one token.
+struct TokenCoordinate {
+  std::string gram;
+  uint32_t coordinate;  // 0 = whole token (Q+T); 1..H = min-hash q-grams
+  double weight_share;  // shares of one token sum to its weight
+};
+
+/// Tokens longer than this are not indexed as whole-token (coordinate 0)
+/// rows — the ETI's clustered key must stay within the B+-tree entry
+/// limit. Such tokens still index through their q-gram signature, and the
+/// final fms verification is unaffected.
+inline constexpr size_t kMaxIndexedTokenLength = 512;
+
+/// Expands a token into its ETI coordinates under `params` (`hasher` must
+/// be configured with the same q/H/seed). `token_weight` is w(t) (pass any
+/// value when only the coordinates matter, e.g. during index build).
+std::vector<TokenCoordinate> MakeTokenCoordinates(const MinHasher& hasher,
+                                                  const EtiParams& params,
+                                                  std::string_view token,
+                                                  double token_weight);
+
+/// Back-compat overload taking just the Q+T flag (min-hash mode only).
+std::vector<TokenCoordinate> MakeTokenCoordinates(const MinHasher& hasher,
+                                                  bool index_tokens,
+                                                  std::string_view token,
+                                                  double token_weight);
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_ETI_SIGNATURE_H_

@@ -1,0 +1,40 @@
+#include "eti/tid_list.h"
+
+#include "common/varint.h"
+
+namespace fuzzymatch {
+
+std::string EncodeTidList(const std::vector<Tid>& tids) {
+  std::string out;
+  PutVarint64(&out, tids.size());
+  Tid prev = 0;
+  for (size_t i = 0; i < tids.size(); ++i) {
+    const Tid t = tids[i];
+    PutVarint64(&out, i == 0 ? t : t - prev);
+    prev = t;
+  }
+  return out;
+}
+
+Result<std::vector<Tid>> DecodeTidList(std::string_view blob) {
+  FM_ASSIGN_OR_RETURN(const uint64_t count, GetVarint64(&blob));
+  std::vector<Tid> tids;
+  tids.reserve(count);
+  Tid prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    FM_ASSIGN_OR_RETURN(const uint64_t delta, GetVarint64(&blob));
+    const Tid t = (i == 0) ? static_cast<Tid>(delta)
+                           : static_cast<Tid>(prev + delta);
+    if (i > 0 && delta == 0) {
+      return Status::Corruption("duplicate tid in tid-list");
+    }
+    tids.push_back(t);
+    prev = t;
+  }
+  if (!blob.empty()) {
+    return Status::Corruption("trailing bytes after tid-list");
+  }
+  return tids;
+}
+
+}  // namespace fuzzymatch

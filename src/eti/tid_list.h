@@ -1,0 +1,26 @@
+// Tid-list codec: the variable-length Tid-list attribute of ETI rows.
+//
+// Lists are stored sorted ascending and delta-compressed with varints, so
+// a 10,000-tid list of a near-stop q-gram stays compact.
+
+#ifndef FUZZYMATCH_ETI_TID_LIST_H_
+#define FUZZYMATCH_ETI_TID_LIST_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace fuzzymatch {
+
+/// Encodes a sorted, duplicate-free tid list.
+std::string EncodeTidList(const std::vector<Tid>& tids);
+
+/// Decodes a tid list; fails on corrupt or unsorted data.
+Result<std::vector<Tid>> DecodeTidList(std::string_view blob);
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_ETI_TID_LIST_H_

@@ -1,0 +1,185 @@
+#include "gen/customer_gen.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fuzzymatch {
+
+namespace {
+
+// Business-name suffix tokens, most frequent first (sampled by a Zipf over
+// this rank order, so 'company' and 'inc' dominate — these are the
+// low-weight tokens the paper's examples revolve around).
+const char* const kSuffixes[] = {
+    "company",    "inc",        "corporation", "corp",     "llc",
+    "ltd",        "group",      "services",    "associates", "enterprises",
+    "systems",    "solutions",  "industries",  "partners", "holdings",
+    "consulting", "technologies", "international", "supply", "distributors",
+};
+constexpr size_t kNumSuffixes = sizeof(kSuffixes) / sizeof(kSuffixes[0]);
+
+const char* const kOnsets[] = {"b",  "c",  "d",  "f",  "g",  "h",  "j",
+                               "k",  "l",  "m",  "n",  "p",  "r",  "s",
+                               "t",  "v",  "w",  "z",  "br", "ch", "cl",
+                               "cr", "dr", "fl", "fr", "gl", "gr", "pl",
+                               "pr", "sh", "sl", "sp", "st", "th", "tr"};
+const char* const kVowels[] = {"a",  "e",  "i",  "o",  "u",
+                               "ai", "ea", "ee", "io", "ou"};
+const char* const kCodas[] = {"",   "n",  "r",  "s",  "t",  "l",  "m",
+                              "ck", "rd", "st", "ng", "nd", "ll", "x"};
+
+template <size_t N>
+const char* Pick(const char* const (&arr)[N], Rng& rng) {
+  return arr[rng.Uniform(N)];
+}
+
+}  // namespace
+
+std::vector<std::string> MakeSyntheticVocabulary(size_t count,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> words;
+  words.reserve(count);
+  while (words.size() < count) {
+    std::string w;
+    const int syllables = 2 + static_cast<int>(rng.Uniform(2));  // 2-3
+    for (int s = 0; s < syllables; ++s) {
+      w += Pick(kOnsets, rng);
+      w += Pick(kVowels, rng);
+      if (s + 1 == syllables || rng.Bernoulli(0.4)) {
+        w += Pick(kCodas, rng);
+      }
+    }
+    if (w.size() >= 3 && seen.insert(w).second) {
+      words.push_back(std::move(w));
+    }
+  }
+  return words;
+}
+
+const std::vector<std::string>& StateCodes() {
+  static const std::vector<std::string> kStates = {
+      "al", "ak", "az", "ar", "ca", "co", "ct", "de", "fl", "ga",
+      "hi", "id", "il", "in", "ia", "ks", "ky", "la", "me", "md",
+      "ma", "mi", "mn", "ms", "mo", "mt", "ne", "nv", "nh", "nj",
+      "nm", "ny", "nc", "nd", "oh", "ok", "or", "pa", "ri", "sc",
+      "sd", "tn", "tx", "ut", "vt", "va", "wa", "wv", "wi", "wy"};
+  return kStates;
+}
+
+CustomerGenerator::CustomerGenerator(CustomerGenOptions options)
+    : options_(options),
+      rng_(options.seed),
+      name_vocab_(MakeSyntheticVocabulary(options.name_vocab_size,
+                                          options.seed ^ 0x1111)),
+      city_vocab_(MakeSyntheticVocabulary(options.city_vocab_size,
+                                          options.seed ^ 0x2222)),
+      name_zipf_(options.name_vocab_size, options.name_zipf_theta),
+      city_zipf_(options.city_vocab_size, options.city_zipf_theta),
+      state_zipf_(StateCodes().size(), 0.5),
+      suffix_zipf_(kNumSuffixes, 1.0) {}
+
+Schema CustomerGenerator::CustomerSchema() {
+  return Schema({"name", "city", "state", "zipcode"});
+}
+
+std::string CustomerGenerator::MakeName() {
+  std::string name = name_vocab_[name_zipf_.Sample(rng_)];
+  const int extra = static_cast<int>(rng_.Uniform(3));  // 0-2 extra tokens
+  for (int i = 0; i < extra; ++i) {
+    name += ' ';
+    name += name_vocab_[name_zipf_.Sample(rng_)];
+  }
+  if (rng_.Bernoulli(0.7)) {
+    name += ' ';
+    name += kSuffixes[suffix_zipf_.Sample(rng_)];
+  }
+  return name;
+}
+
+std::string CustomerGenerator::MakeCity() {
+  std::string city = city_vocab_[city_zipf_.Sample(rng_)];
+  if (rng_.Bernoulli(0.2)) {
+    city += ' ';
+    city += city_vocab_[city_zipf_.Sample(rng_)];
+  }
+  return city;
+}
+
+Row CustomerGenerator::MakeVariant(const Row& base) {
+  Row row = base;
+  auto tokens = SplitAndTrim(*row[0], " ");
+  switch (rng_.Uniform(4)) {
+    case 0:  // different corporate suffix ("x company" vs "x corporation")
+      if (!tokens.empty()) {
+        tokens.back() = kSuffixes[suffix_zipf_.Sample(rng_)];
+      }
+      break;
+    case 1:  // extra name token
+      tokens.insert(tokens.begin() + static_cast<long>(
+                                         rng_.Uniform(tokens.size() + 1)),
+                    name_vocab_[name_zipf_.Sample(rng_)]);
+      break;
+    case 2:  // dropped name token
+      if (tokens.size() > 1) {
+        tokens.erase(tokens.begin() +
+                     static_cast<long>(rng_.Uniform(tokens.size())));
+      } else {
+        tokens.push_back(kSuffixes[suffix_zipf_.Sample(rng_)]);
+      }
+      break;
+    default:  // same name, different branch city
+      row[1] = MakeCity();
+      break;
+  }
+  row[0] = Join(tokens, " ");
+  // Nearby zip: same prefix, different low digits.
+  row[3] = row[3]->substr(0, 3) +
+           StringPrintf("%02u", static_cast<unsigned>(rng_.Uniform(100)));
+  return row;
+}
+
+Row CustomerGenerator::NextRow() {
+  if (!recent_.empty() && rng_.Bernoulli(options_.confusable_fraction)) {
+    const Row variant =
+        MakeVariant(recent_[rng_.Uniform(recent_.size())]);
+    if (recent_.size() < 1024) {
+      recent_.push_back(variant);
+    }
+    return variant;
+  }
+  Row row(4);
+  row[0] = MakeName();
+  row[1] = MakeCity();
+  const size_t state_idx = state_zipf_.Sample(rng_);
+  row[2] = StateCodes()[state_idx];
+  // Zip prefix correlates with the state (as real zips do); the low two
+  // digits spread uniformly.
+  const unsigned prefix =
+      static_cast<unsigned>((state_idx * 20 + rng_.Uniform(20)) % 1000);
+  const unsigned low = static_cast<unsigned>(rng_.Uniform(100));
+  row[3] = StringPrintf("%03u%02u", prefix, low);
+  if (recent_.size() < 1024) {
+    recent_.push_back(row);
+  } else {
+    recent_[rng_.Uniform(recent_.size())] = row;
+  }
+  return row;
+}
+
+Status CustomerGenerator::Populate(Table* table) {
+  if (!(table->schema() == CustomerSchema())) {
+    return Status::InvalidArgument(
+        "table schema does not match Customer[name, city, state, zipcode]");
+  }
+  for (size_t i = 0; i < options_.num_tuples; ++i) {
+    FM_ASSIGN_OR_RETURN(const Tid tid, table->Insert(NextRow()));
+    (void)tid;
+  }
+  return Status::OK();
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,73 @@
+#include "gen/dataset.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace fuzzymatch {
+
+DatasetSpec DatasetD1() {
+  return DatasetSpec{"D1", {0.90, 0.90, 0.90, 0.90},
+                     TokenSelection::kTypeI, 1655, 101};
+}
+
+DatasetSpec DatasetD2() {
+  return DatasetSpec{"D2", {0.80, 0.50, 0.50, 0.60},
+                     TokenSelection::kTypeI, 1655, 102};
+}
+
+DatasetSpec DatasetD3() {
+  return DatasetSpec{"D3", {0.70, 0.50, 0.50, 0.25},
+                     TokenSelection::kTypeI, 1655, 103};
+}
+
+DatasetSpec DatasetEdVsFmsTypeI() {
+  return DatasetSpec{"EdVsFms-TypeI", {0.90, 0.50, 0.50, 0.60},
+                     TokenSelection::kTypeI, 100, 104};
+}
+
+DatasetSpec DatasetEdVsFmsTypeII() {
+  return DatasetSpec{"EdVsFms-TypeII", {0.90, 0.50, 0.50, 0.60},
+                     TokenSelection::kTypeII, 100, 105};
+}
+
+Result<std::vector<InputTuple>> GenerateInputs(Table* ref,
+                                               const DatasetSpec& spec,
+                                               const IdfWeights* weights) {
+  const uint64_t rows = ref->row_count();
+  if (rows == 0) {
+    return Status::InvalidArgument("reference relation is empty");
+  }
+  if (spec.column_error_prob.size() != ref->schema().num_columns()) {
+    return Status::InvalidArgument(StringPrintf(
+        "dataset %s has %zu column probabilities for a %zu-column relation",
+        spec.name.c_str(), spec.column_error_prob.size(),
+        ref->schema().num_columns()));
+  }
+
+  Rng rng(spec.seed);
+  ErrorModelOptions model;
+  model.column_error_prob = spec.column_error_prob;
+  model.selection = spec.selection;
+  const ErrorInjector injector(
+      model,
+      spec.selection == TokenSelection::kTypeII ? weights : nullptr);
+
+  // Sample distinct seed tids (all rows if the relation is small).
+  std::unordered_set<Tid> chosen;
+  const size_t want =
+      std::min<size_t>(spec.num_inputs, static_cast<size_t>(rows));
+  while (chosen.size() < want) {
+    chosen.insert(static_cast<Tid>(rng.Uniform(rows)));
+  }
+
+  std::vector<InputTuple> inputs;
+  inputs.reserve(want);
+  for (const Tid tid : chosen) {
+    FM_ASSIGN_OR_RETURN(const Row clean, ref->Get(tid));
+    inputs.push_back(InputTuple{injector.Inject(clean, rng), tid});
+  }
+  return inputs;
+}
+
+}  // namespace fuzzymatch

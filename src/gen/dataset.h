@@ -1,0 +1,52 @@
+// Input-dataset specifications (Section 6.1, Table 5 of the paper) and
+// the generator that corrupts sampled reference tuples into input tuples.
+
+#ifndef FUZZYMATCH_GEN_DATASET_H_
+#define FUZZYMATCH_GEN_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gen/error_model.h"
+#include "storage/table.h"
+#include "text/idf_weights.h"
+
+namespace fuzzymatch {
+
+/// One dirty input tuple together with the reference tuple it was derived
+/// from — the "seed" whose recovery defines the accuracy metric.
+struct InputTuple {
+  Row dirty;
+  Tid seed_tid = 0;
+};
+
+/// A named input-dataset configuration.
+struct DatasetSpec {
+  std::string name;
+  std::vector<double> column_error_prob;
+  TokenSelection selection = TokenSelection::kTypeI;
+  size_t num_inputs = 1655;  // the paper's input count
+  uint64_t seed = 7;
+};
+
+/// Table 5's datasets (Type I errors, 1655 tuples each).
+DatasetSpec DatasetD1();  // [0.90, 0.90, 0.90, 0.90]
+DatasetSpec DatasetD2();  // [0.80, 0.50, 0.50, 0.60]
+DatasetSpec DatasetD3();  // [0.70, 0.50, 0.50, 0.25]
+
+/// The ~100-tuple fms-vs-ed datasets of Section 6.2.1.1,
+/// error probabilities [0.90, 0.5, 0.5, 0.6].
+DatasetSpec DatasetEdVsFmsTypeI();
+DatasetSpec DatasetEdVsFmsTypeII();
+
+/// Samples `spec.num_inputs` distinct reference tuples from `ref` and
+/// corrupts them per the spec. `weights` is required for Type II specs
+/// (frequency-proportional token selection) and ignored otherwise.
+Result<std::vector<InputTuple>> GenerateInputs(Table* ref,
+                                               const DatasetSpec& spec,
+                                               const IdfWeights* weights);
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_GEN_DATASET_H_

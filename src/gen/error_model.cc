@@ -1,0 +1,222 @@
+#include "gen/error_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace fuzzymatch {
+
+namespace {
+
+char RandomLowercaseLetter(Rng& rng) {
+  return static_cast<char>('a' + rng.Uniform(26));
+}
+
+/// Draws an index from an unnormalized discrete distribution.
+size_t DrawDiscrete(const double* probs, size_t n, Rng& rng) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += probs[i];
+  }
+  FM_CHECK_GT(total, 0.0);
+  double u = rng.NextDouble() * total;
+  for (size_t i = 0; i < n; ++i) {
+    u -= probs[i];
+    if (u < 0.0) {
+      return i;
+    }
+  }
+  return n - 1;
+}
+
+std::vector<std::string> SplitTokens(const std::string& value) {
+  return SplitAndTrim(value, " \t");
+}
+
+std::string JoinValue(const std::vector<std::string>& tokens) {
+  return Join(tokens, " ");
+}
+
+}  // namespace
+
+ErrorInjector::ErrorInjector(ErrorModelOptions options,
+                             const IdfWeights* weights)
+    : options_(std::move(options)), weights_(weights) {
+  if (options_.selection == TokenSelection::kTypeII) {
+    FM_CHECK(weights_ != nullptr)
+        << "Type II selection needs reference token frequencies";
+  }
+}
+
+const std::vector<std::pair<std::string, std::string>>&
+ErrorInjector::AbbreviationTable() {
+  static const std::vector<std::pair<std::string, std::string>> kTable = {
+      {"corporation", "corp"},   {"company", "co."},
+      {"incorporated", "inc"},   {"limited", "ltd"},
+      {"associates", "assoc"},   {"enterprises", "ent"},
+      {"international", "intl"}, {"services", "svcs"},
+      {"systems", "sys"},        {"technologies", "tech"},
+      {"industries", "ind"},     {"group", "grp"},
+      {"solutions", "soln"},     {"consulting", "cons"},
+      {"distributors", "dist"},  {"holdings", "hldgs"},
+      {"partners", "ptnrs"},     {"supply", "sup"},
+  };
+  return kTable;
+}
+
+std::string ErrorInjector::MisspellToken(const std::string& token,
+                                         Rng& rng) {
+  std::string out = token;
+  const int edits = 1 + static_cast<int>(rng.Uniform(2));  // 1-2 edits
+  for (int e = 0; e < edits; ++e) {
+    if (out.empty()) {
+      out.push_back(RandomLowercaseLetter(rng));
+      continue;
+    }
+    const uint64_t op = rng.Uniform(4);
+    const size_t pos = rng.Uniform(out.size());
+    switch (op) {
+      case 0:  // substitute
+        out[pos] = RandomLowercaseLetter(rng);
+        break;
+      case 1:  // insert
+        out.insert(out.begin() + static_cast<long>(pos),
+                   RandomLowercaseLetter(rng));
+        break;
+      case 2:  // delete
+        if (out.size() > 1) {
+          out.erase(out.begin() + static_cast<long>(pos));
+        } else {
+          out[pos] = RandomLowercaseLetter(rng);
+        }
+        break;
+      default:  // transpose adjacent characters
+        if (out.size() >= 2) {
+          const size_t p = std::min(pos, out.size() - 2);
+          std::swap(out[p], out[p + 1]);
+        } else {
+          out[pos] = RandomLowercaseLetter(rng);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+size_t ErrorInjector::PickTokenIndex(const std::vector<std::string>& tokens,
+                                     uint32_t column, Rng& rng) const {
+  FM_CHECK(!tokens.empty());
+  if (options_.selection == TokenSelection::kTypeI || weights_ == nullptr) {
+    return rng.Uniform(tokens.size());
+  }
+  // Type II: weight each token by its reference frequency (unseen tokens
+  // get 1 so every token stays selectable).
+  std::vector<double> probs(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    probs[i] = std::max<uint32_t>(
+        1, weights_->Frequency(AsciiLower(tokens[i]), column));
+  }
+  return DrawDiscrete(probs.data(), probs.size(), rng);
+}
+
+ErrorType ErrorInjector::DrawErrorType(size_t column, Rng& rng) const {
+  const auto& probs = (column == options_.name_column)
+                          ? options_.type_probs_name
+                          : options_.type_probs_other;
+  return static_cast<ErrorType>(
+      DrawDiscrete(probs.data(), probs.size(), rng));
+}
+
+std::optional<std::string> ErrorInjector::ApplyToField(
+    const std::string& value, uint32_t column, ErrorType type,
+    Rng& rng) const {
+  std::vector<std::string> tokens = SplitTokens(value);
+  if (tokens.empty()) {
+    return value;
+  }
+
+  // Degrade structurally impossible errors to spelling errors, so every
+  // erring column really changes.
+  if ((type == ErrorType::kTokenMerge ||
+       type == ErrorType::kTokenTransposition) &&
+      tokens.size() < 2) {
+    type = ErrorType::kSpelling;
+  }
+
+  switch (type) {
+    case ErrorType::kSpelling: {
+      const size_t i = PickTokenIndex(tokens, column, rng);
+      tokens[i] = MisspellToken(tokens[i], rng);
+      return JoinValue(tokens);
+    }
+    case ErrorType::kAbbreviation: {
+      // Replace a commonly-abbreviated token if one is present; otherwise
+      // abbreviate a chosen token to a short prefix.
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        const std::string lower = AsciiLower(tokens[i]);
+        for (const auto& [full, abbr] : AbbreviationTable()) {
+          if (lower == full) {
+            tokens[i] = abbr;
+            return JoinValue(tokens);
+          }
+        }
+      }
+      const size_t i = PickTokenIndex(tokens, column, rng);
+      if (tokens[i].size() > 3) {
+        tokens[i] = tokens[i].substr(0, 2 + rng.Uniform(2));
+        if (rng.Bernoulli(0.5)) {
+          tokens[i] += '.';
+        }
+      } else {
+        tokens[i] = MisspellToken(tokens[i], rng);
+      }
+      return JoinValue(tokens);
+    }
+    case ErrorType::kMissingValue:
+      return std::nullopt;
+    case ErrorType::kTruncation: {
+      // Truncate the field by up to 5 characters (at least 1), never
+      // below a single character.
+      const size_t cut = 1 + rng.Uniform(5);
+      std::string v = value;
+      v.resize(v.size() > cut ? v.size() - cut : 1);
+      // Avoid a dangling trailing space.
+      while (!v.empty() && v.back() == ' ') {
+        v.pop_back();
+      }
+      return v.empty() ? std::string(1, value[0]) : v;
+    }
+    case ErrorType::kTokenMerge: {
+      const size_t i = rng.Uniform(tokens.size() - 1);
+      tokens[i] += tokens[i + 1];
+      tokens.erase(tokens.begin() + static_cast<long>(i) + 1);
+      return JoinValue(tokens);
+    }
+    case ErrorType::kTokenTransposition: {
+      const size_t i = rng.Uniform(tokens.size() - 1);
+      std::swap(tokens[i], tokens[i + 1]);
+      return JoinValue(tokens);
+    }
+  }
+  return value;
+}
+
+Row ErrorInjector::Inject(const Row& clean, Rng& rng) const {
+  FM_CHECK_EQ(clean.size(), options_.column_error_prob.size());
+  Row dirty = clean;
+  for (uint32_t col = 0; col < dirty.size(); ++col) {
+    if (!dirty[col].has_value()) {
+      continue;
+    }
+    if (!rng.Bernoulli(options_.column_error_prob[col])) {
+      continue;
+    }
+    const ErrorType type = DrawErrorType(col, rng);
+    dirty[col] = ApplyToField(*dirty[col], col, type, rng);
+  }
+  return dirty;
+}
+
+}  // namespace fuzzymatch

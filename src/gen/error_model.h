@@ -1,0 +1,96 @@
+// Error injection (Section 6.1, Table 4 of the paper).
+//
+// Input datasets are made by corrupting clean reference tuples: each
+// column i errs with probability p_i; an erring column gets one error type
+// drawn from the Table 4 conditional distribution (spelling errors,
+// abbreviation replacement, missing value, truncation, token merge, token
+// transposition). Token selection is Type I (uniform over tokens) or
+// Type II (probability proportional to token frequency — frequent tokens
+// such as 'corporation' spawn more erroneous variants, which biases the
+// comparison in favour of fms, as the paper notes).
+
+#ifndef FUZZYMATCH_GEN_ERROR_MODEL_H_
+#define FUZZYMATCH_GEN_ERROR_MODEL_H_
+
+#include <array>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/schema.h"
+#include "text/idf_weights.h"
+
+namespace fuzzymatch {
+
+/// Table 4's error catalogue, in its row order.
+enum class ErrorType : int {
+  kSpelling = 0,
+  kAbbreviation = 1,
+  kMissingValue = 2,
+  kTruncation = 3,
+  kTokenMerge = 4,
+  kTokenTransposition = 5,
+};
+inline constexpr int kNumErrorTypes = 6;
+
+/// How the token to corrupt is chosen within a column.
+enum class TokenSelection {
+  kTypeI,   // uniform over the column's tokens
+  kTypeII,  // probability proportional to reference frequency
+};
+
+struct ErrorModelOptions {
+  /// p_i: per-column error probability (size must match the row arity).
+  std::vector<double> column_error_prob;
+
+  TokenSelection selection = TokenSelection::kTypeI;
+
+  /// P(e_j | column errs) for the name column (i = 1 in the paper; no
+  /// missing values — a nameless input cannot be matched at all) and for
+  /// the other columns. Table 4's values; normalized internally.
+  std::array<double, kNumErrorTypes> type_probs_name = {0.5,  0.25, 0.0,
+                                                        0.1,  0.1,  0.1};
+  std::array<double, kNumErrorTypes> type_probs_other = {0.4,  0.25, 0.1,
+                                                         0.1,  0.1,  0.05};
+
+  /// Index of the "name" column (uses type_probs_name).
+  size_t name_column = 0;
+};
+
+/// Applies the error model to clean rows.
+class ErrorInjector {
+ public:
+  /// `weights` supplies reference token frequencies for Type II selection;
+  /// it may be null for Type I. Must outlive the injector.
+  explicit ErrorInjector(ErrorModelOptions options,
+                         const IdfWeights* weights = nullptr);
+
+  /// Returns a corrupted copy of `clean`. Deterministic given the Rng
+  /// state. Columns that cannot take the drawn error (e.g. a transposition
+  /// in a one-token field) degrade to a spelling error.
+  Row Inject(const Row& clean, Rng& rng) const;
+
+  /// Corrupts a single token with 1-2 random character edits (exposed for
+  /// tests).
+  static std::string MisspellToken(const std::string& token, Rng& rng);
+
+  /// The forward abbreviation dictionary ('corporation' -> 'corp', ...).
+  static const std::vector<std::pair<std::string, std::string>>&
+  AbbreviationTable();
+
+ private:
+  size_t PickTokenIndex(const std::vector<std::string>& tokens,
+                        uint32_t column, Rng& rng) const;
+  ErrorType DrawErrorType(size_t column, Rng& rng) const;
+  /// Applies one error of the given type to a non-null field value;
+  /// returns the new value (nullopt for kMissingValue).
+  std::optional<std::string> ApplyToField(const std::string& value,
+                                          uint32_t column, ErrorType type,
+                                          Rng& rng) const;
+
+  ErrorModelOptions options_;
+  const IdfWeights* weights_;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_GEN_ERROR_MODEL_H_

@@ -1,0 +1,261 @@
+#include "match/eti_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+#include "eti/signature.h"
+#include "match/naive_matcher.h"  // TopKCollector
+
+namespace fuzzymatch {
+
+namespace {
+
+/// Incrementally tracks the K+1 highest-scoring tids for the OSC tests.
+/// Scores only grow during query processing and Update() is called on
+/// every change, so the kept set is always the exact current top K+1:
+/// a tid is only ever dropped when it is <= the list minimum, and the
+/// list minimum never decreases afterwards. K is tiny, so a small sorted
+/// array beats a heap.
+class TopScores {
+ public:
+  explicit TopScores(size_t k) : limit_(k + 1) {}
+
+  /// Reports that `tid` now has total score `score` (>= its last value).
+  void Update(Tid tid, double score) {
+    // Remove a stale entry for this tid, if present.
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == tid) {
+        entries_.erase(it);
+        break;
+      }
+    }
+    auto pos = std::find_if(
+        entries_.begin(), entries_.end(),
+        [&](const auto& e) { return score > e.second; });
+    if (pos == entries_.end()) {
+      if (entries_.size() < limit_) {
+        entries_.emplace_back(tid, score);
+      }
+      return;
+    }
+    entries_.insert(pos, {tid, score});
+    if (entries_.size() > limit_) {
+      entries_.pop_back();
+    }
+  }
+
+  size_t size() const { return entries_.size(); }
+  Tid tid(size_t i) const { return entries_[i].first; }
+  double score(size_t i) const { return entries_[i].second; }
+
+ private:
+  size_t limit_;
+  std::vector<std::pair<Tid, double>> entries_;  // descending score
+};
+
+}  // namespace
+
+EtiMatcher::EtiMatcher(Table* ref, const Eti* eti, const IdfWeights* weights,
+                       MatcherOptions options)
+    : ref_(ref),
+      eti_(eti),
+      options_(std::move(options)),
+      fms_(weights, options_.fms),
+      tokenizer_(eti->MakeTokenizer()),
+      hasher_(eti->MakeHasher()) {}
+
+Result<double> EtiMatcher::VerifiedSimilarity(
+    Tid tid, const TokenizedTuple& u,
+    std::unordered_map<Tid, double>* cache, QueryStats* qs) const {
+  const auto it = cache->find(tid);
+  if (it != cache->end()) {
+    return it->second;
+  }
+  FM_ASSIGN_OR_RETURN(const Row row, ref_->Get(tid));
+  ++qs->ref_tuples_fetched;
+  const double sim = fms_.Similarity(u, tokenizer_.TokenizeTuple(row));
+  cache->emplace(tid, sim);
+  return sim;
+}
+
+Result<std::vector<Match>> EtiMatcher::FindMatches(const Row& input,
+                                             QueryStats* stats) const {
+  Timer timer;
+  QueryStats local_stats;
+  QueryStats* qs = stats != nullptr ? stats : &local_stats;
+  qs->Reset();
+
+  const TokenizedTuple u = tokenizer_.TokenizeTuple(input);
+  const EtiParams& params = eti_->params();
+
+  // Expand tokens into weighted ETI probes; compute w(u) and the total
+  // adjustment term Σ_t w(t)·(1 − 1/q) (Figure 3, step 7).
+  std::vector<Probe> probes;
+  double total_weight = 0.0;
+  double full_adjustment = 0.0;
+  const double dq = 1.0 - 1.0 / static_cast<double>(params.q);
+  for (uint32_t col = 0; col < u.size(); ++col) {
+    for (const auto& token : u[col]) {
+      const double w = fms_.TokenWeight(token, col);
+      total_weight += w;
+      full_adjustment += w * dq;
+      for (TokenCoordinate& tc : MakeTokenCoordinates(
+               hasher_, params, token, w)) {
+        probes.push_back(Probe{std::move(tc.gram), tc.coordinate, col,
+                               tc.weight_share});
+      }
+    }
+  }
+
+  // Upper "bound" on the fms of a candidate whose accumulated absolute
+  // score is `score_abs` — see MatcherOptions::BoundPolicy for the three
+  // flavours and their accuracy/efficiency trade-off.
+  const double two_over_q = 2.0 / static_cast<double>(params.q);
+  auto ScoreUpperBound = [&](double score_abs) {
+    switch (options_.bound_policy) {
+      case MatcherOptions::BoundPolicy::kAggressive:
+        return std::min(1.0, score_abs / total_weight);
+      case MatcherOptions::BoundPolicy::kTight:
+        return std::min(1.0, two_over_q * score_abs / total_weight + dq);
+      case MatcherOptions::BoundPolicy::kConservative:
+        return std::min(1.0,
+                        (score_abs + full_adjustment) / total_weight);
+    }
+    return 1.0;
+  };
+
+  auto finish = [&](std::vector<Match> result) {
+    qs->elapsed_seconds = timer.ElapsedSeconds();
+    aggregate_.Accumulate(*qs);
+    return result;
+  };
+
+  if (probes.empty() || total_weight <= 0.0) {
+    return finish({});
+  }
+
+  if (options_.use_osc) {
+    // OSC processes q-grams in decreasing weight order (Section 4.3.2).
+    std::stable_sort(probes.begin(), probes.end(),
+                     [](const Probe& a, const Probe& b) {
+                       return a.weight > b.weight;
+                     });
+  }
+
+  std::unordered_map<Tid, double> scores;
+  std::unordered_map<Tid, double> fms_cache;
+  TopScores top_scores(options_.k);
+
+  double remaining = total_weight;  // weight of probes not yet processed
+  double processed = 0.0;
+
+  for (size_t idx = 0; idx < probes.size(); ++idx) {
+    const Probe& probe = probes[idx];
+    ++qs->eti_lookups;
+    FM_ASSIGN_OR_RETURN(
+        const std::optional<EtiEntry> entry,
+        eti_->Lookup(probe.gram, probe.coordinate, probe.column));
+    remaining -= probe.weight;
+    processed += probe.weight;
+
+    if (entry.has_value() && !entry->is_stop) {
+      for (const Tid tid : entry->tids) {
+        ++qs->tids_processed;
+        const auto it = scores.find(tid);
+        if (it != scores.end()) {
+          it->second += probe.weight;
+          if (options_.use_osc) {
+            top_scores.Update(tid, it->second);
+          }
+        } else if (!options_.admission_filter ||
+                   ScoreUpperBound(probe.weight + remaining) >=
+                       options_.min_similarity) {
+          // A new tid can reach at most probe.weight + remaining score;
+          // admit only if that could clear the similarity threshold
+          // (Figure 3 step 9b, with the configured bound flavour).
+          scores.emplace(tid, probe.weight);
+          if (options_.use_osc) {
+            top_scores.Update(tid, probe.weight);
+          }
+        }
+      }
+    }
+
+    // Short-circuiting procedure (Figure 4), pointless after the last
+    // probe (the basic path takes over then anyway).
+    if (!options_.use_osc || idx + 1 >= probes.size() ||
+        top_scores.size() < options_.k || processed <= 0.0) {
+      continue;
+    }
+    const double score_k = top_scores.score(options_.k - 1);
+    const double score_k1 =
+        top_scores.size() > options_.k ? top_scores.score(options_.k) : 0.0;
+
+    // Fetching test: extrapolate the K-th score over all q-grams and
+    // compare with the best any other tid could still reach.
+    const double estimated_k = score_k / processed * total_weight;
+    const double best_possible_k1 = score_k1 + remaining;
+    if (estimated_k <= best_possible_k1) {
+      continue;
+    }
+    qs->osc_attempted = true;
+
+    // Stopping test: every fetched candidate must already beat the upper
+    // bound on any tuple outside the current top K.
+    const double outsider_bound = ScoreUpperBound(score_k1 + remaining);
+    bool all_pass = true;
+    for (size_t j = 0; j < options_.k; ++j) {
+      FM_ASSIGN_OR_RETURN(
+          const double sim,
+          VerifiedSimilarity(top_scores.tid(j), u, &fms_cache, qs));
+      if (sim < outsider_bound) {
+        all_pass = false;
+        break;
+      }
+    }
+    if (!all_pass) {
+      continue;
+    }
+    qs->osc_succeeded = true;
+    qs->hash_table_size = scores.size();
+    TopKCollector collector(options_.k, options_.min_similarity);
+    for (size_t j = 0; j < options_.k; ++j) {
+      collector.Offer(top_scores.tid(j), fms_cache.at(top_scores.tid(j)));
+    }
+    return finish(collector.Take());
+  }
+
+  // Basic path (Figure 3 steps 11-13): verify candidates in decreasing
+  // score order, stopping once no unverified candidate's upper bound can
+  // beat the current K-th best similarity.
+  qs->hash_table_size = scores.size();
+  std::vector<std::pair<double, Tid>> candidates;
+  candidates.reserve(scores.size());
+  for (const auto& [tid, score] : scores) {
+    if (ScoreUpperBound(score) >= options_.min_similarity) {
+      candidates.emplace_back(score, tid);
+    }
+  }
+  qs->candidates = candidates.size();
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+
+  TopKCollector collector(options_.k, options_.min_similarity);
+  for (const auto& [score, tid] : candidates) {
+    const double upper = ScoreUpperBound(score);
+    const double kth = collector.KthBest();
+    if (kth >= 0.0 && upper <= kth) {
+      break;  // nothing left can displace the current top K
+    }
+    FM_ASSIGN_OR_RETURN(const double sim,
+                        VerifiedSimilarity(tid, u, &fms_cache, qs));
+    collector.Offer(tid, sim);
+  }
+  return finish(collector.Take());
+}
+
+}  // namespace fuzzymatch

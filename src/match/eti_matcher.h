@@ -1,0 +1,70 @@
+// ETI-based fuzzy match query processing (Section 4.3 of the paper).
+//
+// Implements the basic algorithm of Figure 3 — probe the ETI with every
+// coordinate of every input token's signature, score tids in a hash table,
+// then fetch and verify candidates with fms in decreasing score order —
+// and the optimistic short circuiting (OSC) optimization of Figure 4,
+// which probes q-grams in decreasing weight order and tries to stop after
+// the heavy ones via a fetching test and a stopping test.
+
+#ifndef FUZZYMATCH_MATCH_ETI_MATCHER_H_
+#define FUZZYMATCH_MATCH_ETI_MATCHER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "eti/eti.h"
+#include "match/match_types.h"
+#include "sim/fms.h"
+#include "storage/table.h"
+#include "text/idf_weights.h"
+#include "text/minhash.h"
+#include "text/tokenizer.h"
+
+namespace fuzzymatch {
+
+class EtiMatcher {
+ public:
+  /// `ref`, `eti` and `weights` must outlive the matcher and must describe
+  /// the same build (same reference relation, same EtiParams).
+  EtiMatcher(Table* ref, const Eti* eti, const IdfWeights* weights,
+             MatcherOptions options);
+
+  /// The K-fuzzy-match operation: the at-most-K reference tuples closest
+  /// to `input` under fms, each with similarity >= the configured minimum,
+  /// best first. Probabilistically exact (Theorems 1 and 2).
+  Result<std::vector<Match>> FindMatches(const Row& input,
+                                   QueryStats* stats = nullptr) const;
+
+  /// Totals over all Match() calls since construction/reset.
+  const AggregateStats& aggregate_stats() const { return aggregate_; }
+  void ResetAggregateStats() { aggregate_ = AggregateStats(); }
+
+  const MatcherOptions& options() const { return options_; }
+
+ private:
+  struct Probe {
+    std::string gram;
+    uint32_t coordinate;
+    uint32_t column;
+    double weight;
+  };
+
+  /// fms(u, reference tuple `tid`), fetching and tokenizing the tuple on a
+  /// cache miss.
+  Result<double> VerifiedSimilarity(Tid tid, const TokenizedTuple& u,
+                                    std::unordered_map<Tid, double>* cache,
+                                    QueryStats* qs) const;
+
+  Table* ref_;
+  const Eti* eti_;
+  MatcherOptions options_;
+  FmsSimilarity fms_;
+  Tokenizer tokenizer_;
+  MinHasher hasher_;
+  mutable AggregateStats aggregate_;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_MATCH_ETI_MATCHER_H_

@@ -1,0 +1,97 @@
+#include "match/naive_matcher.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "sim/ed_tuple.h"
+
+namespace fuzzymatch {
+
+namespace {
+struct HeapLess {
+  bool operator()(const Match& a, const Match& b) const {
+    return a.similarity > b.similarity;  // min-heap on similarity
+  }
+};
+}  // namespace
+
+void TopKCollector::Offer(Tid tid, double similarity) {
+  if (similarity < min_similarity_) {
+    return;
+  }
+  if (heap_.size() < k_) {
+    heap_.push_back(Match{tid, similarity});
+    std::push_heap(heap_.begin(), heap_.end(), HeapLess());
+    return;
+  }
+  if (similarity > heap_.front().similarity) {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLess());
+    heap_.back() = Match{tid, similarity};
+    std::push_heap(heap_.begin(), heap_.end(), HeapLess());
+  }
+}
+
+double TopKCollector::KthBest() const {
+  if (heap_.size() < k_) {
+    return -1.0;
+  }
+  return heap_.front().similarity;
+}
+
+std::vector<Match> TopKCollector::Take() {
+  std::vector<Match> out = std::move(heap_);
+  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
+    if (a.similarity != b.similarity) {
+      return a.similarity > b.similarity;
+    }
+    return a.tid < b.tid;
+  });
+  return out;
+}
+
+NaiveMatcher::NaiveMatcher(Table* ref, const IdfWeights* weights,
+                           SimilarityKind kind, MatcherOptions options)
+    : ref_(ref),
+      kind_(kind),
+      options_(std::move(options)),
+      fms_(weights, options_.fms),
+      tokenizer_() {}
+
+Status NaiveMatcher::Prepare() {
+  tokenized_ref_.clear();
+  tokenized_ref_.reserve(ref_->row_count());
+  Table::Scanner scanner = ref_->Scan();
+  Tid tid;
+  Row row;
+  for (;;) {
+    FM_ASSIGN_OR_RETURN(const bool more, scanner.Next(&tid, &row));
+    if (!more) break;
+    tokenized_ref_.emplace_back(tid, tokenizer_.TokenizeTuple(row));
+  }
+  prepared_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<Match>> NaiveMatcher::FindMatches(const Row& input,
+                                               QueryStats* stats) const {
+  if (!prepared_) {
+    return Status::InvalidArgument("NaiveMatcher::Prepare() not called");
+  }
+  Timer timer;
+  const TokenizedTuple u = tokenizer_.TokenizeTuple(input);
+  TopKCollector top_k(options_.k, options_.min_similarity);
+  for (const auto& [tid, v] : tokenized_ref_) {
+    const double sim = (kind_ == SimilarityKind::kFms)
+                           ? fms_.Similarity(u, v)
+                           : EdTupleSimilarity(u, v);
+    top_k.Offer(tid, sim);
+  }
+  if (stats != nullptr) {
+    stats->Reset();
+    stats->ref_tuples_fetched = tokenized_ref_.size();
+    stats->elapsed_seconds = timer.ElapsedSeconds();
+  }
+  return top_k.Take();
+}
+
+}  // namespace fuzzymatch

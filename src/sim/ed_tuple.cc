@@ -1,0 +1,41 @@
+#include "sim/ed_tuple.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/edit_distance.h"
+
+namespace fuzzymatch {
+
+namespace {
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  return Join(tokens, " ");
+}
+}  // namespace
+
+double EdTupleDistance(const TokenizedTuple& u, const TokenizedTuple& v) {
+  const size_t cols = std::max(u.size(), v.size());
+  static const std::vector<std::string> kEmpty;
+  size_t total_edits = 0;
+  size_t len_u = 0;
+  size_t len_v = 0;
+  for (size_t col = 0; col < cols; ++col) {
+    const std::string us = JoinTokens(col < u.size() ? u[col] : kEmpty);
+    const std::string vs = JoinTokens(col < v.size() ? v[col] : kEmpty);
+    total_edits += LevenshteinDistance(us, vs);
+    len_u += us.size();
+    len_v += vs.size();
+  }
+  const size_t denom = std::max(len_u, len_v);
+  if (denom == 0) {
+    return 0.0;
+  }
+  return std::min(1.0, static_cast<double>(total_edits) /
+                           static_cast<double>(denom));
+}
+
+double EdTupleSimilarity(const TokenizedTuple& u, const TokenizedTuple& v) {
+  return 1.0 - EdTupleDistance(u, v);
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,26 @@
+// Tuple-level edit distance baseline (Sections 1, 3.2, 6.2.1.1).
+//
+// The similarity the paper compares fms against: character-level edit
+// distance over aligned columns, normalized by the larger total character
+// length. Implicitly weights tokens by their length, which is what makes
+// it prefer 'bon corporation' over 'boeing company' for input I3.
+
+#ifndef FUZZYMATCH_SIM_ED_TUPLE_H_
+#define FUZZYMATCH_SIM_ED_TUPLE_H_
+
+#include "text/tokenizer.h"
+
+namespace fuzzymatch {
+
+/// ed-based similarity between two tokenized tuples:
+/// 1 − (Σ_i Lev(u[i], v[i])) / max(L(u), L(v)), where each column value is
+/// the lowercase tokens re-joined with single spaces and L is the total
+/// joined length. Returns 1 for two empty tuples.
+double EdTupleSimilarity(const TokenizedTuple& u, const TokenizedTuple& v);
+
+/// The normalized tuple edit distance itself (1 − similarity).
+double EdTupleDistance(const TokenizedTuple& u, const TokenizedTuple& v);
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_SIM_ED_TUPLE_H_

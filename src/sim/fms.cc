@@ -1,0 +1,127 @@
+#include "sim/fms.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "text/edit_distance.h"
+
+namespace fuzzymatch {
+
+FmsSimilarity::FmsSimilarity(const IdfWeights* weights, FmsOptions options)
+    : weights_(weights), options_(std::move(options)) {
+  FM_CHECK(weights != nullptr);
+}
+
+double FmsSimilarity::ColumnMultiplier(uint32_t column) const {
+  if (column < options_.column_weights.size()) {
+    return options_.column_weights[column];
+  }
+  return 1.0;
+}
+
+double FmsSimilarity::TokenWeight(std::string_view token,
+                                  uint32_t column) const {
+  return weights_->Weight(token, column) * ColumnMultiplier(column);
+}
+
+double FmsSimilarity::TupleWeight(const TokenizedTuple& u) const {
+  double total = 0.0;
+  for (uint32_t col = 0; col < u.size(); ++col) {
+    for (const auto& token : u[col]) {
+      total += TokenWeight(token, col);
+    }
+  }
+  return total;
+}
+
+double FmsSimilarity::TranspositionPairCost(double w1, double w2) const {
+  switch (options_.transposition_cost) {
+    case TranspositionCost::kAverage:
+      return (w1 + w2) / 2.0;
+    case TranspositionCost::kMin:
+      return std::min(w1, w2);
+    case TranspositionCost::kMax:
+      return std::max(w1, w2);
+    case TranspositionCost::kConstant:
+      return options_.transposition_constant;
+  }
+  return (w1 + w2) / 2.0;
+}
+
+double FmsSimilarity::ColumnTransformationCost(
+    const std::vector<std::string>& u_tokens,
+    const std::vector<std::string>& v_tokens, uint32_t column) const {
+  const size_t m = u_tokens.size();
+  const size_t n = v_tokens.size();
+
+  // Per-token weights, computed once.
+  std::vector<double> uw(m), vw(n);
+  for (size_t i = 0; i < m; ++i) {
+    uw[i] = TokenWeight(u_tokens[i], column);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    vw[j] = TokenWeight(v_tokens[j], column);
+  }
+
+  // dp[i][j] = min cost of transforming u_tokens[0,i) into v_tokens[0,j).
+  // Kept as two (or three, with transpositions) rolling rows.
+  std::vector<std::vector<double>> dp(m + 1,
+                                      std::vector<double>(n + 1, 0.0));
+  for (size_t i = 1; i <= m; ++i) {
+    dp[i][0] = dp[i - 1][0] + uw[i - 1];  // delete u token
+  }
+  for (size_t j = 1; j <= n; ++j) {
+    dp[0][j] = dp[0][j - 1] + options_.cins * vw[j - 1];  // insert v token
+  }
+  for (size_t i = 1; i <= m; ++i) {
+    for (size_t j = 1; j <= n; ++j) {
+      const double replace =
+          dp[i - 1][j - 1] +
+          NormalizedEditDistance(u_tokens[i - 1], v_tokens[j - 1]) *
+              uw[i - 1];
+      const double del = dp[i - 1][j] + uw[i - 1];
+      const double ins = dp[i][j - 1] + options_.cins * vw[j - 1];
+      double best = std::min({replace, del, ins});
+      if (options_.enable_transposition && i >= 2 && j >= 2) {
+        // Swap u's adjacent pair, then transform each token to its (now
+        // aligned) counterpart — a generalized Damerau move at token
+        // granularity, so 'company beoing' still reaches 'boeing company'.
+        const double transpose =
+            dp[i - 2][j - 2] + TranspositionPairCost(uw[i - 2], uw[i - 1]) +
+            NormalizedEditDistance(u_tokens[i - 2], v_tokens[j - 1]) *
+                uw[i - 2] +
+            NormalizedEditDistance(u_tokens[i - 1], v_tokens[j - 2]) *
+                uw[i - 1];
+        best = std::min(best, transpose);
+      }
+      dp[i][j] = best;
+    }
+  }
+  return dp[m][n];
+}
+
+double FmsSimilarity::TransformationCost(const TokenizedTuple& u,
+                                         const TokenizedTuple& v) const {
+  const size_t cols = std::max(u.size(), v.size());
+  static const std::vector<std::string> kEmpty;
+  double total = 0.0;
+  for (uint32_t col = 0; col < cols; ++col) {
+    const auto& ut = col < u.size() ? u[col] : kEmpty;
+    const auto& vt = col < v.size() ? v[col] : kEmpty;
+    total += ColumnTransformationCost(ut, vt, col);
+  }
+  return total;
+}
+
+double FmsSimilarity::Similarity(const TokenizedTuple& u,
+                                 const TokenizedTuple& v) const {
+  const double wu = TupleWeight(u);
+  if (wu <= 0.0) {
+    // An input with no token weight matches nothing meaningfully.
+    return 0.0;
+  }
+  const double tc = TransformationCost(u, v);
+  return 1.0 - std::min(tc / wu, 1.0);
+}
+
+}  // namespace fuzzymatch

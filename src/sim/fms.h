@@ -1,0 +1,88 @@
+// The fuzzy match similarity function fms (Section 3.1 of the paper).
+//
+// fms(u, v) = 1 − min(tc(u, v) / w(u), 1), where tc(u, v) is the minimum
+// total cost of transforming the input tuple u into the reference tuple v
+// column by column using:
+//   - token replacement  t1 -> t2 : cost ed(t1, t2) * w(t1, i)
+//   - token insertion    of t     : cost c_ins * w(t, i)
+//   - token deletion     of t     : cost w(t, i)
+//   - token transposition (optional, Section 5.3): swap adjacent tokens
+//     at cost g(w(t1), w(t2)), generalized Damerau-style so the swapped
+//     tokens may additionally need replacements (e.g. 'company beoing'
+//     reaches 'boeing company' with one swap + one cheap edit).
+// Token weights are IDF weights from the reference relation, optionally
+// scaled per column (Section 5.2). fms is asymmetric by design: u is dirty
+// input, v is clean reference.
+
+#ifndef FUZZYMATCH_SIM_FMS_H_
+#define FUZZYMATCH_SIM_FMS_H_
+
+#include <vector>
+
+#include "text/idf_weights.h"
+#include "text/tokenizer.h"
+
+namespace fuzzymatch {
+
+/// How a token transposition is priced from the two token weights.
+enum class TranspositionCost {
+  kAverage,
+  kMin,
+  kMax,
+  kConstant,
+};
+
+struct FmsOptions {
+  /// c_ins in [0, 1]: inserting a missing token is cheaper than deleting a
+  /// spurious one ("absence of tokens is not penalized heavily").
+  double cins = 0.5;
+
+  /// Enables the token transposition operation (Section 5.3).
+  bool enable_transposition = false;
+  TranspositionCost transposition_cost = TranspositionCost::kAverage;
+  /// Used when transposition_cost == kConstant.
+  double transposition_constant = 0.5;
+
+  /// Per-column importance multipliers W_i (Section 5.2). Empty = all 1.
+  std::vector<double> column_weights;
+};
+
+/// Computes fms and its building blocks against a fixed weight table.
+class FmsSimilarity {
+ public:
+  /// `weights` must outlive this object.
+  explicit FmsSimilarity(const IdfWeights* weights, FmsOptions options = {});
+
+  /// Effective token weight: IDF weight times the column multiplier.
+  double TokenWeight(std::string_view token, uint32_t column) const;
+
+  /// w(u) with column multipliers applied.
+  double TupleWeight(const TokenizedTuple& u) const;
+
+  /// tc(u[col], v[col]): minimum-cost transformation of one column's token
+  /// sequence, via the edit-distance-style DP of [22] lifted to tokens.
+  double ColumnTransformationCost(const std::vector<std::string>& u_tokens,
+                                  const std::vector<std::string>& v_tokens,
+                                  uint32_t column) const;
+
+  /// tc(u, v) = sum over columns.
+  double TransformationCost(const TokenizedTuple& u,
+                            const TokenizedTuple& v) const;
+
+  /// fms(u, v) in [0, 1].
+  double Similarity(const TokenizedTuple& u, const TokenizedTuple& v) const;
+
+  const FmsOptions& options() const { return options_; }
+  const IdfWeights& weights() const { return *weights_; }
+
+ private:
+  double ColumnMultiplier(uint32_t column) const;
+  double TranspositionPairCost(double w1, double w2) const;
+
+  const IdfWeights* weights_;
+  FmsOptions options_;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_SIM_FMS_H_

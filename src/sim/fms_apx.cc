@@ -1,0 +1,67 @@
+#include "sim/fms_apx.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fuzzymatch {
+
+FmsApx::FmsApx(const IdfWeights* weights, const MinHasher* hasher)
+    : weights_(weights), hasher_(hasher) {
+  FM_CHECK(weights != nullptr);
+  FM_CHECK(hasher != nullptr);
+}
+
+double FmsApx::TokenFactor(std::string_view t, std::string_view r) const {
+  const double q = static_cast<double>(hasher_->q());
+  const double dq = 1.0 - 1.0 / q;
+  const double sim = MinHasher::SignatureSimilarity(hasher_->Signature(t),
+                                                    hasher_->Signature(r));
+  return std::min(1.0, (2.0 / q) * sim + dq);
+}
+
+double FmsApx::TokenFactorWithToken(std::string_view t,
+                                    std::string_view r) const {
+  const double q = static_cast<double>(hasher_->q());
+  const double dq = 1.0 - 1.0 / q;
+  const double sim = MinHasher::SignatureSimilarity(hasher_->Signature(t),
+                                                    hasher_->Signature(r));
+  const double sim_t = 0.5 * ((t == r ? 1.0 : 0.0) + sim);
+  return std::min(1.0, (2.0 / q) * sim_t + dq);
+}
+
+double FmsApx::Eval(const TokenizedTuple& u, const TokenizedTuple& v,
+                    bool with_token) const {
+  double wu = 0.0;
+  double score = 0.0;
+  for (uint32_t col = 0; col < u.size(); ++col) {
+    for (const auto& t : u[col]) {
+      const double wt = weights_->Weight(t, col);
+      wu += wt;
+      if (col >= v.size() || v[col].empty()) {
+        continue;
+      }
+      double best = 0.0;
+      for (const auto& r : v[col]) {
+        const double factor =
+            with_token ? TokenFactorWithToken(t, r) : TokenFactor(t, r);
+        best = std::max(best, factor);
+      }
+      score += wt * best;
+    }
+  }
+  if (wu <= 0.0) {
+    return 0.0;
+  }
+  return score / wu;
+}
+
+double FmsApx::Apx(const TokenizedTuple& u, const TokenizedTuple& v) const {
+  return Eval(u, v, /*with_token=*/false);
+}
+
+double FmsApx::TApx(const TokenizedTuple& u, const TokenizedTuple& v) const {
+  return Eval(u, v, /*with_token=*/true);
+}
+
+}  // namespace fuzzymatch

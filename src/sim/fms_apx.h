@@ -1,0 +1,54 @@
+// fms_apx and fms_t_apx: the indexable upper-bound approximations of fms
+// (Sections 4.1 and 5.1 of the paper).
+//
+// fms_apx ignores token order, lets each input token match its best
+// reference token in the same column, and replaces edit distance with
+// min-hash similarity over q-gram sets:
+//
+//   fms_apx(u,v) = (1/w(u)) Σ_i Σ_{t in tok(u[i])} w(t) ·
+//                  max_{r in tok(v[i])} min(1, (2/q)·sim_mh(t,r) + d_q),
+//
+// with d_q = 1 − 1/q. E[fms_apx] >= fms (Lemma 4.1), which is what makes
+// ETI retrieval probabilistically safe. fms_t_apx splits each token's
+// importance between the token itself and its signature (Section 5.1):
+// sim'_mh(t,r) = ½(1[t = r] + sim_mh(t,r)).
+
+#ifndef FUZZYMATCH_SIM_FMS_APX_H_
+#define FUZZYMATCH_SIM_FMS_APX_H_
+
+#include "text/idf_weights.h"
+#include "text/minhash.h"
+#include "text/tokenizer.h"
+
+namespace fuzzymatch {
+
+/// Evaluates the approximations directly (used by tests and analysis; the
+/// matcher evaluates them implicitly through ETI scores).
+class FmsApx {
+ public:
+  /// `weights` and `hasher` must outlive this object.
+  FmsApx(const IdfWeights* weights, const MinHasher* hasher);
+
+  /// fms_apx(u, v).
+  double Apx(const TokenizedTuple& u, const TokenizedTuple& v) const;
+
+  /// fms_t_apx(u, v).
+  double TApx(const TokenizedTuple& u, const TokenizedTuple& v) const;
+
+  /// The per-token-pair factor min(1, (2/q)·sim_mh + d_q).
+  double TokenFactor(std::string_view t, std::string_view r) const;
+
+  /// Same with sim'_mh (token identity mixed in).
+  double TokenFactorWithToken(std::string_view t, std::string_view r) const;
+
+ private:
+  double Eval(const TokenizedTuple& u, const TokenizedTuple& v,
+              bool with_token) const;
+
+  const IdfWeights* weights_;
+  const MinHasher* hasher_;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_SIM_FMS_APX_H_

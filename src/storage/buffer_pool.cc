@@ -1,0 +1,145 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fuzzymatch {
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_), page_id_(other.page_id_) {
+  other.pool_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+Page PageGuard::page() {
+  FM_CHECK(valid());
+  return Page(pool_->frames_[frame_].data.get());
+}
+
+const Page PageGuard::page() const {
+  FM_CHECK(valid());
+  return Page(pool_->frames_[frame_].data.get());
+}
+
+char* PageGuard::data() {
+  FM_CHECK(valid());
+  return pool_->frames_[frame_].data.get();
+}
+
+void PageGuard::MarkDirty() {
+  FM_CHECK(valid());
+  pool_->MarkDirty(frame_);
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
+  FM_CHECK_GE(capacity, size_t{1});
+  frames_.resize(capacity);
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  if (next_unused_frame_ < frames_.size()) {
+    const size_t f = next_unused_frame_++;
+    frames_[f].data = std::make_unique<char[]>(kPageSize);
+    return f;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool: all frames pinned; increase capacity");
+  }
+  const size_t victim = lru_.front();
+  lru_.pop_front();
+  Frame& fr = frames_[victim];
+  fr.in_lru = false;
+  FM_CHECK_EQ(fr.pin_count, 0u);
+  if (fr.dirty) {
+    FM_RETURN_IF_ERROR(FlushFrame(victim));
+  }
+  page_to_frame_.erase(fr.page_id);
+  fr.page_id = kInvalidPageId;
+  ++evictions_;
+  return victim;
+}
+
+Result<PageGuard> BufferPool::Fetch(PageId id) {
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    ++hits_;
+    Frame& fr = frames_[it->second];
+    if (fr.in_lru) {
+      lru_.erase(fr.lru_pos);
+      fr.in_lru = false;
+    }
+    ++fr.pin_count;
+    return PageGuard(this, it->second, id);
+  }
+  ++misses_;
+  FM_ASSIGN_OR_RETURN(const size_t f, GrabFrame());
+  Frame& fr = frames_[f];
+  FM_RETURN_IF_ERROR(pager_->ReadPage(id, fr.data.get()));
+  fr.page_id = id;
+  fr.pin_count = 1;
+  fr.dirty = false;
+  page_to_frame_[id] = f;
+  return PageGuard(this, f, id);
+}
+
+Result<PageGuard> BufferPool::New() {
+  FM_ASSIGN_OR_RETURN(const PageId id, pager_->AllocatePage());
+  FM_ASSIGN_OR_RETURN(const size_t f, GrabFrame());
+  Frame& fr = frames_[f];
+  std::memset(fr.data.get(), 0, kPageSize);
+  fr.page_id = id;
+  fr.pin_count = 1;
+  fr.dirty = true;
+  page_to_frame_[id] = f;
+  return PageGuard(this, f, id);
+}
+
+void BufferPool::Unpin(size_t frame) {
+  Frame& fr = frames_[frame];
+  FM_CHECK_GT(fr.pin_count, 0u);
+  if (--fr.pin_count == 0) {
+    lru_.push_back(frame);
+    fr.lru_pos = std::prev(lru_.end());
+    fr.in_lru = true;
+  }
+}
+
+Status BufferPool::FlushFrame(size_t frame) {
+  Frame& fr = frames_[frame];
+  FM_RETURN_IF_ERROR(pager_->WritePage(fr.page_id, fr.data.get()));
+  fr.dirty = false;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (size_t f = 0; f < next_unused_frame_; ++f) {
+    if (frames_[f].page_id != kInvalidPageId && frames_[f].dirty) {
+      FM_RETURN_IF_ERROR(FlushFrame(f));
+    }
+  }
+  return pager_->Sync();
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,125 @@
+// BufferPool: a fixed-capacity LRU cache of page frames over a Pager.
+//
+// Callers access pages through RAII PageGuards that pin the frame for the
+// guard's lifetime. The pool is single-threaded by design (the fuzzy match
+// pipeline is single-threaded, as in the paper's setup); there is no
+// latching.
+
+#ifndef FUZZYMATCH_STORAGE_BUFFER_POOL_H_
+#define FUZZYMATCH_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace fuzzymatch {
+
+class BufferPool;
+
+/// Pins one page frame while alive; movable, not copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  ~PageGuard();
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  /// True if this guard holds a page.
+  bool valid() const { return pool_ != nullptr; }
+
+  /// Id of the pinned page.
+  PageId page_id() const { return page_id_; }
+
+  /// Typed view over the pinned frame.
+  Page page();
+  const Page page() const;
+
+  /// Raw frame bytes.
+  char* data();
+
+  /// Marks the frame dirty so it is written back before eviction.
+  void MarkDirty();
+
+  /// Unpins early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, size_t frame, PageId page_id)
+      : pool_(pool), frame_(frame), page_id_(page_id) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId page_id_ = kInvalidPageId;
+};
+
+/// LRU page cache. Evicts only unpinned frames; dirty frames are written
+/// back on eviction and on FlushAll().
+class BufferPool {
+ public:
+  /// `capacity` is the number of resident frames (>= 1).
+  BufferPool(Pager* pager, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from the pager on a miss.
+  Result<PageGuard> Fetch(PageId id);
+
+  /// Allocates a fresh page in the pager, pins it, and formats nothing —
+  /// the caller is expected to Init() it. The frame starts dirty.
+  Result<PageGuard> New();
+
+  /// Writes all dirty frames back to the pager.
+  Status FlushAll();
+
+  /// Cache statistics (for tests and the resource-requirements bench).
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  size_t capacity() const { return frames_.size(); }
+
+  Pager* pager() { return pager_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    // Position in lru_ when unpinned and resident.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  /// Finds a frame to (re)use: a never-used frame or the LRU unpinned one.
+  Result<size_t> GrabFrame();
+  void Unpin(size_t frame);
+  void MarkDirty(size_t frame) { frames_[frame].dirty = true; }
+  Status FlushFrame(size_t frame);
+
+  Pager* pager_;
+  std::vector<Frame> frames_;
+  size_t next_unused_frame_ = 0;
+  std::unordered_map<PageId, size_t> page_to_frame_;
+  std::list<size_t> lru_;  // front = least recently used
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_STORAGE_BUFFER_POOL_H_

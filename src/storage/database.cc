@@ -1,0 +1,209 @@
+#include "storage/database.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/varint.h"
+
+namespace fuzzymatch {
+
+namespace {
+
+constexpr uint32_t kCatalogMagic = 0x464d4442;  // "FMDB"
+constexpr PageId kCatalogPage = 0;
+
+void PutString(std::string* out, const std::string& s) {
+  PutVarint64(out, s.size());
+  out->append(s);
+}
+
+Result<std::string> GetString(std::string_view* in) {
+  FM_ASSIGN_OR_RETURN(const uint64_t len, GetVarint64(in));
+  if (in->size() < len) {
+    return Status::Corruption("truncated catalog string");
+  }
+  std::string out(in->substr(0, len));
+  in->remove_prefix(len);
+  return out;
+}
+
+}  // namespace
+
+Database::~Database() {
+  if (pager_ && pager_->is_file_backed()) {
+    // Best-effort durability on clean shutdown.
+    const Status s = Checkpoint();
+    if (!s.ok()) {
+      FM_LOG(Warning) << "checkpoint on close failed: " << s;
+    }
+  }
+}
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  auto db = std::unique_ptr<Database>(new Database());
+  const bool fresh_memory = options.path.empty();
+  bool fresh_file = false;
+  if (fresh_memory) {
+    db->pager_ = Pager::OpenInMemory();
+  } else {
+    FM_ASSIGN_OR_RETURN(db->pager_, Pager::OpenFile(options.path));
+    fresh_file = db->pager_->page_count() == 0;
+  }
+  db->pool_ =
+      std::make_unique<BufferPool>(db->pager_.get(), options.pool_pages);
+
+  if (fresh_memory || fresh_file) {
+    // Reserve page 0 for the catalog.
+    FM_ASSIGN_OR_RETURN(PageGuard guard, db->pool_->New());
+    if (guard.page_id() != kCatalogPage) {
+      return Status::Internal("catalog page is not page 0");
+    }
+    guard.page().Init(PageType::kMeta);
+    guard.MarkDirty();
+    FM_RETURN_IF_ERROR(db->SaveCatalog());
+  } else {
+    FM_RETURN_IF_ERROR(db->LoadCatalog());
+  }
+  return db;
+}
+
+Status Database::SaveCatalog() {
+  std::string blob;
+  PutVarint64(&blob, tables_.size());
+  for (const auto& [name, table] : tables_) {
+    PutString(&blob, name);
+    table->schema_.EncodeTo(&blob);
+    PutVarint64(&blob, table->heap_.first_page());
+    PutVarint64(&blob, table->tid_index_.root());
+    PutVarint64(&blob, table->next_tid_);
+    PutVarint64(&blob, table->row_count_);
+  }
+  PutVarint64(&blob, indexes_.size());
+  for (const auto& [name, index] : indexes_) {
+    PutString(&blob, name);
+    PutVarint64(&blob, index->root());
+  }
+
+  if (blob.size() + 8 > kPageSize - Page::kHeaderSize) {
+    return Status::ResourceExhausted("catalog exceeds one page");
+  }
+  FM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(kCatalogPage));
+  char* p = guard.data() + Page::kHeaderSize;
+  std::memcpy(p, &kCatalogMagic, 4);
+  const uint32_t len = static_cast<uint32_t>(blob.size());
+  std::memcpy(p + 4, &len, 4);
+  std::memcpy(p + 8, blob.data(), blob.size());
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status Database::LoadCatalog() {
+  FM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(kCatalogPage));
+  const char* p = guard.data() + Page::kHeaderSize;
+  uint32_t magic, len;
+  std::memcpy(&magic, p, 4);
+  std::memcpy(&len, p + 4, 4);
+  if (magic != kCatalogMagic) {
+    return Status::Corruption("bad catalog magic");
+  }
+  if (len > kPageSize - Page::kHeaderSize - 8) {
+    return Status::Corruption("bad catalog length");
+  }
+  std::string blob(p + 8, len);
+  std::string_view in = blob;
+
+  FM_ASSIGN_OR_RETURN(const uint64_t num_tables, GetVarint64(&in));
+  for (uint64_t i = 0; i < num_tables; ++i) {
+    FM_ASSIGN_OR_RETURN(std::string name, GetString(&in));
+    FM_ASSIGN_OR_RETURN(Schema schema, Schema::Decode(&in));
+    FM_ASSIGN_OR_RETURN(const uint64_t first_page, GetVarint64(&in));
+    FM_ASSIGN_OR_RETURN(const uint64_t index_root, GetVarint64(&in));
+    FM_ASSIGN_OR_RETURN(const uint64_t next_tid, GetVarint64(&in));
+    FM_ASSIGN_OR_RETURN(const uint64_t row_count, GetVarint64(&in));
+    FM_ASSIGN_OR_RETURN(
+        HeapFile heap,
+        HeapFile::Open(pool_.get(), static_cast<PageId>(first_page)));
+    BPlusTree tid_index =
+        BPlusTree::Open(pool_.get(), static_cast<PageId>(index_root));
+    auto table = std::unique_ptr<Table>(
+        new Table(name, std::move(schema), std::move(heap),
+                  std::move(tid_index), static_cast<Tid>(next_tid),
+                  row_count));
+    tables_.emplace(std::move(name), std::move(table));
+  }
+
+  FM_ASSIGN_OR_RETURN(const uint64_t num_indexes, GetVarint64(&in));
+  for (uint64_t i = 0; i < num_indexes; ++i) {
+    FM_ASSIGN_OR_RETURN(std::string name, GetString(&in));
+    FM_ASSIGN_OR_RETURN(const uint64_t root, GetVarint64(&in));
+    auto index = std::make_unique<BPlusTree>(
+        BPlusTree::Open(pool_.get(), static_cast<PageId>(root)));
+    indexes_.emplace(std::move(name), std::move(index));
+  }
+  return Status::OK();
+}
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists(
+        StringPrintf("table %s exists", name.c_str()));
+  }
+  FM_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool_.get()));
+  FM_ASSIGN_OR_RETURN(BPlusTree tid_index, BPlusTree::Create(pool_.get()));
+  auto table = std::unique_ptr<Table>(
+      new Table(name, std::move(schema), std::move(heap),
+                std::move(tid_index), /*next_tid=*/0, /*row_count=*/0));
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  return ptr;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StringPrintf("no table %s", name.c_str()));
+  }
+  return it->second.get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound(StringPrintf("no table %s", name.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<BPlusTree*> Database::CreateIndex(const std::string& name) {
+  if (indexes_.count(name) > 0) {
+    return Status::AlreadyExists(
+        StringPrintf("index %s exists", name.c_str()));
+  }
+  FM_ASSIGN_OR_RETURN(BPlusTree tree, BPlusTree::Create(pool_.get()));
+  auto index = std::make_unique<BPlusTree>(std::move(tree));
+  BPlusTree* ptr = index.get();
+  indexes_.emplace(name, std::move(index));
+  return ptr;
+}
+
+Result<BPlusTree*> Database::GetIndex(const std::string& name) {
+  const auto it = indexes_.find(name);
+  if (it == indexes_.end()) {
+    return Status::NotFound(StringPrintf("no index %s", name.c_str()));
+  }
+  return it->second.get();
+}
+
+Status Database::DropIndex(const std::string& name) {
+  if (indexes_.erase(name) == 0) {
+    return Status::NotFound(StringPrintf("no index %s", name.c_str()));
+  }
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  FM_RETURN_IF_ERROR(SaveCatalog());
+  return pool_->FlushAll();
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,78 @@
+// Database: catalog + storage for a set of tables and secondary indexes.
+//
+// This is the "current operational data warehouse" stand-in the paper
+// deploys over: relations and B+-tree indexes persisted in one page file.
+// The catalog lives in page 0 and is rewritten by Checkpoint().
+
+#ifndef FUZZYMATCH_STORAGE_DATABASE_H_
+#define FUZZYMATCH_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/btree.h"
+#include "storage/pager.h"
+#include "storage/table.h"
+
+namespace fuzzymatch {
+
+struct DatabaseOptions {
+  /// Backing file; empty selects a non-persistent in-memory store.
+  std::string path;
+  /// Buffer pool capacity in pages (8 KiB each).
+  size_t pool_pages = 4096;
+};
+
+/// One storage namespace. Single-threaded.
+class Database {
+ public:
+  /// Opens (or creates) a database.
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table; fails with AlreadyExists on name collision.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Looks up a table; NotFound if absent.
+  Result<Table*> GetTable(const std::string& name);
+
+  /// Removes a table from the catalog. Its pages are not reclaimed (this
+  /// engine has no free-space map); used for dropping temporary relations.
+  Status DropTable(const std::string& name);
+
+  /// Creates an empty secondary index (a standalone B+-tree).
+  Result<BPlusTree*> CreateIndex(const std::string& name);
+
+  /// Looks up an index; NotFound if absent.
+  Result<BPlusTree*> GetIndex(const std::string& name);
+
+  Status DropIndex(const std::string& name);
+
+  /// Persists the catalog and flushes dirty pages. For file-backed
+  /// databases this is what makes state durable across Open() calls.
+  Status Checkpoint();
+
+  BufferPool* buffer_pool() { return pool_.get(); }
+
+ private:
+  Database() = default;
+
+  Status LoadCatalog();
+  Status SaveCatalog();
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  // Stable addresses for handed-out pointers.
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::unique_ptr<BPlusTree>> indexes_;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_STORAGE_DATABASE_H_

@@ -1,0 +1,223 @@
+#include "storage/external_sort.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <queue>
+
+#include "common/string_util.h"
+
+namespace fuzzymatch {
+
+namespace {
+
+/// Reads length-prefixed records from one run file.
+class RunReader {
+ public:
+  explicit RunReader(const std::string& path) {
+    file_ = std::fopen(path.c_str(), "rb");
+  }
+  ~RunReader() {
+    if (file_) std::fclose(file_);
+  }
+  RunReader(const RunReader&) = delete;
+  RunReader& operator=(const RunReader&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  /// Returns false at EOF.
+  Result<bool> Next(std::string* record) {
+    uint32_t len;
+    const size_t n = std::fread(&len, 1, sizeof(len), file_);
+    if (n == 0) {
+      return false;
+    }
+    if (n != sizeof(len)) {
+      return Status::Corruption("truncated run file length");
+    }
+    record->resize(len);
+    if (len > 0 && std::fread(record->data(), 1, len, file_) != len) {
+      return Status::Corruption("truncated run file record");
+    }
+    return true;
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// In-memory sorted stream over an owned vector.
+class VectorStream : public SortedStream {
+ public:
+  explicit VectorStream(std::vector<std::string> records)
+      : records_(std::move(records)) {}
+
+  Result<bool> Next(std::string* record) override {
+    if (pos_ >= records_.size()) {
+      return false;
+    }
+    *record = std::move(records_[pos_++]);
+    return true;
+  }
+
+ private:
+  std::vector<std::string> records_;
+  size_t pos_ = 0;
+};
+
+/// K-way merge of sorted run files (plus an optional in-memory tail run).
+class MergeStream : public SortedStream {
+ public:
+  MergeStream(std::vector<std::string> run_files,
+              std::vector<std::string> memory_run)
+      : run_files_(std::move(run_files)) {
+    readers_.reserve(run_files_.size());
+    for (const auto& path : run_files_) {
+      readers_.push_back(std::make_unique<RunReader>(path));
+    }
+    memory_run_ = std::move(memory_run);
+  }
+
+  ~MergeStream() override {
+    for (const auto& path : run_files_) {
+      ::unlink(path.c_str());
+    }
+  }
+
+  Status Init() {
+    for (size_t i = 0; i < readers_.size(); ++i) {
+      if (!readers_[i]->ok()) {
+        return Status::IOError("failed to reopen run file");
+      }
+      FM_RETURN_IF_ERROR(Advance(i));
+    }
+    if (!memory_run_.empty()) {
+      heap_.push(HeapEntry{std::move(memory_run_[0]), kMemorySource});
+      memory_pos_ = 1;
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(std::string* record) override {
+    if (heap_.empty()) {
+      return false;
+    }
+    HeapEntry top = std::move(const_cast<HeapEntry&>(heap_.top()));
+    heap_.pop();
+    *record = std::move(top.record);
+    if (top.source == kMemorySource) {
+      if (memory_pos_ < memory_run_.size()) {
+        heap_.push(
+            HeapEntry{std::move(memory_run_[memory_pos_++]), kMemorySource});
+      }
+    } else {
+      FM_RETURN_IF_ERROR(Advance(top.source));
+    }
+    return true;
+  }
+
+ private:
+  static constexpr size_t kMemorySource = static_cast<size_t>(-1);
+
+  struct HeapEntry {
+    std::string record;
+    size_t source;
+    bool operator>(const HeapEntry& other) const {
+      return record > other.record;
+    }
+  };
+
+  Status Advance(size_t reader_idx) {
+    std::string rec;
+    FM_ASSIGN_OR_RETURN(const bool more, readers_[reader_idx]->Next(&rec));
+    if (more) {
+      heap_.push(HeapEntry{std::move(rec), reader_idx});
+    }
+    return Status::OK();
+  }
+
+  std::vector<std::string> run_files_;
+  std::vector<std::unique_ptr<RunReader>> readers_;
+  std::vector<std::string> memory_run_;
+  size_t memory_pos_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+};
+
+}  // namespace
+
+ExternalSorter::ExternalSorter(Options options)
+    : options_(std::move(options)) {}
+
+ExternalSorter::~ExternalSorter() {
+  // Remove any spilled runs if Finish() was never called.
+  if (!finished_) {
+    for (const auto& path : run_files_) {
+      ::unlink(path.c_str());
+    }
+  }
+}
+
+Status ExternalSorter::Add(std::string_view record) {
+  if (finished_) {
+    return Status::InvalidArgument("Add() after Finish()");
+  }
+  buffer_.emplace_back(record);
+  buffered_bytes_ += record.size() + sizeof(std::string);
+  ++record_count_;
+  if (buffered_bytes_ >= options_.memory_budget_bytes) {
+    FM_RETURN_IF_ERROR(SpillRun());
+  }
+  return Status::OK();
+}
+
+Status ExternalSorter::SpillRun() {
+  std::sort(buffer_.begin(), buffer_.end());
+  const std::string path = StringPrintf(
+      "%s/fm_sort_run_%d_%zu.tmp", options_.temp_dir.c_str(), ::getpid(),
+      run_files_.size());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    return Status::IOError(
+        StringPrintf("open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  for (const auto& rec : buffer_) {
+    const uint32_t len = static_cast<uint32_t>(rec.size());
+    if (std::fwrite(&len, 1, sizeof(len), f) != sizeof(len) ||
+        (len > 0 && std::fwrite(rec.data(), 1, len, f) != len)) {
+      std::fclose(f);
+      ::unlink(path.c_str());
+      return Status::IOError("short write to run file");
+    }
+  }
+  if (std::fclose(f) != 0) {
+    ::unlink(path.c_str());
+    return Status::IOError("close of run file failed");
+  }
+  run_files_.push_back(path);
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  buffered_bytes_ = 0;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SortedStream>> ExternalSorter::Finish() {
+  if (finished_) {
+    return Status::InvalidArgument("Finish() called twice");
+  }
+  finished_ = true;
+  std::sort(buffer_.begin(), buffer_.end());
+  if (run_files_.empty()) {
+    return std::unique_ptr<SortedStream>(
+        std::make_unique<VectorStream>(std::move(buffer_)));
+  }
+  auto merge = std::make_unique<MergeStream>(std::move(run_files_),
+                                             std::move(buffer_));
+  FM_RETURN_IF_ERROR(merge->Init());
+  return std::unique_ptr<SortedStream>(std::move(merge));
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,76 @@
+// ExternalSorter: sorts an arbitrary-size stream of byte-string records.
+//
+// This plays the role of the SQL "ORDER BY" in the paper's ETI-query
+// (Section 4.2): the pre-ETI rows are fed in, sorted runs spill to temp
+// files when the memory budget is exceeded, and a k-way merge streams the
+// rows back grouped by [QGram, Coordinate, Column].
+//
+// Records are compared lexicographically as raw bytes; callers encode sort
+// keys order-preservingly (see storage/key_codec.h).
+
+#ifndef FUZZYMATCH_STORAGE_EXTERNAL_SORT_H_
+#define FUZZYMATCH_STORAGE_EXTERNAL_SORT_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fuzzymatch {
+
+/// Streams records back in sorted order after ExternalSorter::Finish().
+class SortedStream {
+ public:
+  virtual ~SortedStream() = default;
+
+  /// Advances to the next record; false at end. On true fills `record`.
+  virtual Result<bool> Next(std::string* record) = 0;
+};
+
+/// Accumulates records, then produces them in sorted order.
+class ExternalSorter {
+ public:
+  struct Options {
+    /// In-memory buffer budget before spilling a run (bytes of record
+    /// payload, excluding bookkeeping).
+    size_t memory_budget_bytes = 64u << 20;
+    /// Directory for spill files; must exist.
+    std::string temp_dir = "/tmp";
+  };
+
+  explicit ExternalSorter(Options options);
+  ~ExternalSorter();
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  /// Adds one record (any bytes, including embedded NULs).
+  Status Add(std::string_view record);
+
+  /// Ends input and returns the merged sorted stream. Call once.
+  Result<std::unique_ptr<SortedStream>> Finish();
+
+  /// Number of runs spilled to disk so far (0 = fully in-memory sort).
+  size_t spilled_runs() const { return run_files_.size(); }
+
+  /// Total records added.
+  uint64_t record_count() const { return record_count_; }
+
+ private:
+  Status SpillRun();
+
+  Options options_;
+  std::vector<std::string> buffer_;
+  size_t buffered_bytes_ = 0;
+  uint64_t record_count_ = 0;
+  std::vector<std::string> run_files_;
+  bool finished_ = false;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_STORAGE_EXTERNAL_SORT_H_

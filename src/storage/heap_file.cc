@@ -1,0 +1,199 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace fuzzymatch {
+
+namespace {
+
+// Records at or above this size go to overflow pages. Leaves room for
+// several records per page in the common case.
+constexpr size_t kMaxInlineRecord = kPageSize / 4;
+
+// Stub layout: 1-byte marker, u32 total length, u32 overflow head page.
+constexpr char kStubMarker = '\x01';
+constexpr char kInlineMarker = '\x00';
+constexpr size_t kStubSize = 1 + 4 + 4;
+
+// Overflow page payload layout: the full page after the standard header is
+// raw bytes; the number of bytes used in this page is implied by total_len.
+constexpr size_t kOverflowPayload = kPageSize - Page::kHeaderSize;
+
+}  // namespace
+
+std::string Rid::Encode() const {
+  std::string out(kEncodedSize, '\0');
+  std::memcpy(out.data(), &page_id, 4);
+  std::memcpy(out.data() + 4, &slot, 2);
+  return out;
+}
+
+Result<Rid> Rid::Decode(std::string_view bytes) {
+  if (bytes.size() != kEncodedSize) {
+    return Status::Corruption("bad rid encoding length");
+  }
+  Rid rid;
+  std::memcpy(&rid.page_id, bytes.data(), 4);
+  std::memcpy(&rid.slot, bytes.data() + 4, 2);
+  return rid;
+}
+
+Result<HeapFile> HeapFile::Create(BufferPool* pool) {
+  FM_ASSIGN_OR_RETURN(PageGuard guard, pool->New());
+  guard.page().Init(PageType::kHeap);
+  guard.MarkDirty();
+  return HeapFile(pool, guard.page_id(), guard.page_id());
+}
+
+Result<HeapFile> HeapFile::Open(BufferPool* pool, PageId first_page) {
+  PageId last = first_page;
+  for (;;) {
+    FM_ASSIGN_OR_RETURN(PageGuard guard, pool->Fetch(last));
+    const PageId next = guard.page().next_page();
+    if (next == kInvalidPageId) break;
+    last = next;
+  }
+  return HeapFile(pool, first_page, last);
+}
+
+Result<PageId> HeapFile::WriteOverflow(std::string_view record) {
+  PageId head = kInvalidPageId;
+  PageId prev = kInvalidPageId;
+  size_t off = 0;
+  while (off < record.size() || head == kInvalidPageId) {
+    FM_ASSIGN_OR_RETURN(PageGuard guard, pool_->New());
+    guard.page().Init(PageType::kMeta);
+    const size_t take = std::min(kOverflowPayload, record.size() - off);
+    std::memcpy(guard.data() + Page::kHeaderSize, record.data() + off, take);
+    guard.MarkDirty();
+    if (head == kInvalidPageId) {
+      head = guard.page_id();
+    } else {
+      FM_ASSIGN_OR_RETURN(PageGuard prev_guard, pool_->Fetch(prev));
+      prev_guard.page().set_next_page(guard.page_id());
+      prev_guard.MarkDirty();
+    }
+    prev = guard.page_id();
+    off += take;
+  }
+  return head;
+}
+
+Result<std::string> HeapFile::ReadOverflow(PageId head,
+                                           uint32_t total_len) const {
+  std::string out;
+  out.reserve(total_len);
+  PageId page = head;
+  while (out.size() < total_len) {
+    if (page == kInvalidPageId) {
+      return Status::Corruption("overflow chain ended early");
+    }
+    FM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page));
+    const size_t take =
+        std::min(kOverflowPayload, static_cast<size_t>(total_len) - out.size());
+    out.append(guard.data() + Page::kHeaderSize, take);
+    page = guard.page().next_page();
+  }
+  return out;
+}
+
+Result<Rid> HeapFile::Insert(std::string_view record) {
+  std::string stub;
+  std::string_view to_store = record;
+  if (record.size() >= kMaxInlineRecord) {
+    FM_ASSIGN_OR_RETURN(const PageId head, WriteOverflow(record));
+    stub.resize(kStubSize);
+    stub[0] = kStubMarker;
+    const uint32_t len = static_cast<uint32_t>(record.size());
+    std::memcpy(stub.data() + 1, &len, 4);
+    std::memcpy(stub.data() + 5, &head, 4);
+    to_store = stub;
+  } else {
+    stub.reserve(record.size() + 1);
+    stub.push_back(kInlineMarker);
+    stub.append(record);
+    to_store = stub;
+  }
+
+  {
+    FM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(last_page_));
+    Page page = guard.page();
+    if (auto slot = page.Insert(to_store)) {
+      guard.MarkDirty();
+      return Rid{guard.page_id(), *slot};
+    }
+  }
+  // Last page full: chain a new one.
+  FM_ASSIGN_OR_RETURN(PageGuard fresh, pool_->New());
+  fresh.page().Init(PageType::kHeap);
+  fresh.MarkDirty();
+  {
+    FM_ASSIGN_OR_RETURN(PageGuard old_last, pool_->Fetch(last_page_));
+    old_last.page().set_next_page(fresh.page_id());
+    old_last.MarkDirty();
+  }
+  last_page_ = fresh.page_id();
+  Page page = fresh.page();
+  auto slot = page.Insert(to_store);
+  if (!slot) {
+    return Status::Internal("record does not fit in an empty page");
+  }
+  return Rid{fresh.page_id(), *slot};
+}
+
+Result<std::string> HeapFile::Get(const Rid& rid) const {
+  FM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page_id));
+  const Page page = guard.page();
+  const auto rec = page.Get(rid.slot);
+  if (!rec) {
+    return Status::NotFound(StringPrintf("no record at rid %u/%u",
+                                         rid.page_id, rid.slot));
+  }
+  if (rec->empty()) {
+    return Status::Corruption("empty heap record");
+  }
+  if ((*rec)[0] == kInlineMarker) {
+    return std::string(rec->substr(1));
+  }
+  if (rec->size() != kStubSize) {
+    return Status::Corruption("bad overflow stub size");
+  }
+  uint32_t total_len;
+  PageId head;
+  std::memcpy(&total_len, rec->data() + 1, 4);
+  std::memcpy(&head, rec->data() + 5, 4);
+  return ReadOverflow(head, total_len);
+}
+
+Status HeapFile::Delete(const Rid& rid) {
+  FM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page_id));
+  Page page = guard.page();
+  if (!page.Delete(rid.slot)) {
+    return Status::NotFound(StringPrintf("no record at rid %u/%u",
+                                         rid.page_id, rid.slot));
+  }
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Result<bool> HeapFile::Scanner::Next(Rid* rid, std::string* record) {
+  while (page_ != kInvalidPageId) {
+    FM_ASSIGN_OR_RETURN(PageGuard guard, file_->pool_->Fetch(page_));
+    const Page page = guard.page();
+    while (slot_ < page.slot_count()) {
+      const SlotId s = slot_++;
+      if (page.Get(s).has_value()) {
+        *rid = Rid{page_, s};
+        FM_ASSIGN_OR_RETURN(*record, file_->Get(*rid));
+        return true;
+      }
+    }
+    page_ = page.next_page();
+    slot_ = 0;
+  }
+  return false;
+}
+
+}  // namespace fuzzymatch

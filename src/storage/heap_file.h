@@ -1,0 +1,93 @@
+// HeapFile: unordered record storage over a chain of slotted pages.
+//
+// Records are addressed by Rid (page id + slot). Records larger than a page
+// are transparently stored in a chain of dedicated overflow pages, with a
+// small stub in the slotted page — so ETI rows whose tid-lists run to tens
+// of kilobytes still live in "one relation", as in the paper.
+
+#ifndef FUZZYMATCH_STORAGE_HEAP_FILE_H_
+#define FUZZYMATCH_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace fuzzymatch {
+
+/// Record identifier: physical address of a record in a heap file.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  SlotId slot = 0;
+
+  bool operator==(const Rid& other) const {
+    return page_id == other.page_id && slot == other.slot;
+  }
+  bool operator!=(const Rid& other) const { return !(*this == other); }
+
+  /// Fixed-size (6-byte) encoding, e.g. for storing Rids as B+-tree values.
+  std::string Encode() const;
+  static Result<Rid> Decode(std::string_view bytes);
+  static constexpr size_t kEncodedSize = 6;
+};
+
+/// Append-oriented heap of variable-length records.
+class HeapFile {
+ public:
+  /// Creates an empty heap file (allocates its first page).
+  static Result<HeapFile> Create(BufferPool* pool);
+
+  /// Re-attaches to an existing heap file by its first page id (walks the
+  /// page chain to find the append target).
+  static Result<HeapFile> Open(BufferPool* pool, PageId first_page);
+
+  /// Appends a record of any size; large records spill to overflow pages.
+  Result<Rid> Insert(std::string_view record);
+
+  /// Reads the record at `rid`.
+  Result<std::string> Get(const Rid& rid) const;
+
+  /// Tombstones the record at `rid` (frees overflow pages' contents
+  /// logically; page reuse is out of scope for this engine).
+  Status Delete(const Rid& rid);
+
+  /// First page of the chain (persisted by the catalog).
+  PageId first_page() const { return first_page_; }
+
+  /// Forward scan over all live records.
+  class Scanner {
+   public:
+    /// Advances to the next record; returns false at end-of-file. On true,
+    /// fills `rid` and `record`.
+    Result<bool> Next(Rid* rid, std::string* record);
+
+   private:
+    friend class HeapFile;
+    Scanner(const HeapFile* file, PageId page) : file_(file), page_(page) {}
+    const HeapFile* file_;
+    PageId page_;
+    SlotId slot_ = 0;
+  };
+
+  Scanner Scan() const { return Scanner(this, first_page_); }
+
+ private:
+  HeapFile(BufferPool* pool, PageId first, PageId last)
+      : pool_(pool), first_page_(first), last_page_(last) {}
+
+  /// Writes `record` into a fresh overflow chain; returns the head page.
+  Result<PageId> WriteOverflow(std::string_view record);
+  Result<std::string> ReadOverflow(PageId head, uint32_t total_len) const;
+
+  BufferPool* pool_;
+  PageId first_page_;
+  PageId last_page_;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,99 @@
+#include "storage/key_codec.h"
+
+namespace fuzzymatch {
+
+KeyEncoder& KeyEncoder::AppendString(std::string_view s) {
+  for (const char c : s) {
+    if (c == '\x00') {
+      key_.push_back('\x00');
+      key_.push_back('\x01');
+    } else {
+      key_.push_back(c);
+    }
+  }
+  key_.push_back('\x00');
+  key_.push_back('\x00');
+  return *this;
+}
+
+KeyEncoder& KeyEncoder::AppendU32(uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    key_.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+  return *this;
+}
+
+KeyEncoder& KeyEncoder::AppendU64(uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    key_.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+  return *this;
+}
+
+KeyEncoder& KeyEncoder::AppendU8(uint8_t v) {
+  key_.push_back(static_cast<char>(v));
+  return *this;
+}
+
+Result<std::string> KeyDecoder::ReadString() {
+  std::string out;
+  size_t i = 0;
+  while (i < rest_.size()) {
+    const char c = rest_[i];
+    if (c != '\x00') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    if (i + 1 >= rest_.size()) {
+      return Status::Corruption("truncated string key component");
+    }
+    const char next = rest_[i + 1];
+    if (next == '\x00') {
+      rest_.remove_prefix(i + 2);
+      return out;
+    }
+    if (next == '\x01') {
+      out.push_back('\x00');
+      i += 2;
+      continue;
+    }
+    return Status::Corruption("bad escape in string key component");
+  }
+  return Status::Corruption("unterminated string key component");
+}
+
+Result<uint32_t> KeyDecoder::ReadU32() {
+  if (rest_.size() < 4) {
+    return Status::Corruption("truncated u32 key component");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(rest_[i]);
+  }
+  rest_.remove_prefix(4);
+  return v;
+}
+
+Result<uint64_t> KeyDecoder::ReadU64() {
+  if (rest_.size() < 8) {
+    return Status::Corruption("truncated u64 key component");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(rest_[i]);
+  }
+  rest_.remove_prefix(8);
+  return v;
+}
+
+Result<uint8_t> KeyDecoder::ReadU8() {
+  if (rest_.empty()) {
+    return Status::Corruption("truncated u8 key component");
+  }
+  const uint8_t v = static_cast<uint8_t>(rest_[0]);
+  rest_.remove_prefix(1);
+  return v;
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,63 @@
+// Order-preserving composite-key encoding.
+//
+// B+-tree keys are compared as raw bytes (memcmp order). KeyEncoder encodes
+// tuples of strings and integers such that byte order equals the natural
+// component-wise order — e.g. the ETI clustered key [QGram, Coordinate,
+// Column] is encoded string-then-u32-then-u32.
+
+#ifndef FUZZYMATCH_STORAGE_KEY_CODEC_H_
+#define FUZZYMATCH_STORAGE_KEY_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace fuzzymatch {
+
+/// Builds an order-preserving composite key.
+class KeyEncoder {
+ public:
+  /// Appends a string component. Encoding escapes 0x00 bytes as (0x00,0x01)
+  /// and terminates with (0x00,0x00), so ("a","b") sorts before ("ab","")
+  /// exactly as the component-wise comparison does.
+  KeyEncoder& AppendString(std::string_view s);
+
+  /// Appends a u32 in big-endian (memcmp order == numeric order).
+  KeyEncoder& AppendU32(uint32_t v);
+
+  /// Appends a u64 in big-endian.
+  KeyEncoder& AppendU64(uint64_t v);
+
+  /// Appends a single byte as-is.
+  KeyEncoder& AppendU8(uint8_t v);
+
+  /// The encoded key so far.
+  const std::string& key() const { return key_; }
+  std::string Take() { return std::move(key_); }
+
+ private:
+  std::string key_;
+};
+
+/// Decodes components in the order they were appended.
+class KeyDecoder {
+ public:
+  explicit KeyDecoder(std::string_view key) : rest_(key) {}
+
+  Result<std::string> ReadString();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<uint8_t> ReadU8();
+
+  /// True when all bytes have been consumed.
+  bool Done() const { return rest_.empty(); }
+
+ private:
+  std::string_view rest_;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_STORAGE_KEY_CODEC_H_

@@ -1,0 +1,127 @@
+#include "storage/pager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace fuzzymatch {
+
+Pager::~Pager() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<Pager>> Pager::OpenFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError(
+        StringPrintf("open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IOError(
+        StringPrintf("lseek %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  if (static_cast<size_t>(size) % kPageSize != 0) {
+    ::close(fd);
+    return Status::Corruption(
+        StringPrintf("%s: size %lld not a multiple of page size",
+                     path.c_str(), static_cast<long long>(size)));
+  }
+  auto pager = std::unique_ptr<Pager>(new Pager());
+  pager->fd_ = fd;
+  pager->path_ = path;
+  pager->page_count_ = static_cast<uint32_t>(size / kPageSize);
+  return pager;
+}
+
+std::unique_ptr<Pager> Pager::OpenInMemory() {
+  return std::unique_ptr<Pager>(new Pager());
+}
+
+Result<PageId> Pager::AllocatePage() {
+  if (page_count_ == kInvalidPageId) {
+    return Status::ResourceExhausted("pager full");
+  }
+  const PageId id = page_count_;
+  if (fd_ >= 0) {
+    // Extend the file with a zero page.
+    std::vector<char> zeros(kPageSize, 0);
+    FM_RETURN_IF_ERROR(WritePageAtUnchecked_(id, zeros.data()));
+  } else {
+    auto buf = std::make_unique<char[]>(kPageSize);
+    std::memset(buf.get(), 0, kPageSize);
+    mem_pages_.push_back(std::move(buf));
+  }
+  ++page_count_;
+  return id;
+}
+
+Status Pager::ReadPage(PageId id, char* buf) {
+  if (id >= page_count_) {
+    return Status::OutOfRange(StringPrintf("read of unallocated page %u", id));
+  }
+  if (fd_ >= 0) {
+    const off_t off = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+    size_t done = 0;
+    while (done < kPageSize) {
+      const ssize_t n =
+          ::pread(fd_, buf + done, kPageSize - done, off + done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(
+            StringPrintf("pread page %u: %s", id, std::strerror(errno)));
+      }
+      if (n == 0) {
+        return Status::Corruption(StringPrintf("short read of page %u", id));
+      }
+      done += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+  std::memcpy(buf, mem_pages_[id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status Pager::WritePage(PageId id, const char* buf) {
+  if (id >= page_count_) {
+    return Status::OutOfRange(
+        StringPrintf("write of unallocated page %u", id));
+  }
+  if (fd_ >= 0) {
+    return WritePageAtUnchecked_(id, buf);
+  }
+  std::memcpy(mem_pages_[id].get(), buf, kPageSize);
+  return Status::OK();
+}
+
+Status Pager::Sync() {
+  if (fd_ >= 0 && ::fsync(fd_) != 0) {
+    return Status::IOError(StringPrintf("fsync: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+// Private helper declared inline here to keep the header small.
+Status Pager::WritePageAtUnchecked_(PageId id, const char* buf) {
+  const off_t off = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+  size_t done = 0;
+  while (done < kPageSize) {
+    const ssize_t n = ::pwrite(fd_, buf + done, kPageSize - done, off + done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(
+          StringPrintf("pwrite page %u: %s", id, std::strerror(errno)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace fuzzymatch

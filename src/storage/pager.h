@@ -1,0 +1,71 @@
+// Pager: allocation and I/O of fixed-size pages.
+//
+// Two modes:
+//  - file-backed: pages live at offset page_id * kPageSize in a single file
+//    (POSIX pread/pwrite), persisting across Open() calls;
+//  - in-memory: pages live on the heap (fast mode for tests and benches).
+//
+// The Pager knows nothing about page contents; caching and pinning are the
+// BufferPool's job.
+
+#ifndef FUZZYMATCH_STORAGE_PAGER_H_
+#define FUZZYMATCH_STORAGE_PAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace fuzzymatch {
+
+/// Owns the backing store (file or heap) for a set of pages.
+class Pager {
+ public:
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Opens (creating if needed) a file-backed pager. The file size must be
+  /// a multiple of kPageSize.
+  static Result<std::unique_ptr<Pager>> OpenFile(const std::string& path);
+
+  /// Creates an in-memory pager.
+  static std::unique_ptr<Pager> OpenInMemory();
+
+  /// Number of allocated pages.
+  uint32_t page_count() const { return page_count_; }
+
+  /// Allocates a new zero-filled page at the end of the store.
+  Result<PageId> AllocatePage();
+
+  /// Reads page `id` into `buf` (kPageSize bytes).
+  Status ReadPage(PageId id, char* buf);
+
+  /// Writes `buf` (kPageSize bytes) to page `id`.
+  Status WritePage(PageId id, const char* buf);
+
+  /// For file-backed pagers, fsyncs the file; no-op in memory mode.
+  Status Sync();
+
+  /// True if file-backed.
+  bool is_file_backed() const { return fd_ >= 0; }
+
+ private:
+  Pager() = default;
+
+  /// Writes without the page-bounds check (used while extending the file).
+  Status WritePageAtUnchecked_(PageId id, const char* buf);
+
+  int fd_ = -1;
+  std::string path_;
+  uint32_t page_count_ = 0;
+  std::vector<std::unique_ptr<char[]>> mem_pages_;  // in-memory mode only
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_STORAGE_PAGER_H_

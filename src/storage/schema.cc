@@ -1,0 +1,79 @@
+#include "storage/schema.h"
+
+#include "common/varint.h"
+
+namespace fuzzymatch {
+
+Schema::Schema(std::vector<std::string> column_names)
+    : names_(std::move(column_names)) {}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void Schema::EncodeTo(std::string* out) const {
+  PutVarint64(out, names_.size());
+  for (const auto& n : names_) {
+    PutVarint64(out, n.size());
+    out->append(n);
+  }
+}
+
+Result<Schema> Schema::Decode(std::string_view* in) {
+  FM_ASSIGN_OR_RETURN(const uint64_t count, GetVarint64(in));
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    FM_ASSIGN_OR_RETURN(const uint64_t len, GetVarint64(in));
+    if (in->size() < len) {
+      return Status::Corruption("truncated schema");
+    }
+    names.emplace_back(in->substr(0, len));
+    in->remove_prefix(len);
+  }
+  return Schema(std::move(names));
+}
+
+std::string RowCodec::Encode(const Row& row) {
+  std::string out;
+  PutVarint64(&out, row.size());
+  for (const auto& field : row) {
+    if (!field.has_value()) {
+      PutVarint64(&out, 0);
+    } else {
+      PutVarint64(&out, field->size() + 1);
+      out.append(*field);
+    }
+  }
+  return out;
+}
+
+Result<Row> RowCodec::Decode(std::string_view payload) {
+  FM_ASSIGN_OR_RETURN(const uint64_t count, GetVarint64(&payload));
+  Row row;
+  row.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    FM_ASSIGN_OR_RETURN(const uint64_t tag, GetVarint64(&payload));
+    if (tag == 0) {
+      row.emplace_back(std::nullopt);
+      continue;
+    }
+    const uint64_t len = tag - 1;
+    if (payload.size() < len) {
+      return Status::Corruption("truncated row payload");
+    }
+    row.emplace_back(std::string(payload.substr(0, len)));
+    payload.remove_prefix(len);
+  }
+  if (!payload.empty()) {
+    return Status::Corruption("trailing bytes after row payload");
+  }
+  return row;
+}
+
+}  // namespace fuzzymatch

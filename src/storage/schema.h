@@ -1,0 +1,57 @@
+// Relational schemas and the row wire format.
+//
+// All attributes are nullable strings, matching the paper's setting ("we
+// assume that each Ai is a string-valued attribute, e.g. of type varchar").
+// The tid key attribute is kept separately by Table as a dense uint32.
+
+#ifndef FUZZYMATCH_STORAGE_SCHEMA_H_
+#define FUZZYMATCH_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fuzzymatch {
+
+/// A tuple value: one optional string per schema column. nullopt == NULL.
+using Row = std::vector<std::optional<std::string>>;
+
+/// Ordered list of named string columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> column_names);
+
+  size_t num_columns() const { return names_.size(); }
+  const std::string& column_name(size_t i) const { return names_[i]; }
+  const std::vector<std::string>& column_names() const { return names_; }
+
+  /// Index of the named column, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  bool operator==(const Schema& other) const {
+    return names_ == other.names_;
+  }
+
+  /// Serialization for the catalog.
+  void EncodeTo(std::string* out) const;
+  static Result<Schema> Decode(std::string_view* in);
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// Encodes/decodes rows to the byte payloads stored in heap files.
+class RowCodec {
+ public:
+  /// Wire format: varint field count; per field, varint 0 for NULL or
+  /// varint(len+1) followed by the bytes.
+  static std::string Encode(const Row& row);
+  static Result<Row> Decode(std::string_view payload);
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_STORAGE_SCHEMA_H_

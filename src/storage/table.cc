@@ -1,0 +1,121 @@
+#include "storage/table.h"
+
+#include "common/string_util.h"
+#include "common/varint.h"
+#include "storage/key_codec.h"
+
+namespace fuzzymatch {
+
+namespace {
+
+// Heap record layout: varint tid, then the row payload.
+std::string EncodeHeapRecord(Tid tid, const Row& row) {
+  std::string out;
+  PutVarint64(&out, tid);
+  out += RowCodec::Encode(row);
+  return out;
+}
+
+Result<std::pair<Tid, Row>> DecodeHeapRecord(std::string_view payload) {
+  FM_ASSIGN_OR_RETURN(const uint64_t tid, GetVarint64(&payload));
+  FM_ASSIGN_OR_RETURN(Row row, RowCodec::Decode(payload));
+  return std::make_pair(static_cast<Tid>(tid), std::move(row));
+}
+
+std::string TidKey(Tid tid) {
+  KeyEncoder enc;
+  enc.AppendU32(tid);
+  return enc.Take();
+}
+
+}  // namespace
+
+Result<Tid> Table::Insert(const Row& row) {
+  FM_ASSIGN_OR_RETURN(const InsertInfo info, InsertWithLocation(row));
+  return info.tid;
+}
+
+Result<Table::InsertInfo> Table::InsertWithLocation(const Row& row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StringPrintf("row has %zu fields, schema %s has %zu columns",
+                     row.size(), name_.c_str(), schema_.num_columns()));
+  }
+  const Tid tid = next_tid_++;
+  FM_ASSIGN_OR_RETURN(const Rid rid, heap_.Insert(EncodeHeapRecord(tid, row)));
+  FM_RETURN_IF_ERROR(tid_index_.Insert(TidKey(tid), rid.Encode()));
+  ++row_count_;
+  return InsertInfo{tid, rid};
+}
+
+Result<Row> Table::GetByRid(const Rid& rid) const {
+  FM_ASSIGN_OR_RETURN(const std::string payload, heap_.Get(rid));
+  FM_ASSIGN_OR_RETURN(auto decoded, DecodeHeapRecord(payload));
+  return std::move(decoded.second);
+}
+
+Result<Rid> Table::Update(Tid tid, const Row& row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StringPrintf("row has %zu fields, schema %s has %zu columns",
+                     row.size(), name_.c_str(), schema_.num_columns()));
+  }
+  FM_ASSIGN_OR_RETURN(const std::string rid_bytes,
+                      tid_index_.Get(TidKey(tid)));
+  FM_ASSIGN_OR_RETURN(const Rid old_rid, Rid::Decode(rid_bytes));
+  FM_RETURN_IF_ERROR(heap_.Delete(old_rid));
+  FM_ASSIGN_OR_RETURN(const Rid new_rid,
+                      heap_.Insert(EncodeHeapRecord(tid, row)));
+  FM_RETURN_IF_ERROR(tid_index_.Put(TidKey(tid), new_rid.Encode()));
+  return new_rid;
+}
+
+Result<Rid> Table::UpdateByRid(const Rid& rid, const Row& row) {
+  FM_ASSIGN_OR_RETURN(const std::string payload, heap_.Get(rid));
+  FM_ASSIGN_OR_RETURN(auto decoded, DecodeHeapRecord(payload));
+  const Tid tid = decoded.first;
+  FM_RETURN_IF_ERROR(heap_.Delete(rid));
+  FM_ASSIGN_OR_RETURN(const Rid new_rid,
+                      heap_.Insert(EncodeHeapRecord(tid, row)));
+  FM_RETURN_IF_ERROR(tid_index_.Put(TidKey(tid), new_rid.Encode()));
+  return new_rid;
+}
+
+Status Table::Delete(Tid tid) {
+  FM_ASSIGN_OR_RETURN(const std::string rid_bytes,
+                      tid_index_.Get(TidKey(tid)));
+  FM_ASSIGN_OR_RETURN(const Rid rid, Rid::Decode(rid_bytes));
+  FM_RETURN_IF_ERROR(heap_.Delete(rid));
+  FM_RETURN_IF_ERROR(tid_index_.Delete(TidKey(tid)));
+  --row_count_;
+  return Status::OK();
+}
+
+Result<Row> Table::Get(Tid tid) const {
+  FM_ASSIGN_OR_RETURN(const std::string rid_bytes,
+                      tid_index_.Get(TidKey(tid)));
+  FM_ASSIGN_OR_RETURN(const Rid rid, Rid::Decode(rid_bytes));
+  FM_ASSIGN_OR_RETURN(const std::string payload, heap_.Get(rid));
+  FM_ASSIGN_OR_RETURN(auto decoded, DecodeHeapRecord(payload));
+  if (decoded.first != tid) {
+    return Status::Corruption(
+        StringPrintf("tid index pointed %u at record with tid %u", tid,
+                     decoded.first));
+  }
+  return std::move(decoded.second);
+}
+
+Result<bool> Table::Scanner::Next(Tid* tid, Row* row) {
+  Rid rid;
+  std::string payload;
+  FM_ASSIGN_OR_RETURN(const bool more, inner_.Next(&rid, &payload));
+  if (!more) {
+    return false;
+  }
+  FM_ASSIGN_OR_RETURN(auto decoded, DecodeHeapRecord(payload));
+  *tid = decoded.first;
+  *row = std::move(decoded.second);
+  return true;
+}
+
+}  // namespace fuzzymatch

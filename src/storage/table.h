@@ -1,0 +1,97 @@
+// Table: a named relation = schema + heap file + tid primary index.
+//
+// Every row gets a dense tuple identifier (tid) at insert time; the paper
+// assumes "tid is a key of R" and that R is indexed on tid for the
+// candidate-verification fetches, which the tid B+-tree provides.
+
+#ifndef FUZZYMATCH_STORAGE_TABLE_H_
+#define FUZZYMATCH_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "storage/btree.h"
+#include "storage/heap_file.h"
+#include "storage/schema.h"
+
+namespace fuzzymatch {
+
+/// Tuple identifier: dense, assigned in insertion order starting at 0.
+using Tid = uint32_t;
+
+/// A stored relation. Created/opened through Database.
+class Table {
+ public:
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint64_t row_count() const { return row_count_; }
+
+  /// Appends a row; returns its assigned tid.
+  Result<Tid> Insert(const Row& row);
+
+  /// Where a row landed; rids let secondary indexes skip the tid index.
+  struct InsertInfo {
+    Tid tid;
+    Rid rid;
+  };
+
+  /// Appends a row and reports its physical location.
+  Result<InsertInfo> InsertWithLocation(const Row& row);
+
+  /// Fetches a row by tid (one B+-tree probe + one heap read).
+  Result<Row> Get(Tid tid) const;
+
+  /// Fetches a row directly by rid (one heap read; rids come from
+  /// InsertWithLocation or a secondary index).
+  Result<Row> GetByRid(const Rid& rid) const;
+
+  /// Replaces the row stored under `tid`. The record may relocate; any
+  /// secondary index pointing at the old rid must be repointed to the
+  /// returned one.
+  Result<Rid> Update(Tid tid, const Row& row);
+
+  /// Replaces the row at `rid` in place (keeping its tid); returns the
+  /// new rid. Same secondary-index caveat as Update().
+  Result<Rid> UpdateByRid(const Rid& rid, const Row& row);
+
+  /// Removes the row stored under `tid`. Secondary index entries for it
+  /// are the caller's responsibility.
+  Status Delete(Tid tid);
+
+  /// Full scan in storage order.
+  class Scanner {
+   public:
+    /// Advances; false at end. On true fills `tid` and `row`.
+    Result<bool> Next(Tid* tid, Row* row);
+
+   private:
+    friend class Table;
+    explicit Scanner(HeapFile::Scanner inner) : inner_(std::move(inner)) {}
+    HeapFile::Scanner inner_;
+  };
+
+  Scanner Scan() const { return Scanner(heap_.Scan()); }
+
+ private:
+  friend class Database;
+  Table(std::string name, Schema schema, HeapFile heap, BPlusTree tid_index,
+        Tid next_tid, uint64_t row_count)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        heap_(std::move(heap)),
+        tid_index_(std::move(tid_index)),
+        next_tid_(next_tid),
+        row_count_(row_count) {}
+
+  std::string name_;
+  Schema schema_;
+  HeapFile heap_;
+  BPlusTree tid_index_;
+  Tid next_tid_;
+  uint64_t row_count_;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_STORAGE_TABLE_H_

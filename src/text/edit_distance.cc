@@ -1,0 +1,82 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace fuzzymatch {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) {
+    std::swap(a, b);
+  }
+  // a is the shorter string; single-row DP over |a|+1 cells.
+  std::vector<size_t> row(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) {
+    row[i] = i;
+  }
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t prev_diag = row[0];  // DP[j-1][0]
+    row[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      const size_t prev_row = row[i];  // DP[j-1][i]
+      const size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[i] = std::min({row[i - 1] + 1, prev_row + 1, sub});
+      prev_diag = prev_row;
+    }
+  }
+  return row[a.size()];
+}
+
+size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                          size_t bound) {
+  if (a.size() > b.size()) {
+    std::swap(a, b);
+  }
+  if (b.size() - a.size() > bound) {
+    return bound + 1;
+  }
+  constexpr size_t kInf = std::numeric_limits<size_t>::max() / 2;
+  // Banded DP: only cells with |i - j| <= bound can be <= bound.
+  std::vector<size_t> row(a.size() + 1, kInf);
+  for (size_t i = 0; i <= std::min(a.size(), bound); ++i) {
+    row[i] = i;
+  }
+  for (size_t j = 1; j <= b.size(); ++j) {
+    const size_t lo = (j > bound) ? j - bound : 0;
+    const size_t hi = std::min(a.size(), j + bound);
+    size_t prev_diag = (lo == 0) ? j - 1 : row[lo - 1];
+    if (lo == 0) {
+      row[0] = j;
+    } else {
+      row[lo - 1] = kInf;
+    }
+    size_t row_min = kInf;
+    for (size_t i = std::max<size_t>(lo, 1); i <= hi; ++i) {
+      const size_t prev_row = row[i];
+      const size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      const size_t left = (i >= 1) ? row[i - 1] : kInf;
+      row[i] = std::min({left + 1, prev_row + 1, sub});
+      prev_diag = prev_row;
+      row_min = std::min(row_min, row[i]);
+    }
+    if (lo == 0) {
+      row_min = std::min(row_min, row[0]);
+    }
+    if (row_min > bound) {
+      return bound + 1;
+    }
+  }
+  return row[a.size()] > bound ? bound + 1 : row[a.size()];
+}
+
+double NormalizedEditDistance(std::string_view a, std::string_view b) {
+  const size_t m = std::max(a.size(), b.size());
+  if (m == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(LevenshteinDistance(a, b)) /
+         static_cast<double>(m);
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,30 @@
+// Edit distance (Section 3 of the paper).
+//
+// ed(s1, s2) is the minimum number of character edits (insert, delete,
+// substitute) transforming s1 into s2, normalized by max(|s1|, |s2|). The
+// paper's example: ed("company", "corporation") = 7/11 ≈ 0.64.
+
+#ifndef FUZZYMATCH_TEXT_EDIT_DISTANCE_H_
+#define FUZZYMATCH_TEXT_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace fuzzymatch {
+
+/// Raw Levenshtein distance with unit costs.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Levenshtein distance with an early exit: returns the exact distance if
+/// it is <= `bound`, otherwise any value > `bound`. Runs the banded DP in
+/// O(bound * min(|a|,|b|)).
+size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                          size_t bound);
+
+/// ed(a, b) = Levenshtein(a, b) / max(|a|, |b|), in [0, 1].
+/// ed("", "") is defined as 0 (identical strings).
+double NormalizedEditDistance(std::string_view a, std::string_view b);
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_TEXT_EDIT_DISTANCE_H_

@@ -1,0 +1,87 @@
+#include "text/idf_weights.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fuzzymatch {
+
+IdfWeights::Builder::Builder(std::unique_ptr<TokenFrequencyCache> cache)
+    : cache_(std::move(cache)) {}
+
+void IdfWeights::Builder::AddTuple(const TokenizedTuple& tuple) {
+  ++num_tuples_;
+  std::vector<std::string> seen;
+  for (uint32_t col = 0; col < tuple.size(); ++col) {
+    seen.assign(tuple[col].begin(), tuple[col].end());
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    for (const auto& token : seen) {
+      cache_->Add(token, col);
+    }
+  }
+}
+
+IdfWeights IdfWeights::Builder::Finish() {
+  const double r = static_cast<double>(std::max<uint64_t>(num_tuples_, 1));
+  std::vector<double> sums;
+  std::vector<uint64_t> counts;
+  cache_->ForEachEntry([&](uint32_t col, uint32_t freq) {
+    if (col >= sums.size()) {
+      sums.resize(col + 1, 0.0);
+      counts.resize(col + 1, 0);
+    }
+    const double idf =
+        std::max(0.0, std::log(r / static_cast<double>(freq)));
+    sums[col] += idf;
+    ++counts[col];
+  });
+
+  double global_sum = 0.0;
+  uint64_t global_count = 0;
+  std::vector<double> avg(sums.size(), 0.0);
+  for (size_t col = 0; col < sums.size(); ++col) {
+    if (counts[col] > 0) {
+      avg[col] = sums[col] / static_cast<double>(counts[col]);
+    }
+    global_sum += sums[col];
+    global_count += counts[col];
+  }
+  const double global_avg =
+      global_count > 0 ? global_sum / static_cast<double>(global_count) : 1.0;
+  // Columns with no tokens fall back to the global average.
+  for (size_t col = 0; col < avg.size(); ++col) {
+    if (counts[col] == 0) {
+      avg[col] = global_avg;
+    }
+  }
+  return IdfWeights(std::move(cache_), num_tuples_, std::move(avg),
+                    global_avg);
+}
+
+double IdfWeights::Weight(std::string_view token, uint32_t column) const {
+  const uint32_t freq = cache_->Frequency(token, column);
+  if (freq == 0) {
+    return AverageWeight(column);
+  }
+  const double r = static_cast<double>(std::max<uint64_t>(num_tuples_, 1));
+  return std::max(0.0, std::log(r / static_cast<double>(freq)));
+}
+
+double IdfWeights::TupleWeight(const TokenizedTuple& tuple) const {
+  double total = 0.0;
+  for (uint32_t col = 0; col < tuple.size(); ++col) {
+    for (const auto& token : tuple[col]) {
+      total += Weight(token, col);
+    }
+  }
+  return total;
+}
+
+double IdfWeights::AverageWeight(uint32_t column) const {
+  if (column < column_avg_.size()) {
+    return column_avg_[column];
+  }
+  return global_avg_;
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,79 @@
+// IDF token weights (Section 3 of the paper).
+//
+// w(t, i) = log(|R| / freq(t, i)) for tokens seen in column i of the
+// reference relation. A token unseen in column i is presumed to be an
+// erroneous version of some reference token, so it gets the average weight
+// of all tokens in that column.
+
+#ifndef FUZZYMATCH_TEXT_IDF_WEIGHTS_H_
+#define FUZZYMATCH_TEXT_IDF_WEIGHTS_H_
+
+#include <memory>
+#include <vector>
+
+#include "text/token_frequency.h"
+#include "text/tokenizer.h"
+
+namespace fuzzymatch {
+
+/// Immutable IDF weight table built from the reference relation.
+class IdfWeights {
+ public:
+  /// Accumulates per-column token frequencies tuple by tuple.
+  class Builder {
+   public:
+    /// Takes ownership of an empty cache to fill (defaults to exact).
+    explicit Builder(std::unique_ptr<TokenFrequencyCache> cache =
+                         MakeFrequencyCache(FrequencyCacheKind::kExact));
+
+    /// Feeds tok(v) of one reference tuple. Duplicate tokens within one
+    /// column of the same tuple count once (freq counts tuples).
+    void AddTuple(const TokenizedTuple& tuple);
+
+    /// Seals the weights; the Builder must not be reused.
+    IdfWeights Finish();
+
+   private:
+    std::unique_ptr<TokenFrequencyCache> cache_;
+    uint64_t num_tuples_ = 0;
+  };
+
+  /// w(t, i). Never negative: bounded-cache collisions can make
+  /// freq > |R|, in which case the weight clamps to 0.
+  double Weight(std::string_view token, uint32_t column) const;
+
+  /// freq(t, i) as stored in the cache.
+  uint32_t Frequency(std::string_view token, uint32_t column) const {
+    return cache_->Frequency(token, column);
+  }
+
+  /// w(u): total weight of all tokens of a tokenized tuple (multiset —
+  /// repeated tokens count each time).
+  double TupleWeight(const TokenizedTuple& tuple) const;
+
+  /// The average token weight of column i (the weight of unseen tokens).
+  double AverageWeight(uint32_t column) const;
+
+  /// |R| used in the IDF formula.
+  uint64_t num_tuples() const { return num_tuples_; }
+
+  const TokenFrequencyCache& cache() const { return *cache_; }
+
+ private:
+  IdfWeights(std::shared_ptr<const TokenFrequencyCache> cache,
+             uint64_t num_tuples, std::vector<double> column_avg,
+             double global_avg)
+      : cache_(std::move(cache)),
+        num_tuples_(num_tuples),
+        column_avg_(std::move(column_avg)),
+        global_avg_(global_avg) {}
+
+  std::shared_ptr<const TokenFrequencyCache> cache_;
+  uint64_t num_tuples_ = 0;
+  std::vector<double> column_avg_;
+  double global_avg_ = 1.0;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_TEXT_IDF_WEIGHTS_H_

@@ -1,0 +1,66 @@
+#include "text/minhash.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace fuzzymatch {
+
+MinHasher::MinHasher(int q, int hash_count, uint64_t seed)
+    : q_(q), hash_count_(hash_count), seed_(seed) {
+  FM_CHECK_GE(q, 1);
+  FM_CHECK_GE(hash_count, 0);
+}
+
+std::vector<std::string> MinHasher::Signature(std::string_view token) const {
+  std::vector<std::string> sig;
+  if (token.empty()) {
+    return sig;
+  }
+  if (token.size() <= static_cast<size_t>(q_)) {
+    sig.emplace_back(token);
+    return sig;
+  }
+  if (hash_count_ == 0) {
+    return sig;
+  }
+  sig.reserve(static_cast<size_t>(hash_count_));
+  const size_t uq = static_cast<size_t>(q_);
+  for (int i = 0; i < hash_count_; ++i) {
+    const uint64_t hseed = HashCombine(seed_, static_cast<uint64_t>(i));
+    std::string_view best;
+    uint64_t best_hash = 0;
+    bool first = true;
+    for (size_t p = 0; p + uq <= token.size(); ++p) {
+      const std::string_view gram = token.substr(p, uq);
+      const uint64_t h = Hash64(gram, hseed);
+      if (first || h < best_hash ||
+          (h == best_hash && gram < best)) {
+        best = gram;
+        best_hash = h;
+        first = false;
+      }
+    }
+    sig.emplace_back(best);
+  }
+  return sig;
+}
+
+double MinHasher::SignatureSimilarity(const std::vector<std::string>& a,
+                                      const std::vector<std::string>& b) {
+  const size_t n = std::max(a.size(), b.size());
+  if (n == 0) {
+    return 0.0;
+  }
+  const size_t common = std::min(a.size(), b.size());
+  size_t matches = 0;
+  for (size_t i = 0; i < common; ++i) {
+    if (a[i] == b[i]) {
+      ++matches;
+    }
+  }
+  return static_cast<double>(matches) / static_cast<double>(n);
+}
+
+}  // namespace fuzzymatch

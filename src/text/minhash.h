@@ -1,0 +1,49 @@
+// Min-hash signatures of token q-gram sets (Section 4.1 of the paper).
+//
+// mh(S) = [mh_1(S), ..., mh_H(S)] where mh_i(S) = argmin_{a in S} h_i(a)
+// for H seeded hash functions h_i. E[fraction of matching coordinates]
+// equals the Jaccard coefficient of the two sets, which is what makes the
+// ETI a probabilistically safe filter (Lemma 4.1).
+
+#ifndef FUZZYMATCH_TEXT_MINHASH_H_
+#define FUZZYMATCH_TEXT_MINHASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fuzzymatch {
+
+/// Computes min-hash signatures over q-gram sets.
+class MinHasher {
+ public:
+  /// `q` is the q-gram size (paper default 4), `hash_count` is H (the
+  /// signature size; 0 means token-only signatures are in use), and `seed`
+  /// makes the h_i family reproducible. The same (q, H, seed) must be used
+  /// for ETI building and query processing.
+  MinHasher(int q, int hash_count, uint64_t seed);
+
+  /// mh(token): H q-grams. Per the paper, if |token| <= q the signature is
+  /// the token itself (a single coordinate).
+  std::vector<std::string> Signature(std::string_view token) const;
+
+  /// Fraction of coordinate-wise matches between two signatures of equal
+  /// semantics; signatures of different lengths compare pointwise over the
+  /// shorter prefix. sim_mh in the paper.
+  static double SignatureSimilarity(const std::vector<std::string>& a,
+                                    const std::vector<std::string>& b);
+
+  int q() const { return q_; }
+  int hash_count() const { return hash_count_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  int q_;
+  int hash_count_;
+  uint64_t seed_;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_TEXT_MINHASH_H_

@@ -1,0 +1,51 @@
+#include "text/qgram.h"
+
+#include <algorithm>
+
+namespace fuzzymatch {
+
+std::vector<std::string> QGramSet(std::string_view s, int q) {
+  std::vector<std::string> out;
+  if (s.empty()) {
+    return out;
+  }
+  const size_t uq = static_cast<size_t>(q);
+  if (s.size() < uq) {
+    out.emplace_back(s);
+    return out;
+  }
+  out.reserve(s.size() - uq + 1);
+  for (size_t i = 0; i + uq <= s.size(); ++i) {
+    out.emplace_back(s.substr(i, uq));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+double JaccardSorted(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) {
+    return 1.0;
+  }
+  size_t i = 0, j = 0, common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = a.size() + b.size() - common;
+  return static_cast<double>(common) / static_cast<double>(uni);
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, int q) {
+  return JaccardSorted(QGramSet(a, q), QGramSet(b, q));
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,31 @@
+// Q-gram sets (Section 4.1 of the paper).
+//
+// QG_q(s) is the set of all length-q substrings of s, e.g.
+// QG_3("boeing") = {boe, oei, ein, ing}. For tokens shorter than q the
+// paper treats the token itself as its q-gram set / signature.
+
+#ifndef FUZZYMATCH_TEXT_QGRAM_H_
+#define FUZZYMATCH_TEXT_QGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fuzzymatch {
+
+/// QG_q(s): sorted, deduplicated q-grams of `s`. If |s| < q (or s is
+/// empty), returns {s} per the paper's short-token convention — except the
+/// empty string, which yields an empty set.
+std::vector<std::string> QGramSet(std::string_view s, int q);
+
+/// Jaccard coefficient |A ∩ B| / |A ∪ B| of two sorted unique sets.
+/// Returns 1.0 when both are empty.
+double JaccardSorted(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b);
+
+/// sim(QG(a), QG(b)): Jaccard coefficient of the q-gram sets.
+double QGramJaccard(std::string_view a, std::string_view b, int q);
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_TEXT_QGRAM_H_

@@ -1,0 +1,191 @@
+#include "text/token_frequency.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/md5.h"
+
+namespace fuzzymatch {
+
+namespace {
+
+/// token string -> frequency, one map per column.
+class ExactFrequencyCache : public TokenFrequencyCache {
+ public:
+  void Add(std::string_view token, uint32_t column) override {
+    if (column >= maps_.size()) {
+      maps_.resize(column + 1);
+    }
+    auto [it, inserted] = maps_[column].try_emplace(std::string(token), 0u);
+    ++it->second;
+    if (inserted) {
+      bytes_ += token.size() + 48;  // rough node + string overhead
+    }
+  }
+
+  uint32_t Frequency(std::string_view token, uint32_t column) const override {
+    if (column >= maps_.size()) {
+      return 0;
+    }
+    const auto it = maps_[column].find(std::string(token));
+    return it == maps_[column].end() ? 0 : it->second;
+  }
+
+  size_t ApproxBytes() const override { return bytes_; }
+
+  size_t EntryCount() const override {
+    size_t n = 0;
+    for (const auto& m : maps_) {
+      n += m.size();
+    }
+    return n;
+  }
+
+  void ForEachEntry(const std::function<void(uint32_t, uint32_t)>& fn)
+      const override {
+    for (uint32_t col = 0; col < maps_.size(); ++col) {
+      for (const auto& [token, freq] : maps_[col]) {
+        fn(col, freq);
+      }
+    }
+  }
+
+ private:
+  std::vector<std::unordered_map<std::string, uint32_t>> maps_;
+  size_t bytes_ = 0;
+};
+
+/// 128-bit MD5 digest of (column, token) -> frequency. 24 bytes per entry
+/// as in the paper's sizing: 16-byte hash + 4-byte column + 4-byte count.
+class Md5FrequencyCache : public TokenFrequencyCache {
+ public:
+  void Add(std::string_view token, uint32_t column) override {
+    Entry& entry = map_[DigestKey(token, column)];
+    ++entry.freq;
+    entry.column = column;  // kept alongside for ForEachEntry
+  }
+
+  uint32_t Frequency(std::string_view token, uint32_t column) const override {
+    const auto it = map_.find(DigestKey(token, column));
+    return it == map_.end() ? 0 : it->second.freq;
+  }
+
+  size_t ApproxBytes() const override { return map_.size() * 24; }
+
+  size_t EntryCount() const override { return map_.size(); }
+
+  void ForEachEntry(const std::function<void(uint32_t, uint32_t)>& fn)
+      const override {
+    for (const auto& [key, entry] : map_) {
+      fn(entry.column, entry.freq);
+    }
+  }
+
+ private:
+  struct Entry {
+    uint32_t freq = 0;
+    uint32_t column = 0;
+  };
+
+  using Key = std::pair<uint64_t, uint64_t>;
+
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.first ^ Mix64(k.second));
+    }
+  };
+
+  static Key DigestKey(std::string_view token, uint32_t column) {
+    Md5 md5;
+    md5.Update(reinterpret_cast<const char*>(&column), sizeof(column));
+    md5.Update(token);
+    const Md5Digest d = md5.Finish();
+    return {d.Low64(), d.High64()};
+  }
+
+  std::unordered_map<Key, Entry, KeyHash> map_;
+};
+
+/// Fixed bucket arrays; distinct tokens hashing to the same bucket share a
+/// count. Mimics the paper's "cache with collisions".
+class BoundedFrequencyCache : public TokenFrequencyCache {
+ public:
+  explicit BoundedFrequencyCache(size_t buckets) : buckets_(buckets) {
+    FM_CHECK_GT(buckets, size_t{0});
+  }
+
+  void Add(std::string_view token, uint32_t column) override {
+    if (column >= counts_.size()) {
+      counts_.resize(column + 1);
+    }
+    auto& col = counts_[column];
+    if (col.empty()) {
+      col.assign(buckets_, 0u);
+    }
+    ++col[Bucket(token)];
+  }
+
+  uint32_t Frequency(std::string_view token, uint32_t column) const override {
+    if (column >= counts_.size() || counts_[column].empty()) {
+      return 0;
+    }
+    return counts_[column][Bucket(token)];
+  }
+
+  size_t ApproxBytes() const override {
+    size_t n = 0;
+    for (const auto& col : counts_) {
+      n += col.size() * sizeof(uint32_t);
+    }
+    return n;
+  }
+
+  size_t EntryCount() const override {
+    size_t n = 0;
+    for (const auto& col : counts_) {
+      for (const uint32_t c : col) {
+        n += (c > 0);
+      }
+    }
+    return n;
+  }
+
+  void ForEachEntry(const std::function<void(uint32_t, uint32_t)>& fn)
+      const override {
+    for (uint32_t col = 0; col < counts_.size(); ++col) {
+      for (const uint32_t c : counts_[col]) {
+        if (c > 0) {
+          fn(col, c);
+        }
+      }
+    }
+  }
+
+ private:
+  size_t Bucket(std::string_view token) const {
+    return Hash64(token, /*seed=*/0x7a3b9c1dULL) % buckets_;
+  }
+
+  size_t buckets_;
+  std::vector<std::vector<uint32_t>> counts_;
+};
+
+}  // namespace
+
+std::unique_ptr<TokenFrequencyCache> MakeFrequencyCache(
+    FrequencyCacheKind kind, size_t bounded_buckets) {
+  switch (kind) {
+    case FrequencyCacheKind::kExact:
+      return std::make_unique<ExactFrequencyCache>();
+    case FrequencyCacheKind::kMd5:
+      return std::make_unique<Md5FrequencyCache>();
+    case FrequencyCacheKind::kBounded:
+      return std::make_unique<BoundedFrequencyCache>(bounded_buckets);
+  }
+  return nullptr;
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,65 @@
+// Token-frequency caches (Section 4.4.1 of the paper).
+//
+// freq(t, i) is the number of reference tuples whose i-th column contains
+// token t; IDF weights are computed from it at query time. The paper keeps
+// these frequencies in a main-memory cache and discusses three designs,
+// all implemented here:
+//   - exact:   token string -> frequency (the default);
+//   - MD5:     16-byte digest -> frequency ("cache without collisions",
+//              smaller, collision-free for all practical purposes);
+//   - bounded: a fixed number of buckets, where distinct tokens may
+//              collapse ("cache with collisions", trades accuracy for
+//              memory; collisions inflate frequencies and so distort
+//              weights).
+
+#ifndef FUZZYMATCH_TEXT_TOKEN_FREQUENCY_H_
+#define FUZZYMATCH_TEXT_TOKEN_FREQUENCY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+namespace fuzzymatch {
+
+/// Frequency store for column-qualified tokens.
+class TokenFrequencyCache {
+ public:
+  virtual ~TokenFrequencyCache() = default;
+
+  /// Records that one reference tuple contains `token` in `column`.
+  /// Callers must de-duplicate tokens within a tuple first: freq counts
+  /// tuples, not occurrences.
+  virtual void Add(std::string_view token, uint32_t column) = 0;
+
+  /// freq(token, column); 0 if the token was never seen in that column.
+  virtual uint32_t Frequency(std::string_view token,
+                             uint32_t column) const = 0;
+
+  /// Approximate resident bytes (for the Section 4.4.1 sizing analysis).
+  virtual size_t ApproxBytes() const = 0;
+
+  /// Number of distinct entries stored.
+  virtual size_t EntryCount() const = 0;
+
+  /// Visits every stored (column, frequency) entry; used to compute the
+  /// per-column average IDF weight for unseen tokens.
+  virtual void ForEachEntry(
+      const std::function<void(uint32_t column, uint32_t freq)>& fn)
+      const = 0;
+};
+
+enum class FrequencyCacheKind {
+  kExact,
+  kMd5,
+  kBounded,
+};
+
+/// Creates a cache. `bounded_buckets` is the per-column bucket count for
+/// kBounded (ignored otherwise; must be > 0 for kBounded).
+std::unique_ptr<TokenFrequencyCache> MakeFrequencyCache(
+    FrequencyCacheKind kind, size_t bounded_buckets = 0);
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_TEXT_TOKEN_FREQUENCY_H_

@@ -1,0 +1,58 @@
+#include "text/tokenizer.h"
+
+#include "common/string_util.h"
+
+namespace fuzzymatch {
+
+Tokenizer::Tokenizer(std::string delimiters)
+    : delimiters_(std::move(delimiters)) {}
+
+std::vector<std::string> Tokenizer::TokenizeField(
+    std::string_view value) const {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= value.size()) {
+    const size_t pos = value.find_first_of(delimiters_, start);
+    const size_t end = (pos == std::string_view::npos) ? value.size() : pos;
+    if (end > start) {
+      out.push_back(AsciiLower(value.substr(start, end - start)));
+    }
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+TokenizedTuple Tokenizer::TokenizeTuple(
+    const std::vector<std::optional<std::string>>& row) const {
+  TokenizedTuple out;
+  out.reserve(row.size());
+  for (const auto& field : row) {
+    if (field.has_value()) {
+      out.push_back(TokenizeField(*field));
+    } else {
+      out.emplace_back();
+    }
+  }
+  return out;
+}
+
+size_t TokenCount(const TokenizedTuple& t) {
+  size_t n = 0;
+  for (const auto& col : t) {
+    n += col.size();
+  }
+  return n;
+}
+
+size_t TokenCharLength(const TokenizedTuple& t) {
+  size_t n = 0;
+  for (const auto& col : t) {
+    for (const auto& tok : col) {
+      n += tok.size();
+    }
+  }
+  return n;
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,50 @@
+// Tokenization (Section 3 of the paper).
+//
+// tok(s) splits a string into lowercase tokens on a delimiter set (white
+// space by default). Tokens carry a column property: 'madison' in the name
+// column is a different token from 'madison' in the city column, which is
+// modelled here by keeping tokens column-aligned in a TokenizedTuple.
+
+#ifndef FUZZYMATCH_TEXT_TOKENIZER_H_
+#define FUZZYMATCH_TEXT_TOKENIZER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fuzzymatch {
+
+/// tok(v): the column-aligned token lists of one tuple. tokens[i] is
+/// tok(v[i]) in order of appearance; a NULL attribute yields an empty list.
+using TokenizedTuple = std::vector<std::vector<std::string>>;
+
+/// Splits attribute values into lowercase tokens.
+class Tokenizer {
+ public:
+  /// `delimiters` defaults to the white-space characters, per the paper.
+  explicit Tokenizer(std::string delimiters = " \t\r\n");
+
+  /// tok(s) for one attribute value: lowercased, delimiter-split, empty
+  /// pieces dropped. Preserves order and duplicates (tok(v) is a multiset).
+  std::vector<std::string> TokenizeField(std::string_view value) const;
+
+  /// tok(v) for a whole tuple of nullable attribute values.
+  TokenizedTuple TokenizeTuple(
+      const std::vector<std::optional<std::string>>& row) const;
+
+  const std::string& delimiters() const { return delimiters_; }
+
+ private:
+  std::string delimiters_;
+};
+
+/// Total number of tokens in a tokenized tuple.
+size_t TokenCount(const TokenizedTuple& t);
+
+/// L(z): total character length of all tokens (used by the ed baseline).
+size_t TokenCharLength(const TokenizedTuple& t);
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_TEXT_TOKENIZER_H_

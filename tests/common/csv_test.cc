@@ -1,0 +1,108 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fuzzymatch {
+namespace {
+
+std::vector<std::vector<std::string>> ReadAll(const std::string& text) {
+  std::istringstream in(text);
+  CsvReader reader(&in);
+  std::vector<std::vector<std::string>> out;
+  std::vector<std::string> fields;
+  for (;;) {
+    auto more = reader.Next(&fields);
+    EXPECT_TRUE(more.ok()) << more.status();
+    if (!more.ok() || !*more) break;
+    out.push_back(fields);
+  }
+  return out;
+}
+
+TEST(CsvReaderTest, PlainRecords) {
+  const auto rows = ReadAll("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvReaderTest, MissingTrailingNewline) {
+  const auto rows = ReadAll("a,b\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvReaderTest, EmptyFieldsAndRecords) {
+  const auto rows = ReadAll(",\na,,b\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(CsvReaderTest, QuotedFields) {
+  const auto rows =
+      ReadAll("\"hello, world\",\"say \"\"hi\"\"\",plain\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "hello, world");
+  EXPECT_EQ(rows[0][1], "say \"hi\"");
+  EXPECT_EQ(rows[0][2], "plain");
+}
+
+TEST(CsvReaderTest, EmbeddedNewlinesInQuotes) {
+  const auto rows = ReadAll("\"line1\nline2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(CsvReaderTest, CrLfLineEndings) {
+  const auto rows = ReadAll("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvReaderTest, EmptyInput) {
+  EXPECT_TRUE(ReadAll("").empty());
+}
+
+TEST(CsvReaderTest, MalformedQuotingFails) {
+  {
+    std::istringstream in("\"unterminated");
+    CsvReader reader(&in);
+    std::vector<std::string> fields;
+    EXPECT_TRUE(reader.Next(&fields).status().IsCorruption());
+  }
+  {
+    std::istringstream in("ab\"cd\n");
+    CsvReader reader(&in);
+    std::vector<std::string> fields;
+    EXPECT_FALSE(reader.Next(&fields).ok());
+  }
+}
+
+TEST(CsvWriterTest, EscapesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscapeField("plain"), "plain");
+  EXPECT_EQ(CsvEscapeField("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvEscapeField("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(CsvEscapeField("with\nnewline"), "\"with\nnewline\"");
+  EXPECT_EQ(CsvEscapeField(""), "");
+}
+
+TEST(CsvRoundTripTest, ArbitraryContentSurvives) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"a", "b,c", "d\"e"},
+      {"", "multi\nline", "x"},
+      {"trailing,", "\"quoted\"", ""},
+  };
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  for (const auto& row : rows) {
+    writer.Write(row);
+  }
+  const auto parsed = ReadAll(out.str());
+  EXPECT_EQ(parsed, rows);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,94 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace fuzzymatch {
+namespace {
+
+TEST(Mix64Test, IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(0), Mix64(0));
+  EXPECT_NE(Mix64(0), Mix64(1));
+  // Consecutive inputs should produce well-separated outputs.
+  std::unordered_set<uint64_t> outs;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    outs.insert(Mix64(i));
+  }
+  EXPECT_EQ(outs.size(), 10000u);
+}
+
+TEST(Hash64Test, DeterministicPerSeed) {
+  const std::string s = "boeing company";
+  EXPECT_EQ(Hash64(s, 1), Hash64(s, 1));
+  EXPECT_NE(Hash64(s, 1), Hash64(s, 2));
+}
+
+TEST(Hash64Test, SensitiveToEveryByte) {
+  const std::string base = "abcdefghijklmnopqrstuvwxyz0123456789";
+  const uint64_t h0 = Hash64(base, 0);
+  for (size_t i = 0; i < base.size(); ++i) {
+    std::string mod = base;
+    mod[i] ^= 1;
+    EXPECT_NE(Hash64(mod, 0), h0) << "byte " << i;
+  }
+}
+
+TEST(Hash64Test, CoversAllLengthPaths) {
+  // Exercise the <4, <8, 8..31, and >=32 byte code paths.
+  std::unordered_set<uint64_t> outs;
+  std::string s;
+  for (size_t len = 0; len <= 100; ++len) {
+    outs.insert(Hash64(s, 7));
+    s.push_back(static_cast<char>('a' + len % 26));
+  }
+  EXPECT_EQ(outs.size(), 101u);
+}
+
+TEST(Hash64Test, EmptyInputIsValid) {
+  EXPECT_EQ(Hash64("", 0), Hash64(std::string_view{}, 0));
+  EXPECT_NE(Hash64("", 0), Hash64("", 1));
+}
+
+TEST(Hash64Test, SeedsActAsIndependentFunctions) {
+  // For min-hash we need h_i families that order elements differently.
+  std::vector<std::string> grams = {"boe", "oei", "ein", "ing"};
+  int different_argmins = 0;
+  std::unordered_set<size_t> argmins;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    size_t best = 0;
+    for (size_t g = 1; g < grams.size(); ++g) {
+      if (Hash64(grams[g], seed) < Hash64(grams[best], seed)) {
+        best = g;
+      }
+    }
+    argmins.insert(best);
+    different_argmins = static_cast<int>(argmins.size());
+  }
+  EXPECT_GE(different_argmins, 2) << "seeds never changed the argmin";
+}
+
+TEST(HashCombineTest, OrderDependent) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_EQ(HashCombine(1, 2), HashCombine(1, 2));
+}
+
+TEST(Hash64Test, LowCollisionRateOnShortStrings) {
+  std::unordered_set<uint64_t> outs;
+  size_t count = 0;
+  for (char a = 'a'; a <= 'z'; ++a) {
+    for (char b = 'a'; b <= 'z'; ++b) {
+      for (char c = 'a'; c <= 'z'; ++c) {
+        const char buf[3] = {a, b, c};
+        outs.insert(Hash64(buf, 3, 42));
+        ++count;
+      }
+    }
+  }
+  EXPECT_EQ(outs.size(), count);  // 17576 3-grams, zero collisions expected
+}
+
+}  // namespace
+}  // namespace fuzzymatch

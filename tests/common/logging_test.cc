@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace fuzzymatch {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, NonFatalLevelsDoNotAbort) {
+  FM_LOG(Debug) << "debug message " << 1;
+  FM_LOG(Info) << "info message " << 2.5;
+  FM_LOG(Warning) << "warning message " << "text";
+  FM_LOG(Error) << "error message";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ FM_CHECK(1 == 2) << "impossible"; }, "Check failed");
+  EXPECT_DEATH({ FM_CHECK_EQ(3, 4); }, "3 vs 4");
+  EXPECT_DEATH({ FM_CHECK_LT(5, 5); }, "Check failed");
+  EXPECT_DEATH(
+      { FM_CHECK_OK(Status::Corruption("broken page")); }, "broken page");
+}
+
+TEST(LoggingTest, ChecksPassOnTrueConditions) {
+  FM_CHECK(true);
+  FM_CHECK_EQ(1, 1);
+  FM_CHECK_NE(1, 2);
+  FM_CHECK_LT(1, 2);
+  FM_CHECK_LE(2, 2);
+  FM_CHECK_GT(3, 2);
+  FM_CHECK_GE(3, 3);
+  FM_CHECK_OK(Status::OK());
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,92 @@
+#include "common/md5.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace fuzzymatch {
+namespace {
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5Test, Rfc1321TestVectors) {
+  EXPECT_EQ(Md5::Hash("").ToHex(), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::Hash("a").ToHex(), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::Hash("abc").ToHex(), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::Hash("message digest").ToHex(),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::Hash("abcdefghijklmnopqrstuvwxyz").ToHex(),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      Md5::Hash(
+          "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")
+          .ToHex(),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::Hash("1234567890123456789012345678901234567890123456789012"
+                      "3456789012345678901234567890")
+                .ToHex(),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  const std::string data =
+      "the quick brown fox jumps over the lazy dog many times over";
+  const Md5Digest oneshot = Md5::Hash(data);
+  // Feed in every possible split of the input.
+  for (size_t split = 0; split <= data.size(); ++split) {
+    Md5 md5;
+    md5.Update(data.substr(0, split));
+    md5.Update(data.substr(split));
+    EXPECT_EQ(md5.Finish(), oneshot) << "split at " << split;
+  }
+}
+
+TEST(Md5Test, MultiBlockInput) {
+  // > 64 bytes forces multiple compression rounds.
+  std::string data(1000, 'x');
+  Md5 a;
+  a.Update(data);
+  Md5 b;
+  for (char c : data) {
+    b.Update(&c, 1);
+  }
+  EXPECT_EQ(a.Finish(), b.Finish());
+}
+
+TEST(Md5Test, ResetRestoresInitialState) {
+  Md5 md5;
+  md5.Update("garbage");
+  md5.Reset();
+  md5.Update("abc");
+  EXPECT_EQ(md5.Finish().ToHex(), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5Test, Low64High64SplitDigest) {
+  const Md5Digest d = Md5::Hash("abc");
+  uint64_t lo, hi;
+  std::memcpy(&lo, d.bytes.data(), 8);
+  std::memcpy(&hi, d.bytes.data() + 8, 8);
+  EXPECT_EQ(d.Low64(), lo);
+  EXPECT_EQ(d.High64(), hi);
+  EXPECT_NE(d.Low64(), d.High64());
+}
+
+TEST(Md5Test, DistinctTokensDistinctDigests) {
+  // The collision-free frequency cache relies on this in practice.
+  EXPECT_NE(Md5::Hash("corporation"), Md5::Hash("corporatio"));
+  EXPECT_NE(Md5::Hash("boeing"), Md5::Hash("beoing"));
+}
+
+TEST(Md5Test, PaddingBoundaries) {
+  // Lengths 55, 56, 63, 64, 65 hit all padding branches.
+  for (const size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    const std::string data(len, 'a');
+    Md5 incremental;
+    incremental.Update(data.substr(0, len / 2));
+    incremental.Update(data.substr(len / 2));
+    EXPECT_EQ(incremental.Finish(), Md5::Hash(data)) << "len " << len;
+  }
+}
+
+}  // namespace
+}  // namespace fuzzymatch

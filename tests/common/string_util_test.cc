@@ -1,0 +1,57 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace fuzzymatch {
+namespace {
+
+TEST(AsciiLowerTest, LowercasesOnlyAsciiUppercase) {
+  EXPECT_EQ(AsciiLower("Boeing Company"), "boeing company");
+  EXPECT_EQ(AsciiLower("ABC-123_xyz"), "abc-123_xyz");
+  EXPECT_EQ(AsciiLower(""), "");
+}
+
+TEST(SplitAndTrimTest, SplitsAndDropsEmptyPieces) {
+  EXPECT_EQ(SplitAndTrim("a b  c", " "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitAndTrim("  leading and trailing  ", " "),
+            (std::vector<std::string>{"leading", "and", "trailing"}));
+  EXPECT_EQ(SplitAndTrim("", " "), std::vector<std::string>{});
+  EXPECT_EQ(SplitAndTrim("   ", " "), std::vector<std::string>{});
+  EXPECT_EQ(SplitAndTrim("a,b;c", ",;"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitAndTrim("single", " "),
+            std::vector<std::string>{"single"});
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, " "), "a b c");
+  EXPECT_EQ(Join({"x"}, ", "), "x");
+  EXPECT_EQ(Join({}, " "), "");
+}
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \t "), "");
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("boeing", "boe"));
+  EXPECT_TRUE(StartsWith("boeing", ""));
+  EXPECT_FALSE(StartsWith("bo", "boe"));
+  EXPECT_FALSE(StartsWith("xoeing", "boe"));
+}
+
+TEST(StringPrintfTest, FormatsLikePrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StringPrintf("%.2f", 0.125), "0.12");
+  EXPECT_EQ(StringPrintf("no args"), "no args");
+  // Long output exceeding any small static buffer.
+  const std::string big(500, 'y');
+  EXPECT_EQ(StringPrintf("%s", big.c_str()), big);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

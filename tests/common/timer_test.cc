@@ -1,0 +1,38 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace fuzzymatch {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = timer.ElapsedSeconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3,
+              timer.ElapsedMillis() * 0.5);
+}
+
+TEST(TimerTest, MonotoneNonDecreasing) {
+  Timer timer;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = timer.ElapsedSeconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(TimerTest, ResetRestartsTheClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,81 @@
+#include "common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace fuzzymatch {
+namespace {
+
+TEST(VarintTest, RoundTripsRepresentativeValues) {
+  const std::vector<uint64_t> values = {
+      0,       1,
+      127,     128,
+      255,     256,
+      16383,   16384,
+      1u << 20, (1ull << 32) - 1,
+      1ull << 32, (1ull << 56) + 12345,
+      std::numeric_limits<uint64_t>::max()};
+  for (const uint64_t v : values) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    std::string_view in = buf;
+    const Result<uint64_t> out = GetVarint64(&in);
+    ASSERT_TRUE(out.ok()) << v;
+    EXPECT_EQ(*out, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(VarintTest, EncodingLengths) {
+  auto len = [](uint64_t v) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    return buf.size();
+  };
+  EXPECT_EQ(len(0), 1u);
+  EXPECT_EQ(len(127), 1u);
+  EXPECT_EQ(len(128), 2u);
+  EXPECT_EQ(len(16383), 2u);
+  EXPECT_EQ(len(16384), 3u);
+  EXPECT_EQ(len(std::numeric_limits<uint64_t>::max()), 10u);
+}
+
+TEST(VarintTest, SequentialValuesShareBuffer) {
+  std::string buf;
+  for (uint64_t v = 0; v < 1000; ++v) {
+    PutVarint64(&buf, v * v);
+  }
+  std::string_view in = buf;
+  for (uint64_t v = 0; v < 1000; ++v) {
+    const Result<uint64_t> out = GetVarint64(&in);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, v * v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  PutVarint64(&buf, 1u << 20);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view in(buf.data(), cut);
+    EXPECT_FALSE(GetVarint64(&in).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(VarintTest, EmptyInputFails) {
+  std::string_view in;
+  EXPECT_TRUE(GetVarint64(&in).status().IsCorruption());
+}
+
+TEST(VarintTest, OverlongEncodingFails) {
+  // 11 continuation bytes exceed the 64-bit range.
+  std::string bad(11, '\x80');
+  std::string_view in = bad;
+  EXPECT_FALSE(GetVarint64(&in).ok());
+}
+
+}  // namespace
+}  // namespace fuzzymatch

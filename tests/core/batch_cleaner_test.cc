@@ -1,0 +1,142 @@
+#include "core/batch_cleaner.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/customer_gen.h"
+#include "gen/dataset.h"
+
+namespace fuzzymatch {
+namespace {
+
+class BatchCleanerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(DatabaseOptions{});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    auto table = db_->CreateTable("customers",
+                                  CustomerGenerator::CustomerSchema());
+    ASSERT_TRUE(table.ok());
+    ref_ = *table;
+    CustomerGenOptions options;
+    options.num_tuples = 1500;
+    CustomerGenerator gen(options);
+    ASSERT_TRUE(gen.Populate(ref_).ok());
+    FuzzyMatchConfig config;
+    config.eti.signature_size = 3;
+    config.eti.index_tokens = true;
+    auto matcher = FuzzyMatcher::Build(db_.get(), "customers", config);
+    ASSERT_TRUE(matcher.ok());
+    matcher_ = std::move(*matcher);
+  }
+
+  std::unique_ptr<Database> db_;
+  Table* ref_ = nullptr;
+  std::unique_ptr<FuzzyMatcher> matcher_;
+};
+
+TEST_F(BatchCleanerTest, ExactInputIsValidated) {
+  const BatchCleaner cleaner(matcher_.get(), {});
+  auto clean = ref_->Get(7);
+  ASSERT_TRUE(clean.ok());
+  auto result = cleaner.Clean(*clean);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, CleanOutcome::kValidated);
+  EXPECT_EQ(result->output, *clean);
+  ASSERT_TRUE(result->best_match.has_value());
+  EXPECT_DOUBLE_EQ(result->best_match->similarity, 1.0);
+}
+
+TEST_F(BatchCleanerTest, DirtyInputAboveThresholdIsCorrected) {
+  const BatchCleaner cleaner(matcher_.get(), {});
+  auto clean = ref_->Get(100);
+  ASSERT_TRUE(clean.ok());
+  Row dirty = *clean;
+  (*dirty[0])[0] = 'x';  // misspell the name's first character
+  auto result = cleaner.Clean(dirty);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, CleanOutcome::kCorrected);
+  EXPECT_EQ(result->output, *clean) << "loads the clean reference tuple";
+  EXPECT_LT(result->best_match->similarity, 1.0);
+  EXPECT_GE(result->best_match->similarity, 0.8);
+}
+
+TEST_F(BatchCleanerTest, GarbageIsRouted) {
+  const BatchCleaner cleaner(matcher_.get(), {});
+  const Row garbage{std::string("zzzz qqqq"), std::string("xxxx"),
+                    std::string("yy"), std::string("00000")};
+  auto result = cleaner.Clean(garbage);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, CleanOutcome::kRouted);
+  EXPECT_EQ(result->output, garbage) << "routed tuples pass through";
+}
+
+TEST_F(BatchCleanerTest, ThresholdControlsRouting) {
+  auto clean = ref_->Get(42);
+  ASSERT_TRUE(clean.ok());
+  Row dirty = *clean;
+  (*dirty[0])[1] = '#';
+
+  BatchCleaner::Options lenient;
+  lenient.load_threshold = 0.5;
+  BatchCleaner::Options strict;
+  strict.load_threshold = 0.999;
+  auto lenient_result = BatchCleaner(matcher_.get(), lenient).Clean(dirty);
+  auto strict_result = BatchCleaner(matcher_.get(), strict).Clean(dirty);
+  ASSERT_TRUE(lenient_result.ok() && strict_result.ok());
+  EXPECT_EQ(lenient_result->outcome, CleanOutcome::kCorrected);
+  EXPECT_EQ(strict_result->outcome, CleanOutcome::kRouted);
+}
+
+TEST_F(BatchCleanerTest, BatchCountsAndSinkOrder) {
+  const BatchCleaner cleaner(matcher_.get(), {});
+  DatasetSpec spec = DatasetD3();  // light corruption: mostly correctable
+  spec.num_inputs = 60;
+  auto inputs = GenerateInputs(ref_, spec, nullptr);
+  ASSERT_TRUE(inputs.ok());
+  std::vector<Row> batch;
+  for (const auto& in : *inputs) {
+    batch.push_back(in.dirty);
+  }
+
+  std::vector<size_t> seen;
+  auto stats = cleaner.CleanBatch(
+      batch, [&](size_t i, const CleanResult&) -> Status {
+        seen.push_back(i);
+        return Status::OK();
+      });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->processed, 60u);
+  EXPECT_EQ(stats->validated + stats->corrected + stats->routed, 60u);
+  EXPECT_GT(stats->validated + stats->corrected, 30u);
+  ASSERT_EQ(seen.size(), 60u);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], i) << "sink sees inputs in order";
+  }
+}
+
+TEST_F(BatchCleanerTest, SinkErrorAbortsBatch) {
+  const BatchCleaner cleaner(matcher_.get(), {});
+  auto clean = ref_->Get(0);
+  ASSERT_TRUE(clean.ok());
+  const std::vector<Row> batch(5, *clean);
+  auto stats = cleaner.CleanBatch(
+      batch, [&](size_t i, const CleanResult&) -> Status {
+        if (i == 2) {
+          return Status::Internal("sink exploded");
+        }
+        return Status::OK();
+      });
+  EXPECT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsInternal());
+}
+
+TEST_F(BatchCleanerTest, EmptyBatch) {
+  const BatchCleaner cleaner(matcher_.get(), {});
+  auto stats = cleaner.CleanBatch({});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->processed, 0u);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,230 @@
+// Tests of ETI persistence and re-attachment (FuzzyMatcher::Open) and of
+// incremental reference-relation maintenance — the capabilities the paper
+// mentions in Sections 6.2.2.1 and 7 but does not detail.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/fuzzy_match.h"
+#include "gen/customer_gen.h"
+#include "gen/dataset.h"
+
+namespace fuzzymatch {
+namespace {
+
+std::string TempDbPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name + "_" +
+         std::to_string(::getpid()) + ".db";
+}
+
+Status PopulateCustomers(Database* db, size_t n) {
+  FM_ASSIGN_OR_RETURN(
+      Table * table,
+      db->CreateTable("customers", CustomerGenerator::CustomerSchema()));
+  CustomerGenOptions options;
+  options.num_tuples = n;
+  CustomerGenerator gen(options);
+  return gen.Populate(table);
+}
+
+TEST(EtiPersistenceTest, OpenReattachesInSameSession) {
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(PopulateCustomers(db->get(), 2000).ok());
+
+  FuzzyMatchConfig config;
+  config.eti.signature_size = 2;
+  config.eti.index_tokens = true;
+  config.eti.minhash_seed = 777;
+  auto built = FuzzyMatcher::Build(db->get(), "customers", config);
+  ASSERT_TRUE(built.ok());
+
+  auto opened = FuzzyMatcher::Open(db->get(), "customers", "Q+T_2");
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  // The persisted parameters win, including the custom seed.
+  EXPECT_EQ((*opened)->eti().params().minhash_seed, 777u);
+  EXPECT_EQ((*opened)->eti().params().signature_size, 2);
+  EXPECT_TRUE((*opened)->eti().params().index_tokens);
+  // Attach skips the sort: no pre-ETI rows.
+  EXPECT_EQ((*opened)->build_stats().pre_eti_rows, 0u);
+  EXPECT_EQ((*opened)->build_stats().reference_tuples, 2000u);
+
+  // Identical answers from both handles.
+  auto row = (*built)->reference().Get(1234);
+  ASSERT_TRUE(row.ok());
+  auto a = (*built)->FindMatches(*row);
+  auto b = (*opened)->FindMatches(*row);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_FALSE(a->empty());
+  ASSERT_FALSE(b->empty());
+  EXPECT_EQ((*a)[0].tid, (*b)[0].tid);
+  EXPECT_DOUBLE_EQ((*a)[0].similarity, (*b)[0].similarity);
+}
+
+TEST(EtiPersistenceTest, OpenFailsForUnknownStrategy) {
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(PopulateCustomers(db->get(), 100).ok());
+  EXPECT_TRUE(FuzzyMatcher::Open(db->get(), "customers", "Q_3")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(EtiPersistenceTest, SurvivesDatabaseReopen) {
+  const std::string path = TempDbPath("eti_persist");
+  std::remove(path.c_str());
+  Row probe;
+  Tid expected_tid = 0;
+  {
+    DatabaseOptions options;
+    options.path = path;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(PopulateCustomers(db->get(), 1500).ok());
+    FuzzyMatchConfig config;
+    config.eti.signature_size = 3;
+    auto built = FuzzyMatcher::Build(db->get(), "customers", config);
+    ASSERT_TRUE(built.ok());
+    auto row = (*built)->reference().Get(42);
+    ASSERT_TRUE(row.ok());
+    probe = *row;
+    auto matches = (*built)->FindMatches(probe);
+    ASSERT_TRUE(matches.ok());
+    ASSERT_FALSE(matches->empty());
+    expected_tid = (*matches)[0].tid;
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  {
+    DatabaseOptions options;
+    options.path = path;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    auto opened = FuzzyMatcher::Open(db->get(), "customers", "Q_3");
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    auto matches = (*opened)->FindMatches(probe);
+    ASSERT_TRUE(matches.ok());
+    ASSERT_FALSE(matches->empty());
+    EXPECT_EQ((*matches)[0].tid, expected_tid);
+    EXPECT_DOUBLE_EQ((*matches)[0].similarity, 1.0);
+  }
+  std::remove(path.c_str());
+}
+
+class MaintenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(DatabaseOptions{});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(PopulateCustomers(db_.get(), 1000).ok());
+    FuzzyMatchConfig config;
+    config.eti.signature_size = 2;
+    config.eti.index_tokens = true;
+    auto matcher = FuzzyMatcher::Build(db_.get(), "customers", config);
+    ASSERT_TRUE(matcher.ok());
+    matcher_ = std::move(*matcher);
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<FuzzyMatcher> matcher_;
+};
+
+TEST_F(MaintenanceTest, InsertedTupleIsImmediatelyMatchable) {
+  const Row fresh{std::string("zyxwv corporation"), std::string("tacoma"),
+                  std::string("wa"), std::string("98765")};
+  auto tid = matcher_->InsertReferenceTuple(fresh);
+  ASSERT_TRUE(tid.ok()) << tid.status();
+  EXPECT_EQ(*tid, 1000u);
+
+  // Exact probe.
+  auto exact = matcher_->FindMatches(fresh);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_FALSE(exact->empty());
+  EXPECT_EQ((*exact)[0].tid, *tid);
+  EXPECT_DOUBLE_EQ((*exact)[0].similarity, 1.0);
+
+  // Dirty probe.
+  const Row dirty{std::string("zyxwv corp"), std::string("tacoma"),
+                  std::nullopt, std::string("98765")};
+  auto fuzzy = matcher_->FindMatches(dirty);
+  ASSERT_TRUE(fuzzy.ok());
+  ASSERT_FALSE(fuzzy->empty());
+  EXPECT_EQ((*fuzzy)[0].tid, *tid);
+}
+
+TEST_F(MaintenanceTest, ManyIncrementalInsertsStayConsistent) {
+  CustomerGenOptions options;
+  options.seed = 999;
+  options.num_tuples = 50;
+  CustomerGenerator gen(options);
+  std::vector<std::pair<Tid, Row>> added;
+  for (int i = 0; i < 50; ++i) {
+    const Row row = gen.NextRow();
+    auto tid = matcher_->InsertReferenceTuple(row);
+    ASSERT_TRUE(tid.ok());
+    added.emplace_back(*tid, row);
+  }
+  for (const auto& [tid, row] : added) {
+    auto matches = matcher_->FindMatches(row);
+    ASSERT_TRUE(matches.ok());
+    ASSERT_FALSE(matches->empty());
+    EXPECT_DOUBLE_EQ((*matches)[0].similarity, 1.0);
+    // The inserted tuple itself must be the match (or an exact duplicate).
+    auto match_row = matcher_->GetReferenceTuple((*matches)[0].tid);
+    ASSERT_TRUE(match_row.ok());
+    EXPECT_EQ(*match_row, row);
+  }
+}
+
+TEST_F(MaintenanceTest, RemovedTupleStopsMatching) {
+  const Row fresh{std::string("qqyyzz holdings"), std::string("yakima"),
+                  std::string("wa"), std::string("98901")};
+  auto tid = matcher_->InsertReferenceTuple(fresh);
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(matcher_->RemoveReferenceTuple(*tid).ok());
+
+  auto matches = matcher_->FindMatches(fresh);
+  ASSERT_TRUE(matches.ok());
+  for (const Match& m : *matches) {
+    EXPECT_NE(m.tid, *tid);
+    EXPECT_LT(m.similarity, 1.0);
+  }
+  EXPECT_TRUE(matcher_->GetReferenceTuple(*tid).status().IsNotFound());
+  // Removing again fails cleanly.
+  EXPECT_FALSE(matcher_->RemoveReferenceTuple(*tid).ok());
+}
+
+TEST_F(MaintenanceTest, InsertRemoveRoundTripPreservesOthers) {
+  auto before = matcher_->FindMatches(*matcher_->GetReferenceTuple(123));
+  ASSERT_TRUE(before.ok());
+  const Row fresh{std::string("ephemeral llc"), std::string("kent"),
+                  std::string("wa"), std::string("98030")};
+  auto tid = matcher_->InsertReferenceTuple(fresh);
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(matcher_->RemoveReferenceTuple(*tid).ok());
+  auto after = matcher_->FindMatches(*matcher_->GetReferenceTuple(123));
+  ASSERT_TRUE(after.ok());
+  ASSERT_FALSE(after->empty());
+  EXPECT_EQ((*before)[0].tid, (*after)[0].tid);
+  EXPECT_DOUBLE_EQ((*before)[0].similarity, (*after)[0].similarity);
+}
+
+TEST_F(MaintenanceTest, StopQGramRowsHandleInserts) {
+  // Insert a tuple whose city is shared by many reference tuples; if the
+  // coordinate is (or becomes) a stop q-gram the insert must not corrupt
+  // anything, and matching must still work via the other columns.
+  auto sample = matcher_->GetReferenceTuple(0);
+  ASSERT_TRUE(sample.ok());
+  Row fresh = *sample;
+  fresh[0] = std::string("uniquetokenxyz enterprises");
+  auto tid = matcher_->InsertReferenceTuple(fresh);
+  ASSERT_TRUE(tid.ok());
+  auto matches = matcher_->FindMatches(fresh);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_FALSE(matches->empty());
+  EXPECT_EQ((*matches)[0].tid, *tid);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

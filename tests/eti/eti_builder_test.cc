@@ -1,0 +1,278 @@
+#include "eti/eti_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "eti/signature.h"
+#include "gen/customer_gen.h"
+
+namespace fuzzymatch {
+namespace {
+
+class EtiBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(DatabaseOptions{});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+  }
+
+  /// Loads the paper's Table 1 organization relation.
+  Table* MakeTable1() {
+    auto table = db_->CreateTable(
+        "orgs", Schema({"name", "city", "state", "zipcode"}));
+    EXPECT_TRUE(table.ok());
+    for (const char* name : {"Boeing Company", "Bon Corporation",
+                             "Companions"}) {
+      const char* zip = name[2] == 'e' ? "98004"
+                        : name[2] == 'n' ? "98014"
+                                         : "98024";
+      EXPECT_TRUE((*table)
+                      ->Insert(Row{std::string(name), std::string("Seattle"),
+                                   std::string("WA"), std::string(zip)})
+                      .ok());
+    }
+    return *table;
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(EtiBuilderTest, RejectsDegenerateParams) {
+  Table* orgs = MakeTable1();
+  EtiBuilder::Options options;
+  options.params.signature_size = 0;
+  options.params.index_tokens = false;
+  EXPECT_TRUE(EtiBuilder::Build(db_.get(), orgs, options)
+                  .status()
+                  .IsInvalidArgument());
+  options.params.q = 0;
+  EXPECT_TRUE(EtiBuilder::Build(db_.get(), orgs, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(EtiBuilderTest, BuildsTable1Index) {
+  Table* orgs = MakeTable1();
+  EtiBuilder::Options options;
+  options.params.q = 3;
+  options.params.signature_size = 2;
+  auto built = EtiBuilder::Build(db_.get(), orgs, options);
+  ASSERT_TRUE(built.ok());
+
+  EXPECT_EQ(built->stats.reference_tuples, 3u);
+  EXPECT_GT(built->stats.eti_rows, 0u);
+  EXPECT_GE(built->stats.pre_eti_rows, built->stats.eti_rows);
+  EXPECT_EQ(built->stats.stop_qgrams, 0u);
+
+  // Every token of every reference tuple must be findable through its own
+  // signature coordinates with its tid in the tid-list.
+  const Tokenizer tokenizer = built->eti.MakeTokenizer();
+  const MinHasher hasher = built->eti.MakeHasher();
+  Table::Scanner scanner = orgs->Scan();
+  Tid tid;
+  Row row;
+  for (;;) {
+    auto more = scanner.Next(&tid, &row);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    const TokenizedTuple tokens = tokenizer.TokenizeTuple(row);
+    for (uint32_t col = 0; col < tokens.size(); ++col) {
+      for (const auto& token : tokens[col]) {
+        for (const auto& tc : MakeTokenCoordinates(
+                 hasher, options.params.index_tokens, token, 1.0)) {
+          auto entry = built->eti.Lookup(tc.gram, tc.coordinate, col);
+          ASSERT_TRUE(entry.ok());
+          ASSERT_TRUE(entry->has_value())
+              << tc.gram << "/" << tc.coordinate << "/" << col;
+          EXPECT_FALSE((*entry)->is_stop);
+          EXPECT_NE(std::find((*entry)->tids.begin(), (*entry)->tids.end(),
+                              tid),
+                    (*entry)->tids.end());
+        }
+      }
+    }
+  }
+}
+
+TEST_F(EtiBuilderTest, SharedTokensAccumulateTidLists) {
+  Table* orgs = MakeTable1();
+  EtiBuilder::Options options;
+  options.params.q = 3;
+  options.params.signature_size = 2;
+  options.params.index_tokens = true;
+  auto built = EtiBuilder::Build(db_.get(), orgs, options);
+  ASSERT_TRUE(built.ok());
+  // 'seattle' (city, column 1) appears in all three tuples; under Q+T its
+  // token row carries all three tids.
+  auto entry = built->eti.Lookup("seattle", 0, 1);
+  ASSERT_TRUE(entry.ok());
+  ASSERT_TRUE(entry->has_value());
+  EXPECT_EQ((*entry)->frequency, 3u);
+  EXPECT_EQ((*entry)->tids, (std::vector<Tid>{0, 1, 2}));
+}
+
+TEST_F(EtiBuilderTest, MissingCombinationsReturnNullopt) {
+  Table* orgs = MakeTable1();
+  EtiBuilder::Options options;
+  options.params.q = 3;
+  options.params.signature_size = 2;
+  auto built = EtiBuilder::Build(db_.get(), orgs, options);
+  ASSERT_TRUE(built.ok());
+  auto entry = built->eti.Lookup("zzz", 1, 0);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_FALSE(entry->has_value());
+  // Right gram, wrong column.
+  auto wrong_col = built->eti.Lookup("sea", 1, 3);
+  ASSERT_TRUE(wrong_col.ok());
+  EXPECT_FALSE(wrong_col->has_value());
+}
+
+TEST_F(EtiBuilderTest, StopQGramThreshold) {
+  // With threshold 2, any coordinate shared by all 3 tuples (e.g. the
+  // 'seattle' city token under Q+T) becomes a stop q-gram with a NULL
+  // tid-list but a true frequency.
+  Table* orgs = MakeTable1();
+  EtiBuilder::Options options;
+  options.params.q = 3;
+  options.params.signature_size = 2;
+  options.params.index_tokens = true;
+  options.params.stop_qgram_threshold = 2;
+  auto built = EtiBuilder::Build(db_.get(), orgs, options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_GT(built->stats.stop_qgrams, 0u);
+  auto entry = built->eti.Lookup("seattle", 0, 1);
+  ASSERT_TRUE(entry.ok());
+  ASSERT_TRUE(entry->has_value());
+  EXPECT_TRUE((*entry)->is_stop);
+  EXPECT_EQ((*entry)->frequency, 3u);
+  EXPECT_TRUE((*entry)->tids.empty());
+}
+
+TEST_F(EtiBuilderTest, DuplicateStrategyRejected) {
+  Table* orgs = MakeTable1();
+  EtiBuilder::Options options;
+  options.params.q = 3;
+  options.params.signature_size = 2;
+  ASSERT_TRUE(EtiBuilder::Build(db_.get(), orgs, options).ok());
+  EXPECT_TRUE(EtiBuilder::Build(db_.get(), orgs, options)
+                  .status()
+                  .IsAlreadyExists());
+  // A different strategy coexists.
+  options.params.signature_size = 3;
+  EXPECT_TRUE(EtiBuilder::Build(db_.get(), orgs, options).ok());
+}
+
+TEST_F(EtiBuilderTest, WeightsComeFromTheSameScan) {
+  Table* orgs = MakeTable1();
+  EtiBuilder::Options options;
+  options.params.q = 3;
+  options.params.signature_size = 2;
+  auto built = EtiBuilder::Build(db_.get(), orgs, options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->weights.num_tuples(), 3u);
+  EXPECT_EQ(built->weights.Frequency("seattle", 1), 3u);
+  EXPECT_EQ(built->weights.Frequency("boeing", 0), 1u);
+  EXPECT_GT(built->weights.Weight("boeing", 0),
+            built->weights.Weight("seattle", 1));
+}
+
+TEST_F(EtiBuilderTest, GiantTokensDoNotBreakTheTokenIndex) {
+  // A token longer than the B+-tree entry limit must not abort the build
+  // under Q+T: it falls back to q-gram-only indexing.
+  auto table = db_->CreateTable("weird", Schema({"name"}));
+  ASSERT_TRUE(table.ok());
+  const std::string giant(2000, 'g');
+  ASSERT_TRUE((*table)->Insert(Row{giant + " normaltoken"}).ok());
+  ASSERT_TRUE((*table)->Insert(Row{std::string("another row")}).ok());
+
+  EtiBuilder::Options options;
+  options.params.q = 4;
+  options.params.signature_size = 2;
+  options.params.index_tokens = true;
+  auto built = EtiBuilder::Build(db_.get(), *table, options);
+  ASSERT_TRUE(built.ok()) << built.status();
+  // The normal token is still token-indexed; the giant one is not, but
+  // its q-gram coordinates are present.
+  auto token_row = built->eti.Lookup("normaltoken", 0, 0);
+  ASSERT_TRUE(token_row.ok());
+  EXPECT_TRUE(token_row->has_value());
+  auto giant_token_row = built->eti.Lookup(giant, 0, 0);
+  ASSERT_TRUE(giant_token_row.ok());
+  EXPECT_FALSE(giant_token_row->has_value());
+  const MinHasher hasher = built->eti.MakeHasher();
+  const auto sig = hasher.Signature(giant);
+  ASSERT_FALSE(sig.empty());
+  auto gram_row = built->eti.Lookup(sig[0], 1, 0);
+  ASSERT_TRUE(gram_row.ok());
+  EXPECT_TRUE(gram_row->has_value());
+}
+
+TEST_F(EtiBuilderTest, FullQGramBaselineIndexesEveryGram) {
+  Table* orgs = MakeTable1();
+  EtiBuilder::Options options;
+  options.params.q = 3;
+  options.params.full_qgram_index = true;
+  auto built = EtiBuilder::Build(db_.get(), orgs, options);
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_EQ(built->eti.params().StrategyName(), "FULLQG");
+
+  // Every q-gram of 'boeing' must be findable on coordinate 1.
+  for (const char* gram : {"boe", "oei", "ein", "ing"}) {
+    auto entry = built->eti.Lookup(gram, 1, 0);
+    ASSERT_TRUE(entry.ok());
+    ASSERT_TRUE(entry->has_value()) << gram;
+    EXPECT_EQ((*entry)->tids, std::vector<Tid>{0}) << gram;
+  }
+
+  // The full index has strictly more rows than a min-hash one.
+  EtiBuilder::Options sampled;
+  sampled.params.q = 3;
+  sampled.params.signature_size = 2;
+  auto sampled_built = EtiBuilder::Build(db_.get(), orgs, sampled);
+  ASSERT_TRUE(sampled_built.ok());
+  EXPECT_GT(built->stats.eti_rows, sampled_built->stats.eti_rows);
+  EXPECT_GT(built->stats.pre_eti_rows, sampled_built->stats.pre_eti_rows);
+}
+
+TEST_F(EtiBuilderTest, ScalesWithSpillingSort) {
+  // A synthetic relation with a tiny sort budget exercises run spilling.
+  auto table = db_->CreateTable("customers",
+                                CustomerGenerator::CustomerSchema());
+  ASSERT_TRUE(table.ok());
+  CustomerGenOptions gen_options;
+  gen_options.num_tuples = 2000;
+  CustomerGenerator generator(gen_options);
+  ASSERT_TRUE(generator.Populate(*table).ok());
+
+  EtiBuilder::Options options;
+  options.params.q = 4;
+  options.params.signature_size = 2;
+  options.sort_memory_bytes = 64 * 1024;  // force spills
+  options.temp_dir = ::testing::TempDir();
+  auto built = EtiBuilder::Build(db_.get(), *table, options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_GT(built->stats.spilled_runs, 0u);
+  EXPECT_EQ(built->stats.reference_tuples, 2000u);
+  EXPECT_EQ(built->eti.entry_count(), built->stats.eti_rows);
+  // Spot-check: a random reference token resolves to its tid.
+  auto row = (*table)->Get(1234);
+  ASSERT_TRUE(row.ok());
+  const Tokenizer tokenizer = built->eti.MakeTokenizer();
+  const MinHasher hasher = built->eti.MakeHasher();
+  const TokenizedTuple tokens = tokenizer.TokenizeTuple(*row);
+  ASSERT_FALSE(tokens[0].empty());
+  const auto coords =
+      MakeTokenCoordinates(hasher, false, tokens[0][0], 1.0);
+  ASSERT_FALSE(coords.empty());
+  auto entry = built->eti.Lookup(coords[0].gram, coords[0].coordinate, 0);
+  ASSERT_TRUE(entry.ok());
+  ASSERT_TRUE(entry->has_value());
+  if (!(*entry)->is_stop) {
+    EXPECT_NE(std::find((*entry)->tids.begin(), (*entry)->tids.end(), 1234u),
+              (*entry)->tids.end());
+  }
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,178 @@
+// Structural invariants of a built ETI, checked by full scans of the
+// rows relation and the clustered key index:
+//   - every row's tid-list is sorted, duplicate-free and within range;
+//   - frequency equals the tid-list length for non-stop rows and exceeds
+//     the stop threshold for stop rows;
+//   - the key index and the rows relation agree 1:1 in both directions;
+//   - the index iterates in key order.
+// Also re-checked after incremental maintenance.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "eti/eti_builder.h"
+#include "gen/customer_gen.h"
+#include "storage/key_codec.h"
+
+namespace fuzzymatch {
+namespace {
+
+struct DecodedEtiRow {
+  std::string gram;
+  uint32_t coordinate;
+  uint32_t column;
+  EtiEntry entry;
+};
+
+Result<DecodedEtiRow> DecodeRow(const Row& row) {
+  DecodedEtiRow out;
+  if (!row[0] || !row[1] || !row[2]) {
+    return Status::Corruption("NULL key attribute");
+  }
+  out.gram = *row[0];
+  std::memcpy(&out.coordinate, row[1]->data(), 4);
+  std::memcpy(&out.column, row[2]->data(), 4);
+  FM_ASSIGN_OR_RETURN(out.entry, Eti::DecodeEntry(row));
+  return out;
+}
+
+class EtiInvariantsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(DatabaseOptions{});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    auto table = db_->CreateTable("customers",
+                                  CustomerGenerator::CustomerSchema());
+    ASSERT_TRUE(table.ok());
+    ref_ = *table;
+    CustomerGenOptions options;
+    options.num_tuples = 1500;
+    CustomerGenerator gen(options);
+    ASSERT_TRUE(gen.Populate(ref_).ok());
+  }
+
+  /// Runs the full invariant audit over one built ETI.
+  void Audit(const EtiParams& params, uint64_t max_tid,
+             bool strict_stop = true) {
+    const std::string eti_name =
+        ref_->name() + "_eti_" + params.StrategyName();
+    auto rows_or = db_->GetTable(eti_name);
+    auto index_or = db_->GetIndex(eti_name + "_idx");
+    ASSERT_TRUE(rows_or.ok());
+    ASSERT_TRUE(index_or.ok());
+    Table* rows = *rows_or;
+    BPlusTree* index = *index_or;
+
+    // Scan every row; check local invariants and index membership.
+    std::set<std::string> row_keys;
+    Table::Scanner scanner = rows->Scan();
+    Tid row_tid;
+    Row row;
+    for (;;) {
+      auto more = scanner.Next(&row_tid, &row);
+      ASSERT_TRUE(more.ok());
+      if (!*more) break;
+      auto decoded = DecodeRow(row);
+      ASSERT_TRUE(decoded.ok()) << decoded.status();
+      const EtiEntry& entry = decoded->entry;
+      if (entry.is_stop) {
+        if (strict_stop) {
+          EXPECT_GT(entry.frequency, params.stop_qgram_threshold);
+        }
+        // After removals a stop row's frequency may drop below the
+        // threshold; the dropped tid-list is never reconstructed.
+        EXPECT_TRUE(entry.tids.empty());
+      } else {
+        EXPECT_EQ(entry.frequency, entry.tids.size());
+        EXPECT_TRUE(std::is_sorted(entry.tids.begin(), entry.tids.end()));
+        EXPECT_EQ(std::adjacent_find(entry.tids.begin(), entry.tids.end()),
+                  entry.tids.end());
+        for (const Tid t : entry.tids) {
+          EXPECT_LT(t, max_tid);
+        }
+      }
+      const std::string key =
+          Eti::IndexKey(decoded->gram, decoded->coordinate,
+                        decoded->column);
+      EXPECT_TRUE(row_keys.insert(key).second)
+          << "duplicate [QGram, Coordinate, Column] row";
+      auto rid_bytes = index->Get(key);
+      ASSERT_TRUE(rid_bytes.ok()) << "row missing from index";
+      auto rid = Rid::Decode(*rid_bytes);
+      ASSERT_TRUE(rid.ok());
+      auto via_index = rows->GetByRid(*rid);
+      ASSERT_TRUE(via_index.ok());
+      EXPECT_EQ(*via_index, row) << "index points at a different row";
+    }
+
+    // The index has exactly the same key set, in sorted order.
+    auto it = index->NewIterator();
+    ASSERT_TRUE(it.SeekToFirst().ok());
+    std::string prev;
+    size_t index_keys = 0;
+    while (it.Valid()) {
+      EXPECT_TRUE(row_keys.count(it.key()) > 0) << "dangling index entry";
+      if (index_keys > 0) {
+        EXPECT_LT(prev, it.key()) << "index out of order";
+      }
+      prev = it.key();
+      ++index_keys;
+      ASSERT_TRUE(it.Next().ok());
+    }
+    EXPECT_EQ(index_keys, row_keys.size());
+    EXPECT_EQ(index_keys, rows->row_count());
+  }
+
+  std::unique_ptr<Database> db_;
+  Table* ref_ = nullptr;
+};
+
+TEST_F(EtiInvariantsTest, FreshBuildIsStructurallySound) {
+  EtiBuilder::Options options;
+  options.params.signature_size = 2;
+  options.params.index_tokens = true;
+  options.params.stop_qgram_threshold = 150;  // force some stop rows
+  auto built = EtiBuilder::Build(db_.get(), ref_, options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_GT(built->stats.stop_qgrams, 0u);
+  Audit(options.params, ref_->row_count());
+}
+
+TEST_F(EtiInvariantsTest, SoundAfterIncrementalMaintenance) {
+  EtiBuilder::Options options;
+  options.params.signature_size = 2;
+  options.params.stop_qgram_threshold = 150;
+  auto built = EtiBuilder::Build(db_.get(), ref_, options);
+  ASSERT_TRUE(built.ok());
+
+  const Tokenizer tokenizer = built->eti.MakeTokenizer();
+  CustomerGenOptions gen_options;
+  gen_options.seed = 31337;
+  gen_options.num_tuples = 40;
+  CustomerGenerator gen(gen_options);
+  // Insert 40 fresh tuples, then remove half of them again.
+  std::vector<Tid> added;
+  for (int i = 0; i < 40; ++i) {
+    const Row row = gen.NextRow();
+    auto tid = ref_->Insert(row);
+    ASSERT_TRUE(tid.ok());
+    ASSERT_TRUE(built->eti.IndexTuple(*tid, tokenizer.TokenizeTuple(row))
+                    .ok());
+    added.push_back(*tid);
+  }
+  for (size_t i = 0; i < added.size(); i += 2) {
+    auto row = ref_->Get(added[i]);
+    ASSERT_TRUE(row.ok());
+    ASSERT_TRUE(
+        built->eti.UnindexTuple(added[i], tokenizer.TokenizeTuple(*row))
+            .ok());
+  }
+  Audit(options.params, ref_->row_count(), /*strict_stop=*/false);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,99 @@
+// EtiParams naming and meta-relation persistence round trips.
+
+#include <gtest/gtest.h>
+
+#include "eti/eti.h"
+#include "storage/database.h"
+
+namespace fuzzymatch {
+namespace {
+
+TEST(EtiParamsTest, StrategyNames) {
+  EtiParams p;
+  p.signature_size = 3;
+  EXPECT_EQ(p.StrategyName(), "Q_3");
+  p.index_tokens = true;
+  EXPECT_EQ(p.StrategyName(), "Q+T_3");
+  p.signature_size = 0;
+  EXPECT_EQ(p.StrategyName(), "Q+T_0");
+  p.full_qgram_index = true;
+  EXPECT_EQ(p.StrategyName(), "FULLQG+T");
+  p.index_tokens = false;
+  EXPECT_EQ(p.StrategyName(), "FULLQG");
+}
+
+TEST(EtiParamsTest, MetaRelationRoundTripsEveryField) {
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  EtiParams params;
+  params.q = 5;
+  params.signature_size = 7;
+  params.index_tokens = true;
+  params.full_qgram_index = true;
+  params.stop_qgram_threshold = 1234;
+  params.minhash_seed = 0xDEADBEEFCAFEULL;
+  params.delimiters = " -_";
+  ASSERT_TRUE(SaveEtiParams(db->get(), "x_eti_T", params).ok());
+
+  auto loaded = LoadEtiParams(db->get(), "x_eti_T");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->q, 5);
+  EXPECT_EQ(loaded->signature_size, 7);
+  EXPECT_TRUE(loaded->index_tokens);
+  EXPECT_TRUE(loaded->full_qgram_index);
+  EXPECT_EQ(loaded->stop_qgram_threshold, 1234u);
+  EXPECT_EQ(loaded->minhash_seed, 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(loaded->delimiters, " -_");
+}
+
+TEST(EtiParamsTest, LoadFailsWithoutMeta) {
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(LoadEtiParams(db->get(), "never_built").status().IsNotFound());
+}
+
+TEST(EtiParamsTest, SaveTwiceFails) {
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(SaveEtiParams(db->get(), "y", EtiParams{}).ok());
+  EXPECT_TRUE(SaveEtiParams(db->get(), "y", EtiParams{})
+                  .IsAlreadyExists());
+}
+
+TEST(EtiIndexKeyTest, DistinctCombinationsDistinctKeys) {
+  const std::string a = Eti::IndexKey("boe", 1, 0);
+  EXPECT_NE(a, Eti::IndexKey("boe", 2, 0));
+  EXPECT_NE(a, Eti::IndexKey("boe", 1, 1));
+  EXPECT_NE(a, Eti::IndexKey("oei", 1, 0));
+  EXPECT_EQ(a, Eti::IndexKey("boe", 1, 0));
+}
+
+TEST(EtiRowCodecTest, RoundTripsEntries) {
+  EtiEntry entry;
+  entry.frequency = 3;
+  entry.tids = {1, 5, 9};
+  const Row row = Eti::EncodeRow("ing", 2, 1, entry);
+  auto decoded = Eti::DecodeEntry(row);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->frequency, 3u);
+  EXPECT_FALSE(decoded->is_stop);
+  EXPECT_EQ(decoded->tids, entry.tids);
+
+  EtiEntry stop;
+  stop.frequency = 99999;
+  stop.is_stop = true;
+  const Row stop_row = Eti::EncodeRow("sea", 1, 1, stop);
+  EXPECT_FALSE(stop_row[4].has_value()) << "stop rows store NULL tid-list";
+  auto stop_decoded = Eti::DecodeEntry(stop_row);
+  ASSERT_TRUE(stop_decoded.ok());
+  EXPECT_TRUE(stop_decoded->is_stop);
+  EXPECT_EQ(stop_decoded->frequency, 99999u);
+
+  // Wrong arity is rejected.
+  EXPECT_TRUE(Eti::DecodeEntry(Row{std::string("x")})
+                  .status()
+                  .IsCorruption());
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,93 @@
+#include "eti/signature.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace fuzzymatch {
+namespace {
+
+double TotalShare(const std::vector<TokenCoordinate>& coords) {
+  return std::accumulate(coords.begin(), coords.end(), 0.0,
+                         [](double acc, const TokenCoordinate& tc) {
+                           return acc + tc.weight_share;
+                         });
+}
+
+TEST(SignatureTest, QOnlyCoordinatesAndShares) {
+  const MinHasher hasher(4, 3, 9);
+  const auto coords =
+      MakeTokenCoordinates(hasher, /*index_tokens=*/false, "corporation", 1.5);
+  ASSERT_EQ(coords.size(), 3u);
+  for (uint32_t j = 0; j < coords.size(); ++j) {
+    EXPECT_EQ(coords[j].coordinate, j + 1) << "q-grams start at coord 1";
+    EXPECT_NEAR(coords[j].weight_share, 0.5, 1e-12);
+  }
+  EXPECT_NEAR(TotalShare(coords), 1.5, 1e-12);
+}
+
+TEST(SignatureTest, QPlusTSplitsWeightEqually) {
+  const MinHasher hasher(4, 2, 9);
+  const auto coords =
+      MakeTokenCoordinates(hasher, /*index_tokens=*/true, "corporation", 2.0);
+  ASSERT_EQ(coords.size(), 3u);
+  EXPECT_EQ(coords[0].coordinate, 0u);
+  EXPECT_EQ(coords[0].gram, "corporation");
+  EXPECT_NEAR(coords[0].weight_share, 1.0, 1e-12) << "token gets half";
+  EXPECT_NEAR(coords[1].weight_share, 0.5, 1e-12);
+  EXPECT_NEAR(coords[2].weight_share, 0.5, 1e-12);
+  EXPECT_NEAR(TotalShare(coords), 2.0, 1e-12);
+}
+
+TEST(SignatureTest, ShortTokenSignatureIsTokenItself) {
+  const MinHasher hasher(4, 3, 9);
+  // |wa| <= q: the min-hash signature is [wa], one coordinate.
+  const auto q_coords =
+      MakeTokenCoordinates(hasher, /*index_tokens=*/false, "wa", 1.0);
+  ASSERT_EQ(q_coords.size(), 1u);
+  EXPECT_EQ(q_coords[0].gram, "wa");
+  EXPECT_EQ(q_coords[0].coordinate, 1u);
+  EXPECT_NEAR(q_coords[0].weight_share, 1.0, 1e-12);
+
+  // Under Q+T it appears both as the token (coord 0) and its signature.
+  const auto t_coords =
+      MakeTokenCoordinates(hasher, /*index_tokens=*/true, "wa", 1.0);
+  ASSERT_EQ(t_coords.size(), 2u);
+  EXPECT_EQ(t_coords[0].coordinate, 0u);
+  EXPECT_EQ(t_coords[1].coordinate, 1u);
+  EXPECT_NEAR(TotalShare(t_coords), 1.0, 1e-12);
+}
+
+TEST(SignatureTest, TokenOnlyStrategyH0) {
+  const MinHasher hasher(4, 0, 9);
+  // Q+T_0: long tokens index only as themselves, at full weight.
+  const auto coords =
+      MakeTokenCoordinates(hasher, /*index_tokens=*/true, "corporation", 1.0);
+  ASSERT_EQ(coords.size(), 1u);
+  EXPECT_EQ(coords[0].coordinate, 0u);
+  EXPECT_NEAR(coords[0].weight_share, 1.0, 1e-12);
+  // Q_0 would produce nothing (rejected at build time).
+  EXPECT_TRUE(MakeTokenCoordinates(hasher, false, "corporation", 1.0)
+                  .empty());
+}
+
+TEST(SignatureTest, SharesAlwaysSumToTokenWeight) {
+  for (const int h : {0, 1, 2, 3, 5}) {
+    const MinHasher hasher(4, h, 3);
+    for (const bool tokens : {false, true}) {
+      for (const char* word : {"x", "wa", "boeing", "corporation"}) {
+        const auto coords =
+            MakeTokenCoordinates(hasher, tokens, word, 2.5);
+        if (coords.empty()) {
+          continue;
+        }
+        EXPECT_NEAR(TotalShare(coords), 2.5, 1e-12)
+            << word << " h=" << h << " tokens=" << tokens;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fuzzymatch

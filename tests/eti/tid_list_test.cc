@@ -1,0 +1,70 @@
+#include "eti/tid_list.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fuzzymatch {
+namespace {
+
+TEST(TidListTest, RoundTripsBasicLists) {
+  for (const std::vector<Tid>& tids :
+       std::vector<std::vector<Tid>>{{},
+                                     {0},
+                                     {42},
+                                     {1, 2, 3},
+                                     {0, 1000000, 4000000000u}}) {
+    const auto decoded = DecodeTidList(EncodeTidList(tids));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, tids);
+  }
+}
+
+TEST(TidListTest, DeltaCompressionIsCompact) {
+  // 10000 consecutive tids: ~1 byte each after the first.
+  std::vector<Tid> tids(10000);
+  for (Tid i = 0; i < 10000; ++i) {
+    tids[i] = 500000 + i;
+  }
+  const std::string blob = EncodeTidList(tids);
+  EXPECT_LT(blob.size(), 10100u);
+  const auto decoded = DecodeTidList(blob);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, tids);
+}
+
+TEST(TidListTest, RandomSortedLists) {
+  Rng rng(55);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Tid> tids;
+    Tid cur = 0;
+    const size_t n = rng.Uniform(500);
+    for (size_t i = 0; i < n; ++i) {
+      cur += 1 + static_cast<Tid>(rng.Uniform(1000));
+      tids.push_back(cur);
+    }
+    const auto decoded = DecodeTidList(EncodeTidList(tids));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, tids);
+  }
+}
+
+TEST(TidListTest, RejectsCorruptBlobs) {
+  const std::vector<Tid> tids = {10, 20, 30};
+  const std::string blob = EncodeTidList(tids);
+  EXPECT_FALSE(DecodeTidList(blob.substr(0, blob.size() - 1)).ok());
+  EXPECT_FALSE(DecodeTidList(blob + "\x01").ok());
+  EXPECT_FALSE(DecodeTidList("").ok());
+}
+
+TEST(TidListTest, RejectsDuplicateTids) {
+  // A zero delta after the first element means a duplicate.
+  std::string blob;
+  blob.push_back(2);  // count
+  blob.push_back(5);  // first tid
+  blob.push_back(0);  // delta 0 -> duplicate
+  EXPECT_TRUE(DecodeTidList(blob).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace fuzzymatch

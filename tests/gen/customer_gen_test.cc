@@ -1,0 +1,143 @@
+#include "gen/customer_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "storage/database.h"
+#include "text/tokenizer.h"
+
+namespace fuzzymatch {
+namespace {
+
+TEST(SyntheticVocabularyTest, DistinctDeterministicWords) {
+  const auto v1 = MakeSyntheticVocabulary(5000, 1);
+  const auto v2 = MakeSyntheticVocabulary(5000, 1);
+  const auto v3 = MakeSyntheticVocabulary(5000, 2);
+  EXPECT_EQ(v1, v2);
+  EXPECT_NE(v1, v3);
+  std::set<std::string> distinct(v1.begin(), v1.end());
+  EXPECT_EQ(distinct.size(), 5000u);
+  for (const auto& w : v1) {
+    EXPECT_GE(w.size(), 3u);
+    for (const char c : w) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+    }
+  }
+}
+
+TEST(StateCodesTest, FiftyLowercaseCodes) {
+  const auto& states = StateCodes();
+  EXPECT_EQ(states.size(), 50u);
+  std::set<std::string> distinct(states.begin(), states.end());
+  EXPECT_EQ(distinct.size(), 50u);
+  for (const auto& s : states) {
+    EXPECT_EQ(s.size(), 2u);
+  }
+}
+
+TEST(CustomerGeneratorTest, RowsMatchSchemaShape) {
+  CustomerGenOptions options;
+  options.num_tuples = 100;
+  CustomerGenerator gen(options);
+  for (int i = 0; i < 100; ++i) {
+    const Row row = gen.NextRow();
+    ASSERT_EQ(row.size(), 4u);
+    for (const auto& field : row) {
+      ASSERT_TRUE(field.has_value());
+      EXPECT_FALSE(field->empty());
+    }
+    // zip is 5 digits.
+    EXPECT_EQ(row[3]->size(), 5u);
+    for (const char c : *row[3]) {
+      EXPECT_TRUE(c >= '0' && c <= '9');
+    }
+    // state is a known code.
+    EXPECT_NE(std::find(StateCodes().begin(), StateCodes().end(), *row[2]),
+              StateCodes().end());
+  }
+}
+
+TEST(CustomerGeneratorTest, DeterministicInSeed) {
+  CustomerGenOptions options;
+  CustomerGenerator a(options), b(options);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.NextRow(), b.NextRow());
+  }
+  options.seed = 43;
+  CustomerGenerator c(options);
+  bool any_diff = false;
+  CustomerGenerator a2(CustomerGenOptions{});
+  for (int i = 0; i < 50; ++i) {
+    any_diff |= (a2.NextRow() != c.NextRow());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CustomerGeneratorTest, TokenFrequenciesAreSkewed) {
+  // The Zipf draws must produce a heavy head (high-IDF-variance data,
+  // which the OSC optimization depends on).
+  CustomerGenOptions options;
+  options.num_tuples = 5000;
+  CustomerGenerator gen(options);
+  const Tokenizer tok;
+  std::map<std::string, int> name_freq;
+  for (size_t i = 0; i < options.num_tuples; ++i) {
+    const Row row = gen.NextRow();
+    for (const auto& t : tok.TokenizeField(*row[0])) {
+      ++name_freq[t];
+    }
+  }
+  int max_freq = 0;
+  int singletons = 0;
+  for (const auto& [t, f] : name_freq) {
+    max_freq = std::max(max_freq, f);
+    singletons += (f == 1);
+  }
+  EXPECT_GT(max_freq, 500) << "suffixes like 'company' must be frequent";
+  EXPECT_GT(singletons, 500) << "the tail must hold many rare tokens";
+}
+
+TEST(CustomerGeneratorTest, PopulateInsertsRequestedCount) {
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  auto table = (*db)->CreateTable("customers",
+                                  CustomerGenerator::CustomerSchema());
+  ASSERT_TRUE(table.ok());
+  CustomerGenOptions options;
+  options.num_tuples = 500;
+  CustomerGenerator gen(options);
+  ASSERT_TRUE(gen.Populate(*table).ok());
+  EXPECT_EQ((*table)->row_count(), 500u);
+  auto row = (*table)->Get(499);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->size(), 4u);
+}
+
+TEST(CustomerGeneratorTest, PopulateChecksSchema) {
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  auto table = (*db)->CreateTable("wrong", Schema({"a", "b"}));
+  ASSERT_TRUE(table.ok());
+  CustomerGenerator gen(CustomerGenOptions{});
+  EXPECT_TRUE(gen.Populate(*table).IsInvalidArgument());
+}
+
+TEST(CustomerGeneratorTest, ZipCorrelatesWithState) {
+  CustomerGenOptions options;
+  options.num_tuples = 3000;
+  CustomerGenerator gen(options);
+  std::map<std::string, std::set<std::string>> prefixes_by_state;
+  for (int i = 0; i < 3000; ++i) {
+    const Row row = gen.NextRow();
+    prefixes_by_state[*row[2]].insert(row[3]->substr(0, 3));
+  }
+  // Each state uses a bounded band of zip prefixes, not the whole space.
+  for (const auto& [state, prefixes] : prefixes_by_state) {
+    EXPECT_LE(prefixes.size(), 20u) << state;
+  }
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,132 @@
+#include "gen/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/customer_gen.h"
+#include "storage/database.h"
+
+namespace fuzzymatch {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(DatabaseOptions{});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    auto table = db_->CreateTable("customers",
+                                  CustomerGenerator::CustomerSchema());
+    ASSERT_TRUE(table.ok());
+    ref_ = *table;
+    CustomerGenOptions options;
+    options.num_tuples = 3000;
+    CustomerGenerator gen(options);
+    ASSERT_TRUE(gen.Populate(ref_).ok());
+  }
+
+  std::unique_ptr<Database> db_;
+  Table* ref_ = nullptr;
+};
+
+TEST_F(DatasetTest, SpecsMatchTable5) {
+  EXPECT_EQ(DatasetD1().column_error_prob,
+            (std::vector<double>{0.90, 0.90, 0.90, 0.90}));
+  EXPECT_EQ(DatasetD2().column_error_prob,
+            (std::vector<double>{0.80, 0.50, 0.50, 0.60}));
+  EXPECT_EQ(DatasetD3().column_error_prob,
+            (std::vector<double>{0.70, 0.50, 0.50, 0.25}));
+  EXPECT_EQ(DatasetD1().num_inputs, 1655u);
+  EXPECT_EQ(DatasetEdVsFmsTypeI().num_inputs, 100u);
+  EXPECT_EQ(DatasetEdVsFmsTypeII().selection, TokenSelection::kTypeII);
+}
+
+TEST_F(DatasetTest, GeneratesRequestedCountWithDistinctSeeds) {
+  DatasetSpec spec = DatasetD2();
+  spec.num_inputs = 200;
+  auto inputs = GenerateInputs(ref_, spec, nullptr);
+  ASSERT_TRUE(inputs.ok());
+  EXPECT_EQ(inputs->size(), 200u);
+  std::set<Tid> seeds;
+  for (const auto& in : *inputs) {
+    EXPECT_LT(in.seed_tid, 3000u);
+    seeds.insert(in.seed_tid);
+    EXPECT_EQ(in.dirty.size(), 4u);
+  }
+  EXPECT_EQ(seeds.size(), 200u) << "seed tids are distinct";
+}
+
+TEST_F(DatasetTest, DirtyTuplesUsuallyDiffer) {
+  DatasetSpec spec = DatasetD1();  // heavy errors everywhere
+  spec.num_inputs = 100;
+  auto inputs = GenerateInputs(ref_, spec, nullptr);
+  ASSERT_TRUE(inputs.ok());
+  int differing = 0;
+  for (const auto& in : *inputs) {
+    auto clean = ref_->Get(in.seed_tid);
+    ASSERT_TRUE(clean.ok());
+    differing += (in.dirty != *clean);
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST_F(DatasetTest, DeterministicPerSpecSeed) {
+  DatasetSpec spec = DatasetD3();
+  spec.num_inputs = 50;
+  auto a = GenerateInputs(ref_, spec, nullptr);
+  auto b = GenerateInputs(ref_, spec, nullptr);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].seed_tid, (*b)[i].seed_tid);
+    EXPECT_EQ((*a)[i].dirty, (*b)[i].dirty);
+  }
+  spec.seed = 999;
+  auto c = GenerateInputs(ref_, spec, nullptr);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < a->size(); ++i) {
+    any_diff |= ((*a)[i].seed_tid != (*c)[i].seed_tid);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(DatasetTest, CapsAtRelationSize) {
+  DatasetSpec spec = DatasetD2();
+  spec.num_inputs = 10000;  // > 3000 rows
+  auto inputs = GenerateInputs(ref_, spec, nullptr);
+  ASSERT_TRUE(inputs.ok());
+  EXPECT_EQ(inputs->size(), 3000u);
+}
+
+TEST_F(DatasetTest, ValidatesSpecArity) {
+  DatasetSpec spec = DatasetD2();
+  spec.column_error_prob = {0.5};
+  EXPECT_TRUE(GenerateInputs(ref_, spec, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(DatasetTest, TypeIIUsesWeights) {
+  IdfWeights::Builder builder;
+  const Tokenizer tok;
+  Table::Scanner scanner = ref_->Scan();
+  Tid tid;
+  Row row;
+  for (;;) {
+    auto more = scanner.Next(&tid, &row);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    builder.AddTuple(tok.TokenizeTuple(row));
+  }
+  const IdfWeights weights = builder.Finish();
+  DatasetSpec spec = DatasetEdVsFmsTypeII();
+  spec.num_inputs = 100;
+  auto inputs = GenerateInputs(ref_, spec, &weights);
+  ASSERT_TRUE(inputs.ok());
+  EXPECT_EQ(inputs->size(), 100u);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

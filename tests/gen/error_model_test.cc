@@ -1,0 +1,195 @@
+#include "gen/error_model.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "text/edit_distance.h"
+#include "text/tokenizer.h"
+
+namespace fuzzymatch {
+namespace {
+
+Row CleanRow() {
+  return Row{std::string("boeing company"), std::string("seattle"),
+             std::string("wa"), std::string("98004")};
+}
+
+ErrorModelOptions AllColumnsErr() {
+  ErrorModelOptions options;
+  options.column_error_prob = {1.0, 1.0, 1.0, 1.0};
+  return options;
+}
+
+TEST(ErrorInjectorTest, ZeroProbabilityLeavesRowAlone) {
+  ErrorModelOptions options;
+  options.column_error_prob = {0.0, 0.0, 0.0, 0.0};
+  const ErrorInjector injector(options);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(injector.Inject(CleanRow(), rng), CleanRow());
+  }
+}
+
+TEST(ErrorInjectorTest, ProbabilityOneAlwaysChangesEveryColumn) {
+  const ErrorInjector injector(AllColumnsErr());
+  Rng rng(2);
+  int unchanged_columns = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    const Row dirty = injector.Inject(CleanRow(), rng);
+    const Row clean = CleanRow();
+    for (size_t c = 0; c < clean.size(); ++c) {
+      unchanged_columns += (dirty[c] == clean[c]);
+    }
+  }
+  // Character transpositions on 2-char tokens can occasionally produce the
+  // original string; allow a small residue but nothing systematic.
+  EXPECT_LT(unchanged_columns, trials / 5);
+}
+
+TEST(ErrorInjectorTest, MisspellTokenStaysClose) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::string out =
+        ErrorInjector::MisspellToken("corporation", rng);
+    EXPECT_LE(LevenshteinDistance("corporation", out), 4u);  // 1-2 edits, transposition counts double
+    EXPECT_FALSE(out.empty());
+  }
+}
+
+TEST(ErrorInjectorTest, NameColumnNeverGoesMissing) {
+  ErrorModelOptions options = AllColumnsErr();
+  const ErrorInjector injector(options);
+  Rng rng(4);
+  int null_names = 0;
+  int null_others = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Row dirty = injector.Inject(CleanRow(), rng);
+    null_names += !dirty[0].has_value();
+    for (size_t c = 1; c < dirty.size(); ++c) {
+      null_others += !dirty[c].has_value();
+    }
+  }
+  EXPECT_EQ(null_names, 0) << "Table 4: P(missing | name errs) = 0";
+  EXPECT_GT(null_others, 0) << "other columns do go missing sometimes";
+}
+
+TEST(ErrorInjectorTest, ErrorTypeMixMatchesTable4Roughly) {
+  const ErrorInjector injector(AllColumnsErr());
+  Rng rng(5);
+  const Tokenizer tok;
+  int merges = 0, transposes = 0, abbreviations = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const Row dirty = injector.Inject(CleanRow(), rng);
+    if (!dirty[0].has_value()) continue;
+    const auto tokens = tok.TokenizeField(*dirty[0]);
+    if (tokens.size() == 1 && *dirty[0] == "boeingcompany") {
+      ++merges;
+    }
+    if (tokens.size() == 2 && tokens[0] == "company" &&
+        tokens[1] == "boeing") {
+      ++transposes;
+    }
+    if (std::find(tokens.begin(), tokens.end(), "co.") != tokens.end()) {
+      ++abbreviations;
+    }
+  }
+  // Expected ~10% merges, ~10% transpositions, ~24% abbreviation (Table 4
+  // row 2, 'company' -> 'co.'); loose bands to stay robust.
+  EXPECT_NEAR(merges / static_cast<double>(trials), 0.10, 0.05);
+  EXPECT_NEAR(transposes / static_cast<double>(trials), 0.10, 0.05);
+  EXPECT_NEAR(abbreviations / static_cast<double>(trials), 0.24, 0.08);
+}
+
+TEST(ErrorInjectorTest, TruncationShortensNonNameColumns) {
+  ErrorModelOptions options;
+  options.column_error_prob = {0.0, 1.0, 0.0, 0.0};
+  // Force truncation to be the only possible error in the city column.
+  options.type_probs_other = {0.0, 0.0, 0.0, 1.0, 0.0, 0.0};
+  const ErrorInjector injector(options);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const Row dirty = injector.Inject(CleanRow(), rng);
+    ASSERT_TRUE(dirty[1].has_value());
+    EXPECT_LT(dirty[1]->size(), 7u) << "'seattle' truncated by 1-5 chars";
+    EXPECT_GE(dirty[1]->size(), 2u);
+    EXPECT_TRUE(std::string("seattle").starts_with(*dirty[1]));
+  }
+}
+
+TEST(ErrorInjectorTest, SingleTokenColumnsDegradeGracefully) {
+  // Token merge / transposition are impossible on 'wa'; the injector must
+  // still corrupt the column (degrading to a spelling error).
+  ErrorModelOptions options;
+  options.column_error_prob = {0.0, 0.0, 1.0, 0.0};
+  options.type_probs_other = {0.0, 0.0, 0.0, 0.0, 0.5, 0.5};
+  const ErrorInjector injector(options);
+  Rng rng(7);
+  int changed = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Row dirty = injector.Inject(CleanRow(), rng);
+    changed += (dirty[2] != CleanRow()[2]);
+  }
+  EXPECT_GT(changed, 150);
+}
+
+TEST(ErrorInjectorTest, TypeIIPrefersFrequentTokens) {
+  // Build weights where 'company' is very frequent and 'boeing' rare; the
+  // Type II injector must misspell 'company' far more often.
+  IdfWeights::Builder builder;
+  builder.AddTuple({{"boeing", "company"}});
+  for (int i = 0; i < 99; ++i) {
+    builder.AddTuple({{"filler" + std::to_string(i), "company"}});
+  }
+  const IdfWeights weights = builder.Finish();
+
+  ErrorModelOptions options;
+  options.column_error_prob = {1.0, 0.0, 0.0, 0.0};
+  options.selection = TokenSelection::kTypeII;
+  options.type_probs_name = {1.0, 0.0, 0.0, 0.0, 0.0, 0.0};  // spelling only
+  const ErrorInjector injector(options, &weights);
+
+  Rng rng(8);
+  const Tokenizer tok;
+  int company_touched = 0, boeing_touched = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Row dirty = injector.Inject(CleanRow(), rng);
+    const auto tokens = tok.TokenizeField(*dirty[0]);
+    ASSERT_EQ(tokens.size(), 2u);
+    boeing_touched += (tokens[0] != "boeing");
+    company_touched += (tokens[1] != "company");
+  }
+  EXPECT_GT(company_touched, boeing_touched * 10)
+      << "company freq 100 vs boeing freq 1";
+}
+
+TEST(ErrorInjectorTest, AbbreviationTableMapsKnownTokens) {
+  ErrorModelOptions options;
+  options.column_error_prob = {1.0, 0.0, 0.0, 0.0};
+  options.type_probs_name = {0.0, 1.0, 0.0, 0.0, 0.0, 0.0};  // abbr only
+  const ErrorInjector injector(options);
+  Rng rng(9);
+  const Row clean{std::string("zenith corporation"), std::string("x"),
+                  std::string("y"), std::string("z")};
+  ErrorModelOptions options4 = options;
+  options4.column_error_prob = {1.0, 0.0, 0.0, 0.0};
+  for (int i = 0; i < 20; ++i) {
+    const Row dirty = injector.Inject(clean, rng);
+    EXPECT_EQ(*dirty[0], "zenith corp") << "dictionary hit is deterministic";
+  }
+}
+
+TEST(ErrorInjectorTest, NullColumnsPassThrough) {
+  const ErrorInjector injector(AllColumnsErr());
+  Rng rng(10);
+  const Row with_null{std::string("boeing"), std::nullopt, std::nullopt,
+                      std::nullopt};
+  const Row dirty = injector.Inject(with_null, rng);
+  EXPECT_FALSE(dirty[1].has_value());
+  EXPECT_FALSE(dirty[2].has_value());
+}
+
+}  // namespace
+}  // namespace fuzzymatch

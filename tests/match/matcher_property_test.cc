@@ -1,0 +1,213 @@
+// Parameterized property sweeps over the matcher configuration space:
+// K, q, OSC, conservative bounds. These pin the invariants that hold for
+// EVERY configuration, complementing the targeted tests in
+// eti_matcher_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "core/fuzzy_match.h"
+#include "gen/customer_gen.h"
+#include "gen/dataset.h"
+#include "match/naive_matcher.h"
+
+namespace fuzzymatch {
+namespace {
+
+struct SweepParam {
+  size_t k;
+  int q;
+  int h;
+  bool index_tokens;
+  bool use_osc;
+  bool conservative;
+
+  std::string Name() const {
+    return "K" + std::to_string(k) + "_q" + std::to_string(q) + "_" +
+           (index_tokens ? "QT" : "Q") + std::to_string(h) +
+           (use_osc ? "_osc" : "_basic") +
+           (conservative ? "_safe" : "_fast");
+  }
+};
+
+using MatcherSweepTest = ::testing::TestWithParam<SweepParam>;
+
+TEST_P(MatcherSweepTest, InvariantsHoldAcrossConfigurations) {
+  const SweepParam& p = GetParam();
+  FuzzyMatchConfig config;
+  config.eti.q = p.q;
+  config.eti.signature_size = p.h;
+  config.eti.index_tokens = p.index_tokens;
+  // Strategy names collide across sweep entries sharing (H, tokens), so
+  // each configuration gets its own database.
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  auto table = (*db)->CreateTable("customers",
+                                  CustomerGenerator::CustomerSchema());
+  ASSERT_TRUE(table.ok());
+  CustomerGenOptions gen_options;
+  gen_options.num_tuples = 1200;
+  CustomerGenerator gen(gen_options);
+  ASSERT_TRUE(gen.Populate(*table).ok());
+
+  config.matcher.k = p.k;
+  config.matcher.use_osc = p.use_osc;
+  config.matcher.bound_policy = p.conservative ? MatcherOptions::BoundPolicy::kConservative : MatcherOptions::BoundPolicy::kAggressive;
+  auto matcher = FuzzyMatcher::Build(db->get(), "customers", config);
+  ASSERT_TRUE(matcher.ok()) << matcher.status();
+
+  DatasetSpec spec = DatasetD2();
+  spec.num_inputs = 25;
+  auto inputs = GenerateInputs(*table, spec, nullptr);
+  ASSERT_TRUE(inputs.ok());
+
+  for (const InputTuple& input : *inputs) {
+    QueryStats stats;
+    auto matches = (*matcher)->FindMatches(input.dirty, &stats);
+    ASSERT_TRUE(matches.ok());
+    // Cardinality and ordering invariants.
+    EXPECT_LE(matches->size(), p.k);
+    for (size_t i = 0; i < matches->size(); ++i) {
+      EXPECT_GE((*matches)[i].similarity, 0.0);
+      EXPECT_LE((*matches)[i].similarity, 1.0);
+      if (i > 0) {
+        EXPECT_GE((*matches)[i - 1].similarity, (*matches)[i].similarity);
+      }
+    }
+    // Distinct tids.
+    for (size_t i = 0; i < matches->size(); ++i) {
+      for (size_t j = i + 1; j < matches->size(); ++j) {
+        EXPECT_NE((*matches)[i].tid, (*matches)[j].tid);
+      }
+    }
+    // Stats sanity.
+    EXPECT_GT(stats.eti_lookups, 0u);
+    if (!p.use_osc) {
+      EXPECT_FALSE(stats.osc_succeeded);
+    }
+  }
+
+  // A clean reference tuple must always match itself with similarity 1.
+  auto clean = (*matcher)->GetReferenceTuple(500);
+  ASSERT_TRUE(clean.ok());
+  auto self = (*matcher)->FindMatches(*clean);
+  ASSERT_TRUE(self.ok());
+  ASSERT_FALSE(self->empty());
+  EXPECT_DOUBLE_EQ((*self)[0].similarity, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, MatcherSweepTest,
+    ::testing::Values(
+        SweepParam{1, 4, 2, false, true, false},
+        SweepParam{1, 4, 2, false, false, false},
+        SweepParam{1, 4, 2, false, true, true},
+        SweepParam{3, 4, 2, true, true, false},
+        SweepParam{5, 4, 3, true, false, false},
+        SweepParam{2, 3, 1, false, true, false},
+        SweepParam{1, 2, 2, true, true, false},
+        SweepParam{4, 5, 3, false, true, true},
+        SweepParam{1, 4, 0, true, true, false}),
+    [](const auto& info) { return info.param.Name(); });
+
+TEST(TopKAgreementTest, MatchesNaiveTopKOnCleanProbes) {
+  // For clean probes (a reference tuple queried verbatim) the indexed
+  // matcher's top-K should equal the exhaustive top-K similarity-for-
+  // similarity: the top of the ranking is dominated by tuples with high
+  // signature overlap, which the ETI retrieves reliably.
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  auto table = (*db)->CreateTable("customers",
+                                  CustomerGenerator::CustomerSchema());
+  ASSERT_TRUE(table.ok());
+  CustomerGenOptions gen_options;
+  gen_options.num_tuples = 1500;
+  CustomerGenerator gen(gen_options);
+  ASSERT_TRUE(gen.Populate(*table).ok());
+
+  FuzzyMatchConfig config;
+  config.eti.signature_size = 4;
+  config.eti.index_tokens = true;
+  config.matcher.k = 5;
+  config.matcher.min_similarity = 0.3;
+  auto matcher = FuzzyMatcher::Build(db->get(), "customers", config);
+  ASSERT_TRUE(matcher.ok());
+
+  MatcherOptions naive_options;
+  naive_options.k = 5;
+  naive_options.min_similarity = 0.3;
+  NaiveMatcher naive(*table, &(*matcher)->weights(),
+                     NaiveMatcher::SimilarityKind::kFms, naive_options);
+  ASSERT_TRUE(naive.Prepare().ok());
+
+  int positions = 0;
+  int agreements = 0;
+  for (Tid tid = 100; tid < 120; ++tid) {
+    auto probe = (*matcher)->GetReferenceTuple(tid);
+    ASSERT_TRUE(probe.ok());
+    auto got = (*matcher)->FindMatches(*probe);
+    auto want = naive.FindMatches(*probe);
+    ASSERT_TRUE(got.ok() && want.ok());
+    ASSERT_FALSE(got->empty());
+    EXPECT_DOUBLE_EQ((*got)[0].similarity, 1.0);
+    const size_t common = std::min(got->size(), want->size());
+    for (size_t i = 0; i < common; ++i) {
+      ++positions;
+      const bool same = std::abs((*got)[i].similarity -
+                                 (*want)[i].similarity) < 1e-9;
+      agreements += same;
+      if (i == 0) {
+        EXPECT_TRUE(same) << "rank 1 must always agree on clean probes";
+      }
+    }
+  }
+  // Deep ranks (4th/5th-best at similarity ~0.3) have little signature
+  // overlap, so the aggressive bounds may swap them; the bulk must agree.
+  EXPECT_GE(agreements, positions * 3 / 4)
+      << agreements << "/" << positions;
+}
+
+TEST(ConservativeBoundsTest, NearPerfectAgreementWithNaive) {
+  // With adjustment-inclusive bounds the matcher cannot terminate early,
+  // so its only misses are candidate-set misses (a tuple sharing NO
+  // signature coordinate). With H = 8, agreement with the exhaustive scan
+  // should be essentially total.
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  auto table = (*db)->CreateTable("customers",
+                                  CustomerGenerator::CustomerSchema());
+  ASSERT_TRUE(table.ok());
+  CustomerGenOptions gen_options;
+  gen_options.num_tuples = 1500;
+  CustomerGenerator gen(gen_options);
+  ASSERT_TRUE(gen.Populate(*table).ok());
+
+  FuzzyMatchConfig config;
+  config.eti.signature_size = 8;
+  config.matcher.bound_policy = MatcherOptions::BoundPolicy::kConservative;
+  auto matcher = FuzzyMatcher::Build(db->get(), "customers", config);
+  ASSERT_TRUE(matcher.ok());
+
+  NaiveMatcher naive(*table, &(*matcher)->weights(),
+                     NaiveMatcher::SimilarityKind::kFms, MatcherOptions{});
+  ASSERT_TRUE(naive.Prepare().ok());
+
+  DatasetSpec spec = DatasetD2();
+  spec.num_inputs = 60;
+  auto inputs = GenerateInputs(*table, spec, nullptr);
+  ASSERT_TRUE(inputs.ok());
+
+  int agree = 0;
+  for (const InputTuple& input : *inputs) {
+    auto got = (*matcher)->FindMatches(input.dirty);
+    auto want = naive.FindMatches(input.dirty);
+    ASSERT_TRUE(got.ok() && want.ok());
+    if (!got->empty() && !want->empty() &&
+        std::abs((*got)[0].similarity - (*want)[0].similarity) < 1e-9) {
+      ++agree;
+    }
+  }
+  EXPECT_GE(agree, 58) << agree << "/60";
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,160 @@
+#include "match/naive_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/customer_gen.h"
+#include "storage/database.h"
+
+namespace fuzzymatch {
+namespace {
+
+class NaiveMatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(DatabaseOptions{});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    auto table = db_->CreateTable(
+        "orgs", Schema({"name", "city", "state", "zipcode"}));
+    ASSERT_TRUE(table.ok());
+    ref_ = *table;
+    // Table 1 of the paper.
+    ASSERT_TRUE(ref_->Insert(Row{std::string("Boeing Company"),
+                                 std::string("Seattle"), std::string("WA"),
+                                 std::string("98004")})
+                    .ok());
+    ASSERT_TRUE(ref_->Insert(Row{std::string("Bon Corporation"),
+                                 std::string("Seattle"), std::string("WA"),
+                                 std::string("98014")})
+                    .ok());
+    ASSERT_TRUE(ref_->Insert(Row{std::string("Companions"),
+                                 std::string("Seattle"), std::string("WA"),
+                                 std::string("98024")})
+                    .ok());
+    IdfWeights::Builder builder;
+    const Tokenizer tok;
+    Table::Scanner scanner = ref_->Scan();
+    Tid tid;
+    Row row;
+    for (;;) {
+      auto more = scanner.Next(&tid, &row);
+      ASSERT_TRUE(more.ok());
+      if (!*more) break;
+      builder.AddTuple(tok.TokenizeTuple(row));
+    }
+    weights_ = std::make_unique<IdfWeights>(builder.Finish());
+  }
+
+  std::unique_ptr<Database> db_;
+  Table* ref_ = nullptr;
+  std::unique_ptr<IdfWeights> weights_;
+};
+
+TEST_F(NaiveMatcherTest, RequiresPrepare) {
+  NaiveMatcher matcher(ref_, weights_.get(),
+                       NaiveMatcher::SimilarityKind::kFms, MatcherOptions{});
+  EXPECT_TRUE(matcher.FindMatches(Row{std::string("x"), std::nullopt,
+                                      std::nullopt, std::nullopt})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(NaiveMatcherTest, ExactTupleMatchesItself) {
+  NaiveMatcher matcher(ref_, weights_.get(),
+                       NaiveMatcher::SimilarityKind::kFms, MatcherOptions{});
+  ASSERT_TRUE(matcher.Prepare().ok());
+  auto matches = matcher.FindMatches(Row{std::string("Boeing Company"),
+                                         std::string("Seattle"),
+                                         std::string("WA"),
+                                         std::string("98004")});
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].tid, 0u);
+  EXPECT_DOUBLE_EQ((*matches)[0].similarity, 1.0);
+}
+
+TEST_F(NaiveMatcherTest, PaperTable2InputsUnderFms) {
+  // I1 and I2 must resolve to R1 (tid 0) under fms.
+  NaiveMatcher matcher(ref_, weights_.get(),
+                       NaiveMatcher::SimilarityKind::kFms, MatcherOptions{});
+  ASSERT_TRUE(matcher.Prepare().ok());
+  for (const char* name : {"Beoing Company", "Beoing Co.",
+                           "Boeing Corporation"}) {
+    auto matches = matcher.FindMatches(Row{std::string(name),
+                                           std::string("Seattle"),
+                                           std::string("WA"),
+                                           std::string("98004")});
+    ASSERT_TRUE(matches.ok());
+    ASSERT_FALSE(matches->empty()) << name;
+    EXPECT_EQ((*matches)[0].tid, 0u) << name;
+  }
+}
+
+TEST_F(NaiveMatcherTest, EdSimilarityMisleadsOnI3) {
+  // The ed baseline must reproduce the paper's failure: I3 -> R2.
+  NaiveMatcher matcher(ref_, weights_.get(),
+                       NaiveMatcher::SimilarityKind::kEd, MatcherOptions{});
+  ASSERT_TRUE(matcher.Prepare().ok());
+  auto matches = matcher.FindMatches(Row{std::string("Boeing Corporation"),
+                                         std::string("Seattle"),
+                                         std::string("WA"),
+                                         std::string("98004")});
+  ASSERT_TRUE(matches.ok());
+  ASSERT_FALSE(matches->empty());
+  EXPECT_EQ((*matches)[0].tid, 1u) << "ed prefers Bon Corporation";
+}
+
+TEST_F(NaiveMatcherTest, TopKReturnsKSortedMatches) {
+  MatcherOptions options;
+  options.k = 3;
+  NaiveMatcher matcher(ref_, weights_.get(),
+                       NaiveMatcher::SimilarityKind::kFms, options);
+  ASSERT_TRUE(matcher.Prepare().ok());
+  auto matches = matcher.FindMatches(Row{std::string("Boeing Company"),
+                                         std::string("Seattle"),
+                                         std::string("WA"),
+                                         std::string("98004")});
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 3u);
+  EXPECT_GE((*matches)[0].similarity, (*matches)[1].similarity);
+  EXPECT_GE((*matches)[1].similarity, (*matches)[2].similarity);
+  EXPECT_EQ((*matches)[0].tid, 0u);
+}
+
+TEST_F(NaiveMatcherTest, MinSimilarityFilters) {
+  MatcherOptions options;
+  options.k = 3;
+  options.min_similarity = 0.99;
+  NaiveMatcher matcher(ref_, weights_.get(),
+                       NaiveMatcher::SimilarityKind::kFms, options);
+  ASSERT_TRUE(matcher.Prepare().ok());
+  auto matches = matcher.FindMatches(Row{std::string("Boeing Company"),
+                                         std::string("Seattle"),
+                                         std::string("WA"),
+                                         std::string("98004")});
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u) << "only the exact match clears c=0.99";
+  auto none = matcher.FindMatches(Row{std::string("Completely Unrelated"),
+                                      std::string("Nowhere"),
+                                      std::string("zz"),
+                                      std::string("00000")});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_F(NaiveMatcherTest, StatsReportFullScan) {
+  NaiveMatcher matcher(ref_, weights_.get(),
+                       NaiveMatcher::SimilarityKind::kFms, MatcherOptions{});
+  ASSERT_TRUE(matcher.Prepare().ok());
+  QueryStats stats;
+  ASSERT_TRUE(matcher
+                  .FindMatches(Row{std::string("Boeing"), std::nullopt,
+                                   std::nullopt, std::nullopt},
+                               &stats)
+                  .ok());
+  EXPECT_EQ(stats.ref_tuples_fetched, 3u);
+  EXPECT_GT(stats.elapsed_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,95 @@
+#include "sim/ed_tuple.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+
+#include "text/tokenizer.h"
+
+namespace fuzzymatch {
+namespace {
+
+TokenizedTuple Tok(const Row& row) { return Tokenizer().TokenizeTuple(row); }
+
+TokenizedTuple R1() {
+  return Tok(Row{std::string("Boeing Company"), std::string("Seattle"),
+                 std::string("WA"), std::string("98004")});
+}
+TokenizedTuple R2() {
+  return Tok(Row{std::string("Bon Corporation"), std::string("Seattle"),
+                 std::string("WA"), std::string("98014")});
+}
+TokenizedTuple R3() {
+  return Tok(Row{std::string("Companions"), std::string("Seattle"),
+                 std::string("WA"), std::string("98024")});
+}
+
+TEST(EdTupleTest, IdenticalTuples) {
+  EXPECT_DOUBLE_EQ(EdTupleSimilarity(R1(), R1()), 1.0);
+  EXPECT_DOUBLE_EQ(EdTupleDistance(R1(), R1()), 0.0);
+}
+
+TEST(EdTupleTest, EmptyTuples) {
+  EXPECT_DOUBLE_EQ(EdTupleDistance({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(EdTupleSimilarity({}, {}), 1.0);
+  // One-sided emptiness is maximal distance.
+  EXPECT_DOUBLE_EQ(EdTupleDistance({}, R1()), 1.0);
+}
+
+TEST(EdTupleTest, PaperI3MisleadsEditDistanceTowardR2) {
+  // Section 1: ed considers I3 = [Boeing Corporation, ...] closest to R2,
+  // because 'corporation'->'company' costs more edits than
+  // 'boeing'->'bon' plus the zip digit.
+  const auto i3 = Tok(Row{std::string("Boeing Corporation"),
+                          std::string("Seattle"), std::string("WA"),
+                          std::string("98004")});
+  EXPECT_GT(EdTupleSimilarity(i3, R2()), EdTupleSimilarity(i3, R1()));
+}
+
+TEST(EdTupleTest, PaperI4MisleadsEditDistanceTowardR3) {
+  // Section 1: ed considers I4 = [Company Beoing, ..., NULL, 98014] closer
+  // to R3 than to its target R1 (no token or transposition awareness).
+  const auto i4 = Tok(Row{std::string("Company Beoing"),
+                          std::string("Seattle"), std::nullopt,
+                          std::string("98014")});
+  EXPECT_GT(EdTupleSimilarity(i4, R3()), EdTupleSimilarity(i4, R1()));
+}
+
+TEST(EdTupleTest, BoundedInUnitInterval) {
+  const auto a = Tok(Row{std::string("x"), std::nullopt});
+  const auto b = Tok(Row{std::string("completely unrelated text"),
+                         std::string("more text")});
+  const double d = EdTupleDistance(a, b);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 1.0);
+  EXPECT_DOUBLE_EQ(EdTupleSimilarity(a, b), 1.0 - d);
+}
+
+TEST(EdTupleTest, PerColumnAlignment) {
+  // Differences are summed per aligned column, not across columns.
+  const auto u = Tok(Row{std::string("abc"), std::string("def")});
+  const auto v = Tok(Row{std::string("abc"), std::string("dxf")});
+  // 1 edit over max length 6.
+  EXPECT_NEAR(EdTupleDistance(u, v), 1.0 / 6.0, 1e-12);
+}
+
+TEST(EdTupleTest, ArityMismatchTreatsMissingColumnsAsEmpty) {
+  const TokenizedTuple u = {{"abc"}};
+  const TokenizedTuple v = {{"abc"}, {"extra"}};
+  EXPECT_NEAR(EdTupleDistance(u, v), 5.0 / 8.0, 1e-12);
+}
+
+TEST(EdTupleTest, LengthWeightingFavorsLongTokens) {
+  // The implicit weight assignment of Section 3.2: fixing a long token
+  // counts more than fixing a short one.
+  const auto u = Tok(Row{std::string("abcdefghij xy")});
+  const auto long_fixed = Tok(Row{std::string("abcdefghij ZZ")});
+  const auto short_fixed = Tok(Row{std::string("AAAAAfghij xy")});
+  // Corrupting the short token (2 chars) changes similarity less than
+  // corrupting the long token by 5 chars.
+  EXPECT_GT(EdTupleSimilarity(u, long_fixed),
+            EdTupleSimilarity(u, short_fixed));
+}
+
+}  // namespace
+}  // namespace fuzzymatch

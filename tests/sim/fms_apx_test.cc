@@ -1,0 +1,139 @@
+#include "sim/fms_apx.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+
+#include "common/random.h"
+#include "gen/error_model.h"
+#include "sim/fms.h"
+#include "text/tokenizer.h"
+
+namespace fuzzymatch {
+namespace {
+
+IdfWeights UnitWeights() { return IdfWeights::Builder().Finish(); }
+
+TokenizedTuple Tok(const Row& row) { return Tokenizer().TokenizeTuple(row); }
+
+TEST(FmsApxTest, IdenticalTuplesScoreOne) {
+  const IdfWeights w = UnitWeights();
+  const MinHasher hasher(4, 3, 11);
+  const FmsApx apx(&w, &hasher);
+  const auto t = Tok(Row{std::string("boeing company"),
+                         std::string("seattle"), std::string("wa"),
+                         std::string("98004")});
+  EXPECT_DOUBLE_EQ(apx.Apx(t, t), 1.0);
+  EXPECT_DOUBLE_EQ(apx.TApx(t, t), 1.0);
+}
+
+TEST(FmsApxTest, IgnoresTokenOrder) {
+  // fms_apx treats [boeing company] and [company boeing] as identical.
+  const IdfWeights w = UnitWeights();
+  const MinHasher hasher(4, 3, 11);
+  const FmsApx apx(&w, &hasher);
+  const auto a = Tok(Row{std::string("boeing company")});
+  const auto b = Tok(Row{std::string("company boeing")});
+  EXPECT_DOUBLE_EQ(apx.Apx(a, b), 1.0);
+  const FmsSimilarity fms(&w);
+  EXPECT_LT(fms.Similarity(a, b), 1.0) << "fms does penalize reordering";
+}
+
+TEST(FmsApxTest, TokenFactorBounds) {
+  const IdfWeights w = UnitWeights();
+  const MinHasher hasher(4, 3, 11);
+  const FmsApx apx(&w, &hasher);
+  // Factor is capped at 1 and floored at the adjustment term d_q.
+  const double dq = 1.0 - 1.0 / 4.0;
+  for (const auto& [t, r] : std::vector<std::pair<std::string, std::string>>{
+           {"boeing", "boeing"},
+           {"boeing", "beoing"},
+           {"boeing", "zzzzzzz"},
+           {"corporation", "corp"}}) {
+    const double f = apx.TokenFactor(t, r);
+    EXPECT_LE(f, 1.0) << t << "/" << r;
+    EXPECT_GE(f, dq) << t << "/" << r;
+  }
+  EXPECT_DOUBLE_EQ(apx.TokenFactor("boeing", "boeing"), 1.0);
+}
+
+TEST(FmsApxTest, TokenFactorWithTokenHalvesSignatureShare) {
+  const IdfWeights w = UnitWeights();
+  const MinHasher hasher(4, 3, 11);
+  const FmsApx apx(&w, &hasher);
+  // For an exact match both formulations cap at 1.
+  EXPECT_DOUBLE_EQ(apx.TokenFactorWithToken("boeing", "boeing"), 1.0);
+  // For a non-equal pair the token-mixed similarity cannot exceed the
+  // plain one (the I[t=r] term is zero).
+  for (const auto& [t, r] : std::vector<std::pair<std::string, std::string>>{
+           {"boeing", "beoing"}, {"corporation", "corporal"}}) {
+    EXPECT_LE(apx.TokenFactorWithToken(t, r), apx.TokenFactor(t, r) + 1e-12);
+  }
+}
+
+TEST(FmsApxTest, UpperBoundsFmsOnErroredTuples) {
+  // Lemma 4.1: E[fms_apx] >= fms. With H = 48 coordinates the estimate is
+  // tight enough that violations beyond a small epsilon should be rare.
+  const IdfWeights w = UnitWeights();
+  const MinHasher hasher(4, 48, 77);
+  const FmsApx apx(&w, &hasher);
+  const FmsSimilarity fms(&w);
+  const Tokenizer tok;
+  Rng rng(123);
+
+  const std::vector<Row> references = {
+      Row{std::string("boeing company"), std::string("seattle"),
+          std::string("wa"), std::string("98004")},
+      Row{std::string("grandview consulting group"),
+          std::string("spokane valley"), std::string("wa"),
+          std::string("99206")},
+      Row{std::string("bon corporation"), std::string("seattle"),
+          std::string("wa"), std::string("98014")},
+  };
+  ErrorModelOptions model;
+  model.column_error_prob = {0.8, 0.5, 0.5, 0.5};
+  const ErrorInjector injector(model);
+
+  int violations = 0;
+  int trials = 0;
+  for (const Row& ref : references) {
+    for (int i = 0; i < 60; ++i) {
+      const Row dirty = injector.Inject(ref, rng);
+      const auto u = tok.TokenizeTuple(dirty);
+      const auto v = tok.TokenizeTuple(ref);
+      const double exact = fms.Similarity(u, v);
+      const double upper = apx.Apx(u, v);
+      ++trials;
+      if (upper < exact - 0.05) {
+        ++violations;
+      }
+    }
+  }
+  EXPECT_LE(violations, trials / 20)
+      << violations << "/" << trials << " upper-bound violations";
+}
+
+TEST(FmsApxTest, HigherForCloserTuples) {
+  const IdfWeights w = UnitWeights();
+  const MinHasher hasher(4, 16, 5);
+  const FmsApx apx(&w, &hasher);
+  const auto u = Tok(Row{std::string("boeing company"),
+                         std::string("seattle")});
+  const auto close = Tok(Row{std::string("beoing company"),
+                             std::string("seattle")});
+  const auto far = Tok(Row{std::string("zephyr unrelated"),
+                           std::string("tucson")});
+  EXPECT_GT(apx.Apx(u, close), apx.Apx(u, far));
+  EXPECT_GT(apx.TApx(u, close), apx.TApx(u, far));
+}
+
+TEST(FmsApxTest, EmptyInputScoresZero) {
+  const IdfWeights w = UnitWeights();
+  const MinHasher hasher(4, 3, 11);
+  const FmsApx apx(&w, &hasher);
+  const auto v = Tok(Row{std::string("boeing")});
+  EXPECT_DOUBLE_EQ(apx.Apx({}, v), 0.0);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

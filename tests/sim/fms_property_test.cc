@@ -1,0 +1,135 @@
+// Parameterized property sweeps over the similarity layer: invariants of
+// fms that must hold for every q-gram size, insertion factor, and weight
+// scaling, checked against randomized tuples.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "gen/customer_gen.h"
+#include "gen/error_model.h"
+#include "sim/fms.h"
+#include "storage/schema.h"
+#include "text/minhash.h"
+#include "text/qgram.h"
+#include "text/tokenizer.h"
+
+namespace fuzzymatch {
+namespace {
+
+class FmsSweepTest : public ::testing::TestWithParam<double /*cins*/> {};
+
+TEST_P(FmsSweepTest, CoreInvariantsOnRandomTuples) {
+  const double cins = GetParam();
+  // Weights from a small synthetic relation.
+  CustomerGenOptions gen_options;
+  gen_options.num_tuples = 300;
+  CustomerGenerator gen(gen_options);
+  const Tokenizer tok;
+  IdfWeights::Builder builder;
+  std::vector<Row> rows;
+  for (int i = 0; i < 300; ++i) {
+    rows.push_back(gen.NextRow());
+    builder.AddTuple(tok.TokenizeTuple(rows.back()));
+  }
+  const IdfWeights weights = builder.Finish();
+  FmsOptions options;
+  options.cins = cins;
+  const FmsSimilarity fms(&weights, options);
+
+  ErrorModelOptions model;
+  model.column_error_prob = {0.7, 0.5, 0.5, 0.5};
+  const ErrorInjector injector(model);
+  Rng rng(515);
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const Row& clean = rows[rng.Uniform(rows.size())];
+    const Row dirty = injector.Inject(clean, rng);
+    const auto u = tok.TokenizeTuple(dirty);
+    const auto v = tok.TokenizeTuple(clean);
+    const double sim = fms.Similarity(u, v);
+    // Range.
+    ASSERT_GE(sim, 0.0);
+    ASSERT_LE(sim, 1.0);
+    // Identity.
+    EXPECT_DOUBLE_EQ(fms.Similarity(u, u), 1.0);
+    // tc upper bound: deleting every input token costs exactly w(u), so
+    // the minimum transformation never exceeds w(u) + cins * w(v).
+    const double tc = fms.TransformationCost(u, v);
+    EXPECT_LE(tc,
+              fms.TupleWeight(u) + cins * fms.TupleWeight(v) + 1e-9);
+    // The dirty tuple should resemble its source more than a random
+    // stranger on average; spot-check it is at least not negative.
+    EXPECT_GE(sim, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CinsSweep, FmsSweepTest,
+                         ::testing::Values(0.0, 0.25, 0.5, 1.0),
+                         [](const auto& info) {
+                           return "cins" + std::to_string(static_cast<int>(
+                                               info.param * 100));
+                         });
+
+TEST(FmsScaleInvarianceTest, UniformColumnWeightScalingIsANoop) {
+  // Multiplying every column weight by the same constant scales tc(u,v)
+  // and w(u) identically, so fms is unchanged.
+  IdfWeights::Builder builder;
+  builder.AddTuple({{"boeing", "company"}, {"seattle"}});
+  builder.AddTuple({{"bon", "corporation"}, {"seattle"}});
+  builder.AddTuple({{"companions"}, {"tacoma"}});
+  const IdfWeights weights = builder.Finish();
+
+  FmsOptions unit;
+  FmsOptions scaled;
+  scaled.column_weights = {3.0, 3.0};
+  const FmsSimilarity fms_unit(&weights, unit);
+  const FmsSimilarity fms_scaled(&weights, scaled);
+
+  const Tokenizer tok;
+  const auto u = tok.TokenizeTuple(
+      Row{std::string("beoing company"), std::string("seattle")});
+  const auto v = tok.TokenizeTuple(
+      Row{std::string("boeing company"), std::string("seattle")});
+  EXPECT_NEAR(fms_unit.Similarity(u, v), fms_scaled.Similarity(u, v),
+              1e-12);
+  EXPECT_NEAR(fms_scaled.TransformationCost(u, v),
+              3.0 * fms_unit.TransformationCost(u, v), 1e-12);
+}
+
+class QGramSweepTest : public ::testing::TestWithParam<int /*q*/> {};
+
+TEST_P(QGramSweepTest, SignatureCoordinatesAreValidGrams) {
+  const int q = GetParam();
+  const MinHasher hasher(q, 4, 99);
+  Rng rng(7 + q);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string token(1 + rng.Uniform(15), 'a');
+    for (auto& c : token) {
+      c = static_cast<char>('a' + rng.Uniform(8));
+    }
+    const auto sig = hasher.Signature(token);
+    const auto grams = QGramSet(token, q);
+    if (token.size() <= static_cast<size_t>(q)) {
+      ASSERT_EQ(sig.size(), 1u);
+      EXPECT_EQ(sig[0], token);
+      continue;
+    }
+    ASSERT_EQ(sig.size(), 4u);
+    for (const auto& g : sig) {
+      EXPECT_EQ(g.size(), static_cast<size_t>(q));
+      EXPECT_TRUE(std::binary_search(grams.begin(), grams.end(), g))
+          << g << " not a " << q << "-gram of " << token;
+    }
+    // Identical tokens always produce identical signatures.
+    EXPECT_EQ(hasher.Signature(token), sig);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QSweep, QGramSweepTest,
+                         ::testing::Values(2, 3, 4, 5),
+                         [](const auto& info) {
+                           return "q" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace fuzzymatch

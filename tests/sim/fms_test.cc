@@ -1,0 +1,265 @@
+#include "sim/fms.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+
+#include <cmath>
+
+#include "text/idf_weights.h"
+#include "text/tokenizer.h"
+
+namespace fuzzymatch {
+namespace {
+
+// An IdfWeights built from nothing assigns weight 1.0 to every token —
+// the "unit weights" of the paper's worked examples.
+IdfWeights UnitWeights() { return IdfWeights::Builder().Finish(); }
+
+// Weights learned from the paper's Table 1 reference relation.
+IdfWeights Table1Weights() {
+  const Tokenizer tok;
+  IdfWeights::Builder builder;
+  builder.AddTuple(tok.TokenizeTuple(Row{
+      std::string("Boeing Company"), std::string("Seattle"),
+      std::string("WA"), std::string("98004")}));
+  builder.AddTuple(tok.TokenizeTuple(Row{
+      std::string("Bon Corporation"), std::string("Seattle"),
+      std::string("WA"), std::string("98014")}));
+  builder.AddTuple(tok.TokenizeTuple(Row{
+      std::string("Companions"), std::string("Seattle"), std::string("WA"),
+      std::string("98024")}));
+  return builder.Finish();
+}
+
+TokenizedTuple Tok(const Row& row) { return Tokenizer().TokenizeTuple(row); }
+
+TEST(FmsTest, IdenticalTuplesHaveSimilarityOne) {
+  const IdfWeights w = Table1Weights();
+  const FmsSimilarity fms(&w);
+  const auto t = Tok(Row{std::string("Boeing Company"),
+                         std::string("Seattle"), std::string("WA"),
+                         std::string("98004")});
+  EXPECT_DOUBLE_EQ(fms.Similarity(t, t), 1.0);
+  EXPECT_DOUBLE_EQ(fms.TransformationCost(t, t), 0.0);
+}
+
+TEST(FmsTest, PaperWorkedExampleSection31) {
+  // u = [Beoing Corporation, Seattle, WA, 98004],
+  // v = [Boeing Company, Seattle, WA, 98004], unit weights:
+  // tc = ed(beoing,boeing) + ed(corporation,company) = 1/3 + 7/11 ≈ 0.97,
+  // w(u) = 5, fms = 1 − 0.97/5 ≈ 0.806.
+  const IdfWeights w = UnitWeights();
+  const FmsSimilarity fms(&w);
+  const auto u = Tok(Row{std::string("Beoing Corporation"),
+                         std::string("Seattle"), std::string("WA"),
+                         std::string("98004")});
+  const auto v = Tok(Row{std::string("Boeing Company"),
+                         std::string("Seattle"), std::string("WA"),
+                         std::string("98004")});
+  const double expected_tc = 2.0 / 6.0 + 7.0 / 11.0;
+  EXPECT_NEAR(fms.TransformationCost(u, v), expected_tc, 1e-12);
+  EXPECT_NEAR(fms.Similarity(u, v), 1.0 - expected_tc / 5.0, 1e-12);
+  EXPECT_NEAR(fms.Similarity(u, v), 0.806, 0.001);
+}
+
+TEST(FmsTest, PrefersCorrectTargetWhereEditDistanceFails) {
+  // The paper's motivating case: I3 = [Boeing Corporation, ...] must match
+  // R1 = Boeing Company, not R2 = Bon Corporation, because 'boeing' and
+  // '98004' outweigh 'corporation'.
+  const IdfWeights w = Table1Weights();
+  const FmsSimilarity fms(&w);
+  const auto i3 = Tok(Row{std::string("Boeing Corporation"),
+                          std::string("Seattle"), std::string("WA"),
+                          std::string("98004")});
+  const auto r1 = Tok(Row{std::string("Boeing Company"),
+                          std::string("Seattle"), std::string("WA"),
+                          std::string("98004")});
+  const auto r2 = Tok(Row{std::string("Bon Corporation"),
+                          std::string("Seattle"), std::string("WA"),
+                          std::string("98014")});
+  EXPECT_GT(fms.Similarity(i3, r1), fms.Similarity(i3, r2));
+}
+
+TEST(FmsTest, DeletionCostsFullWeightInsertionCostsCins) {
+  const IdfWeights w = UnitWeights();
+  FmsOptions options;
+  options.cins = 0.5;
+  const FmsSimilarity fms(&w, options);
+  // u has an extra token: delete it (cost 1).
+  EXPECT_NEAR(fms.ColumnTransformationCost({"boeing", "spurious"},
+                                           {"boeing"}, 0),
+              1.0, 1e-12);
+  // v has an extra token: insert it (cost c_ins = 0.5).
+  EXPECT_NEAR(fms.ColumnTransformationCost({"boeing"},
+                                           {"boeing", "company"}, 0),
+              0.5, 1e-12);
+}
+
+TEST(FmsTest, AsymmetryMissingTokensArePenalizedLess) {
+  const IdfWeights w = UnitWeights();
+  const FmsSimilarity fms(&w);
+  const auto with_extra = Tok(Row{std::string("boeing company")});
+  const auto without = Tok(Row{std::string("boeing")});
+  // Dirty-input-missing-a-token (insert at c_ins) is cheaper to transform
+  // than dirty-input-with-spurious-token (delete at full weight).
+  EXPECT_LT(fms.TransformationCost(without, with_extra),
+            fms.TransformationCost(with_extra, without));
+  // And fms itself is asymmetric.
+  const auto a = Tok(Row{std::string("boeing company corporation")});
+  EXPECT_NE(fms.Similarity(a, without), fms.Similarity(without, a));
+}
+
+TEST(FmsTest, ReplacementCostScalesWithSourceTokenWeight) {
+  // It is cheaper to replace a frequent (low-weight) token than a rare
+  // (high-weight) one at the same edit distance.
+  IdfWeights::Builder builder;
+  builder.AddTuple({{ "common", "rareone" }});
+  builder.AddTuple({{ "common" }});
+  builder.AddTuple({{ "common" }});
+  const IdfWeights w = builder.Finish();
+  const FmsSimilarity fms(&w);
+  const double cost_common =
+      fms.ColumnTransformationCost({"common"}, {"cxmmxn"}, 0);
+  const double cost_rare =
+      fms.ColumnTransformationCost({"rareone"}, {"rxrexne"}, 0);
+  EXPECT_LT(cost_common, cost_rare);
+}
+
+TEST(FmsTest, NullAndEmptyColumns) {
+  const IdfWeights w = UnitWeights();
+  const FmsSimilarity fms(&w);
+  const auto u = Tok(Row{std::string("boeing"), std::nullopt});
+  const auto v = Tok(Row{std::string("boeing"), std::string("seattle")});
+  // Missing input column: one insertion at c_ins * w.
+  EXPECT_NEAR(fms.TransformationCost(u, v), 0.5, 1e-12);
+  // Both empty: free.
+  const auto e1 = Tok(Row{std::nullopt});
+  const auto e2 = Tok(Row{std::nullopt});
+  EXPECT_DOUBLE_EQ(fms.TransformationCost(e1, e2), 0.0);
+  // Input with no tokens at all has similarity 0 by definition.
+  EXPECT_DOUBLE_EQ(fms.Similarity(e1, v), 0.0);
+}
+
+TEST(FmsTest, SimilarityClampsAtZero) {
+  const IdfWeights w = UnitWeights();
+  const FmsSimilarity fms(&w);
+  // Totally disjoint tuples: tc > w(u), clamped.
+  const auto u = Tok(Row{std::string("a")});
+  const auto v = Tok(Row{std::string("completely different things here")});
+  const double sim = fms.Similarity(u, v);
+  EXPECT_GE(sim, 0.0);
+  EXPECT_LE(sim, 1.0);
+}
+
+TEST(FmsTest, TranspositionOperationLowersCost) {
+  const IdfWeights w = UnitWeights();
+  FmsOptions plain;
+  const FmsSimilarity fms_plain(&w, plain);
+  FmsOptions with_t;
+  with_t.enable_transposition = true;
+  const FmsSimilarity fms_t(&w, with_t);
+
+  const auto u = Tok(Row{std::string("company boeing")});
+  const auto v = Tok(Row{std::string("boeing company")});
+  const double cost_plain = fms_plain.TransformationCost(u, v);
+  const double cost_t = fms_t.TransformationCost(u, v);
+  // One transposition at avg weight = 1.0 beats delete+insert (1.5) or
+  // two replacements.
+  EXPECT_NEAR(cost_t, 1.0, 1e-12);
+  EXPECT_LT(cost_t, cost_plain);
+}
+
+TEST(FmsTest, PaperI4PrefersR1OnlyWithTransposition) {
+  // I4 = [Company Beoing, Seattle, NULL, 98014]: with the transposition
+  // operation (Section 5.3) the swapped-and-misspelled name still reaches
+  // R1 cheaply.
+  const IdfWeights w = Table1Weights();
+  FmsOptions with_t;
+  with_t.enable_transposition = true;
+  const FmsSimilarity fms_t(&w, with_t);
+  const auto i4 = Tok(Row{std::string("Company Beoing"),
+                          std::string("Seattle"), std::nullopt,
+                          std::string("98014")});
+  const auto r1 = Tok(Row{std::string("Boeing Company"),
+                          std::string("Seattle"), std::string("WA"),
+                          std::string("98004")});
+  const auto r3 = Tok(Row{std::string("Companions"), std::string("Seattle"),
+                          std::string("WA"), std::string("98024")});
+  EXPECT_GT(fms_t.Similarity(i4, r1), fms_t.Similarity(i4, r3));
+}
+
+TEST(FmsTest, TranspositionCostVariants) {
+  // heavy: freq 1/5 -> w = log 5; light: freq 2/5 -> w = log 2.5. The DP
+  // always has the alternative of deleting + reinserting 'light' at cost
+  // 1.5·w(light), so each variant's expected cost is the min of the two.
+  IdfWeights::Builder builder;
+  builder.AddTuple({{"heavy", "light"}});
+  builder.AddTuple({{"light"}});
+  builder.AddTuple({{"fill1"}});
+  builder.AddTuple({{"fill2"}});
+  builder.AddTuple({{"fill3"}});
+  const IdfWeights w = builder.Finish();
+  const double wh = w.Weight("heavy", 0);
+  const double wl = w.Weight("light", 0);
+  ASSERT_GT(wh, wl);
+  const double reinsert = 1.5 * wl;  // delete light + insert light
+
+  auto cost_with = [&](TranspositionCost kind, double constant = 0.25) {
+    FmsOptions options;
+    options.enable_transposition = true;
+    options.transposition_cost = kind;
+    options.transposition_constant = constant;
+    const FmsSimilarity fms(&w, options);
+    return fms.ColumnTransformationCost({"light", "heavy"},
+                                        {"heavy", "light"}, 0);
+  };
+  EXPECT_NEAR(cost_with(TranspositionCost::kAverage),
+              std::min((wh + wl) / 2, reinsert), 1e-12);
+  EXPECT_NEAR(cost_with(TranspositionCost::kMin),
+              std::min(wl, reinsert), 1e-12);
+  EXPECT_NEAR(cost_with(TranspositionCost::kMax),
+              std::min(wh, reinsert), 1e-12);
+  EXPECT_NEAR(cost_with(TranspositionCost::kConstant, 0.01), 0.01, 1e-12);
+  // Ordering property: min <= average <= max.
+  EXPECT_LE(cost_with(TranspositionCost::kMin),
+            cost_with(TranspositionCost::kAverage) + 1e-12);
+  EXPECT_LE(cost_with(TranspositionCost::kAverage),
+            cost_with(TranspositionCost::kMax) + 1e-12);
+}
+
+TEST(FmsTest, ColumnWeightsScaleContribution) {
+  const IdfWeights w = UnitWeights();
+  FmsOptions options;
+  options.column_weights = {2.0, 1.0};
+  const FmsSimilarity fms(&w, options);
+  // Token in column 0 weighs twice a column-1 token.
+  EXPECT_NEAR(fms.TokenWeight("x", 0), 2.0, 1e-12);
+  EXPECT_NEAR(fms.TokenWeight("x", 1), 1.0, 1e-12);
+  const auto u = Tok(Row{std::string("a"), std::string("b")});
+  EXPECT_NEAR(fms.TupleWeight(u), 3.0, 1e-12);
+  // An error in the up-weighted column hurts more.
+  const auto v_err0 = Tok(Row{std::string("x"), std::string("b")});
+  const auto v_err1 = Tok(Row{std::string("a"), std::string("x")});
+  EXPECT_LT(fms.Similarity(u, v_err0), fms.Similarity(u, v_err1));
+}
+
+TEST(FmsTest, MonotoneInErrorSeverity) {
+  const IdfWeights w = Table1Weights();
+  const FmsSimilarity fms(&w);
+  const auto clean = Tok(Row{std::string("boeing company"),
+                             std::string("seattle"), std::string("wa"),
+                             std::string("98004")});
+  const auto small_err = Tok(Row{std::string("beoing company"),
+                                 std::string("seattle"), std::string("wa"),
+                                 std::string("98004")});
+  const auto big_err = Tok(Row{std::string("bxoxng cmpxny"),
+                               std::string("sxattxe"), std::string("wa"),
+                               std::string("98004")});
+  EXPECT_GT(fms.Similarity(clean, clean), fms.Similarity(small_err, clean));
+  EXPECT_GT(fms.Similarity(small_err, clean),
+            fms.Similarity(big_err, clean));
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,256 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace fuzzymatch {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() : pager_(Pager::OpenInMemory()), pool_(pager_.get(), 1024) {}
+
+  BPlusTree MakeTree() {
+    auto tree = BPlusTree::Create(&pool_);
+    EXPECT_TRUE(tree.ok());
+    return std::move(*tree);
+  }
+
+  std::unique_ptr<Pager> pager_;
+  BufferPool pool_;
+};
+
+TEST_F(BTreeTest, EmptyTreeBehaviour) {
+  BPlusTree tree = MakeTree();
+  EXPECT_TRUE(tree.Get("missing").status().IsNotFound());
+  EXPECT_TRUE(tree.Delete("missing").IsNotFound());
+  EXPECT_EQ(*tree.Count(), 0u);
+  EXPECT_EQ(*tree.Height(), 1);
+  auto it = tree.NewIterator();
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(BTreeTest, InsertGetSmall) {
+  BPlusTree tree = MakeTree();
+  ASSERT_TRUE(tree.Insert("boeing", "r1").ok());
+  ASSERT_TRUE(tree.Insert("bon", "r2").ok());
+  ASSERT_TRUE(tree.Insert("companions", "r3").ok());
+  EXPECT_EQ(*tree.Get("boeing"), "r1");
+  EXPECT_EQ(*tree.Get("bon"), "r2");
+  EXPECT_EQ(*tree.Get("companions"), "r3");
+  EXPECT_TRUE(tree.Get("boein").status().IsNotFound());
+  EXPECT_EQ(*tree.Count(), 3u);
+}
+
+TEST_F(BTreeTest, DuplicateInsertRejectedPutOverwrites) {
+  BPlusTree tree = MakeTree();
+  ASSERT_TRUE(tree.Insert("k", "v1").ok());
+  EXPECT_TRUE(tree.Insert("k", "v2").IsAlreadyExists());
+  EXPECT_EQ(*tree.Get("k"), "v1");
+  ASSERT_TRUE(tree.Put("k", "v2").ok());
+  EXPECT_EQ(*tree.Get("k"), "v2");
+  EXPECT_EQ(*tree.Count(), 1u);
+}
+
+TEST_F(BTreeTest, RejectsInvalidEntries) {
+  BPlusTree tree = MakeTree();
+  EXPECT_TRUE(tree.Insert("", "v").IsInvalidArgument());
+  const std::string huge(BPlusTree::kMaxEntrySize + 1, 'x');
+  EXPECT_TRUE(tree.Insert(huge, "").IsInvalidArgument());
+}
+
+TEST_F(BTreeTest, ManyKeysForceSplitsAndStaySorted) {
+  BPlusTree tree = MakeTree();
+  std::map<std::string, std::string> expected;
+  Rng rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    const std::string key = StringPrintf("key%08llu",
+        static_cast<unsigned long long>(rng.Uniform(1000000)));
+    const std::string value = StringPrintf("v%d", i);
+    const bool fresh = expected.emplace(key, value).second;
+    const Status s = tree.Insert(key, value);
+    EXPECT_EQ(s.ok(), fresh) << key;
+  }
+  EXPECT_GT(*tree.Height(), 1);
+  EXPECT_EQ(*tree.Count(), expected.size());
+
+  // Point lookups.
+  for (const auto& [k, v] : expected) {
+    auto got = tree.Get(k);
+    ASSERT_TRUE(got.ok()) << k;
+    EXPECT_EQ(*got, v);
+  }
+
+  // Full scan matches std::map order exactly.
+  auto it = tree.NewIterator();
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  for (const auto& [k, v] : expected) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), k);
+    EXPECT_EQ(it.value(), v);
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(BTreeTest, SequentialInsertionOrder) {
+  // Ascending insertion is the worst case for naive split logic.
+  BPlusTree tree = MakeTree();
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Insert(StringPrintf("%08d", i), "v").ok());
+  }
+  EXPECT_EQ(*tree.Count(), static_cast<uint64_t>(n));
+  for (int i = 0; i < n; i += 97) {
+    EXPECT_TRUE(tree.Get(StringPrintf("%08d", i)).ok());
+  }
+}
+
+TEST_F(BTreeTest, DescendingInsertionOrder) {
+  BPlusTree tree = MakeTree();
+  const int n = 5000;
+  for (int i = n - 1; i >= 0; --i) {
+    ASSERT_TRUE(tree.Insert(StringPrintf("%08d", i), "v").ok());
+  }
+  EXPECT_EQ(*tree.Count(), static_cast<uint64_t>(n));
+  auto it = tree.NewIterator();
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  EXPECT_EQ(it.key(), "00000000");
+}
+
+TEST_F(BTreeTest, SeekPositionsAtLowerBound) {
+  BPlusTree tree = MakeTree();
+  for (int i = 0; i < 1000; i += 10) {
+    ASSERT_TRUE(tree.Insert(StringPrintf("%04d", i), "v").ok());
+  }
+  auto it = tree.NewIterator();
+  ASSERT_TRUE(it.Seek("0015").ok());
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "0020");  // first key >= 0015
+  ASSERT_TRUE(it.Seek("0020").ok());
+  EXPECT_EQ(it.key(), "0020");  // exact
+  ASSERT_TRUE(it.Seek("0991").ok());
+  EXPECT_FALSE(it.Valid()) << "seek past the last key";
+  ASSERT_TRUE(it.Seek("").ok());
+  EXPECT_EQ(it.key(), "0000");
+}
+
+TEST_F(BTreeTest, RangeScanSlice) {
+  BPlusTree tree = MakeTree();
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree.Insert(StringPrintf("%06d", i), "v").ok());
+  }
+  auto it = tree.NewIterator();
+  ASSERT_TRUE(it.Seek("000500").ok());
+  int count = 0;
+  while (it.Valid() && it.key() < "000600") {
+    ++count;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, 100);
+}
+
+TEST_F(BTreeTest, DeleteRemovesKeysScanSkipsThem) {
+  BPlusTree tree = MakeTree();
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Insert(StringPrintf("%06d", i), "v").ok());
+  }
+  for (int i = 0; i < n; i += 2) {
+    ASSERT_TRUE(tree.Delete(StringPrintf("%06d", i)).ok());
+  }
+  EXPECT_EQ(*tree.Count(), static_cast<uint64_t>(n / 2));
+  for (int i = 0; i < n; ++i) {
+    const auto got = tree.Get(StringPrintf("%06d", i));
+    EXPECT_EQ(got.ok(), i % 2 == 1);
+  }
+  // Scan sees only odd keys, in order.
+  auto it = tree.NewIterator();
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  int expect = 1;
+  while (it.Valid()) {
+    EXPECT_EQ(it.key(), StringPrintf("%06d", expect));
+    expect += 2;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(expect, n + 1);
+}
+
+TEST_F(BTreeTest, DeleteEverythingThenReuse) {
+  BPlusTree tree = MakeTree();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Insert(StringPrintf("%04d", i), "v").ok());
+  }
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Delete(StringPrintf("%04d", i)).ok());
+  }
+  EXPECT_EQ(*tree.Count(), 0u);
+  auto it = tree.NewIterator();
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  EXPECT_FALSE(it.Valid());
+  // Reinsertion works.
+  ASSERT_TRUE(tree.Insert("new", "value").ok());
+  EXPECT_EQ(*tree.Get("new"), "value");
+}
+
+TEST_F(BTreeTest, VariableLengthKeysAndValues) {
+  BPlusTree tree = MakeTree();
+  Rng rng(13);
+  std::map<std::string, std::string> expected;
+  for (int i = 0; i < 2000; ++i) {
+    std::string key(1 + rng.Uniform(40), 'k');
+    for (auto& ch : key) {
+      ch = static_cast<char>('a' + rng.Uniform(26));
+    }
+    std::string value(rng.Uniform(200), 'v');
+    if (expected.emplace(key, value).second) {
+      ASSERT_TRUE(tree.Insert(key, value).ok());
+    }
+  }
+  for (const auto& [k, v] : expected) {
+    EXPECT_EQ(*tree.Get(k), v);
+  }
+}
+
+TEST_F(BTreeTest, BinaryKeysWithEmbeddedZeros) {
+  BPlusTree tree = MakeTree();
+  const std::string k1("a\0b", 3);
+  const std::string k2("a\0c", 3);
+  ASSERT_TRUE(tree.Insert(k1, "1").ok());
+  ASSERT_TRUE(tree.Insert(k2, "2").ok());
+  EXPECT_EQ(*tree.Get(k1), "1");
+  EXPECT_EQ(*tree.Get(k2), "2");
+}
+
+TEST_F(BTreeTest, OpenByRootSeesSameData) {
+  BPlusTree tree = MakeTree();
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(tree.Insert(StringPrintf("%05d", i), "val").ok());
+  }
+  BPlusTree reopened = BPlusTree::Open(&pool_, tree.root());
+  EXPECT_EQ(*reopened.Count(), 4000u);
+  EXPECT_EQ(*reopened.Get("03999"), "val");
+}
+
+TEST_F(BTreeTest, LargeEntriesNearTheLimit) {
+  BPlusTree tree = MakeTree();
+  const std::string big_value(BPlusTree::kMaxEntrySize - 10, 'V');
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree.Insert(StringPrintf("%04d", i), big_value).ok());
+  }
+  EXPECT_GT(*tree.Height(), 1) << "large entries must force splits";
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(tree.Get(StringPrintf("%04d", i))->size(), big_value.size());
+  }
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,146 @@
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace fuzzymatch {
+namespace {
+
+std::string TempDbPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name + "_" +
+         std::to_string(::getpid()) + ".db";
+}
+
+TEST(DatabaseTest, InMemoryCreateAndGetTable) {
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  auto t = (*db)->CreateTable("customers", Schema({"name", "city"}));
+  ASSERT_TRUE(t.ok());
+  auto again = (*db)->GetTable("customers");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*t, *again);
+  EXPECT_TRUE((*db)->GetTable("nope").status().IsNotFound());
+  EXPECT_TRUE((*db)
+                  ->CreateTable("customers", Schema({"x"}))
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST(DatabaseTest, IndexLifecycle) {
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  auto idx = (*db)->CreateIndex("by_qgram");
+  ASSERT_TRUE(idx.ok());
+  ASSERT_TRUE((*idx)->Insert("key", "value").ok());
+  auto again = (*db)->GetIndex("by_qgram");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*(*again)->Get("key"), "value");
+  EXPECT_TRUE((*db)->CreateIndex("by_qgram").status().IsAlreadyExists());
+  ASSERT_TRUE((*db)->DropIndex("by_qgram").ok());
+  EXPECT_TRUE((*db)->GetIndex("by_qgram").status().IsNotFound());
+}
+
+TEST(DatabaseTest, DropTable) {
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->CreateTable("tmp", Schema({"a"})).ok());
+  ASSERT_TRUE((*db)->DropTable("tmp").ok());
+  EXPECT_TRUE((*db)->GetTable("tmp").status().IsNotFound());
+  EXPECT_TRUE((*db)->DropTable("tmp").IsNotFound());
+  // Name is reusable.
+  EXPECT_TRUE((*db)->CreateTable("tmp", Schema({"b"})).ok());
+}
+
+TEST(DatabaseTest, FileBackedPersistsTablesAndIndexes) {
+  const std::string path = TempDbPath("persist");
+  std::remove(path.c_str());
+  Tid saved_tid = 0;
+  {
+    DatabaseOptions options;
+    options.path = path;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    auto t = (*db)->CreateTable("customers", Schema({"name", "city"}));
+    ASSERT_TRUE(t.ok());
+    for (int i = 0; i < 500; ++i) {
+      auto tid = (*t)->Insert(
+          Row{StringPrintf("name%d", i), std::string("seattle")});
+      ASSERT_TRUE(tid.ok());
+      saved_tid = *tid;
+    }
+    auto idx = (*db)->CreateIndex("aux");
+    ASSERT_TRUE(idx.ok());
+    ASSERT_TRUE((*idx)->Insert("hello", "world").ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  {
+    DatabaseOptions options;
+    options.path = path;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    auto t = (*db)->GetTable("customers");
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ((*t)->row_count(), 500u);
+    auto row = (*t)->Get(saved_tid);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(*(*row)[0], "name499");
+    // Inserts continue at the right tid.
+    auto tid = (*t)->Insert(Row{std::string("next"), std::string("c")});
+    ASSERT_TRUE(tid.ok());
+    EXPECT_EQ(*tid, 500u);
+    auto idx = (*db)->GetIndex("aux");
+    ASSERT_TRUE(idx.ok());
+    EXPECT_EQ(*(*idx)->Get("hello"), "world");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, CloseCheckpointsAutomatically) {
+  const std::string path = TempDbPath("autockpt");
+  std::remove(path.c_str());
+  {
+    DatabaseOptions options;
+    options.path = path;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    auto t = (*db)->CreateTable("t", Schema({"v"}));
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE((*t)->Insert(Row{std::string("kept")}).ok());
+    // No explicit Checkpoint(); the destructor must do it.
+  }
+  {
+    DatabaseOptions options;
+    options.path = path;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    auto t = (*db)->GetTable("t");
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ((*t)->row_count(), 1u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, SmallBufferPoolStillWorks) {
+  // Working set far larger than the pool forces constant eviction.
+  DatabaseOptions options;
+  options.pool_pages = 8;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  auto t = (*db)->CreateTable("big", Schema({"payload"}));
+  ASSERT_TRUE(t.ok());
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE((*t)->Insert(Row{StringPrintf("%0100d", i)}).ok());
+  }
+  for (int i = 0; i < n; i += 101) {
+    auto row = (*t)->Get(static_cast<Tid>(i));
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(*(*row)[0], StringPrintf("%0100d", i));
+  }
+}
+
+}  // namespace
+}  // namespace fuzzymatch

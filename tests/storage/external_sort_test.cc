@@ -1,0 +1,140 @@
+#include "storage/external_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace fuzzymatch {
+namespace {
+
+std::vector<std::string> Drain(SortedStream* stream) {
+  std::vector<std::string> out;
+  std::string rec;
+  for (;;) {
+    auto more = stream->Next(&rec);
+    EXPECT_TRUE(more.ok());
+    if (!more.ok() || !*more) break;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+ExternalSorter::Options SmallBudget(size_t bytes) {
+  ExternalSorter::Options opt;
+  opt.memory_budget_bytes = bytes;
+  opt.temp_dir = ::testing::TempDir();
+  return opt;
+}
+
+TEST(ExternalSortTest, EmptyInput) {
+  ExternalSorter sorter(SmallBudget(1 << 20));
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_TRUE(Drain(stream->get()).empty());
+}
+
+TEST(ExternalSortTest, InMemorySort) {
+  ExternalSorter sorter(SmallBudget(1 << 20));
+  for (const char* s : {"pear", "apple", "orange", "banana"}) {
+    ASSERT_TRUE(sorter.Add(s).ok());
+  }
+  EXPECT_EQ(sorter.spilled_runs(), 0u);
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(Drain(stream->get()),
+            (std::vector<std::string>{"apple", "banana", "orange", "pear"}));
+}
+
+TEST(ExternalSortTest, SpillingSortMatchesStdSort) {
+  // A tiny budget forces many runs and a real k-way merge.
+  ExternalSorter sorter(SmallBudget(4096));
+  Rng rng(5);
+  std::vector<std::string> expected;
+  for (int i = 0; i < 5000; ++i) {
+    const std::string rec = StringPrintf(
+        "%08llu", static_cast<unsigned long long>(rng.Uniform(1000000)));
+    expected.push_back(rec);
+    ASSERT_TRUE(sorter.Add(rec).ok());
+  }
+  EXPECT_GT(sorter.spilled_runs(), 1u);
+  EXPECT_EQ(sorter.record_count(), 5000u);
+  std::sort(expected.begin(), expected.end());
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(Drain(stream->get()), expected);
+}
+
+TEST(ExternalSortTest, DuplicatesPreserved) {
+  ExternalSorter sorter(SmallBudget(256));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(sorter.Add("same-record").ok());
+  }
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  const auto out = Drain(stream->get());
+  EXPECT_EQ(out.size(), 100u);
+  for (const auto& r : out) {
+    EXPECT_EQ(r, "same-record");
+  }
+}
+
+TEST(ExternalSortTest, BinaryRecordsWithEmbeddedZeros) {
+  ExternalSorter sorter(SmallBudget(128));
+  const std::string a("a\0x", 3);
+  const std::string b("a\0y", 3);
+  const std::string empty;
+  ASSERT_TRUE(sorter.Add(b).ok());
+  ASSERT_TRUE(sorter.Add(empty).ok());
+  ASSERT_TRUE(sorter.Add(a).ok());
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(Drain(stream->get()),
+            (std::vector<std::string>{empty, a, b}));
+}
+
+TEST(ExternalSortTest, AddAfterFinishFails) {
+  ExternalSorter sorter(SmallBudget(1024));
+  ASSERT_TRUE(sorter.Add("x").ok());
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_TRUE(sorter.Add("y").IsInvalidArgument());
+}
+
+TEST(ExternalSortTest, LongRecordsSpill) {
+  ExternalSorter sorter(SmallBudget(8192));
+  Rng rng(9);
+  std::vector<std::string> expected;
+  for (int i = 0; i < 200; ++i) {
+    std::string rec(500 + rng.Uniform(500), 'a');
+    for (auto& c : rec) {
+      c = static_cast<char>('a' + rng.Uniform(26));
+    }
+    expected.push_back(rec);
+    ASSERT_TRUE(sorter.Add(rec).ok());
+  }
+  std::sort(expected.begin(), expected.end());
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(Drain(stream->get()), expected);
+}
+
+TEST(ExternalSortTest, SortedInputStaysSorted) {
+  ExternalSorter sorter(SmallBudget(1024));
+  std::vector<std::string> expected;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string rec = StringPrintf("%06d", i);
+    expected.push_back(rec);
+    ASSERT_TRUE(sorter.Add(rec).ok());
+  }
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(Drain(stream->get()), expected);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

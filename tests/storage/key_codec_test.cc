@@ -1,0 +1,121 @@
+#include "storage/key_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace fuzzymatch {
+namespace {
+
+TEST(KeyCodecTest, StringRoundTrip) {
+  for (const std::string& s :
+       {std::string(""), std::string("abc"), std::string("with space"),
+        std::string("emb\0edded", 9), std::string("\0\0", 2),
+        std::string("trailing\0", 9)}) {
+    KeyEncoder enc;
+    enc.AppendString(s);
+    KeyDecoder dec(enc.key());
+    auto out = dec.ReadString();
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, s);
+    EXPECT_TRUE(dec.Done());
+  }
+}
+
+TEST(KeyCodecTest, IntRoundTrip) {
+  KeyEncoder enc;
+  enc.AppendU32(0).AppendU32(0xFFFFFFFFu).AppendU64(1ull << 40).AppendU8(7);
+  KeyDecoder dec(enc.key());
+  EXPECT_EQ(*dec.ReadU32(), 0u);
+  EXPECT_EQ(*dec.ReadU32(), 0xFFFFFFFFu);
+  EXPECT_EQ(*dec.ReadU64(), 1ull << 40);
+  EXPECT_EQ(*dec.ReadU8(), 7);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(KeyCodecTest, CompositeRoundTrip) {
+  KeyEncoder enc;
+  enc.AppendString("boei").AppendU32(2).AppendU32(0).AppendU32(12345);
+  KeyDecoder dec(enc.key());
+  EXPECT_EQ(*dec.ReadString(), "boei");
+  EXPECT_EQ(*dec.ReadU32(), 2u);
+  EXPECT_EQ(*dec.ReadU32(), 0u);
+  EXPECT_EQ(*dec.ReadU32(), 12345u);
+}
+
+std::string EncodePair(const std::string& s, uint32_t v) {
+  KeyEncoder enc;
+  enc.AppendString(s).AppendU32(v);
+  return enc.Take();
+}
+
+TEST(KeyCodecTest, ByteOrderMatchesComponentOrder) {
+  // Property check: encoded comparison == lexicographic component
+  // comparison, across tricky string pairs.
+  const std::vector<std::pair<std::string, uint32_t>> keys = {
+      {"", 0},          {"", 5},         {"a", 0},
+      {"a", 100},       {"a\x01", 0},    {std::string("a\0b", 3), 0},
+      {"aa", 0},        {"ab", 0},       {"b", 0},
+      {"b", 4294967295u}, {"ba", 1},
+  };
+  for (const auto& x : keys) {
+    for (const auto& y : keys) {
+      const bool logical = std::tie(x.first, x.second) <
+                           std::tie(y.first, y.second);
+      const bool encoded = EncodePair(x.first, x.second) <
+                           EncodePair(y.first, y.second);
+      EXPECT_EQ(logical, encoded)
+          << "(" << x.first << "," << x.second << ") vs (" << y.first << ","
+          << y.second << ")";
+    }
+  }
+}
+
+TEST(KeyCodecTest, PrefixStringsSortBeforeExtensions) {
+  // ("a","b") must sort before ("ab",""): the terminator guarantees it.
+  KeyEncoder e1, e2;
+  e1.AppendString("a").AppendString("b");
+  e2.AppendString("ab").AppendString("");
+  EXPECT_LT(e1.key(), e2.key());
+}
+
+TEST(KeyCodecTest, U32BigEndianOrder) {
+  std::vector<uint32_t> values = {0, 1, 255, 256, 65535, 1u << 20,
+                                  0xFFFFFFFFu};
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    KeyEncoder a, b;
+    a.AppendU32(values[i]);
+    b.AppendU32(values[i + 1]);
+    EXPECT_LT(a.key(), b.key()) << values[i];
+  }
+}
+
+TEST(KeyCodecTest, DecoderRejectsCorruptInput) {
+  // Unterminated string.
+  KeyDecoder d1("abc");
+  EXPECT_TRUE(d1.ReadString().status().IsCorruption());
+  // Bad escape.
+  const std::string bad{'\x00', '\x07'};
+  KeyDecoder d2(bad);
+  EXPECT_TRUE(d2.ReadString().status().IsCorruption());
+  // Truncated ints.
+  KeyDecoder d3("ab");
+  EXPECT_TRUE(d3.ReadU32().status().IsCorruption());
+  KeyDecoder d4("abcd");
+  EXPECT_TRUE(d4.ReadU64().status().IsCorruption());
+  KeyDecoder d5("");
+  EXPECT_TRUE(d5.ReadU8().status().IsCorruption());
+}
+
+TEST(KeyCodecTest, TakeMovesKeyOut) {
+  KeyEncoder enc;
+  enc.AppendU8(1);
+  const std::string k = enc.Take();
+  EXPECT_EQ(k.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

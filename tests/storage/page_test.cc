@@ -1,0 +1,168 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fuzzymatch {
+namespace {
+
+class PageTest : public ::testing::Test {
+ protected:
+  PageTest() : buf_(kPageSize), page_(buf_.data()) {
+    page_.Init(PageType::kHeap);
+  }
+  std::vector<char> buf_;
+  Page page_;
+};
+
+TEST_F(PageTest, InitSetsHeader) {
+  EXPECT_EQ(page_.type(), PageType::kHeap);
+  EXPECT_EQ(page_.slot_count(), 0);
+  EXPECT_EQ(page_.next_page(), kInvalidPageId);
+  EXPECT_EQ(page_.FreeSpace(), kPageSize - Page::kHeaderSize);
+}
+
+TEST_F(PageTest, InsertAndGetRoundTrip) {
+  const auto s0 = page_.Insert("hello");
+  const auto s1 = page_.Insert("world!");
+  ASSERT_TRUE(s0 && s1);
+  EXPECT_EQ(*s0, 0);
+  EXPECT_EQ(*s1, 1);
+  EXPECT_EQ(*page_.Get(*s0), "hello");
+  EXPECT_EQ(*page_.Get(*s1), "world!");
+}
+
+TEST_F(PageTest, EmptyRecordIsStorable) {
+  const auto slot = page_.Insert("");
+  ASSERT_TRUE(slot.has_value());
+  ASSERT_TRUE(page_.Get(*slot).has_value());
+  EXPECT_EQ(*page_.Get(*slot), "");
+}
+
+TEST_F(PageTest, GetOutOfRangeReturnsNullopt) {
+  EXPECT_FALSE(page_.Get(0).has_value());
+  page_.Insert("x");
+  EXPECT_FALSE(page_.Get(1).has_value());
+}
+
+TEST_F(PageTest, FillsUpAndRejects) {
+  const std::string rec(100, 'a');
+  size_t inserted = 0;
+  while (page_.Insert(rec)) {
+    ++inserted;
+  }
+  // 100 bytes data + 4 bytes slot per record.
+  EXPECT_EQ(inserted, (kPageSize - Page::kHeaderSize) / 104);
+  EXPECT_FALSE(page_.Fits(rec.size()));
+  // A smaller record may still fit.
+  EXPECT_EQ(page_.slot_count(), inserted);
+}
+
+TEST_F(PageTest, DeleteTombstonesAndPreservesOtherSlots) {
+  const auto s0 = page_.Insert("aaa");
+  const auto s1 = page_.Insert("bbb");
+  const auto s2 = page_.Insert("ccc");
+  ASSERT_TRUE(s0 && s1 && s2);
+  EXPECT_TRUE(page_.Delete(*s1));
+  EXPECT_FALSE(page_.Get(*s1).has_value());
+  EXPECT_EQ(*page_.Get(*s0), "aaa");
+  EXPECT_EQ(*page_.Get(*s2), "ccc");
+  EXPECT_FALSE(page_.Delete(*s1)) << "double delete";
+  EXPECT_FALSE(page_.Delete(99)) << "out of range";
+}
+
+TEST_F(PageTest, CompactReclaimsDeletedSpace) {
+  const std::string rec(1000, 'x');
+  std::vector<SlotId> slots;
+  while (auto s = page_.Insert(rec)) {
+    slots.push_back(*s);
+  }
+  ASSERT_GE(slots.size(), 4u);
+  // Delete every other record, then compact.
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    page_.Delete(slots[i]);
+  }
+  const size_t before = page_.FreeSpace();
+  page_.Compact();
+  EXPECT_GT(page_.FreeSpace(), before);
+  // Slot ids of survivors unchanged, contents intact.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    ASSERT_TRUE(page_.Get(slots[i]).has_value());
+    EXPECT_EQ(*page_.Get(slots[i]), rec);
+  }
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    EXPECT_FALSE(page_.Get(slots[i]).has_value());
+  }
+  // And the space is genuinely reusable.
+  EXPECT_TRUE(page_.Insert(rec).has_value());
+}
+
+TEST_F(PageTest, UpdateInPlaceShrinksButNeverGrows) {
+  const auto s = page_.Insert("0123456789");
+  ASSERT_TRUE(s);
+  EXPECT_TRUE(page_.UpdateInPlace(*s, "abcde"));
+  EXPECT_EQ(*page_.Get(*s), "abcde");
+  EXPECT_FALSE(page_.UpdateInPlace(*s, "this is far too long"));
+  EXPECT_EQ(*page_.Get(*s), "abcde");
+}
+
+TEST_F(PageTest, InsertAtKeepsDirectoryOrder) {
+  page_.Init(PageType::kBTreeLeaf);
+  ASSERT_TRUE(page_.InsertAt(0, "m"));
+  ASSERT_TRUE(page_.InsertAt(0, "a"));  // prepend
+  ASSERT_TRUE(page_.InsertAt(2, "z"));  // append
+  ASSERT_TRUE(page_.InsertAt(1, "g"));  // middle
+  ASSERT_EQ(page_.slot_count(), 4);
+  EXPECT_EQ(*page_.Get(0), "a");
+  EXPECT_EQ(*page_.Get(1), "g");
+  EXPECT_EQ(*page_.Get(2), "m");
+  EXPECT_EQ(*page_.Get(3), "z");
+}
+
+TEST_F(PageTest, RemoveAtShiftsDirectoryDown) {
+  page_.Init(PageType::kBTreeLeaf);
+  page_.InsertAt(0, "a");
+  page_.InsertAt(1, "b");
+  page_.InsertAt(2, "c");
+  EXPECT_TRUE(page_.RemoveAt(1));
+  ASSERT_EQ(page_.slot_count(), 2);
+  EXPECT_EQ(*page_.Get(0), "a");
+  EXPECT_EQ(*page_.Get(1), "c");
+  EXPECT_FALSE(page_.RemoveAt(5));
+}
+
+TEST_F(PageTest, CompactAfterRemoveAtRecoversSpace) {
+  page_.Init(PageType::kBTreeLeaf);
+  const std::string rec(1500, 'q');
+  while (page_.InsertAt(page_.slot_count(), rec)) {
+  }
+  const uint16_t count = page_.slot_count();
+  ASSERT_GE(count, 4);
+  page_.RemoveAt(0);
+  page_.RemoveAt(0);
+  EXPECT_FALSE(page_.Fits(rec.size()));
+  page_.Compact();
+  EXPECT_TRUE(page_.Fits(rec.size()));
+  EXPECT_EQ(page_.slot_count(), count - 2);
+  for (SlotId s = 0; s < page_.slot_count(); ++s) {
+    EXPECT_EQ(*page_.Get(s), rec);
+  }
+}
+
+TEST_F(PageTest, NextPageLink) {
+  page_.set_next_page(42);
+  EXPECT_EQ(page_.next_page(), 42u);
+}
+
+TEST_F(PageTest, MaxRecordFitsExactly) {
+  const std::string rec(Page::kMaxRecordSize, 'z');
+  const auto slot = page_.Insert(rec);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(page_.Get(*slot)->size(), Page::kMaxRecordSize);
+  EXPECT_EQ(page_.FreeSpace(), 0u);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,104 @@
+#include "storage/pager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace fuzzymatch {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name +
+         std::to_string(::getpid());
+}
+
+void FillPage(char* buf, char fill) { std::memset(buf, fill, kPageSize); }
+
+TEST(PagerTest, InMemoryAllocateReadWrite) {
+  auto pager = Pager::OpenInMemory();
+  EXPECT_EQ(pager->page_count(), 0u);
+  auto p0 = pager->AllocatePage();
+  auto p1 = pager->AllocatePage();
+  ASSERT_TRUE(p0.ok() && p1.ok());
+  EXPECT_EQ(*p0, 0u);
+  EXPECT_EQ(*p1, 1u);
+
+  std::vector<char> buf(kPageSize);
+  FillPage(buf.data(), 'x');
+  ASSERT_TRUE(pager->WritePage(*p1, buf.data()).ok());
+  std::vector<char> read(kPageSize);
+  ASSERT_TRUE(pager->ReadPage(*p1, read.data()).ok());
+  EXPECT_EQ(std::memcmp(buf.data(), read.data(), kPageSize), 0);
+
+  // Fresh pages start zeroed.
+  ASSERT_TRUE(pager->ReadPage(*p0, read.data()).ok());
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(read[i], 0) << i;
+  }
+}
+
+TEST(PagerTest, OutOfRangeAccessFails) {
+  auto pager = Pager::OpenInMemory();
+  std::vector<char> buf(kPageSize);
+  EXPECT_TRUE(pager->ReadPage(0, buf.data()).IsOutOfRange());
+  EXPECT_TRUE(pager->WritePage(5, buf.data()).IsOutOfRange());
+}
+
+TEST(PagerTest, FileBackedPersistsAcrossReopen) {
+  const std::string path = TempPath("pager_persist");
+  std::remove(path.c_str());
+  {
+    auto pager = Pager::OpenFile(path);
+    ASSERT_TRUE(pager.ok());
+    ASSERT_TRUE((*pager)->AllocatePage().ok());
+    ASSERT_TRUE((*pager)->AllocatePage().ok());
+    std::vector<char> buf(kPageSize);
+    FillPage(buf.data(), 'q');
+    ASSERT_TRUE((*pager)->WritePage(1, buf.data()).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  {
+    auto pager = Pager::OpenFile(path);
+    ASSERT_TRUE(pager.ok());
+    EXPECT_EQ((*pager)->page_count(), 2u);
+    std::vector<char> read(kPageSize);
+    ASSERT_TRUE((*pager)->ReadPage(1, read.data()).ok());
+    for (size_t i = 0; i < kPageSize; ++i) {
+      ASSERT_EQ(read[i], 'q');
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PagerTest, RejectsCorruptFileSize) {
+  const std::string path = TempPath("pager_badsize");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a multiple of page size", f);
+  std::fclose(f);
+  auto pager = Pager::OpenFile(path);
+  EXPECT_FALSE(pager.ok());
+  EXPECT_TRUE(pager.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(PagerTest, OpenFileFailsOnBadPath) {
+  auto pager = Pager::OpenFile("/nonexistent-dir-xyz/file.db");
+  EXPECT_FALSE(pager.ok());
+  EXPECT_TRUE(pager.status().IsIOError());
+}
+
+TEST(PagerTest, ManyPagesInMemory) {
+  auto pager = Pager::OpenInMemory();
+  for (int i = 0; i < 1000; ++i) {
+    auto id = pager->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, static_cast<PageId>(i));
+  }
+  EXPECT_EQ(pager->page_count(), 1000u);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

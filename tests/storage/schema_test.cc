@@ -1,0 +1,81 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace fuzzymatch {
+namespace {
+
+TEST(SchemaTest, ColumnsAndIndexes) {
+  const Schema s({"name", "city", "state", "zipcode"});
+  EXPECT_EQ(s.num_columns(), 4u);
+  EXPECT_EQ(s.column_name(0), "name");
+  EXPECT_EQ(s.column_name(3), "zipcode");
+  EXPECT_EQ(s.ColumnIndex("city"), 1);
+  EXPECT_EQ(s.ColumnIndex("missing"), -1);
+}
+
+TEST(SchemaTest, EncodeDecodeRoundTrip) {
+  const Schema s({"a", "long column name", ""});
+  std::string buf;
+  s.EncodeTo(&buf);
+  std::string_view in = buf;
+  auto decoded = Schema::Decode(&in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, s);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(RowCodecTest, RoundTripsValuesAndNulls) {
+  const Row row = {std::string("boeing company"), std::nullopt,
+                   std::string(""), std::string("98004")};
+  const std::string payload = RowCodec::Encode(row);
+  auto decoded = RowCodec::Decode(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, row);
+}
+
+TEST(RowCodecTest, EmptyRow) {
+  const Row row;
+  auto decoded = RowCodec::Decode(RowCodec::Encode(row));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(RowCodecTest, DistinguishesNullFromEmpty) {
+  const Row with_null = {std::nullopt};
+  const Row with_empty = {std::string("")};
+  EXPECT_NE(RowCodec::Encode(with_null), RowCodec::Encode(with_empty));
+  EXPECT_EQ(*RowCodec::Decode(RowCodec::Encode(with_null)), with_null);
+  EXPECT_EQ(*RowCodec::Decode(RowCodec::Encode(with_empty)), with_empty);
+}
+
+TEST(RowCodecTest, BinaryFieldContent) {
+  const Row row = {std::string("\0\x01\xff bin", 7)};
+  auto decoded = RowCodec::Decode(RowCodec::Encode(row));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, row);
+}
+
+TEST(RowCodecTest, RejectsCorruptPayloads) {
+  const Row row = {std::string("abcdef")};
+  std::string payload = RowCodec::Encode(row);
+  // Truncated.
+  EXPECT_FALSE(RowCodec::Decode(payload.substr(0, 3)).ok());
+  // Trailing garbage.
+  EXPECT_FALSE(RowCodec::Decode(payload + "x").ok());
+  // Empty payload is not even a count.
+  EXPECT_FALSE(RowCodec::Decode("").ok());
+}
+
+TEST(RowCodecTest, LargeRow) {
+  Row row;
+  for (int i = 0; i < 100; ++i) {
+    row.push_back(std::string(1000, static_cast<char>('a' + i % 26)));
+  }
+  auto decoded = RowCodec::Decode(RowCodec::Encode(row));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, row);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,180 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "storage/database.h"
+
+namespace fuzzymatch {
+namespace {
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(DatabaseOptions{});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    auto table = db_->CreateTable("t", Schema({"name", "city"}));
+    ASSERT_TRUE(table.ok());
+    table_ = *table;
+  }
+
+  std::unique_ptr<Database> db_;
+  Table* table_ = nullptr;
+};
+
+TEST_F(TableTest, InsertAssignsDenseTids) {
+  for (int i = 0; i < 10; ++i) {
+    auto tid = table_->Insert(Row{std::string("n"), std::string("c")});
+    ASSERT_TRUE(tid.ok());
+    EXPECT_EQ(*tid, static_cast<Tid>(i));
+  }
+  EXPECT_EQ(table_->row_count(), 10u);
+}
+
+TEST_F(TableTest, GetReturnsInsertedRow) {
+  const Row row{std::string("boeing company"), std::string("seattle")};
+  auto tid = table_->Insert(row);
+  ASSERT_TRUE(tid.ok());
+  auto got = table_->Get(*tid);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, row);
+}
+
+TEST_F(TableTest, GetMissingTidFails) {
+  EXPECT_TRUE(table_->Get(42).status().IsNotFound());
+}
+
+TEST_F(TableTest, NullFieldsRoundTrip) {
+  const Row row{std::nullopt, std::string("seattle")};
+  auto tid = table_->Insert(row);
+  ASSERT_TRUE(tid.ok());
+  EXPECT_EQ(*table_->Get(*tid), row);
+}
+
+TEST_F(TableTest, ArityMismatchRejected) {
+  EXPECT_TRUE(table_->Insert(Row{std::string("only one")})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_EQ(table_->row_count(), 0u);
+}
+
+TEST_F(TableTest, InsertWithLocationAndGetByRid) {
+  auto info = table_->InsertWithLocation(
+      Row{std::string("a"), std::string("b")});
+  ASSERT_TRUE(info.ok());
+  auto row = table_->GetByRid(info->rid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (Row{std::string("a"), std::string("b")}));
+}
+
+TEST_F(TableTest, ScanYieldsAllRowsWithTids) {
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(table_
+                    ->Insert(Row{StringPrintf("name%d", i),
+                                 StringPrintf("city%d", i)})
+                    .ok());
+  }
+  auto scanner = table_->Scan();
+  Tid tid;
+  Row row;
+  int count = 0;
+  for (;;) {
+    auto more = scanner.Next(&tid, &row);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    EXPECT_EQ(*row[0], StringPrintf("name%u", tid));
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+}
+
+TEST_F(TableTest, UpdateReplacesRow) {
+  auto tid = table_->Insert(Row{std::string("old"), std::string("c")});
+  ASSERT_TRUE(tid.ok());
+  auto rid = table_->Update(*tid, Row{std::string("new"), std::string("c")});
+  ASSERT_TRUE(rid.ok());
+  auto row = table_->Get(*tid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*(*row)[0], "new");
+  // Updating a missing tid fails.
+  EXPECT_TRUE(table_->Update(999, Row{std::string("x"), std::string("y")})
+                  .status()
+                  .IsNotFound());
+  // Arity is validated.
+  EXPECT_TRUE(table_->Update(*tid, Row{std::string("only one")})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(TableTest, UpdateByRidKeepsTid) {
+  auto info = table_->InsertWithLocation(
+      Row{std::string("first"), std::string("c")});
+  ASSERT_TRUE(info.ok());
+  auto new_rid = table_->UpdateByRid(
+      info->rid, Row{std::string("second"), std::string("c")});
+  ASSERT_TRUE(new_rid.ok());
+  // Same tid resolves to the new content through the tid index.
+  auto row = table_->Get(info->tid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*(*row)[0], "second");
+  EXPECT_EQ(*table_->GetByRid(*new_rid), *row);
+}
+
+TEST_F(TableTest, UpdateGrowingRowRelocates) {
+  auto info = table_->InsertWithLocation(
+      Row{std::string("tiny"), std::string("c")});
+  ASSERT_TRUE(info.ok());
+  // Fill the page so the grown record cannot stay in place.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        table_->Insert(Row{std::string(120, 'f'), std::string("c")}).ok());
+  }
+  const std::string big(3000, 'B');
+  auto new_rid = table_->UpdateByRid(info->rid, Row{big, std::string("c")});
+  ASSERT_TRUE(new_rid.ok());
+  auto row = table_->Get(info->tid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*(*row)[0], big);
+}
+
+TEST_F(TableTest, DeleteRemovesRow) {
+  auto t0 = table_->Insert(Row{std::string("a"), std::string("c")});
+  auto t1 = table_->Insert(Row{std::string("b"), std::string("c")});
+  ASSERT_TRUE(t0.ok() && t1.ok());
+  ASSERT_TRUE(table_->Delete(*t0).ok());
+  EXPECT_TRUE(table_->Get(*t0).status().IsNotFound());
+  EXPECT_TRUE(table_->Get(*t1).ok());
+  EXPECT_EQ(table_->row_count(), 1u);
+  EXPECT_TRUE(table_->Delete(*t0).IsNotFound());
+  // Scans skip the deleted row.
+  auto scanner = table_->Scan();
+  Tid tid;
+  Row row;
+  int seen = 0;
+  for (;;) {
+    auto more = scanner.Next(&tid, &row);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    ++seen;
+    EXPECT_EQ(tid, *t1);
+  }
+  EXPECT_EQ(seen, 1);
+}
+
+TEST_F(TableTest, ManyRowsSpanPages) {
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(
+        table_->Insert(Row{std::string(100, 'x'), std::string("c")}).ok());
+  }
+  // Random access across page boundaries.
+  for (int i = 0; i < n; i += 333) {
+    EXPECT_TRUE(table_->Get(static_cast<Tid>(i)).ok());
+  }
+  EXPECT_EQ(table_->row_count(), static_cast<uint64_t>(n));
+}
+
+}  // namespace
+}  // namespace fuzzymatch

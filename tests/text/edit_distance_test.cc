@@ -1,0 +1,110 @@
+#include "text/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+
+namespace fuzzymatch {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("boeing", "beoing"), 2u);  // transpose = 2
+}
+
+TEST(LevenshteinTest, PaperExampleCompanyCorporation) {
+  // Section 3: ed('company', 'corporation') = 7/11.
+  EXPECT_EQ(LevenshteinDistance("company", "corporation"), 7u);
+  EXPECT_NEAR(NormalizedEditDistance("company", "corporation"), 7.0 / 11.0,
+              1e-12);
+}
+
+TEST(LevenshteinTest, PaperExampleBeoingBoeing) {
+  // Section 3.1: 'beoing' -> 'boeing' at normalized distance 0.33.
+  EXPECT_NEAR(NormalizedEditDistance("beoing", "boeing"), 2.0 / 6.0, 1e-12);
+}
+
+TEST(LevenshteinTest, Symmetry) {
+  const char* words[] = {"boeing", "bon", "company", "corporation", "", "a"};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      EXPECT_EQ(LevenshteinDistance(a, b), LevenshteinDistance(b, a));
+    }
+  }
+}
+
+TEST(LevenshteinTest, TriangleInequalityProperty) {
+  Rng rng(31);
+  auto random_word = [&rng]() {
+    std::string w(1 + rng.Uniform(10), 'x');
+    for (auto& c : w) {
+      c = static_cast<char>('a' + rng.Uniform(4));  // small alphabet
+    }
+    return w;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string a = random_word(), b = random_word(),
+                      c = random_word();
+    EXPECT_LE(LevenshteinDistance(a, c),
+              LevenshteinDistance(a, b) + LevenshteinDistance(b, c))
+        << a << " " << b << " " << c;
+  }
+}
+
+TEST(NormalizedEditDistanceTest, RangeAndIdentity) {
+  EXPECT_EQ(NormalizedEditDistance("", ""), 0.0);
+  EXPECT_EQ(NormalizedEditDistance("same", "same"), 0.0);
+  EXPECT_EQ(NormalizedEditDistance("abc", "xyz"), 1.0);
+  EXPECT_EQ(NormalizedEditDistance("abc", ""), 1.0);
+  Rng rng(37);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string a(rng.Uniform(12), 'a'), b(rng.Uniform(12), 'b');
+    for (auto& ch : a) ch = static_cast<char>('a' + rng.Uniform(26));
+    for (auto& ch : b) ch = static_cast<char>('a' + rng.Uniform(26));
+    const double d = NormalizedEditDistance(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(BoundedLevenshteinTest, AgreesWithExactWithinBound) {
+  Rng rng(41);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string a(rng.Uniform(15), 'x'), b(rng.Uniform(15), 'x');
+    for (auto& c : a) c = static_cast<char>('a' + rng.Uniform(5));
+    for (auto& c : b) c = static_cast<char>('a' + rng.Uniform(5));
+    const size_t exact = LevenshteinDistance(a, b);
+    for (size_t bound = 0; bound <= 15; ++bound) {
+      const size_t got = BoundedLevenshtein(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(got, exact) << a << "/" << b << " bound " << bound;
+      } else {
+        EXPECT_GT(got, bound) << a << "/" << b << " bound " << bound;
+      }
+    }
+  }
+}
+
+TEST(BoundedLevenshteinTest, LengthGapShortCircuits) {
+  EXPECT_GT(BoundedLevenshtein("ab", "abcdefgh", 3), 3u);
+  EXPECT_EQ(BoundedLevenshtein("ab", "abcd", 2), 2u);
+}
+
+TEST(LevenshteinTest, LongStringsStressRollingRows) {
+  const std::string a(300, 'a');
+  std::string b = a;
+  b[10] = 'x';
+  b[200] = 'y';
+  EXPECT_EQ(LevenshteinDistance(a, b), 2u);
+  EXPECT_EQ(LevenshteinDistance(a, a + "tail"), 4u);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

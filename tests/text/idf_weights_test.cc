@@ -1,0 +1,123 @@
+#include "text/idf_weights.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/tokenizer.h"
+
+namespace fuzzymatch {
+namespace {
+
+TokenizedTuple Tuple(std::vector<std::vector<std::string>> cols) {
+  return cols;
+}
+
+TEST(IdfWeightsTest, FrequentTokensWeighLess) {
+  IdfWeights::Builder builder;
+  // 'corporation' appears in 3 of 4 tuples, 'united' in 1 of 4.
+  builder.AddTuple(Tuple({{"united", "corporation"}}));
+  builder.AddTuple(Tuple({{"acme", "corporation"}}));
+  builder.AddTuple(Tuple({{"zenith", "corporation"}}));
+  builder.AddTuple(Tuple({{"solo"}}));
+  const IdfWeights w = builder.Finish();
+  EXPECT_EQ(w.num_tuples(), 4u);
+  EXPECT_NEAR(w.Weight("corporation", 0), std::log(4.0 / 3.0), 1e-12);
+  EXPECT_NEAR(w.Weight("united", 0), std::log(4.0), 1e-12);
+  EXPECT_LT(w.Weight("corporation", 0), w.Weight("united", 0));
+}
+
+TEST(IdfWeightsTest, UnseenTokenGetsColumnAverage) {
+  IdfWeights::Builder builder;
+  builder.AddTuple(Tuple({{"a"}, {"x"}}));
+  builder.AddTuple(Tuple({{"b"}, {"x"}}));
+  const IdfWeights w = builder.Finish();
+  // Column 0: two tokens with idf log(2) each -> average log(2).
+  EXPECT_NEAR(w.Weight("zzz", 0), std::log(2.0), 1e-12);
+  // Column 1: single token with idf log(1)=0 -> average 0.
+  EXPECT_NEAR(w.Weight("zzz", 1), 0.0, 1e-12);
+  EXPECT_NEAR(w.AverageWeight(0), std::log(2.0), 1e-12);
+}
+
+TEST(IdfWeightsTest, ColumnPropertySeparatesSameString) {
+  IdfWeights::Builder builder;
+  // 'madison' frequent in the city column, rare in the name column.
+  builder.AddTuple(Tuple({{"madison"}, {"madison"}}));
+  builder.AddTuple(Tuple({{"smith"}, {"madison"}}));
+  builder.AddTuple(Tuple({{"jones"}, {"madison"}}));
+  const IdfWeights w = builder.Finish();
+  EXPECT_GT(w.Weight("madison", 0), w.Weight("madison", 1));
+  EXPECT_EQ(w.Frequency("madison", 0), 1u);
+  EXPECT_EQ(w.Frequency("madison", 1), 3u);
+}
+
+TEST(IdfWeightsTest, DuplicateTokensInOneTupleCountOnce) {
+  IdfWeights::Builder builder;
+  builder.AddTuple(Tuple({{"new", "york", "new", "york"}}));
+  builder.AddTuple(Tuple({{"boston"}}));
+  const IdfWeights w = builder.Finish();
+  EXPECT_EQ(w.Frequency("new", 0), 1u) << "freq counts tuples, not tokens";
+}
+
+TEST(IdfWeightsTest, TupleWeightSumsMultisetTokens) {
+  IdfWeights::Builder builder;
+  builder.AddTuple(Tuple({{"a", "b"}}));
+  builder.AddTuple(Tuple({{"a"}}));
+  const IdfWeights w = builder.Finish();
+  const double wa = w.Weight("a", 0);
+  const double wb = w.Weight("b", 0);
+  // A query tuple with 'a' twice counts it twice.
+  EXPECT_NEAR(w.TupleWeight(Tuple({{"a", "a", "b"}})), 2 * wa + wb, 1e-12);
+}
+
+TEST(IdfWeightsTest, UnseenColumnFallsBackToGlobalAverage) {
+  IdfWeights::Builder builder;
+  builder.AddTuple(Tuple({{"a"}}));
+  builder.AddTuple(Tuple({{"b"}}));
+  const IdfWeights w = builder.Finish();
+  EXPECT_GT(w.Weight("anything", 7), 0.0);
+  EXPECT_NEAR(w.Weight("anything", 7), std::log(2.0), 1e-12);
+}
+
+TEST(IdfWeightsTest, EmptyBuilderIsUsable) {
+  IdfWeights::Builder builder;
+  const IdfWeights w = builder.Finish();
+  EXPECT_EQ(w.num_tuples(), 0u);
+  EXPECT_GE(w.Weight("x", 0), 0.0);
+  EXPECT_EQ(w.TupleWeight({}), 0.0);
+}
+
+TEST(IdfWeightsTest, WeightsNeverNegative) {
+  // A token in every tuple gets idf log(1) = 0, never below.
+  IdfWeights::Builder builder;
+  for (int i = 0; i < 5; ++i) {
+    builder.AddTuple(Tuple({{"everywhere"}}));
+  }
+  const IdfWeights w = builder.Finish();
+  EXPECT_EQ(w.Weight("everywhere", 0), 0.0);
+}
+
+TEST(IdfWeightsTest, Md5CacheGivesSameWeights) {
+  IdfWeights::Builder exact_builder(
+      MakeFrequencyCache(FrequencyCacheKind::kExact));
+  IdfWeights::Builder md5_builder(
+      MakeFrequencyCache(FrequencyCacheKind::kMd5));
+  const std::vector<TokenizedTuple> tuples = {
+      Tuple({{"boeing", "company"}, {"seattle"}}),
+      Tuple({{"bon", "corporation"}, {"seattle"}}),
+      Tuple({{"companions"}, {"seattle"}}),
+  };
+  for (const auto& t : tuples) {
+    exact_builder.AddTuple(t);
+    md5_builder.AddTuple(t);
+  }
+  const IdfWeights exact = exact_builder.Finish();
+  const IdfWeights md5 = md5_builder.Finish();
+  for (const char* tok :
+       {"boeing", "company", "corporation", "seattle", "unseen"}) {
+    EXPECT_NEAR(exact.Weight(tok, 0), md5.Weight(tok, 0), 1e-12) << tok;
+  }
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,107 @@
+#include "text/minhash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "text/qgram.h"
+
+namespace fuzzymatch {
+namespace {
+
+TEST(MinHashTest, SignatureSizeAndMembership) {
+  const MinHasher hasher(3, 4, /*seed=*/1);
+  const auto sig = hasher.Signature("boeing");
+  ASSERT_EQ(sig.size(), 4u);
+  const auto grams = QGramSet("boeing", 3);
+  for (const auto& g : sig) {
+    EXPECT_TRUE(std::binary_search(grams.begin(), grams.end(), g))
+        << g << " is not a 3-gram of boeing";
+  }
+}
+
+TEST(MinHashTest, ShortTokenSignatureIsToken) {
+  const MinHasher hasher(3, 4, 1);
+  EXPECT_EQ(hasher.Signature("wa"), std::vector<std::string>{"wa"});
+  EXPECT_EQ(hasher.Signature("abc"), std::vector<std::string>{"abc"});
+  EXPECT_TRUE(hasher.Signature("").empty());
+}
+
+TEST(MinHashTest, DeterministicPerSeed) {
+  const MinHasher a(4, 3, 99), b(4, 3, 99), c(4, 3, 100);
+  EXPECT_EQ(a.Signature("corporation"), b.Signature("corporation"));
+  // Different seed families should (almost surely) differ somewhere.
+  bool any_diff = false;
+  for (const char* w : {"corporation", "mississippi", "companions",
+                        "enterprises", "technologies"}) {
+    any_diff |= (a.Signature(w) != c.Signature(w));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MinHashTest, IdenticalTokensMatchAllCoordinates) {
+  const MinHasher hasher(3, 5, 7);
+  const auto s1 = hasher.Signature("corporation");
+  const auto s2 = hasher.Signature("corporation");
+  EXPECT_EQ(MinHasher::SignatureSimilarity(s1, s2), 1.0);
+}
+
+TEST(MinHashTest, DisjointTokensShareNothing) {
+  const MinHasher hasher(3, 5, 7);
+  const auto s1 = hasher.Signature("aaaaaa");
+  const auto s2 = hasher.Signature("zzzzzz");
+  EXPECT_EQ(MinHasher::SignatureSimilarity(s1, s2), 0.0);
+}
+
+TEST(MinHashTest, SimilarityHandlesLengthMismatch) {
+  // Long-token signature (H grams) vs short-token signature ([token]).
+  const MinHasher hasher(3, 4, 7);
+  const auto long_sig = hasher.Signature("boeing");
+  const auto short_sig = hasher.Signature("wa");
+  const double sim = MinHasher::SignatureSimilarity(long_sig, short_sig);
+  EXPECT_GE(sim, 0.0);
+  EXPECT_LE(sim, 1.0);
+  EXPECT_EQ(MinHasher::SignatureSimilarity({}, {}), 0.0);
+}
+
+TEST(MinHashTest, EstimatesJaccardUnbiasedly) {
+  // Property from [4, 6]: E[fraction of matching coordinates] equals the
+  // Jaccard coefficient of the q-gram sets. With H=200 independent
+  // coordinates the estimate should be within a few percentage points.
+  const int q = 3;
+  const MinHasher hasher(q, 200, 1234);
+  const std::pair<std::string, std::string> pairs[] = {
+      {"boeing", "beoing"},
+      {"corporation", "corporal"},
+      {"companions", "company"},
+      {"seattle", "seattel"},
+  };
+  for (const auto& [t1, t2] : pairs) {
+    const double jaccard = QGramJaccard(t1, t2, q);
+    const double est = MinHasher::SignatureSimilarity(hasher.Signature(t1),
+                                                      hasher.Signature(t2));
+    EXPECT_NEAR(est, jaccard, 0.12) << t1 << " vs " << t2;
+  }
+}
+
+TEST(MinHashTest, HashCountZeroGivesEmptySignatureForLongTokens) {
+  const MinHasher hasher(3, 0, 1);
+  EXPECT_TRUE(hasher.Signature("boeing").empty());
+  // Short tokens still collapse to themselves.
+  EXPECT_EQ(hasher.Signature("wa"), std::vector<std::string>{"wa"});
+}
+
+TEST(MinHashTest, TieBreakIsDeterministic) {
+  // Repeated calls over a token whose grams collide in hash order must be
+  // stable (lexicographic tie-break).
+  const MinHasher hasher(2, 8, 3);
+  const auto s1 = hasher.Signature("aaaaaaa");  // single distinct gram
+  const auto s2 = hasher.Signature("aaaaaaa");
+  EXPECT_EQ(s1, s2);
+  for (const auto& g : s1) {
+    EXPECT_EQ(g, "aa");
+  }
+}
+
+}  // namespace
+}  // namespace fuzzymatch

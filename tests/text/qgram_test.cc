@@ -1,0 +1,105 @@
+#include "text/qgram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "text/edit_distance.h"
+
+namespace fuzzymatch {
+namespace {
+
+TEST(QGramTest, PaperExampleBoeing) {
+  // QG_3("boeing") = {boe, oei, ein, ing}.
+  auto grams = QGramSet("boeing", 3);
+  std::vector<std::string> expected{"boe", "ein", "ing", "oei"};
+  EXPECT_EQ(grams, expected);
+}
+
+TEST(QGramTest, ShortTokenIsItsOwnSet) {
+  EXPECT_EQ(QGramSet("wa", 3), std::vector<std::string>{"wa"});
+  EXPECT_EQ(QGramSet("abc", 4), std::vector<std::string>{"abc"});
+  EXPECT_EQ(QGramSet("", 3), std::vector<std::string>{});
+}
+
+TEST(QGramTest, ExactLengthYieldsSingleGram) {
+  EXPECT_EQ(QGramSet("abcd", 4), std::vector<std::string>{"abcd"});
+}
+
+TEST(QGramTest, DeduplicatesRepeats) {
+  // "aaaa" has a single distinct 2-gram "aa".
+  EXPECT_EQ(QGramSet("aaaa", 2), std::vector<std::string>{"aa"});
+  const auto grams = QGramSet("abab", 2);
+  EXPECT_EQ(grams, (std::vector<std::string>{"ab", "ba"}));
+}
+
+TEST(QGramTest, SetIsSortedUnique) {
+  const auto grams = QGramSet("mississippi", 3);
+  EXPECT_TRUE(std::is_sorted(grams.begin(), grams.end()));
+  EXPECT_EQ(std::adjacent_find(grams.begin(), grams.end()), grams.end());
+  EXPECT_EQ(grams.size(), 7u);  // 9 positions; "iss" and "ssi" repeat
+}
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_EQ(JaccardSorted({}, {}), 1.0);
+  EXPECT_EQ(JaccardSorted({"a"}, {}), 0.0);
+  EXPECT_EQ(JaccardSorted({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_EQ(JaccardSorted({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+  EXPECT_EQ(JaccardSorted({"a"}, {"b"}), 0.0);
+}
+
+TEST(JaccardTest, SymmetricAndBounded) {
+  const auto a = QGramSet("corporation", 3);
+  const auto b = QGramSet("corp", 3);
+  EXPECT_EQ(JaccardSorted(a, b), JaccardSorted(b, a));
+  const double j = QGramJaccard("corporation", "corporal", 3);
+  EXPECT_GT(j, 0.0);
+  EXPECT_LT(j, 1.0);
+}
+
+// All positioned q-grams of s (with multiplicity), sorted.
+std::vector<std::string> QGramMultiset(const std::string& s, int q) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i + q <= s.size(); ++i) {
+    out.push_back(s.substr(i, q));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(QGramTest, JokinenUkkonenLemma) {
+  // Lemma 4.2 (Jokinen & Ukkonen): with k raw edits, the strings share at
+  // least m - q + 1 - kq positioned q-grams; normalized,
+  //   1 - ed(s1,s2) <= common/(m·q) + (1 - 1/q)(1 + 1/m),
+  // where common counts q-grams with multiplicity and m = max(|s1|,|s2|).
+  // (The paper prints the adjustment with a typo'd sign on 1/m; the
+  // algorithms only use the looser d_q = 1 - 1/q.)
+  const std::vector<std::string> words = {
+      "boeing",  "beoing",      "bon",     "company", "corporation",
+      "corp",    "companions",  "seattle", "madison", "wa",
+      "98004",   "98014",       "corporal", "aaaa",   "mississippi"};
+  for (const int q : {2, 3, 4}) {
+    for (const auto& s1 : words) {
+      for (const auto& s2 : words) {
+        if (s1.size() < static_cast<size_t>(q) ||
+            s2.size() < static_cast<size_t>(q)) {
+          continue;  // lemma applies to full q-gram sets
+        }
+        const auto g1 = QGramMultiset(s1, q);
+        const auto g2 = QGramMultiset(s2, q);
+        std::vector<std::string> shared;
+        std::set_intersection(g1.begin(), g1.end(), g2.begin(), g2.end(),
+                              std::back_inserter(shared));
+        const double m = static_cast<double>(std::max(s1.size(), s2.size()));
+        const double d = (1.0 - 1.0 / q) * (1.0 + 1.0 / m);
+        const double lhs = 1.0 - NormalizedEditDistance(s1, s2);
+        const double rhs =
+            static_cast<double>(shared.size()) / (m * q) + d;
+        EXPECT_LE(lhs, rhs + 1e-9) << s1 << " vs " << s2 << " q=" << q;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,143 @@
+#include "text/token_frequency.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/string_util.h"
+
+namespace fuzzymatch {
+namespace {
+
+class FrequencyCacheTest
+    : public ::testing::TestWithParam<FrequencyCacheKind> {
+ protected:
+  std::unique_ptr<TokenFrequencyCache> MakeCache() {
+    return MakeFrequencyCache(GetParam(), /*bounded_buckets=*/1u << 16);
+  }
+};
+
+TEST_P(FrequencyCacheTest, CountsPerColumn) {
+  auto cache = MakeCache();
+  cache->Add("seattle", 1);
+  cache->Add("seattle", 1);
+  cache->Add("seattle", 1);
+  cache->Add("seattle", 0);  // same string, different column
+  EXPECT_EQ(cache->Frequency("seattle", 1), 3u);
+  EXPECT_EQ(cache->Frequency("seattle", 0), 1u);
+  EXPECT_EQ(cache->Frequency("seattle", 2), 0u);
+  EXPECT_EQ(cache->Frequency("portland", 1), 0u);
+}
+
+TEST_P(FrequencyCacheTest, ManyTokensExact) {
+  auto cache = MakeCache();
+  for (int i = 0; i < 2000; ++i) {
+    const std::string token = StringPrintf("token%04d", i);
+    for (int rep = 0; rep <= i % 7; ++rep) {
+      cache->Add(token, 0);
+    }
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t freq = cache->Frequency(StringPrintf("token%04d", i), 0);
+    const uint32_t expected = static_cast<uint32_t>(i % 7 + 1);
+    if (GetParam() == FrequencyCacheKind::kBounded) {
+      // Bucket collisions can only inflate counts, never lose them.
+      EXPECT_GE(freq, expected);
+    } else {
+      EXPECT_EQ(freq, expected);
+    }
+  }
+}
+
+TEST_P(FrequencyCacheTest, ApproxBytesGrowsWithContent) {
+  auto cache = MakeCache();
+  cache->Add("alpha", 0);
+  const size_t small = cache->ApproxBytes();
+  for (int i = 0; i < 1000; ++i) {
+    cache->Add(StringPrintf("tok%d", i), 0);
+  }
+  EXPECT_GE(cache->ApproxBytes(), small);
+  EXPECT_GT(cache->ApproxBytes(), 0u);
+}
+
+TEST_P(FrequencyCacheTest, ForEachEntryCoversAllColumns) {
+  auto cache = MakeCache();
+  cache->Add("a", 0);
+  cache->Add("b", 0);
+  cache->Add("c", 2);
+  uint64_t total_freq = 0;
+  bool saw_col2 = false;
+  cache->ForEachEntry([&](uint32_t col, uint32_t freq) {
+    total_freq += freq;
+    saw_col2 |= (col == 2);
+  });
+  EXPECT_EQ(total_freq, 3u);
+  EXPECT_TRUE(saw_col2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, FrequencyCacheTest,
+                         ::testing::Values(FrequencyCacheKind::kExact,
+                                           FrequencyCacheKind::kMd5,
+                                           FrequencyCacheKind::kBounded),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case FrequencyCacheKind::kExact:
+                               return "Exact";
+                             case FrequencyCacheKind::kMd5:
+                               return "Md5";
+                             case FrequencyCacheKind::kBounded:
+                               return "Bounded";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(ExactCacheTest, EntryCount) {
+  auto cache = MakeFrequencyCache(FrequencyCacheKind::kExact);
+  cache->Add("a", 0);
+  cache->Add("a", 0);
+  cache->Add("b", 1);
+  EXPECT_EQ(cache->EntryCount(), 2u);
+}
+
+TEST(Md5CacheTest, SmallerFootprintThanExactForLongTokens) {
+  auto exact = MakeFrequencyCache(FrequencyCacheKind::kExact);
+  auto md5 = MakeFrequencyCache(FrequencyCacheKind::kMd5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string token =
+        StringPrintf("a-rather-long-token-name-%06d-padding-padding", i);
+    exact->Add(token, 0);
+    md5->Add(token, 0);
+  }
+  EXPECT_LT(md5->ApproxBytes(), exact->ApproxBytes())
+      << "the 24-byte digest entries should beat long strings";
+}
+
+TEST(BoundedCacheTest, TinyBucketCountCollides) {
+  auto cache = MakeFrequencyCache(FrequencyCacheKind::kBounded,
+                                  /*bounded_buckets=*/2);
+  for (int i = 0; i < 100; ++i) {
+    cache->Add(StringPrintf("tok%d", i), 0);
+  }
+  // With 2 buckets the total is preserved but individual counts inflate.
+  uint64_t total = 0;
+  cache->ForEachEntry([&](uint32_t, uint32_t freq) { total += freq; });
+  EXPECT_EQ(total, 100u);
+  EXPECT_LE(cache->EntryCount(), 2u);
+  EXPECT_GT(cache->Frequency("tok0", 0), 1u) << "collisions must inflate";
+}
+
+TEST(BoundedCacheTest, LargeBucketCountApproximatesExact) {
+  auto cache = MakeFrequencyCache(FrequencyCacheKind::kBounded,
+                                  /*bounded_buckets=*/1u << 20);
+  for (int i = 0; i < 100; ++i) {
+    cache->Add(StringPrintf("tok%d", i), 0);
+  }
+  int exact_count = 0;
+  for (int i = 0; i < 100; ++i) {
+    exact_count += (cache->Frequency(StringPrintf("tok%d", i), 0) == 1);
+  }
+  EXPECT_GE(exact_count, 98) << "1M buckets over 100 tokens rarely collide";
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,72 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+
+namespace fuzzymatch {
+namespace {
+
+TEST(TokenizerTest, SplitsOnWhitespaceAndLowercases) {
+  const Tokenizer tok;
+  EXPECT_EQ(tok.TokenizeField("Boeing Company"),
+            (std::vector<std::string>{"boeing", "company"}));
+  EXPECT_EQ(tok.TokenizeField("  multiple   spaces\tand\ttabs "),
+            (std::vector<std::string>{"multiple", "spaces", "and", "tabs"}));
+  EXPECT_EQ(tok.TokenizeField(""), std::vector<std::string>{});
+  EXPECT_EQ(tok.TokenizeField("   "), std::vector<std::string>{});
+}
+
+TEST(TokenizerTest, PreservesOrderAndDuplicates) {
+  const Tokenizer tok;
+  // tok(v) is a multiset: repeated tokens stay.
+  EXPECT_EQ(tok.TokenizeField("new york new york"),
+            (std::vector<std::string>{"new", "york", "new", "york"}));
+}
+
+TEST(TokenizerTest, CustomDelimiters) {
+  const Tokenizer tok(" ,-");
+  EXPECT_EQ(tok.TokenizeField("a,b-c d"),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(TokenizerTest, PunctuationStaysInTokensByDefault) {
+  // The paper tokenizes on white space only: 'co.' keeps its dot.
+  const Tokenizer tok;
+  EXPECT_EQ(tok.TokenizeField("Beoing Co."),
+            (std::vector<std::string>{"beoing", "co."}));
+}
+
+TEST(TokenizerTest, TupleTokenizationIsColumnAligned) {
+  const Tokenizer tok;
+  const Row row{std::string("Boeing Company"), std::string("Seattle"),
+                std::nullopt, std::string("98004")};
+  const TokenizedTuple t = tok.TokenizeTuple(row);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], (std::vector<std::string>{"boeing", "company"}));
+  EXPECT_EQ(t[1], (std::vector<std::string>{"seattle"}));
+  EXPECT_TRUE(t[2].empty()) << "NULL column yields no tokens";
+  EXPECT_EQ(t[3], (std::vector<std::string>{"98004"}));
+}
+
+TEST(TokenizerTest, ColumnPropertyKeepsSameStringsApart) {
+  // 'madison' in name vs city: distinguished by position, not content.
+  const Tokenizer tok;
+  const TokenizedTuple t = tok.TokenizeTuple(
+      Row{std::string("madison"), std::string("madison")});
+  EXPECT_EQ(t[0], t[1]);
+  EXPECT_EQ(t.size(), 2u);  // distinct columns carry the property
+}
+
+TEST(TokenizerTest, CountsAndLengths) {
+  const Tokenizer tok;
+  const TokenizedTuple t = tok.TokenizeTuple(
+      Row{std::string("boeing company"), std::string("seattle")});
+  EXPECT_EQ(TokenCount(t), 3u);
+  EXPECT_EQ(TokenCharLength(t), 6u + 7u + 7u);
+  EXPECT_EQ(TokenCount(TokenizedTuple{}), 0u);
+  EXPECT_EQ(TokenCharLength(TokenizedTuple{}), 0u);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,365 @@
+// fuzzymatch_cli: command-line front end for the library.
+//
+//   fuzzymatch_cli gen     --out ref.csv [--rows N] [--seed S]
+//       Writes a synthetic Customer reference relation as CSV.
+//
+//   fuzzymatch_cli corrupt --ref ref.csv --out dirty.csv
+//                          [--inputs N] [--profile D1|D2|D3] [--seeds]
+//       Samples reference rows and corrupts them with the paper's Table 4
+//       error model. --seeds appends the originating row number, so
+//       accuracy can be audited downstream.
+//
+//   fuzzymatch_cli match   --ref ref.csv --input dirty.csv --out out.csv
+//                          [--q N] [--h N] [--tokens] [--k N]
+//                          [--threshold C] [--load-threshold C]
+//       Builds an Error Tolerant Index over the reference CSV and batch-
+//       cleans the input CSV. The output repeats each input row and
+//       appends: outcome (validated/corrected/routed), similarity, and
+//       the matched reference row.
+//
+// CSV convention: first record is the header; empty fields are NULL.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "core/batch_cleaner.h"
+#include "core/fuzzy_match.h"
+#include "gen/customer_gen.h"
+#include "gen/dataset.h"
+
+using namespace fuzzymatch;
+
+namespace {
+
+/// Tiny --flag[=value] parser: flags with values must use --flag value.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        ordered_.push_back(key);
+        continue;
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> ordered_;
+};
+
+Row FieldsToRow(const std::vector<std::string>& fields) {
+  Row row;
+  row.reserve(fields.size());
+  for (const auto& f : fields) {
+    if (f.empty()) {
+      row.emplace_back(std::nullopt);
+    } else {
+      row.emplace_back(f);
+    }
+  }
+  return row;
+}
+
+std::vector<std::string> RowToFields(const Row& row) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size());
+  for (const auto& f : row) {
+    fields.push_back(f.value_or(""));
+  }
+  return fields;
+}
+
+/// Loads a CSV (header + records) into a new table named `name`.
+Result<Table*> LoadCsvTable(Database* db, const std::string& name,
+                            const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  CsvReader reader(&in);
+  std::vector<std::string> fields;
+  FM_ASSIGN_OR_RETURN(const bool has_header, reader.Next(&fields));
+  if (!has_header) {
+    return Status::InvalidArgument(path + " is empty");
+  }
+  FM_ASSIGN_OR_RETURN(Table * table, db->CreateTable(name, Schema(fields)));
+  const size_t arity = fields.size();
+  for (;;) {
+    FM_ASSIGN_OR_RETURN(const bool more, reader.Next(&fields));
+    if (!more) break;
+    if (fields.size() != arity) {
+      return Status::InvalidArgument(
+          StringPrintf("%s row %llu has %zu fields, header has %zu",
+                       path.c_str(),
+                       static_cast<unsigned long long>(reader.records_read()),
+                       fields.size(), arity));
+    }
+    FM_RETURN_IF_ERROR(table->Insert(FieldsToRow(fields)).status());
+  }
+  return table;
+}
+
+Status CmdGen(const Args& args) {
+  const std::string out_path = args.Get("out", "");
+  if (out_path.empty()) {
+    return Status::InvalidArgument("gen requires --out");
+  }
+  CustomerGenOptions options;
+  options.num_tuples = static_cast<size_t>(args.GetInt("rows", 100000));
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  CustomerGenerator generator(options);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    return Status::IOError("cannot write " + out_path);
+  }
+  CsvWriter writer(&out);
+  writer.Write(CustomerGenerator::CustomerSchema().column_names());
+  for (size_t i = 0; i < options.num_tuples; ++i) {
+    writer.Write(RowToFields(generator.NextRow()));
+  }
+  std::printf("wrote %zu reference tuples to %s\n", options.num_tuples,
+              out_path.c_str());
+  return Status::OK();
+}
+
+Status CmdCorrupt(const Args& args) {
+  const std::string ref_path = args.Get("ref", "");
+  const std::string out_path = args.Get("out", "");
+  if (ref_path.empty() || out_path.empty()) {
+    return Status::InvalidArgument("corrupt requires --ref and --out");
+  }
+  FM_ASSIGN_OR_RETURN(auto db, Database::Open(DatabaseOptions{
+                                   .path = "", .pool_pages = 64 * 1024}));
+  FM_ASSIGN_OR_RETURN(Table * ref,
+                      LoadCsvTable(db.get(), "ref", ref_path));
+
+  const std::string profile = args.Get("profile", "D2");
+  DatasetSpec spec = profile == "D1"   ? DatasetD1()
+                     : profile == "D3" ? DatasetD3()
+                                       : DatasetD2();
+  if (spec.column_error_prob.size() != ref->schema().num_columns()) {
+    // Non-customer schemas get a uniform error profile.
+    spec.column_error_prob.assign(ref->schema().num_columns(), 0.5);
+    spec.column_error_prob[0] = 0.8;
+  }
+  spec.num_inputs = static_cast<size_t>(args.GetInt("inputs", 1000));
+  spec.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  FM_ASSIGN_OR_RETURN(const std::vector<InputTuple> inputs,
+                      GenerateInputs(ref, spec, nullptr));
+
+  const bool with_seeds = args.Has("seeds");
+  std::ofstream out(out_path);
+  if (!out) {
+    return Status::IOError("cannot write " + out_path);
+  }
+  CsvWriter writer(&out);
+  std::vector<std::string> header = ref->schema().column_names();
+  if (with_seeds) {
+    header.push_back("_seed_row");
+  }
+  writer.Write(header);
+  for (const InputTuple& input : inputs) {
+    std::vector<std::string> fields = RowToFields(input.dirty);
+    if (with_seeds) {
+      fields.push_back(std::to_string(input.seed_tid));
+    }
+    writer.Write(fields);
+  }
+  std::printf("wrote %zu corrupted tuples (%s profile) to %s\n",
+              inputs.size(), spec.name.c_str(), out_path.c_str());
+  return Status::OK();
+}
+
+Status CmdMatch(const Args& args) {
+  const std::string ref_path = args.Get("ref", "");
+  const std::string input_path = args.Get("input", "");
+  const std::string out_path = args.Get("out", "");
+  if (ref_path.empty() || input_path.empty() || out_path.empty()) {
+    return Status::InvalidArgument(
+        "match requires --ref, --input and --out");
+  }
+
+  FM_ASSIGN_OR_RETURN(auto db, Database::Open(DatabaseOptions{
+                                   .path = "", .pool_pages = 64 * 1024}));
+  FM_ASSIGN_OR_RETURN(Table * ref,
+                      LoadCsvTable(db.get(), "ref", ref_path));
+  std::printf("loaded %llu reference tuples from %s\n",
+              static_cast<unsigned long long>(ref->row_count()),
+              ref_path.c_str());
+
+  FuzzyMatchConfig config;
+  config.eti.q = static_cast<int>(args.GetInt("q", 4));
+  config.eti.signature_size = static_cast<int>(args.GetInt("h", 3));
+  config.eti.index_tokens = args.Has("tokens");
+  config.matcher.k = static_cast<size_t>(args.GetInt("k", 1));
+  config.matcher.min_similarity = args.GetDouble("threshold", 0.0);
+  FM_ASSIGN_OR_RETURN(auto matcher,
+                      FuzzyMatcher::Build(db.get(), "ref", config));
+  std::printf("built ETI %s in %.2fs (%llu rows)\n",
+              config.eti.StrategyName().c_str(),
+              matcher->build_stats().total_seconds,
+              static_cast<unsigned long long>(
+                  matcher->build_stats().eti_rows));
+
+  // Read the input feed (tolerating an extra trailing audit column).
+  std::ifstream in(input_path);
+  if (!in) {
+    return Status::IOError("cannot open " + input_path);
+  }
+  CsvReader reader(&in);
+  std::vector<std::string> fields;
+  FM_ASSIGN_OR_RETURN(const bool has_header, reader.Next(&fields));
+  if (!has_header) {
+    return Status::InvalidArgument(input_path + " is empty");
+  }
+  const size_t arity = ref->schema().num_columns();
+  std::vector<Row> inputs;
+  std::vector<std::vector<std::string>> raw_inputs;
+  for (;;) {
+    FM_ASSIGN_OR_RETURN(const bool more, reader.Next(&fields));
+    if (!more) break;
+    if (fields.size() < arity) {
+      return Status::InvalidArgument(
+          StringPrintf("%s row %llu has %zu fields, need at least %zu",
+                       input_path.c_str(),
+                       static_cast<unsigned long long>(reader.records_read()),
+                       fields.size(), arity));
+    }
+    raw_inputs.push_back(fields);
+    fields.resize(arity);
+    inputs.push_back(FieldsToRow(fields));
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    return Status::IOError("cannot write " + out_path);
+  }
+  CsvWriter writer(&out);
+  std::vector<std::string> header = ref->schema().column_names();
+  header.push_back("outcome");
+  header.push_back("similarity");
+  for (const auto& col : ref->schema().column_names()) {
+    header.push_back("matched_" + col);
+  }
+  writer.Write(header);
+
+  BatchCleaner::Options clean_options;
+  clean_options.load_threshold = args.GetDouble("load-threshold", 0.8);
+  const BatchCleaner cleaner(matcher.get(), clean_options);
+  FM_ASSIGN_OR_RETURN(
+      const CleanStats stats,
+      cleaner.CleanBatch(
+          inputs, [&](size_t i, const CleanResult& result) -> Status {
+            std::vector<std::string> record(raw_inputs[i].begin(),
+                                            raw_inputs[i].begin() +
+                                                static_cast<long>(arity));
+            switch (result.outcome) {
+              case CleanOutcome::kValidated:
+                record.push_back("validated");
+                break;
+              case CleanOutcome::kCorrected:
+                record.push_back("corrected");
+                break;
+              case CleanOutcome::kRouted:
+                record.push_back("routed");
+                break;
+            }
+            record.push_back(
+                result.best_match
+                    ? StringPrintf("%.4f", result.best_match->similarity)
+                    : "");
+            if (result.outcome != CleanOutcome::kRouted) {
+              for (const auto& f : RowToFields(result.output)) {
+                record.push_back(f);
+              }
+            } else {
+              for (size_t c = 0; c < arity; ++c) {
+                record.emplace_back();
+              }
+            }
+            writer.Write(record);
+            return Status::OK();
+          }));
+
+  std::printf(
+      "processed %llu inputs in %.2fs: %llu validated, %llu corrected, "
+      "%llu routed -> %s\n",
+      static_cast<unsigned long long>(stats.processed),
+      stats.elapsed_seconds,
+      static_cast<unsigned long long>(stats.validated),
+      static_cast<unsigned long long>(stats.corrected),
+      static_cast<unsigned long long>(stats.routed), out_path.c_str());
+  return Status::OK();
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: fuzzymatch_cli <gen|corrupt|match> [flags]\n"
+      "  gen     --out ref.csv [--rows N] [--seed S]\n"
+      "  corrupt --ref ref.csv --out dirty.csv [--inputs N]\n"
+      "          [--profile D1|D2|D3] [--seed S] [--seeds]\n"
+      "  match   --ref ref.csv --input dirty.csv --out out.csv\n"
+      "          [--q N] [--h N] [--tokens] [--k N] [--threshold C]\n"
+      "          [--load-threshold C]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  Status status;
+  if (command == "gen") {
+    status = CmdGen(args);
+  } else if (command == "corrupt") {
+    status = CmdCorrupt(args);
+  } else if (command == "match") {
+    status = CmdMatch(args);
+  } else {
+    PrintUsage();
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
