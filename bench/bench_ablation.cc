@@ -136,6 +136,7 @@ Status Run() {
 
 int main() {
   const Status status = Run();
+  DumpMetrics("bench_ablation");
   if (!status.ok()) {
     std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());
     return 1;

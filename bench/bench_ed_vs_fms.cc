@@ -100,6 +100,7 @@ Status Run() {
 
 int main() {
   const Status status = Run();
+  DumpMetrics("bench_ed_vs_fms");
   if (!status.ok()) {
     std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());
     return 1;

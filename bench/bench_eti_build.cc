@@ -53,6 +53,7 @@ Status Run() {
 
 int main() {
   const Status status = Run();
+  DumpMetrics("bench_eti_build");
   if (!status.ok()) {
     std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());
     return 1;

@@ -85,6 +85,7 @@ Status Run() {
 
 int main() {
   const Status status = Run();
+  DumpMetrics("bench_freq_cache");
   if (!status.ok()) {
     std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());
     return 1;

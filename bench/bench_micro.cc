@@ -15,6 +15,7 @@
 #include "sim/fms.h"
 #include "storage/database.h"
 #include "storage/external_sort.h"
+#include "support/bench_env.h"
 #include "text/edit_distance.h"
 #include "text/minhash.h"
 #include "text/qgram.h"
@@ -211,4 +212,15 @@ BENCHMARK(BM_ExternalSort);
 }  // namespace
 }  // namespace fuzzymatch
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN expanded so the metrics registry is dumped on exit like
+// every other harness.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fuzzymatch::bench::DumpMetrics("bench_micro");
+  return 0;
+}

@@ -64,6 +64,7 @@ Status Run() {
 
 int main() {
   const Status status = Run();
+  DumpMetrics("bench_query_time");
   if (!status.ok()) {
     std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());
     return 1;

@@ -1,9 +1,15 @@
 #include "support/bench_env.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 #include "common/logging.h"
 #include "match/naive_matcher.h"
+#include "obs/metrics.h"
 
 namespace fuzzymatch {
 namespace bench {
@@ -134,6 +140,25 @@ Result<double> NaiveProbeSeconds(BenchEnv& env, const IdfWeights& weights,
     total += stats.elapsed_seconds;
   }
   return total / static_cast<double>(inputs.size());
+}
+
+void DumpMetrics(const std::string& bench_name) {
+  const char* dir_env = std::getenv("FM_METRICS_DIR");
+  const std::string dir =
+      (dir_env != nullptr && *dir_env != '\0') ? dir_env : "bench_results";
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    FM_LOG(Warning) << "metrics dump: cannot create " << dir << ": "
+                    << std::strerror(errno);
+    return;
+  }
+  const std::string path = dir + "/" + bench_name + ".metrics.json";
+  std::ofstream out(path);
+  if (!out) {
+    FM_LOG(Warning) << "metrics dump: cannot write " << path;
+    return;
+  }
+  out << obs::MetricsRegistry::Global().RenderJson();
+  FM_LOG(Info) << "metrics dumped to " << path;
 }
 
 void PrintRow(const std::vector<std::string>& cells) {

@@ -71,6 +71,14 @@ Result<EvalResult> Evaluate(FuzzyMatcher& matcher,
 Result<double> NaiveProbeSeconds(BenchEnv& env, const IdfWeights& weights,
                                  size_t probes = 3);
 
+/// Writes the process-wide metrics registry as JSON to
+/// $FM_METRICS_DIR/<bench_name>.metrics.json (FM_METRICS_DIR defaults to
+/// bench_results/, created if missing). Every bench harness calls this
+/// on exit so runs share one diffable schema of the system's own
+/// counters; failures are logged and swallowed (metrics never fail a
+/// bench).
+void DumpMetrics(const std::string& bench_name);
+
 }  // namespace bench
 }  // namespace fuzzymatch
 

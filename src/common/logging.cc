@@ -46,7 +46,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) >=
       g_min_level.load(std::memory_order_relaxed)) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    // Emit the whole line (terminator included) in one fwrite: stderr is
+    // unbuffered, so this reaches the fd as a single write and
+    // concurrent threads' log lines cannot interleave mid-line.
+    stream_ << '\n';
+    const std::string line = stream_.str();
+    std::fwrite(line.data(), 1, line.size(), stderr);
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -2,8 +2,43 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace fuzzymatch {
+
+namespace {
+
+/// The cleaner's registry slice, resolved once per process.
+struct CleanerMetrics {
+  obs::Counter* processed;
+  obs::Counter* validated;
+  obs::Counter* corrected;
+  obs::Counter* routed;
+  obs::Histogram* clean_seconds;  // end-to-end latency of one tuple
+  obs::Histogram* batch_seconds;
+  obs::Gauge* queries_per_second;  // of the most recent batch
+
+  static const CleanerMetrics& Get() {
+    static const CleanerMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* metrics = new CleanerMetrics();
+      metrics->processed = reg.GetCounter("cleaner.processed");
+      metrics->validated = reg.GetCounter("cleaner.validated");
+      metrics->corrected = reg.GetCounter("cleaner.corrected");
+      metrics->routed = reg.GetCounter("cleaner.routed");
+      metrics->clean_seconds = reg.GetHistogram(
+          "cleaner.clean_seconds", obs::LatencyHistogramOptions());
+      metrics->batch_seconds = reg.GetHistogram(
+          "cleaner.batch_seconds", obs::LatencyHistogramOptions());
+      metrics->queries_per_second =
+          reg.GetGauge("cleaner.queries_per_second");
+      return metrics;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 BatchCleaner::BatchCleaner(const FuzzyMatcher* matcher, Options options)
     : matcher_(matcher), options_(options) {
@@ -11,6 +46,8 @@ BatchCleaner::BatchCleaner(const FuzzyMatcher* matcher, Options options)
 }
 
 Result<CleanResult> BatchCleaner::Clean(const Row& input) const {
+  const CleanerMetrics& m = CleanerMetrics::Get();
+  Timer timer;
   FM_ASSIGN_OR_RETURN(const std::vector<Match> matches,
                       matcher_->FindMatches(input));
   CleanResult result;
@@ -21,13 +58,27 @@ Result<CleanResult> BatchCleaner::Clean(const Row& input) const {
     if (!matches.empty()) {
       result.best_match = matches[0];
     }
-    return result;
+  } else {
+    result.best_match = matches[0];
+    FM_ASSIGN_OR_RETURN(result.output,
+                        matcher_->GetReferenceTuple(matches[0].tid));
+    result.outcome = matches[0].similarity >= 1.0
+                         ? CleanOutcome::kValidated
+                         : CleanOutcome::kCorrected;
   }
-  result.best_match = matches[0];
-  FM_ASSIGN_OR_RETURN(result.output,
-                      matcher_->GetReferenceTuple(matches[0].tid));
-  result.outcome = matches[0].similarity >= 1.0 ? CleanOutcome::kValidated
-                                                : CleanOutcome::kCorrected;
+  m.clean_seconds->Observe(timer.ElapsedSeconds());
+  m.processed->Increment();
+  switch (result.outcome) {
+    case CleanOutcome::kValidated:
+      m.validated->Increment();
+      break;
+    case CleanOutcome::kCorrected:
+      m.corrected->Increment();
+      break;
+    case CleanOutcome::kRouted:
+      m.routed->Increment();
+      break;
+  }
   return result;
 }
 
@@ -54,6 +105,12 @@ Result<CleanStats> BatchCleaner::CleanBatch(const std::vector<Row>& inputs,
     }
   }
   stats.elapsed_seconds = timer.ElapsedSeconds();
+  const CleanerMetrics& m = CleanerMetrics::Get();
+  m.batch_seconds->Observe(stats.elapsed_seconds);
+  if (stats.elapsed_seconds > 0.0) {
+    m.queries_per_second->Set(static_cast<double>(stats.processed) /
+                              stats.elapsed_seconds);
+  }
   return stats;
 }
 

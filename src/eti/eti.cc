@@ -8,11 +8,30 @@
 #include "common/string_util.h"
 #include "eti/signature.h"
 #include "eti/tid_list.h"
+#include "obs/metrics.h"
 #include "storage/key_codec.h"
 
 namespace fuzzymatch {
 
 namespace {
+
+obs::Counter& ProbesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("eti.probes");
+  return *c;
+}
+
+obs::Counter& ProbeHitsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("eti.probe_hits");
+  return *c;
+}
+
+obs::Counter& TidListBytesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("eti.tidlist_bytes_decoded");
+  return *c;
+}
 
 std::string EncodeU32Field(uint32_t v) {
   std::string out(4, '\0');
@@ -257,6 +276,7 @@ Result<EtiParams> LoadEtiParams(Database* db, const std::string& eti_name) {
 Result<std::optional<EtiEntry>> Eti::Lookup(std::string_view gram,
                                             uint32_t coordinate,
                                             uint32_t column) const {
+  ProbesCounter().Increment();
   const std::string key = IndexKey(gram, coordinate, column);
   auto rid_bytes = index_->Get(key);
   if (!rid_bytes.ok()) {
@@ -267,7 +287,11 @@ Result<std::optional<EtiEntry>> Eti::Lookup(std::string_view gram,
   }
   FM_ASSIGN_OR_RETURN(const Rid rid, Rid::Decode(*rid_bytes));
   FM_ASSIGN_OR_RETURN(const Row row, rows_->GetByRid(rid));
+  if (row.size() == 5 && row[4].has_value()) {
+    TidListBytesCounter().Increment(row[4]->size());
+  }
   FM_ASSIGN_OR_RETURN(EtiEntry entry, DecodeEntry(row));
+  ProbeHitsCounter().Increment();
   return std::optional<EtiEntry>(std::move(entry));
 }
 

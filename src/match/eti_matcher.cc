@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
 #include "common/timer.h"
 #include "eti/signature.h"
 #include "match/naive_matcher.h"  // TopKCollector
+#include "obs/trace.h"
 
 namespace fuzzymatch {
 
@@ -72,8 +74,12 @@ Result<double> EtiMatcher::VerifiedSimilarity(
   if (it != cache->end()) {
     return it->second;
   }
-  FM_ASSIGN_OR_RETURN(const Row row, ref_->Get(tid));
+  FM_ASSIGN_OR_RETURN(const Row row, [&]() -> Result<Row> {
+    FM_TRACE_SPAN("match.fetch");
+    return ref_->Get(tid);
+  }());
   ++qs->ref_tuples_fetched;
+  FM_TRACE_SPAN("match.verify");
   const double sim = fms_.Similarity(u, tokenizer_.TokenizeTuple(row));
   cache->emplace(tid, sim);
   return sim;
@@ -86,6 +92,12 @@ Result<std::vector<Match>> EtiMatcher::FindMatches(const Row& input,
   QueryStats* qs = stats != nullptr ? stats : &local_stats;
   qs->Reset();
 
+  // At debug level, collect and dump this query's per-phase breakdown.
+  std::optional<obs::QueryTrace> trace;
+  if (GetLogLevel() == LogLevel::kDebug) {
+    trace.emplace("eti_matcher.query");
+  }
+
   const TokenizedTuple u = tokenizer_.TokenizeTuple(input);
   const EtiParams& params = eti_->params();
 
@@ -95,15 +107,18 @@ Result<std::vector<Match>> EtiMatcher::FindMatches(const Row& input,
   double total_weight = 0.0;
   double full_adjustment = 0.0;
   const double dq = 1.0 - 1.0 / static_cast<double>(params.q);
-  for (uint32_t col = 0; col < u.size(); ++col) {
-    for (const auto& token : u[col]) {
-      const double w = fms_.TokenWeight(token, col);
-      total_weight += w;
-      full_adjustment += w * dq;
-      for (TokenCoordinate& tc : MakeTokenCoordinates(
-               hasher_, params, token, w)) {
-        probes.push_back(Probe{std::move(tc.gram), tc.coordinate, col,
-                               tc.weight_share});
+  {
+    FM_TRACE_SPAN("match.signature");
+    for (uint32_t col = 0; col < u.size(); ++col) {
+      for (const auto& token : u[col]) {
+        const double w = fms_.TokenWeight(token, col);
+        total_weight += w;
+        full_adjustment += w * dq;
+        for (TokenCoordinate& tc : MakeTokenCoordinates(
+                 hasher_, params, token, w)) {
+          probes.push_back(Probe{std::move(tc.gram), tc.coordinate, col,
+                                 tc.weight_share});
+        }
       }
     }
   }
@@ -155,11 +170,15 @@ Result<std::vector<Match>> EtiMatcher::FindMatches(const Row& input,
     ++qs->eti_lookups;
     FM_ASSIGN_OR_RETURN(
         const std::optional<EtiEntry> entry,
-        eti_->Lookup(probe.gram, probe.coordinate, probe.column));
+        [&]() -> Result<std::optional<EtiEntry>> {
+          FM_TRACE_SPAN("match.probe");
+          return eti_->Lookup(probe.gram, probe.coordinate, probe.column);
+        }());
     remaining -= probe.weight;
     processed += probe.weight;
 
     if (entry.has_value() && !entry->is_stop) {
+      FM_TRACE_SPAN("match.score");
       for (const Tid tid : entry->tids) {
         ++qs->tids_processed;
         const auto it = scores.find(tid);

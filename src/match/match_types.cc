@@ -1,0 +1,88 @@
+#include "match/match_types.h"
+
+#include "obs/metrics.h"
+
+namespace fuzzymatch {
+
+namespace {
+
+/// The registry-side accumulation targets, resolved once per process.
+struct MatchMetrics {
+  obs::Counter* queries;
+  obs::Counter* eti_lookups;
+  obs::Counter* tids_processed;
+  obs::Counter* candidates;
+  obs::Counter* ref_tuples_fetched;
+  obs::Counter* osc_attempted;
+  obs::Counter* osc_succeeded;
+  obs::Counter* fetched_osc_succeeded;
+  obs::Counter* fetched_osc_failed;
+  obs::Counter* fetched_osc_not_attempted;
+  obs::Histogram* query_seconds;
+
+  static const MatchMetrics& Get() {
+    static const MatchMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* metrics = new MatchMetrics();
+      metrics->queries = reg.GetCounter("match.queries");
+      metrics->eti_lookups = reg.GetCounter("match.eti_lookups");
+      metrics->tids_processed = reg.GetCounter("match.tids_processed");
+      metrics->candidates = reg.GetCounter("match.candidates");
+      metrics->ref_tuples_fetched = reg.GetCounter("match.ref_tuples_fetched");
+      metrics->osc_attempted = reg.GetCounter("match.osc_attempted");
+      metrics->osc_succeeded = reg.GetCounter("match.osc_succeeded");
+      metrics->fetched_osc_succeeded =
+          reg.GetCounter("match.fetched_when_osc_succeeded");
+      metrics->fetched_osc_failed =
+          reg.GetCounter("match.fetched_when_osc_failed");
+      metrics->fetched_osc_not_attempted =
+          reg.GetCounter("match.fetched_when_osc_not_attempted");
+      metrics->query_seconds = reg.GetHistogram(
+          "match.query_seconds", obs::LatencyHistogramOptions());
+      return metrics;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+void AggregateStats::Accumulate(const QueryStats& q) {
+  ++queries;
+  eti_lookups += q.eti_lookups;
+  tids_processed += q.tids_processed;
+  hash_table_size += q.hash_table_size;
+  candidates += q.candidates;
+  ref_tuples_fetched += q.ref_tuples_fetched;
+  osc_attempted += q.osc_attempted ? 1 : 0;
+  osc_succeeded += q.osc_succeeded ? 1 : 0;
+  if (q.osc_succeeded) {
+    fetched_when_osc_succeeded += q.ref_tuples_fetched;
+  } else if (q.osc_attempted) {
+    fetched_when_osc_failed += q.ref_tuples_fetched;
+  } else {
+    fetched_when_osc_not_attempted += q.ref_tuples_fetched;
+  }
+  elapsed_seconds += q.elapsed_seconds;
+
+  const MatchMetrics& m = MatchMetrics::Get();
+  m.queries->Increment();
+  m.eti_lookups->Increment(q.eti_lookups);
+  m.tids_processed->Increment(q.tids_processed);
+  m.candidates->Increment(q.candidates);
+  m.ref_tuples_fetched->Increment(q.ref_tuples_fetched);
+  if (q.osc_attempted) {
+    m.osc_attempted->Increment();
+  }
+  if (q.osc_succeeded) {
+    m.osc_succeeded->Increment();
+    m.fetched_osc_succeeded->Increment(q.ref_tuples_fetched);
+  } else if (q.osc_attempted) {
+    m.fetched_osc_failed->Increment(q.ref_tuples_fetched);
+  } else {
+    m.fetched_osc_not_attempted->Increment(q.ref_tuples_fetched);
+  }
+  m.query_seconds->Observe(q.elapsed_seconds);
+}
+
+}  // namespace fuzzymatch

@@ -73,6 +73,12 @@ struct QueryStats {
 };
 
 /// Running totals over many queries.
+///
+/// This struct is a per-matcher façade: every Accumulate() also records
+/// the same quantities into the process-wide obs::MetricsRegistry under
+/// `match.*` (counters plus the `match.query_seconds` histogram), so the
+/// benches' per-matcher reporting and the system's own metrics dump stay
+/// in lockstep.
 struct AggregateStats {
   uint64_t queries = 0;
   uint64_t eti_lookups = 0;
@@ -82,27 +88,15 @@ struct AggregateStats {
   uint64_t ref_tuples_fetched = 0;
   uint64_t osc_attempted = 0;
   uint64_t osc_succeeded = 0;
-  /// Fetch counts split by OSC outcome (Figure 8's two bars).
+  /// Fetch counts split by OSC outcome (Figure 8's bars): succeeded,
+  /// attempted-but-failed, and queries where the fetching test never
+  /// fired (counting those as "failed" would skew the Figure 8 split).
   uint64_t fetched_when_osc_succeeded = 0;
   uint64_t fetched_when_osc_failed = 0;
+  uint64_t fetched_when_osc_not_attempted = 0;
   double elapsed_seconds = 0.0;
 
-  void Accumulate(const QueryStats& q) {
-    ++queries;
-    eti_lookups += q.eti_lookups;
-    tids_processed += q.tids_processed;
-    hash_table_size += q.hash_table_size;
-    candidates += q.candidates;
-    ref_tuples_fetched += q.ref_tuples_fetched;
-    osc_attempted += q.osc_attempted ? 1 : 0;
-    osc_succeeded += q.osc_succeeded ? 1 : 0;
-    if (q.osc_succeeded) {
-      fetched_when_osc_succeeded += q.ref_tuples_fetched;
-    } else {
-      fetched_when_osc_failed += q.ref_tuples_fetched;
-    }
-    elapsed_seconds += q.elapsed_seconds;
-  }
+  void Accumulate(const QueryStats& q);
 };
 
 }  // namespace fuzzymatch

@@ -3,11 +3,25 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "sim/ed_tuple.h"
 
 namespace fuzzymatch {
 
 namespace {
+
+obs::Counter& NaiveQueriesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("naive.queries");
+  return *c;
+}
+
+obs::Histogram& NaiveQuerySeconds() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "naive.query_seconds", obs::LatencyHistogramOptions());
+  return *h;
+}
+
 struct HeapLess {
   bool operator()(const Match& a, const Match& b) const {
     return a.similarity > b.similarity;  // min-heap on similarity
@@ -86,10 +100,13 @@ Result<std::vector<Match>> NaiveMatcher::FindMatches(const Row& input,
                            : EdTupleSimilarity(u, v);
     top_k.Offer(tid, sim);
   }
+  const double elapsed = timer.ElapsedSeconds();
+  NaiveQueriesCounter().Increment();
+  NaiveQuerySeconds().Observe(elapsed);
   if (stats != nullptr) {
     stats->Reset();
     stats->ref_tuples_fetched = tokenized_ref_.size();
-    stats->elapsed_seconds = timer.ElapsedSeconds();
+    stats->elapsed_seconds = elapsed;
   }
   return top_k.Take();
 }

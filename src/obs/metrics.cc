@@ -1,0 +1,267 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fuzzymatch {
+namespace obs {
+
+namespace {
+
+/// `layer.metric` -> `fm_layer_metric` (Prometheus-legal name).
+std::string SanitizeName(const std::string& name) {
+  std::string out = "fm_";
+  out.reserve(name.size() + 3);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) { return StringPrintf("%.9g", v); }
+
+/// Escapes a string for a JSON value. Metric names are plain ASCII, so
+/// only quotes and backslashes need care.
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::string name, HistogramOptions options)
+    : name_(std::move(name)), options_(options) {
+  FM_CHECK_GT(options_.min, 0.0);
+  FM_CHECK_GT(options_.growth, 1.0);
+  FM_CHECK_GE(options_.buckets, size_t{1});
+  inv_log_growth_ = 1.0 / std::log(options_.growth);
+  counts_ = std::vector<std::atomic<uint64_t>>(options_.buckets + 1);
+}
+
+size_t Histogram::BucketIndex(double v) const {
+  if (!(v > options_.min)) {  // also catches NaN and negatives
+    return 0;
+  }
+  const double pos = std::log(v / options_.min) * inv_log_growth_;
+  // Edge i = min * growth^i is the upper bound of bucket i; take the
+  // first edge >= v. Nudge below the integer grid so exact edges stay in
+  // their own bucket despite floating-point log round-off.
+  const double idx = std::ceil(pos - 1e-9);
+  if (idx >= static_cast<double>(options_.buckets)) {
+    return options_.buckets;  // overflow bucket
+  }
+  return static_cast<size_t>(idx);
+}
+
+void Histogram::Observe(double v) {
+  counts_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::bucket_upper_edge(size_t i) const {
+  if (i + 1 >= counts_.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return options_.min * std::pow(options_.growth, static_cast<double>(i));
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) {
+    return 0.0;
+  }
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      if (i + 1 >= counts_.size()) {
+        // Overflow bucket has no finite upper edge; report the last one.
+        return bucket_upper_edge(counts_.size() - 2);
+      }
+      const double hi = bucket_upper_edge(i);
+      const double lo = i == 0 ? 0.0 : bucket_upper_edge(i - 1);
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bucket;
+  }
+  return bucket_upper_edge(counts_.size() - 2);
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>(name);
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>(name);
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         HistogramOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(name, options);
+  }
+  return slot.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = SanitizeName(name);
+    out += "# HELP " + prom + " " + name + "\n";
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " +
+           StringPrintf("%llu",
+                        static_cast<unsigned long long>(counter->value())) +
+           "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = SanitizeName(name);
+    out += "# HELP " + prom + " " + name + "\n";
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + FormatDouble(gauge->value()) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const std::string prom = SanitizeName(name);
+    out += "# HELP " + prom + " " + name + "\n";
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist->buckets(); ++i) {
+      cumulative += hist->bucket_count(i);
+      const double edge = hist->bucket_upper_edge(i);
+      const std::string le =
+          std::isinf(edge) ? std::string("+Inf") : FormatDouble(edge);
+      out += prom + "_bucket{le=\"" + le + "\"} " +
+             StringPrintf("%llu", static_cast<unsigned long long>(cumulative)) +
+             "\n";
+    }
+    out += prom + "_sum " + FormatDouble(hist->sum()) + "\n";
+    out += prom + "_count " +
+           StringPrintf("%llu",
+                        static_cast<unsigned long long>(hist->count())) +
+           "\n";
+    out += "# " + prom + " p50=" + FormatDouble(hist->Quantile(0.5)) +
+           " p95=" + FormatDouble(hist->Quantile(0.95)) +
+           " p99=" + FormatDouble(hist->Quantile(0.99)) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonString(name) + ": " +
+           StringPrintf("%llu",
+                        static_cast<unsigned long long>(counter->value()));
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonString(name) + ": " + FormatDouble(gauge->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonString(name) + ": {\n";
+    out += "      \"count\": " +
+           StringPrintf("%llu",
+                        static_cast<unsigned long long>(hist->count())) +
+           ",\n";
+    out += "      \"sum\": " + FormatDouble(hist->sum()) + ",\n";
+    out += "      \"p50\": " + FormatDouble(hist->Quantile(0.5)) + ",\n";
+    out += "      \"p95\": " + FormatDouble(hist->Quantile(0.95)) + ",\n";
+    out += "      \"p99\": " + FormatDouble(hist->Quantile(0.99)) + ",\n";
+    out += "      \"buckets\": [";
+    bool first_bucket = true;
+    for (size_t i = 0; i < hist->buckets(); ++i) {
+      // Only materialized (non-empty) buckets keep the dump small.
+      const uint64_t n = hist->bucket_count(i);
+      if (n == 0) {
+        continue;
+      }
+      out += first_bucket ? "" : ", ";
+      first_bucket = false;
+      const double edge = hist->bucket_upper_edge(i);
+      const std::string le =
+          std::isinf(edge) ? std::string("\"+Inf\"") : FormatDouble(edge);
+      out += "{\"le\": " + le + ", \"count\": " +
+             StringPrintf("%llu", static_cast<unsigned long long>(n)) + "}";
+    }
+    out += "]\n    }";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    hist->Reset();
+  }
+}
+
+}  // namespace obs
+}  // namespace fuzzymatch

@@ -1,0 +1,184 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket
+// histograms, with Prometheus and JSON text exposition.
+//
+// The registry is the system's own account of where time and I/O go —
+// the counters behind the paper's Figures 6-10 (ETI probes, tids scored,
+// candidates fetched, OSC outcomes) plus the storage-layer telemetry
+// (buffer-pool hit rate, pages read, B-tree node fetches) that dominates
+// real query latency. Layers record into MetricsRegistry::Global();
+// fuzzymatch_cli --metrics and the bench harnesses render it.
+//
+// Naming convention: `layer.metric`, lower_snake within components
+// (e.g. "bufferpool.hits", "match.query_seconds"). Prometheus exposition
+// sanitizes names to `fm_layer_metric`; the dotted name is kept in the
+// HELP line.
+//
+// Thread safety: metric lookup/creation takes a mutex; increments and
+// observations on the returned objects are lock-free relaxed atomics.
+// Pointers returned by GetCounter/GetGauge/GetHistogram are stable for
+// the registry's lifetime — cache them at construction time and keep the
+// hot path mutex-free.
+
+#ifndef FUZZYMATCH_OBS_METRICS_H_
+#define FUZZYMATCH_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fuzzymatch {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (rates, sizes, configuration echoes).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-spaced bucket layout of a Histogram. Bucket i (0-based) covers
+/// (min * growth^(i-1), min * growth^i]; bucket 0 covers (-inf, min]; one
+/// extra overflow bucket covers everything above the last finite edge.
+struct HistogramOptions {
+  /// Upper edge of the first bucket.
+  double min = 1e-6;
+  /// Ratio between consecutive bucket edges (> 1).
+  double growth = 2.0;
+  /// Number of finite buckets (>= 1), excluding the overflow bucket.
+  size_t buckets = 36;
+};
+
+/// Layout for sub-second latency spans: 100 ns up to ~3.8 h.
+inline HistogramOptions LatencyHistogramOptions() {
+  return HistogramOptions{1e-7, 2.0, 37};
+}
+
+/// Fixed-bucket histogram with quantile estimation. Observations count
+/// into log-spaced buckets; quantiles interpolate linearly inside the
+/// covering bucket, so the relative error is bounded by the growth
+/// factor.
+class Histogram {
+ public:
+  Histogram(std::string name, HistogramOptions options);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Estimated q-quantile (q in [0, 1]); 0 when empty. Values in the
+  /// overflow bucket report the last finite edge.
+  double Quantile(double q) const;
+
+  /// Bucket introspection (exposition and tests). Index `buckets()` - 1
+  /// is the overflow bucket with an infinite upper edge.
+  size_t buckets() const { return counts_.size(); }
+  double bucket_upper_edge(size_t i) const;  // +inf for the overflow bucket
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Index of the bucket an observation of `v` lands in.
+  size_t BucketIndex(double v) const;
+
+  void Reset();
+
+  const std::string& name() const { return name_; }
+  const HistogramOptions& options() const { return options_; }
+
+ private:
+  std::string name_;
+  HistogramOptions options_;
+  double inv_log_growth_ = 0.0;
+  std::vector<std::atomic<uint64_t>> counts_;  // finite buckets + overflow
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Owner of all metrics. Metric kinds live in separate namespaces; asking
+/// twice for the same (kind, name) returns the same object.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every instrumented layer records into.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          HistogramOptions options = {});
+
+  /// Prometheus text exposition format. Dotted names are sanitized to
+  /// `fm_<name with non-alphanumerics as '_'>`; the dotted original is
+  /// kept in the HELP line. Histograms additionally render p50/p95/p99
+  /// quantile samples.
+  std::string RenderText() const;
+
+  /// The same content as one JSON object:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {name: {count, sum, p50, p95, p99, buckets: [...]}}}
+  std::string RenderJson() const;
+
+  /// Zeroes every metric (names and objects stay registered). For tests
+  /// and per-run isolation in the bench harnesses.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_OBS_METRICS_H_

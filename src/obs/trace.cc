@@ -1,0 +1,71 @@
+#include "obs/trace.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fuzzymatch {
+namespace obs {
+
+namespace {
+thread_local QueryTrace* g_current_trace = nullptr;
+
+/// Human-scale rendering of a duration (breakdown dumps only).
+std::string FormatSeconds(double s) {
+  if (s < 1e-3) {
+    return StringPrintf("%.0fus", s * 1e6);
+  }
+  if (s < 1.0) {
+    return StringPrintf("%.2fms", s * 1e3);
+  }
+  return StringPrintf("%.3fs", s);
+}
+}  // namespace
+
+QueryTrace::QueryTrace(std::string label) : label_(std::move(label)) {
+  previous_ = g_current_trace;
+  g_current_trace = this;
+}
+
+QueryTrace::~QueryTrace() {
+  g_current_trace = previous_;
+  if (!phases_.empty()) {
+    FM_LOG(Debug) << "trace " << label_ << ": " << Summary();
+  }
+}
+
+QueryTrace* QueryTrace::Current() { return g_current_trace; }
+
+void QueryTrace::Record(const char* name, double seconds) {
+  // A query has a handful of phases; linear scan beats hashing.
+  for (Phase& phase : phases_) {
+    if (phase.name == name || std::strcmp(phase.name, name) == 0) {
+      ++phase.calls;
+      phase.seconds += seconds;
+      return;
+    }
+  }
+  phases_.push_back(Phase{name, 1, seconds});
+}
+
+std::string QueryTrace::Summary() const {
+  std::string out;
+  for (const Phase& phase : phases_) {
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += StringPrintf("%s=%s/%llu", phase.name,
+                        FormatSeconds(phase.seconds).c_str(),
+                        static_cast<unsigned long long>(phase.calls));
+  }
+  return out;
+}
+
+Histogram* SpanHistogram(const char* name) {
+  return MetricsRegistry::Global().GetHistogram(
+      std::string("span.") + name + "_seconds", LatencyHistogramOptions());
+}
+
+}  // namespace obs
+}  // namespace fuzzymatch

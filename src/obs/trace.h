@@ -1,0 +1,110 @@
+// Scoped-span tracing: per-phase wall time recorded into histograms,
+// plus an optional per-query phase breakdown.
+//
+//   Result<...> EtiMatcher::FindMatches(...) {
+//     FM_TRACE_SPAN("match.signature");   // until end of scope
+//     ...
+//   }
+//
+// Every FM_TRACE_SPAN("x") call site records its elapsed seconds into
+// the registry histogram `span.x_seconds` (the histogram pointer is
+// resolved once per call site via a function-local static). When a
+// QueryTrace is active on the current thread, the span also contributes
+// to that query's phase breakdown, which QueryTrace dumps through
+// FM_LOG(Debug) on destruction — the per-query attribution of time to
+// signature computation, ETI probing, scoring, fetching, and
+// verification.
+//
+// Overhead: two steady_clock reads plus one histogram observation per
+// span; the breakdown path is a thread-local pointer test. Create
+// QueryTrace objects only when their dump will be emitted (debug level).
+
+#ifndef FUZZYMATCH_OBS_TRACE_H_
+#define FUZZYMATCH_OBS_TRACE_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fuzzymatch {
+namespace obs {
+
+/// Collects one query's span timings; installs itself as the current
+/// thread's trace on construction and dumps the aggregated breakdown at
+/// debug level on destruction. Nestable (the previous trace is restored).
+class QueryTrace {
+ public:
+  explicit QueryTrace(std::string label);
+  ~QueryTrace();
+
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  /// The active trace on this thread, or nullptr.
+  static QueryTrace* Current();
+
+  /// Adds `seconds` to the phase named `name` (aggregated per name).
+  void Record(const char* name, double seconds);
+
+  /// The aggregated breakdown, insertion-ordered: (phase, calls, seconds).
+  struct Phase {
+    const char* name;
+    uint64_t calls;
+    double seconds;
+  };
+  const std::vector<Phase>& phases() const { return phases_; }
+
+  /// One-line rendering of the breakdown ("sig=12us probe=3ms ...").
+  std::string Summary() const;
+
+ private:
+  std::string label_;
+  std::vector<Phase> phases_;
+  QueryTrace* previous_ = nullptr;
+};
+
+/// RAII span: measures its own lifetime and records it into `hist` and
+/// the current QueryTrace. Use via FM_TRACE_SPAN.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, Histogram* hist)
+      : name_(name), hist_(hist), start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedSpan() {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    hist_->Observe(seconds);
+    if (QueryTrace* trace = QueryTrace::Current()) {
+      trace->Record(name_, seconds);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The registry histogram a span named `name` records into
+/// (`span.<name>_seconds`, latency bucket layout).
+Histogram* SpanHistogram(const char* name);
+
+}  // namespace obs
+}  // namespace fuzzymatch
+
+#define FM_TRACE_SPAN(name) FM_TRACE_SPAN_COUNTER_(name, __COUNTER__)
+#define FM_TRACE_SPAN_COUNTER_(name, ctr) FM_TRACE_SPAN_IMPL_(name, ctr)
+#define FM_TRACE_SPAN_IMPL_(name, ctr)                                 \
+  static ::fuzzymatch::obs::Histogram* fm_span_hist_##ctr =            \
+      ::fuzzymatch::obs::SpanHistogram(name);                          \
+  const ::fuzzymatch::obs::ScopedSpan fm_span_##ctr((name),            \
+                                                    fm_span_hist_##ctr)
+
+#endif  // FUZZYMATCH_OBS_TRACE_H_

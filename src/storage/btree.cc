@@ -4,8 +4,27 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace fuzzymatch {
+
+namespace {
+
+obs::Counter& LookupsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("btree.lookups");
+  return *c;
+}
+
+// Node fetches during root-to-leaf descents (internal nodes + the leaf);
+// node_reads / lookups is the effective probe depth.
+obs::Counter& NodeReadsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("btree.node_reads");
+  return *c;
+}
+
+}  // namespace
 
 namespace btree_internal {
 
@@ -100,6 +119,7 @@ Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
 Result<PageId> BPlusTree::FindLeaf(std::string_view key) const {
   PageId node = root_;
   for (;;) {
+    NodeReadsCounter().Increment();
     FM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(node));
     const Page page = guard.page();
     if (page.type() == PageType::kBTreeLeaf) {
@@ -129,6 +149,7 @@ Result<PageId> BPlusTree::FindLeaf(std::string_view key) const {
 }
 
 Result<std::string> BPlusTree::Get(std::string_view key) const {
+  LookupsCounter().Increment();
   FM_ASSIGN_OR_RETURN(const PageId leaf, FindLeaf(key));
   FM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(leaf));
   const Page page = guard.page();

@@ -4,8 +4,34 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace fuzzymatch {
+
+namespace {
+
+// Registry mirrors of the per-pool hit/miss/eviction members: the pool
+// accessors serve tests scoped to one pool; the registry aggregates all
+// pools for the process-wide cache-hit-rate account.
+obs::Counter& HitsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("bufferpool.hits");
+  return *c;
+}
+
+obs::Counter& MissesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("bufferpool.misses");
+  return *c;
+}
+
+obs::Counter& EvictionsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("bufferpool.evictions");
+  return *c;
+}
+
+}  // namespace
 
 PageGuard::PageGuard(PageGuard&& other) noexcept
     : pool_(other.pool_), frame_(other.frame_), page_id_(other.page_id_) {
@@ -55,6 +81,11 @@ void PageGuard::Release() {
 BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
   FM_CHECK_GE(capacity, size_t{1});
   frames_.resize(capacity);
+  // Register all pool counters up front so a metrics dump shows them at
+  // zero rather than omitting them when a workload never hits a path.
+  HitsCounter();
+  MissesCounter();
+  EvictionsCounter();
 }
 
 Result<size_t> BufferPool::GrabFrame() {
@@ -78,6 +109,7 @@ Result<size_t> BufferPool::GrabFrame() {
   page_to_frame_.erase(fr.page_id);
   fr.page_id = kInvalidPageId;
   ++evictions_;
+  EvictionsCounter().Increment();
   return victim;
 }
 
@@ -85,6 +117,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
   auto it = page_to_frame_.find(id);
   if (it != page_to_frame_.end()) {
     ++hits_;
+    HitsCounter().Increment();
     Frame& fr = frames_[it->second];
     if (fr.in_lru) {
       lru_.erase(fr.lru_pos);
@@ -94,6 +127,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
     return PageGuard(this, it->second, id);
   }
   ++misses_;
+  MissesCounter().Increment();
   FM_ASSIGN_OR_RETURN(const size_t f, GrabFrame());
   Frame& fr = frames_[f];
   FM_RETURN_IF_ERROR(pager_->ReadPage(id, fr.data.get()));

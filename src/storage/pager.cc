@@ -7,8 +7,41 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace fuzzymatch {
+
+namespace {
+
+// Process-wide I/O telemetry; both pager modes count (in-memory "I/O" is
+// a memcpy, but the access pattern is what the counters attribute).
+obs::Counter& PagesReadCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("pager.pages_read");
+  return *c;
+}
+
+obs::Counter& PagesWrittenCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("pager.pages_written");
+  return *c;
+}
+
+obs::Counter& PagesAllocatedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("pager.pages_allocated");
+  return *c;
+}
+
+// Registers all pager counters up front so a metrics dump shows them at
+// zero rather than omitting them when a workload never hits a path.
+void TouchPagerCounters() {
+  PagesReadCounter();
+  PagesWrittenCounter();
+  PagesAllocatedCounter();
+}
+
+}  // namespace
 
 Pager::~Pager() {
   if (fd_ >= 0) {
@@ -34,6 +67,7 @@ Result<std::unique_ptr<Pager>> Pager::OpenFile(const std::string& path) {
         StringPrintf("%s: size %lld not a multiple of page size",
                      path.c_str(), static_cast<long long>(size)));
   }
+  TouchPagerCounters();
   auto pager = std::unique_ptr<Pager>(new Pager());
   pager->fd_ = fd;
   pager->path_ = path;
@@ -42,6 +76,7 @@ Result<std::unique_ptr<Pager>> Pager::OpenFile(const std::string& path) {
 }
 
 std::unique_ptr<Pager> Pager::OpenInMemory() {
+  TouchPagerCounters();
   return std::unique_ptr<Pager>(new Pager());
 }
 
@@ -60,6 +95,7 @@ Result<PageId> Pager::AllocatePage() {
     mem_pages_.push_back(std::move(buf));
   }
   ++page_count_;
+  PagesAllocatedCounter().Increment();
   return id;
 }
 
@@ -67,6 +103,7 @@ Status Pager::ReadPage(PageId id, char* buf) {
   if (id >= page_count_) {
     return Status::OutOfRange(StringPrintf("read of unallocated page %u", id));
   }
+  PagesReadCounter().Increment();
   if (fd_ >= 0) {
     const off_t off = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
     size_t done = 0;
@@ -94,6 +131,7 @@ Status Pager::WritePage(PageId id, const char* buf) {
     return Status::OutOfRange(
         StringPrintf("write of unallocated page %u", id));
   }
+  PagesWrittenCounter().Increment();
   if (fd_ >= 0) {
     return WritePageAtUnchecked_(id, buf);
   }

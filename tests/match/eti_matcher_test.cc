@@ -207,8 +207,13 @@ TEST_F(EtiMatcherTest, StatsAreConsistent) {
   EXPECT_EQ(agg.queries, 1u);
   EXPECT_EQ(agg.eti_lookups, stats.eti_lookups);
   EXPECT_EQ(agg.ref_tuples_fetched, stats.ref_tuples_fetched);
-  EXPECT_EQ(agg.fetched_when_osc_succeeded + agg.fetched_when_osc_failed,
+  EXPECT_EQ(agg.fetched_when_osc_succeeded + agg.fetched_when_osc_failed +
+                agg.fetched_when_osc_not_attempted,
             agg.ref_tuples_fetched);
+  // The failed bucket only counts queries where OSC actually fired.
+  if (agg.osc_attempted == 0) {
+    EXPECT_EQ(agg.fetched_when_osc_failed, 0u);
+  }
 }
 
 TEST_F(EtiMatcherTest, StopQGramsDegradeGracefully) {

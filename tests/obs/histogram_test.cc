@@ -1,0 +1,138 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace fuzzymatch {
+namespace obs {
+namespace {
+
+// A small layout with human-scale edges: buckets (-inf,1], (1,2], (2,4],
+// (4,8], plus the overflow bucket (8, +inf).
+HistogramOptions SmallOptions() {
+  HistogramOptions options;
+  options.min = 1.0;
+  options.growth = 2.0;
+  options.buckets = 4;
+  return options;
+}
+
+TEST(HistogramTest, BucketEdgesAreLogSpaced) {
+  const Histogram h("h", SmallOptions());
+  ASSERT_EQ(h.buckets(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_upper_edge(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper_edge(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper_edge(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper_edge(3), 8.0);
+  EXPECT_TRUE(std::isinf(h.bucket_upper_edge(4)));
+}
+
+TEST(HistogramTest, BucketIndexRespectsEdges) {
+  const Histogram h("h", SmallOptions());
+  // Everything at or below the first edge lands in bucket 0, including
+  // non-positive and non-finite garbage.
+  EXPECT_EQ(h.BucketIndex(0.0), 0u);
+  EXPECT_EQ(h.BucketIndex(-3.0), 0u);
+  EXPECT_EQ(h.BucketIndex(0.5), 0u);
+  EXPECT_EQ(h.BucketIndex(1.0), 0u);
+  EXPECT_EQ(h.BucketIndex(std::nan("")), 0u);
+  // Exact edges belong to their own bucket (range is (lo, hi]).
+  EXPECT_EQ(h.BucketIndex(1.0001), 1u);
+  EXPECT_EQ(h.BucketIndex(2.0), 1u);
+  EXPECT_EQ(h.BucketIndex(2.0001), 2u);
+  EXPECT_EQ(h.BucketIndex(4.0), 2u);
+  EXPECT_EQ(h.BucketIndex(8.0), 3u);
+  // Above the last finite edge: overflow.
+  EXPECT_EQ(h.BucketIndex(8.0001), 4u);
+  EXPECT_EQ(h.BucketIndex(1e12), 4u);
+}
+
+TEST(HistogramTest, ExactEdgesStayInTheirBucketAcrossTheLatencyLayout) {
+  // The production latency layout exercises the floating-point nudge over
+  // many decades: min * growth^i must index to bucket i for every i.
+  const Histogram h("lat", LatencyHistogramOptions());
+  const HistogramOptions& o = h.options();
+  for (size_t i = 0; i < o.buckets; ++i) {
+    const double edge = o.min * std::pow(o.growth, static_cast<double>(i));
+    EXPECT_EQ(h.BucketIndex(edge), i) << "edge " << edge;
+  }
+}
+
+TEST(HistogramTest, CountAndSumAccumulate) {
+  Histogram h("h", SmallOptions());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  h.Observe(1.0);
+  h.Observe(2.0);
+  h.Observe(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // 1.0
+  EXPECT_EQ(h.bucket_count(1), 1u);  // 2.0
+  EXPECT_EQ(h.bucket_count(2), 1u);  // 3.0
+}
+
+TEST(HistogramTest, QuantileOfEmptyIsZero) {
+  const Histogram h("h", SmallOptions());
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesInsideTheCoveringBucket) {
+  Histogram h("h", SmallOptions());
+  // 100 observations, all in bucket (1, 2]. The estimator assumes a
+  // uniform spread over the bucket, so the q-quantile is 1 + q.
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(1.5);
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 1.5, 1e-9);
+  EXPECT_NEAR(h.Quantile(0.25), 1.25, 1e-9);
+  EXPECT_NEAR(h.Quantile(1.0), 2.0, 1e-9);
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneAndBracketTheData) {
+  Histogram h("h", SmallOptions());
+  for (int i = 0; i < 50; ++i) h.Observe(0.5);
+  for (int i = 0; i < 30; ++i) h.Observe(3.0);
+  for (int i = 0; i < 20; ++i) h.Observe(6.0);
+  double prev = 0.0;
+  for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  // p50 falls on the boundary of the first bucket; p99 within (4, 8].
+  EXPECT_LE(h.Quantile(0.5), 1.0);
+  EXPECT_GT(h.Quantile(0.99), 4.0);
+  EXPECT_LE(h.Quantile(0.99), 8.0);
+}
+
+TEST(HistogramTest, OverflowObservationsReportTheLastFiniteEdge) {
+  Histogram h("h", SmallOptions());
+  h.Observe(100.0);
+  h.Observe(1000.0);
+  EXPECT_EQ(h.bucket_count(4), 2u);
+  // No finite upper bound exists; the estimator saturates at the last
+  // finite edge rather than inventing one.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 8.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 8.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h("h", SmallOptions());
+  h.Observe(1.0);
+  h.Observe(100.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  for (size_t i = 0; i < h.buckets(); ++i) {
+    EXPECT_EQ(h.bucket_count(i), 0u);
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fuzzymatch

@@ -1,0 +1,116 @@
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace fuzzymatch {
+namespace obs {
+namespace {
+
+TEST(MetricsRegistryTest, SameNameReturnsSameObject) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("layer.events");
+  Counter* c2 = registry.GetCounter("layer.events");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(registry.GetCounter("layer.other"), c1);
+  // Kinds live in separate namespaces: a gauge may share a counter's name.
+  Gauge* g = registry.GetGauge("layer.events");
+  EXPECT_EQ(registry.GetGauge("layer.events"), g);
+  Histogram* h = registry.GetHistogram("layer.events");
+  EXPECT_EQ(registry.GetHistogram("layer.events"), h);
+}
+
+TEST(MetricsRegistryTest, HistogramOptionsApplyOnFirstUseOnly) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.min = 1.0;
+  options.growth = 4.0;
+  options.buckets = 3;
+  Histogram* h = registry.GetHistogram("h", options);
+  ASSERT_EQ(h->buckets(), 4u);
+  // A second caller with different options gets the existing object.
+  Histogram* again = registry.GetHistogram("h", HistogramOptions{});
+  EXPECT_EQ(again, h);
+  EXPECT_EQ(again->buckets(), 4u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hammer.count");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter->value(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ConcurrentLookupAndObserveAreExact) {
+  // Every thread resolves the metric by name itself (registry mutex) and
+  // then observes lock-free; totals must come out exact and the pointer
+  // must be stable across all threads.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  std::vector<Histogram*> seen(kThreads, nullptr);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      Histogram* h = registry.GetHistogram("hammer.seconds");
+      seen[static_cast<size_t>(t)] = h;
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h->Observe(1e-6);
+        registry.GetCounter("hammer.lookups")->Increment();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<size_t>(t)], seen[0]);
+  }
+  EXPECT_EQ(seen[0]->count(), kThreads * kPerThread);
+  EXPECT_EQ(registry.GetCounter("hammer.lookups")->value(),
+            kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesValuesButKeepsObjects) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h");
+  c->Increment(7);
+  g->Set(3.25);
+  h->Observe(0.5);
+  registry.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  // Cached pointers stay valid and live.
+  EXPECT_EQ(registry.GetCounter("c"), c);
+  c->Increment();
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+  Counter* c = MetricsRegistry::Global().GetCounter("registry_test.global");
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("registry_test.global"), c);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fuzzymatch

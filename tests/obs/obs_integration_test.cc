@@ -1,0 +1,150 @@
+// End-to-end invariants between the per-query/per-matcher stats structs
+// and the process-wide metrics registry: the two accounts of the same
+// work must agree exactly. Runs a real FuzzyMatcher over a small
+// synthetic relation and compares registry deltas against QueryStats,
+// AggregateStats, and the buffer pool's own member counters.
+
+#include <gtest/gtest.h>
+
+#include "core/fuzzy_match.h"
+#include "gen/customer_gen.h"
+#include "gen/dataset.h"
+#include "obs/metrics.h"
+#include "storage/database.h"
+
+namespace fuzzymatch {
+namespace {
+
+uint64_t Get(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+class ObsIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(DatabaseOptions{});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    auto table = db_->CreateTable("customers",
+                                  CustomerGenerator::CustomerSchema());
+    ASSERT_TRUE(table.ok());
+    ref_ = *table;
+    CustomerGenOptions gen_options;
+    gen_options.num_tuples = 1000;
+    CustomerGenerator gen(gen_options);
+    ASSERT_TRUE(gen.Populate(ref_).ok());
+    FuzzyMatchConfig config;
+    config.eti.signature_size = 2;
+    config.eti.index_tokens = true;
+    auto matcher = FuzzyMatcher::Build(db_.get(), "customers", config);
+    ASSERT_TRUE(matcher.ok()) << matcher.status();
+    matcher_ = std::move(*matcher);
+  }
+
+  std::vector<InputTuple> MakeInputs(size_t n) {
+    DatasetSpec spec = DatasetD2();
+    spec.num_inputs = n;
+    auto inputs = GenerateInputs(ref_, spec, nullptr);
+    EXPECT_TRUE(inputs.ok());
+    return std::move(*inputs);
+  }
+
+  std::unique_ptr<Database> db_;
+  Table* ref_ = nullptr;
+  std::unique_ptr<FuzzyMatcher> matcher_;
+};
+
+TEST_F(ObsIntegrationTest, EtiProbesMatchQueryStatsLookups) {
+  // Every Eti::Lookup increments eti.probes exactly once, and the
+  // matcher counts the same events into QueryStats::eti_lookups.
+  for (const auto& input : MakeInputs(10)) {
+    const uint64_t before = Get("eti.probes");
+    QueryStats stats;
+    ASSERT_TRUE(matcher_->FindMatches(input.dirty, &stats).ok());
+    EXPECT_EQ(Get("eti.probes") - before, stats.eti_lookups);
+  }
+}
+
+TEST_F(ObsIntegrationTest, BufferPoolRegistryMirrorsMemberCounters) {
+  // The registry aggregates across pools; with a single database in play
+  // its deltas must equal the pool's own per-instance deltas.
+  BufferPool* pool = db_->buffer_pool();
+  const uint64_t reg_hits = Get("bufferpool.hits");
+  const uint64_t reg_misses = Get("bufferpool.misses");
+  const uint64_t mem_hits = pool->hits();
+  const uint64_t mem_misses = pool->misses();
+  for (const auto& input : MakeInputs(10)) {
+    ASSERT_TRUE(matcher_->FindMatches(input.dirty).ok());
+  }
+  const uint64_t hit_delta = pool->hits() - mem_hits;
+  const uint64_t miss_delta = pool->misses() - mem_misses;
+  EXPECT_EQ(Get("bufferpool.hits") - reg_hits, hit_delta);
+  EXPECT_EQ(Get("bufferpool.misses") - reg_misses, miss_delta);
+  // Every page access is either a hit or a miss; this workload touches
+  // the pool at least once per query.
+  EXPECT_GT(hit_delta + miss_delta, 0u);
+}
+
+TEST_F(ObsIntegrationTest, MatchCountersMirrorAggregateStats) {
+  matcher_->ResetAggregateStats();
+  const uint64_t queries = Get("match.queries");
+  const uint64_t lookups = Get("match.eti_lookups");
+  const uint64_t tids = Get("match.tids_processed");
+  const uint64_t fetched = Get("match.ref_tuples_fetched");
+  const uint64_t osc_attempted = Get("match.osc_attempted");
+  const uint64_t osc_succeeded = Get("match.osc_succeeded");
+  const uint64_t ok = Get("match.fetched_when_osc_succeeded");
+  const uint64_t fail = Get("match.fetched_when_osc_failed");
+  const uint64_t none = Get("match.fetched_when_osc_not_attempted");
+  obs::Histogram* latency = obs::MetricsRegistry::Global().GetHistogram(
+      "match.query_seconds", obs::LatencyHistogramOptions());
+  const uint64_t latency_count = latency->count();
+
+  const auto inputs = MakeInputs(25);
+  for (const auto& input : inputs) {
+    QueryStats stats;
+    ASSERT_TRUE(matcher_->FindMatches(input.dirty, &stats).ok());
+  }
+
+  const AggregateStats& agg = matcher_->aggregate_stats();
+  EXPECT_EQ(agg.queries, inputs.size());
+  EXPECT_EQ(Get("match.queries") - queries, agg.queries);
+  EXPECT_EQ(Get("match.eti_lookups") - lookups, agg.eti_lookups);
+  EXPECT_EQ(Get("match.tids_processed") - tids, agg.tids_processed);
+  EXPECT_EQ(Get("match.ref_tuples_fetched") - fetched,
+            agg.ref_tuples_fetched);
+  EXPECT_EQ(Get("match.osc_attempted") - osc_attempted, agg.osc_attempted);
+  EXPECT_EQ(Get("match.osc_succeeded") - osc_succeeded, agg.osc_succeeded);
+  EXPECT_EQ(Get("match.fetched_when_osc_succeeded") - ok,
+            agg.fetched_when_osc_succeeded);
+  EXPECT_EQ(Get("match.fetched_when_osc_failed") - fail,
+            agg.fetched_when_osc_failed);
+  EXPECT_EQ(Get("match.fetched_when_osc_not_attempted") - none,
+            agg.fetched_when_osc_not_attempted);
+  // One latency observation per accumulated query.
+  EXPECT_EQ(latency->count() - latency_count, agg.queries);
+  // The three fetch attributions partition the total.
+  EXPECT_EQ(agg.fetched_when_osc_succeeded + agg.fetched_when_osc_failed +
+                agg.fetched_when_osc_not_attempted,
+            agg.ref_tuples_fetched);
+}
+
+TEST_F(ObsIntegrationTest, SpanHistogramsCoverTheQueryPhases) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Histogram* probe = reg.GetHistogram(
+      "span.match.probe_seconds", obs::LatencyHistogramOptions());
+  obs::Histogram* score = reg.GetHistogram(
+      "span.match.score_seconds", obs::LatencyHistogramOptions());
+  const uint64_t probes_before = probe->count();
+  const uint64_t scores_before = score->count();
+  QueryStats stats;
+  auto row = ref_->Get(7);
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE(matcher_->FindMatches(*row, &stats).ok());
+  // One probe span per ETI lookup; at least one scoring span.
+  EXPECT_EQ(probe->count() - probes_before, stats.eti_lookups);
+  EXPECT_GT(score->count(), scores_before);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

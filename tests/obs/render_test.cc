@@ -1,0 +1,105 @@
+// Golden tests for the two exposition formats. The renderers are
+// deterministic (std::map ordering, %.9g doubles), so exact string
+// comparison is safe and pins the schema the bench tooling consumes.
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace fuzzymatch {
+namespace obs {
+namespace {
+
+// One metric of each kind with hand-checkable values. The histogram has
+// edges 1, 2 and an overflow bucket; 0.5 lands in bucket 0 and 3.0 in
+// the overflow, so p50 = 1 (edge of bucket 0) and p95 = p99 = 2 (the
+// last finite edge, reported for overflow mass).
+void Populate(MetricsRegistry& registry) {
+  registry.GetCounter("a.count")->Increment(3);
+  registry.GetGauge("g.rate")->Set(1.5);
+  HistogramOptions options;
+  options.min = 1.0;
+  options.growth = 2.0;
+  options.buckets = 2;
+  Histogram* h = registry.GetHistogram("h", options);
+  h->Observe(0.5);
+  h->Observe(3.0);
+}
+
+TEST(RenderTest, PrometheusTextGolden) {
+  MetricsRegistry registry;
+  Populate(registry);
+  EXPECT_EQ(registry.RenderText(),
+            "# HELP fm_a_count a.count\n"
+            "# TYPE fm_a_count counter\n"
+            "fm_a_count 3\n"
+            "# HELP fm_g_rate g.rate\n"
+            "# TYPE fm_g_rate gauge\n"
+            "fm_g_rate 1.5\n"
+            "# HELP fm_h h\n"
+            "# TYPE fm_h histogram\n"
+            "fm_h_bucket{le=\"1\"} 1\n"
+            "fm_h_bucket{le=\"2\"} 1\n"
+            "fm_h_bucket{le=\"+Inf\"} 2\n"
+            "fm_h_sum 3.5\n"
+            "fm_h_count 2\n"
+            "# fm_h p50=1 p95=2 p99=2\n");
+}
+
+TEST(RenderTest, JsonGolden) {
+  MetricsRegistry registry;
+  Populate(registry);
+  EXPECT_EQ(registry.RenderJson(),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"a.count\": 3\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"g.rate\": 1.5\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"h\": {\n"
+            "      \"count\": 2,\n"
+            "      \"sum\": 3.5,\n"
+            "      \"p50\": 1,\n"
+            "      \"p95\": 2,\n"
+            "      \"p99\": 2,\n"
+            "      \"buckets\": [{\"le\": 1, \"count\": 1}, "
+            "{\"le\": \"+Inf\", \"count\": 1}]\n"
+            "    }\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(RenderTest, EmptyRegistryRendersValidSkeletons) {
+  const MetricsRegistry registry;
+  EXPECT_EQ(registry.RenderText(), "");
+  EXPECT_EQ(registry.RenderJson(),
+            "{\n"
+            "  \"counters\": {},\n"
+            "  \"gauges\": {},\n"
+            "  \"histograms\": {}\n"
+            "}\n");
+}
+
+TEST(RenderTest, NamesAreSanitizedButHelpKeepsTheDottedOriginal) {
+  MetricsRegistry registry;
+  registry.GetCounter("buffer-pool.hits/misses")->Increment();
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# HELP fm_buffer_pool_hits_misses "
+                      "buffer-pool.hits/misses\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fm_buffer_pool_hits_misses 1\n"), std::string::npos);
+}
+
+TEST(RenderTest, CountersSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last")->Increment();
+  registry.GetCounter("a.first")->Increment();
+  const std::string text = registry.RenderText();
+  EXPECT_LT(text.find("fm_a_first"), text.find("fm_z_last"));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fuzzymatch

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fuzzymatch {
+namespace obs {
+namespace {
+
+TEST(QueryTraceTest, InstallsAndRestoresCurrent) {
+  EXPECT_EQ(QueryTrace::Current(), nullptr);
+  {
+    QueryTrace outer("outer");
+    EXPECT_EQ(QueryTrace::Current(), &outer);
+    {
+      QueryTrace inner("inner");
+      EXPECT_EQ(QueryTrace::Current(), &inner);
+    }
+    EXPECT_EQ(QueryTrace::Current(), &outer);
+  }
+  EXPECT_EQ(QueryTrace::Current(), nullptr);
+}
+
+TEST(QueryTraceTest, RecordAggregatesByPhaseName) {
+  QueryTrace trace("q");
+  trace.Record("probe", 0.5);
+  trace.Record("score", 2.0);
+  trace.Record("probe", 0.25);
+  ASSERT_EQ(trace.phases().size(), 2u);
+  EXPECT_STREQ(trace.phases()[0].name, "probe");
+  EXPECT_EQ(trace.phases()[0].calls, 2u);
+  EXPECT_DOUBLE_EQ(trace.phases()[0].seconds, 0.75);
+  EXPECT_STREQ(trace.phases()[1].name, "score");
+  EXPECT_EQ(trace.phases()[1].calls, 1u);
+  EXPECT_DOUBLE_EQ(trace.phases()[1].seconds, 2.0);
+  const std::string summary = trace.Summary();
+  EXPECT_NE(summary.find("probe="), std::string::npos);
+  EXPECT_NE(summary.find("score="), std::string::npos);
+  EXPECT_NE(summary.find("/2"), std::string::npos);
+}
+
+TEST(ScopedSpanTest, ObservesIntoHistogramAndCurrentTrace) {
+  Histogram hist("span_test", LatencyHistogramOptions());
+  {
+    QueryTrace trace("q");
+    {
+      const ScopedSpan span("phase", &hist);
+    }
+    EXPECT_EQ(hist.count(), 1u);
+    EXPECT_GE(hist.sum(), 0.0);
+    ASSERT_EQ(trace.phases().size(), 1u);
+    EXPECT_STREQ(trace.phases()[0].name, "phase");
+    EXPECT_EQ(trace.phases()[0].calls, 1u);
+  }
+  // Without a trace installed the span still feeds the histogram.
+  {
+    const ScopedSpan span("phase", &hist);
+  }
+  EXPECT_EQ(hist.count(), 2u);
+}
+
+TEST(ScopedSpanTest, SpanHistogramUsesTheRegistryNamingScheme) {
+  Histogram* h = SpanHistogram("trace_test.naming");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h, MetricsRegistry::Global().GetHistogram(
+                   "span.trace_test.naming_seconds"));
+  // Latency layout, not the default.
+  EXPECT_EQ(h->buckets(), LatencyHistogramOptions().buckets + 1);
+}
+
+uint64_t MacroSpanCount() {
+  return MetricsRegistry::Global()
+      .GetHistogram("span.trace_test.macro_seconds")
+      ->count();
+}
+
+void FunctionWithSpan() { FM_TRACE_SPAN("trace_test.macro"); }
+
+TEST(ScopedSpanTest, TraceSpanMacroRecordsPerCall) {
+  const uint64_t before = MacroSpanCount();
+  FunctionWithSpan();
+  FunctionWithSpan();
+  FunctionWithSpan();
+  EXPECT_EQ(MacroSpanCount(), before + 3);
+}
+
+TEST(ScopedSpanTest, TwoSpansInOneScopeCompile) {
+  // The __COUNTER__ plumbing must give each expansion its own variables.
+  Histogram* h = SpanHistogram("trace_test.pair");
+  const uint64_t before = h->count();
+  {
+    FM_TRACE_SPAN("trace_test.pair");
+    FM_TRACE_SPAN("trace_test.pair");
+  }
+  EXPECT_EQ(h->count(), before + 2);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fuzzymatch

@@ -12,10 +12,18 @@
 //   fuzzymatch_cli match   --ref ref.csv --input dirty.csv --out out.csv
 //                          [--q N] [--h N] [--tokens] [--k N]
 //                          [--threshold C] [--load-threshold C]
+//                          [--metrics [FILE]] [--verbose]
 //       Builds an Error Tolerant Index over the reference CSV and batch-
 //       cleans the input CSV. The output repeats each input row and
 //       appends: outcome (validated/corrected/routed), similarity, and
 //       the matched reference row.
+//
+//       --metrics dumps the process-wide metrics registry (buffer-pool
+//       hit rates, pages read, ETI probes, OSC outcomes, per-phase span
+//       and query latency histograms) in Prometheus text format to
+//       stdout, or to FILE when a value is given. --verbose lowers the
+//       log level to debug, which also emits a per-query phase
+//       breakdown from the span tracer.
 //
 // CSV convention: first record is the header; empty fields are NULL.
 
@@ -26,11 +34,13 @@
 #include <sstream>
 
 #include "common/csv.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "core/batch_cleaner.h"
 #include "core/fuzzy_match.h"
 #include "gen/customer_gen.h"
 #include "gen/dataset.h"
+#include "obs/metrics.h"
 
 using namespace fuzzymatch;
 
@@ -322,6 +332,21 @@ Status CmdMatch(const Args& args) {
       static_cast<unsigned long long>(stats.validated),
       static_cast<unsigned long long>(stats.corrected),
       static_cast<unsigned long long>(stats.routed), out_path.c_str());
+
+  if (args.Has("metrics")) {
+    const std::string text = obs::MetricsRegistry::Global().RenderText();
+    const std::string metrics_path = args.Get("metrics", "");
+    if (metrics_path.empty()) {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::ofstream metrics_out(metrics_path);
+      if (!metrics_out) {
+        return Status::IOError("cannot write " + metrics_path);
+      }
+      metrics_out << text;
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    }
+  }
   return Status::OK();
 }
 
@@ -334,7 +359,7 @@ void PrintUsage() {
       "          [--profile D1|D2|D3] [--seed S] [--seeds]\n"
       "  match   --ref ref.csv --input dirty.csv --out out.csv\n"
       "          [--q N] [--h N] [--tokens] [--k N] [--threshold C]\n"
-      "          [--load-threshold C]\n");
+      "          [--load-threshold C] [--metrics [FILE]] [--verbose]\n");
 }
 
 }  // namespace
@@ -346,6 +371,9 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Args args(argc, argv);
+  if (args.Has("verbose")) {
+    SetLogLevel(LogLevel::kDebug);
+  }
   Status status;
   if (command == "gen") {
     status = CmdGen(args);
