@@ -50,7 +50,9 @@ int main() {
   std::printf("Reference relation (Table 1):\n");
   for (size_t i = 0; i < reference.size(); ++i) {
     if (!orgs->Insert(reference[i]).ok()) return 1;
-    PrintRow(("R" + std::to_string(i + 1)).c_str(), reference[i]);
+    std::string label = "R";
+    label += std::to_string(i + 1);
+    PrintRow(label.c_str(), reference[i]);
   }
 
   // 2. Build the error tolerant index. Small relation, so a small q and
@@ -93,7 +95,9 @@ int main() {
   std::printf("\nFuzzy matching the inputs of Table 2 (fms vs ed):\n");
   const Tokenizer tokenizer;
   for (size_t i = 0; i < inputs.size(); ++i) {
-    PrintRow(("I" + std::to_string(i + 1)).c_str(), inputs[i]);
+    std::string label = "I";
+    label += std::to_string(i + 1);
+    PrintRow(label.c_str(), inputs[i]);
     auto matches = matcher->FindMatches(inputs[i]);
     if (!matches.ok() || matches->empty()) {
       std::printf("     -> no match\n");

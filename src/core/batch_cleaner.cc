@@ -1,5 +1,11 @@
 #include "core/batch_cleaner.h"
 
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <thread>
+
 #include "common/logging.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
@@ -88,6 +94,85 @@ Result<CleanStats> BatchCleaner::CleanBatch(const std::vector<Row>& inputs,
   CleanStats stats;
   for (size_t i = 0; i < inputs.size(); ++i) {
     FM_ASSIGN_OR_RETURN(const CleanResult result, Clean(inputs[i]));
+    ++stats.processed;
+    switch (result.outcome) {
+      case CleanOutcome::kValidated:
+        ++stats.validated;
+        break;
+      case CleanOutcome::kCorrected:
+        ++stats.corrected;
+        break;
+      case CleanOutcome::kRouted:
+        ++stats.routed;
+        break;
+    }
+    if (sink) {
+      FM_RETURN_IF_ERROR(sink(i, result));
+    }
+  }
+  stats.elapsed_seconds = timer.ElapsedSeconds();
+  const CleanerMetrics& m = CleanerMetrics::Get();
+  m.batch_seconds->Observe(stats.elapsed_seconds);
+  if (stats.elapsed_seconds > 0.0) {
+    m.queries_per_second->Set(static_cast<double>(stats.processed) /
+                              stats.elapsed_seconds);
+  }
+  return stats;
+}
+
+Result<CleanStats> BatchCleaner::CleanBatchParallel(
+    const std::vector<Row>& inputs, size_t threads, const Sink& sink) const {
+  if (threads <= 1 || inputs.size() <= 1) {
+    return CleanBatch(inputs, sink);
+  }
+  threads = std::min(threads, inputs.size());
+
+  Timer timer;
+  std::vector<std::optional<CleanResult>> results(inputs.size());
+  // Workers pull indices from a shared cursor (cheap work stealing: input
+  // tuples vary a lot in cost, so static partitioning would straggle).
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  size_t first_error_index = inputs.size();
+  Status first_error = Status::OK();
+
+  auto worker = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= inputs.size() || failed.load(std::memory_order_relaxed)) {
+        return;
+      }
+      Result<CleanResult> result = Clean(inputs[i]);
+      if (!result.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = result.status();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      results[i] = std::move(result).value();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (failed.load(std::memory_order_relaxed)) {
+    return first_error;
+  }
+
+  // Serial, in-order reduction keeps sink output deterministic.
+  CleanStats stats;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const CleanResult& result = *results[i];
     ++stats.processed;
     switch (result.outcome) {
       case CleanOutcome::kValidated:

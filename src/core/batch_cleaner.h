@@ -45,6 +45,11 @@ struct CleanStats {
 };
 
 /// Streams dirty tuples through a FuzzyMatcher and routes the results.
+///
+/// Thread safety: Clean() and CleanBatch() are safe to call from
+/// concurrent threads (the matcher's query path is concurrent and the
+/// cleaner itself holds no per-query state); CleanBatchParallel fans one
+/// batch out over its own worker threads.
 class BatchCleaner {
  public:
   struct Options {
@@ -66,6 +71,17 @@ class BatchCleaner {
   /// to only collect statistics). Stops at the first sink/match error.
   Result<CleanStats> CleanBatch(const std::vector<Row>& inputs,
                                 const Sink& sink = nullptr) const;
+
+  /// Cleans a batch on `threads` worker threads sharing the matcher's
+  /// concurrent query path. Routing decisions are identical to the serial
+  /// CleanBatch, and `sink` is still invoked serially in input order once
+  /// all tuples are processed, so output row order stays deterministic.
+  /// On a match error the first (lowest-index) error is returned and the
+  /// remaining work is abandoned. `threads` <= 1 degenerates to
+  /// CleanBatch.
+  Result<CleanStats> CleanBatchParallel(const std::vector<Row>& inputs,
+                                        size_t threads,
+                                        const Sink& sink = nullptr) const;
 
   const Options& options() const { return options_; }
 

@@ -34,6 +34,12 @@ Result<std::unique_ptr<FuzzyMatcher>> FuzzyMatcher::Build(
   return Assemble(std::move(config), ref, std::move(built));
 }
 
+Result<std::unique_ptr<FuzzyMatcher>> FuzzyMatcher::Build(
+    Database* db, const std::string& ref_table_name) {
+  FuzzyMatchConfig config;
+  return Build(db, ref_table_name, std::move(config));
+}
+
 Result<std::unique_ptr<FuzzyMatcher>> FuzzyMatcher::Open(
     Database* db, const std::string& ref_table_name,
     const std::string& strategy_name, FuzzyMatchConfig config) {
@@ -43,6 +49,13 @@ Result<std::unique_ptr<FuzzyMatcher>> FuzzyMatcher::Open(
       EtiBuilder::Attach(db, ref, strategy_name, config.cache_kind,
                          config.bounded_cache_buckets));
   return Assemble(std::move(config), ref, std::move(built));
+}
+
+Result<std::unique_ptr<FuzzyMatcher>> FuzzyMatcher::Open(
+    Database* db, const std::string& ref_table_name,
+    const std::string& strategy_name) {
+  FuzzyMatchConfig config;
+  return Open(db, ref_table_name, strategy_name, std::move(config));
 }
 
 Result<Tid> FuzzyMatcher::InsertReferenceTuple(const Row& row) {

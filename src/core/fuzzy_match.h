@@ -41,14 +41,27 @@ struct FuzzyMatchConfig {
 };
 
 /// A built fuzzy-match operator over one reference relation.
+///
+/// Thread safety: after Build()/Open() returns, FindMatches and
+/// GetReferenceTuple may be called from any number of threads (the
+/// storage read path is latched and the matcher's aggregate stats are
+/// internally synchronized). InsertReferenceTuple/RemoveReferenceTuple
+/// are writers and remain exclusive: do not run them concurrently with
+/// queries or each other.
 class FuzzyMatcher {
  public:
   /// Builds the ETI and weight table for `ref_table_name` inside `db` and
   /// returns a ready matcher. The ETI persists in `db` as a standard
   /// relation + index named after the table and strategy.
+  ///
+  /// The config-less overloads (here and on Open) stand in for a
+  /// `config = {}` default argument, which GCC 12 -O2 flags with a
+  /// spurious -Wmaybe-uninitialized at every call site.
   static Result<std::unique_ptr<FuzzyMatcher>> Build(
       Database* db, const std::string& ref_table_name,
-      FuzzyMatchConfig config = {});
+      FuzzyMatchConfig config);
+  static Result<std::unique_ptr<FuzzyMatcher>> Build(
+      Database* db, const std::string& ref_table_name);
 
   /// Re-attaches to an ETI built in a previous session (the paper: "we
   /// can use it for subsequent batches of input tuples if the reference
@@ -58,7 +71,10 @@ class FuzzyMatcher {
   /// `config.eti` is ignored (the persisted parameters win).
   static Result<std::unique_ptr<FuzzyMatcher>> Open(
       Database* db, const std::string& ref_table_name,
-      const std::string& strategy_name, FuzzyMatchConfig config = {});
+      const std::string& strategy_name, FuzzyMatchConfig config);
+  static Result<std::unique_ptr<FuzzyMatcher>> Open(
+      Database* db, const std::string& ref_table_name,
+      const std::string& strategy_name);
 
   /// Incremental maintenance (extension; the paper defers it): inserts a
   /// new clean tuple into the reference relation AND the ETI, so later
@@ -84,7 +100,8 @@ class FuzzyMatcher {
   const Eti& eti() const { return *eti_; }
   const IdfWeights& weights() const { return *weights_; }
   const EtiBuildStats& build_stats() const { return build_stats_; }
-  const AggregateStats& aggregate_stats() const {
+  /// Snapshot by value — the accumulator is shared across threads.
+  AggregateStats aggregate_stats() const {
     return matcher_->aggregate_stats();
   }
   void ResetAggregateStats() { matcher_->ResetAggregateStats(); }

@@ -142,7 +142,10 @@ Result<std::vector<Match>> EtiMatcher::FindMatches(const Row& input,
 
   auto finish = [&](std::vector<Match> result) {
     qs->elapsed_seconds = timer.ElapsedSeconds();
-    aggregate_.Accumulate(*qs);
+    {
+      std::lock_guard<std::mutex> lock(aggregate_mu_);
+      aggregate_.Accumulate(*qs);
+    }
     return result;
   };
 

@@ -10,6 +10,7 @@
 #ifndef FUZZYMATCH_MATCH_ETI_MATCHER_H_
 #define FUZZYMATCH_MATCH_ETI_MATCHER_H_
 
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -23,6 +24,11 @@
 
 namespace fuzzymatch {
 
+/// Thread safety: FindMatches is safe to call from any number of threads
+/// concurrently — per-query state lives on the stack, the storage read
+/// path is latched, and the aggregate-stats accumulator is guarded by a
+/// small mutex (registry mirrors are lock-free atomics). Pass a distinct
+/// `stats` out-param per thread, or none.
 class EtiMatcher {
  public:
   /// `ref`, `eti` and `weights` must outlive the matcher and must describe
@@ -36,9 +42,17 @@ class EtiMatcher {
   Result<std::vector<Match>> FindMatches(const Row& input,
                                    QueryStats* stats = nullptr) const;
 
-  /// Totals over all Match() calls since construction/reset.
-  const AggregateStats& aggregate_stats() const { return aggregate_; }
-  void ResetAggregateStats() { aggregate_ = AggregateStats(); }
+  /// Snapshot of the totals over all FindMatches() calls since
+  /// construction/reset (by value: the accumulator is shared between
+  /// threads and must not be read through a reference).
+  AggregateStats aggregate_stats() const {
+    std::lock_guard<std::mutex> lock(aggregate_mu_);
+    return aggregate_;
+  }
+  void ResetAggregateStats() {
+    std::lock_guard<std::mutex> lock(aggregate_mu_);
+    aggregate_ = AggregateStats();
+  }
 
   const MatcherOptions& options() const { return options_; }
 
@@ -62,7 +76,8 @@ class EtiMatcher {
   FmsSimilarity fms_;
   Tokenizer tokenizer_;
   MinHasher hasher_;
-  mutable AggregateStats aggregate_;
+  mutable std::mutex aggregate_mu_;
+  mutable AggregateStats aggregate_;  // guarded by aggregate_mu_
 };
 
 }  // namespace fuzzymatch

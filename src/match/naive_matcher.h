@@ -15,6 +15,9 @@
 
 namespace fuzzymatch {
 
+/// Thread safety: once Prepare() has returned, FindMatches is safe from
+/// concurrent threads — it only reads the tokenized snapshot and records
+/// into lock-free registry metrics.
 class NaiveMatcher {
  public:
   /// Which similarity function ranks the reference tuples.

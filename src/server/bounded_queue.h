@@ -1,0 +1,83 @@
+// BoundedQueue<T>: a small mutex+condvar MPMC queue with a hard capacity,
+// the admission-control point of the serving pipeline. Producers never
+// block — a full queue rejects the push so the caller can shed the
+// request with an explicit "overloaded" response instead of building an
+// invisible backlog. Consumers block until an item arrives or the queue
+// is closed AND drained (Close() is graceful by construction: items
+// already admitted are always handed out).
+
+#ifndef FUZZYMATCH_SERVER_BOUNDED_QUEUE_H_
+#define FUZZYMATCH_SERVER_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace fuzzymatch {
+namespace server {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push; false when the queue is full or closed (the
+  /// caller sheds).
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty.
+  /// Returns false only in the latter case.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return false;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Rejects future pushes; queued items still drain through Pop().
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace server
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_SERVER_BOUNDED_QUEUE_H_

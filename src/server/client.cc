@@ -1,0 +1,120 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "server/protocol.h"
+
+namespace fuzzymatch {
+namespace server {
+
+Status LineClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status s =
+        Status::IOError("connect " + host + ": " + std::strerror(errno));
+    Close();
+    return s;
+  }
+  return Status::OK();
+}
+
+Status LineClient::Send(std::string_view request) {
+  if (fd_ < 0) {
+    return Status::InvalidArgument("not connected");
+  }
+  std::string line(request);
+  if (line.empty() || line.back() != '\n') {
+    line.push_back('\n');
+  }
+  std::string_view data = line;
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      data.remove_prefix(static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return Status::IOError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::string> LineClient::ReadLine() {
+  if (fd_ < 0) {
+    return Status::InvalidArgument("not connected");
+  }
+  char chunk[4096];
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      return line;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("server closed the connection");
+    }
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Result<std::string> LineClient::Roundtrip(std::string_view request) {
+  FM_RETURN_IF_ERROR(Send(request));
+  return ReadLine();
+}
+
+Result<std::string> LineClient::FetchMetrics() {
+  FM_RETURN_IF_ERROR(Send("metrics"));
+  std::string body;
+  for (;;) {
+    FM_ASSIGN_OR_RETURN(std::string line, ReadLine());
+    if (line == kMetricsEndMarker) {
+      return body;
+    }
+    body += line;
+    body.push_back('\n');
+  }
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace server
+}  // namespace fuzzymatch

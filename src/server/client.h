@@ -1,0 +1,55 @@
+// LineClient: a minimal blocking client for the serving protocol, shared
+// by the loadgen tool, the serving bench, and the server tests. One
+// request in flight at a time (matching the server's per-connection
+// contract).
+
+#ifndef FUZZYMATCH_SERVER_CLIENT_H_
+#define FUZZYMATCH_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fuzzymatch {
+namespace server {
+
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient() { Close(); }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request line ('\n' appended if missing) and returns the
+  /// single response line, without its trailing newline.
+  Result<std::string> Roundtrip(std::string_view request);
+
+  /// Sends `metrics` and returns the full multi-line body up to (and
+  /// excluding) the "# EOF" terminator.
+  Result<std::string> FetchMetrics();
+
+  /// Sends one line without waiting for a response (for quit).
+  Status Send(std::string_view request);
+
+  /// Reads the next response line (without the trailing newline).
+  Result<std::string> ReadLine();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received but not yet consumed
+};
+
+}  // namespace server
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_SERVER_CLIENT_H_

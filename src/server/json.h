@@ -1,0 +1,86 @@
+// Minimal JSON: a value type, a recursive-descent parser, and a compact
+// serializer. Dependency-free by design (the serving protocol must not
+// pull a third-party library into the storage engine's build).
+//
+// Supported: null, booleans, finite doubles, strings (with \uXXXX escapes
+// parsed into UTF-8), arrays, objects (insertion-ordered, duplicate keys
+// keep the last value). Not supported: NaN/Inf literals, comments.
+
+#ifndef FUZZYMATCH_SERVER_JSON_H_
+#define FUZZYMATCH_SERVER_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fuzzymatch {
+namespace server {
+
+/// One JSON value (a small tagged union).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double n);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items = {});
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; only valid for the matching kind.
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object_items() const {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Appends to an array / sets an object member (builder interface).
+  void Append(JsonValue v);
+  void Set(std::string key, JsonValue v);
+
+  /// Compact serialization (no whitespace); numbers use shortest-ish
+  /// %.17g round-trip formatting, integers print without a fraction.
+  std::string Dump() const;
+  void DumpTo(std::string* out) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one JSON document (the whole input must be consumed, modulo
+/// trailing whitespace). Depth-limited to keep hostile inputs from
+/// exhausting the stack.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Escapes `s` as a JSON string literal (with quotes) into `out`.
+void AppendJsonString(std::string_view s, std::string* out);
+
+}  // namespace server
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_SERVER_JSON_H_

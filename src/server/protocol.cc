@@ -1,0 +1,231 @@
+#include "server/protocol.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "server/json.h"
+
+namespace fuzzymatch {
+namespace server {
+
+namespace {
+
+/// Converts a JSON "row" array (strings / nulls) into a Row.
+Result<Row> RowFromJson(const JsonValue& value) {
+  if (!value.is_array()) {
+    return Status::InvalidArgument("\"row\" must be an array");
+  }
+  Row row;
+  row.reserve(value.array_items().size());
+  for (const JsonValue& field : value.array_items()) {
+    if (field.is_null()) {
+      row.emplace_back(std::nullopt);
+    } else if (field.is_string()) {
+      // Empty string doubles as NULL, matching the CSV convention.
+      if (field.string_value().empty()) {
+        row.emplace_back(std::nullopt);
+      } else {
+        row.emplace_back(field.string_value());
+      }
+    } else {
+      return Status::InvalidArgument(
+          "\"row\" fields must be strings or null");
+    }
+  }
+  return row;
+}
+
+/// Converts a CSV record into a Row (empty field = NULL).
+Result<Row> RowFromCsv(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  CsvReader reader(&in);
+  std::vector<std::string> fields;
+  FM_ASSIGN_OR_RETURN(const bool more, reader.Next(&fields));
+  if (!more) {
+    return Status::InvalidArgument("empty CSV row");
+  }
+  Row row;
+  row.reserve(fields.size());
+  for (const std::string& f : fields) {
+    if (f.empty()) {
+      row.emplace_back(std::nullopt);
+    } else {
+      row.emplace_back(f);
+    }
+  }
+  return row;
+}
+
+Result<Request> ParseJsonRequest(std::string_view line) {
+  FM_ASSIGN_OR_RETURN(const JsonValue doc, ParseJson(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  const JsonValue* op = doc.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return Status::InvalidArgument("missing string \"op\"");
+  }
+  Request request;
+  const std::string& name = op->string_value();
+  if (name == "match") {
+    request.op = Request::Op::kMatch;
+  } else if (name == "clean") {
+    request.op = Request::Op::kClean;
+  } else if (name == "ping") {
+    request.op = Request::Op::kPing;
+  } else if (name == "metrics") {
+    request.op = Request::Op::kMetrics;
+  } else if (name == "quit") {
+    request.op = Request::Op::kQuit;
+  } else {
+    return Status::InvalidArgument("unknown op \"" + name + "\"");
+  }
+  if (const JsonValue* id = doc.Find("id"); id != nullptr) {
+    if (!id->is_number() || id->number_value() < 0 ||
+        id->number_value() != std::floor(id->number_value())) {
+      return Status::InvalidArgument("\"id\" must be a non-negative integer");
+    }
+    request.id = static_cast<uint64_t>(id->number_value());
+  }
+  if (request.op == Request::Op::kMatch ||
+      request.op == Request::Op::kClean) {
+    const JsonValue* row = doc.Find("row");
+    if (row == nullptr) {
+      return Status::InvalidArgument("missing \"row\"");
+    }
+    FM_ASSIGN_OR_RETURN(request.row, RowFromJson(*row));
+  }
+  return request;
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(std::string_view line) {
+  // Tolerate a trailing '\r' from netcat/telnet-style clients.
+  if (!line.empty() && line.back() == '\r') {
+    line.remove_suffix(1);
+  }
+  if (line.empty()) {
+    return Status::InvalidArgument("empty request line");
+  }
+  if (line.front() == '{') {
+    return ParseJsonRequest(line);
+  }
+  Request request;
+  if (line == "ping") {
+    request.op = Request::Op::kPing;
+    return request;
+  }
+  if (line == "metrics" || line == "GET /metrics") {
+    request.op = Request::Op::kMetrics;
+    return request;
+  }
+  if (line == "quit") {
+    request.op = Request::Op::kQuit;
+    return request;
+  }
+  if (line.rfind("match ", 0) == 0) {
+    request.op = Request::Op::kMatch;
+    FM_ASSIGN_OR_RETURN(request.row, RowFromCsv(line.substr(6)));
+    return request;
+  }
+  if (line.rfind("clean ", 0) == 0) {
+    request.op = Request::Op::kClean;
+    FM_ASSIGN_OR_RETURN(request.row, RowFromCsv(line.substr(6)));
+    return request;
+  }
+  return Status::InvalidArgument(
+      "unrecognized request (want JSON, match/clean <csv>, ping, metrics "
+      "or quit)");
+}
+
+namespace {
+
+JsonValue RowToJson(const Row& row) {
+  JsonValue arr = JsonValue::Array();
+  for (const auto& field : row) {
+    if (field.has_value()) {
+      arr.Append(JsonValue::String(*field));
+    } else {
+      arr.Append(JsonValue::Null());
+    }
+  }
+  return arr;
+}
+
+void MaybeSetId(const std::optional<uint64_t>& id, JsonValue* obj) {
+  if (id.has_value()) {
+    obj->Set("id", JsonValue::Number(static_cast<double>(*id)));
+  }
+}
+
+std::string FinishLine(const JsonValue& obj) { return obj.Dump() + "\n"; }
+
+}  // namespace
+
+std::string RenderMatchResponse(const std::optional<uint64_t>& id,
+                                const std::vector<MatchWithRow>& matches) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("ok", JsonValue::Bool(true));
+  obj.Set("op", JsonValue::String("match"));
+  MaybeSetId(id, &obj);
+  JsonValue arr = JsonValue::Array();
+  for (const MatchWithRow& m : matches) {
+    JsonValue item = JsonValue::Object();
+    item.Set("tid", JsonValue::Number(static_cast<double>(m.match.tid)));
+    item.Set("similarity", JsonValue::Number(m.match.similarity));
+    item.Set("row", RowToJson(m.row));
+    arr.Append(std::move(item));
+  }
+  obj.Set("matches", std::move(arr));
+  return FinishLine(obj);
+}
+
+std::string RenderCleanResponse(const std::optional<uint64_t>& id,
+                                const CleanResult& result) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("ok", JsonValue::Bool(true));
+  obj.Set("op", JsonValue::String("clean"));
+  MaybeSetId(id, &obj);
+  switch (result.outcome) {
+    case CleanOutcome::kValidated:
+      obj.Set("outcome", JsonValue::String("validated"));
+      break;
+    case CleanOutcome::kCorrected:
+      obj.Set("outcome", JsonValue::String("corrected"));
+      break;
+    case CleanOutcome::kRouted:
+      obj.Set("outcome", JsonValue::String("routed"));
+      break;
+  }
+  if (result.best_match.has_value()) {
+    obj.Set("tid",
+            JsonValue::Number(static_cast<double>(result.best_match->tid)));
+    obj.Set("similarity", JsonValue::Number(result.best_match->similarity));
+  }
+  obj.Set("row", RowToJson(result.output));
+  return FinishLine(obj);
+}
+
+std::string RenderPingResponse(const std::optional<uint64_t>& id) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("ok", JsonValue::Bool(true));
+  obj.Set("op", JsonValue::String("ping"));
+  MaybeSetId(id, &obj);
+  return FinishLine(obj);
+}
+
+std::string RenderErrorResponse(std::string_view error, bool shed) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("ok", JsonValue::Bool(false));
+  obj.Set("error", JsonValue::String(std::string(error)));
+  if (shed) {
+    obj.Set("shed", JsonValue::Bool(true));
+  }
+  return FinishLine(obj);
+}
+
+}  // namespace server
+}  // namespace fuzzymatch

@@ -1,0 +1,83 @@
+// The fuzzymatch serving protocol: line-delimited requests over a byte
+// stream, one JSON response line per request.
+//
+// Request forms (one per line, '\n'-terminated):
+//
+//   {"op":"match","row":["seattle","wa",...],"id":7}
+//   {"op":"clean","row":[...]}
+//   match <csv row>              convenience CSV form of the JSON above
+//   clean <csv row>
+//   ping                         liveness check
+//   metrics                      (alias: "GET /metrics") registry dump
+//   quit                         asks the server to close the connection
+//
+// `row` fields are strings or null (null = NULL attribute; the empty
+// string in the CSV form). `id`, when present, is a client correlation
+// number echoed in the response. A row's arity must equal the reference
+// relation's column count.
+//
+// Response lines:
+//
+//   {"ok":true,"op":"match","id":7,"matches":[
+//       {"tid":12,"similarity":0.9731,"row":[...]}]}
+//   {"ok":true,"op":"clean","outcome":"corrected","similarity":0.93,
+//       "tid":12,"row":[...]}
+//   {"ok":true,"op":"ping"}
+//   {"ok":false,"error":"..."}               malformed request
+//   {"ok":false,"error":"overloaded","shed":true}   admission control
+//
+// `metrics` is the one multi-line response: the Prometheus text
+// exposition of the process registry, terminated by a line that is
+// exactly "# EOF".
+
+#ifndef FUZZYMATCH_SERVER_PROTOCOL_H_
+#define FUZZYMATCH_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/batch_cleaner.h"
+#include "match/match_types.h"
+#include "storage/schema.h"
+
+namespace fuzzymatch {
+namespace server {
+
+/// One parsed request line.
+struct Request {
+  enum class Op { kMatch, kClean, kPing, kMetrics, kQuit };
+
+  Op op = Op::kPing;
+  Row row;                      // kMatch / kClean payload
+  std::optional<uint64_t> id;   // client correlation id, echoed back
+};
+
+/// Parses one request line (without the trailing newline).
+Result<Request> ParseRequest(std::string_view line);
+
+/// A match result enriched with the reference tuple for the response.
+struct MatchWithRow {
+  Match match;
+  Row row;
+};
+
+/// Response renderers; each returns one '\n'-terminated JSON line.
+std::string RenderMatchResponse(const std::optional<uint64_t>& id,
+                                const std::vector<MatchWithRow>& matches);
+std::string RenderCleanResponse(const std::optional<uint64_t>& id,
+                                const CleanResult& result);
+std::string RenderPingResponse(const std::optional<uint64_t>& id);
+std::string RenderErrorResponse(std::string_view error, bool shed = false);
+
+/// The terminator line of a metrics response (followed by '\n' on the
+/// wire).
+inline constexpr std::string_view kMetricsEndMarker = "# EOF";
+
+}  // namespace server
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_SERVER_PROTOCOL_H_

@@ -1,0 +1,421 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fuzzymatch {
+namespace server {
+
+namespace {
+
+/// Writes the whole buffer, riding out EINTR and partial writes.
+/// MSG_NOSIGNAL turns a dead peer into an error instead of SIGPIPE.
+bool WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      data.remove_prefix(static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;  // peer gone or write timeout
+  }
+  return true;
+}
+
+void SetSocketTimeout(int fd, int optname, int timeout_ms) {
+  if (timeout_ms <= 0) {
+    return;
+  }
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv));
+}
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+MatchServer::MatchServer(const FuzzyMatcher* matcher,
+                         BatchCleaner::Options clean_options,
+                         ServerOptions options)
+    : matcher_(matcher),
+      cleaner_(matcher, clean_options),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity) {}
+
+MatchServer::~MatchServer() { Shutdown(); }
+
+Status MatchServer::Start() {
+  if (started_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already started");
+  }
+  if (options_.workers == 0) {
+    return Status::InvalidArgument("server needs at least one worker");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Errno("socket");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status s = Errno("bind " + options_.host);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    const Status s = Errno("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 128) != 0) {
+    const Status s = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+
+  started_.store(true, std::memory_order_release);
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("server.workers")->Set(static_cast<double>(options_.workers));
+  reg.GetGauge("server.queue_capacity")
+      ->Set(static_cast<double>(options_.queue_capacity));
+
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void MatchServer::RequestStop() {
+  stopping_.store(true, std::memory_order_release);
+  // Unblocks accept(2). shutdown(2) is async-signal-safe, so this whole
+  // method may run inside a SIGTERM handler.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+}
+
+void MatchServer::Shutdown() {
+  if (!started_.load(std::memory_order_acquire) ||
+      shut_down_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  RequestStop();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+
+  // Stop reading new requests on every live connection. In-flight
+  // requests still complete: the workers stay up until all connection
+  // threads (each possibly blocked on a reply future) have exited.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  for (;;) {
+    std::unique_ptr<Connection> conn;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conns_.empty()) {
+        break;
+      }
+      conn = std::move(conns_.front());
+      conns_.pop_front();
+    }
+    if (conn->thread.joinable()) {
+      conn->thread.join();
+    }
+    ::close(conn->fd);
+  }
+
+  queue_.Close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+  workers_.clear();
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  obs::MetricsRegistry::Global().GetGauge("server.active_connections")->Set(0);
+}
+
+void MatchServer::ReapConnections() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Connection* conn = it->get();
+    if (conn->done.load(std::memory_order_acquire)) {
+      if (conn->thread.joinable()) {
+        conn->thread.join();
+      }
+      ::close(conn->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MatchServer::AcceptLoop() {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Counter* accepted = reg.GetCounter("server.connections_accepted");
+  obs::Counter* refused = reg.GetCounter("server.connections_refused");
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      // Listener shut down (RequestStop) or broken: stop accepting.
+      break;
+    }
+    ReapConnections();
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      refused->Increment();
+      WriteAll(fd, RenderErrorResponse("overloaded", /*shed=*/true));
+      ::close(fd);
+      continue;
+    }
+    SetSocketTimeout(fd, SO_RCVTIMEO, options_.idle_timeout_ms);
+    SetSocketTimeout(fd, SO_SNDTIMEO, options_.write_timeout_ms);
+
+    accepted->Increment();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { ConnectionLoop(raw); });
+  }
+}
+
+void MatchServer::ConnectionLoop(Connection* conn) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Gauge* active = reg.GetGauge("server.active_connections");
+  obs::Gauge* queue_depth = reg.GetGauge("server.queue_depth");
+  obs::Counter* requests = reg.GetCounter("server.requests");
+  obs::Counter* responses = reg.GetCounter("server.responses");
+  obs::Counter* shed = reg.GetCounter("server.shed_requests");
+  obs::Counter* parse_errors = reg.GetCounter("server.parse_errors");
+
+  active->Set(static_cast<double>(
+      active_connections_.fetch_add(1, std::memory_order_relaxed) + 1));
+
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    // Assemble the next request line.
+    size_t nl;
+    while ((nl = buffer.find('\n')) == std::string::npos) {
+      if (buffer.size() > options_.max_line_bytes) {
+        WriteAll(conn->fd, RenderErrorResponse("request line too long"));
+        open = false;
+        break;
+      }
+      const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      // 0 = peer closed (or our SHUT_RD during drain); EAGAIN/EWOULDBLOCK
+      // = idle timeout. Either way the connection is done.
+      open = false;
+      break;
+    }
+    if (!open) {
+      break;
+    }
+
+    const std::string line = buffer.substr(0, nl);
+    buffer.erase(0, nl + 1);
+
+    auto parsed = ParseRequest(line);
+    if (!parsed.ok()) {
+      parse_errors->Increment();
+      if (!WriteAll(conn->fd, RenderErrorResponse(parsed.status().message()))) {
+        break;
+      }
+      continue;
+    }
+    Request& request = *parsed;
+
+    // Control ops answer inline: they must stay responsive while the
+    // worker pool is saturated.
+    if (request.op == Request::Op::kPing) {
+      if (!WriteAll(conn->fd, RenderPingResponse(request.id))) break;
+      continue;
+    }
+    if (request.op == Request::Op::kMetrics) {
+      std::string text = obs::MetricsRegistry::Global().RenderText();
+      text.append(kMetricsEndMarker);
+      text.push_back('\n');
+      if (!WriteAll(conn->fd, text)) break;
+      continue;
+    }
+    if (request.op == Request::Op::kQuit) {
+      WriteAll(conn->fd, "{\"ok\":true,\"op\":\"quit\"}\n");
+      break;
+    }
+
+    // match / clean: admission control, then hand off to the pool.
+    requests->Increment();
+    requests_received_.fetch_add(1, std::memory_order_relaxed);
+
+    WorkItem item;
+    item.request = std::move(request);
+    std::future<std::string> reply = item.reply.get_future();
+    if (!queue_.TryPush(&item)) {
+      shed->Increment();
+      shed_requests_.fetch_add(1, std::memory_order_relaxed);
+      if (!WriteAll(conn->fd, RenderErrorResponse("overloaded", true))) {
+        break;
+      }
+      continue;
+    }
+    queue_depth->Set(static_cast<double>(queue_.size()));
+    // One outstanding request per connection: blocking here is what keeps
+    // responses ordered. The item lives on this stack; the wait below is
+    // what makes that safe.
+    const std::string response = reply.get();
+    responses->Increment();
+    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (!WriteAll(conn->fd, response)) {
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      break;  // drain: last response flushed, close out
+    }
+  }
+
+  active->Set(static_cast<double>(
+      active_connections_.fetch_sub(1, std::memory_order_relaxed) - 1));
+  // The fd stays open until ReapConnections/Shutdown joins us; shut it
+  // down now so the peer sees EOF promptly.
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
+}
+
+void MatchServer::WorkerLoop() {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Gauge* busy = reg.GetGauge("server.busy_workers");
+  obs::Histogram* latency = reg.GetHistogram(
+      "server.request_seconds", obs::LatencyHistogramOptions());
+
+  WorkItem* item = nullptr;
+  while (queue_.Pop(&item)) {
+    busy->Set(static_cast<double>(
+        busy_workers_.fetch_add(1, std::memory_order_relaxed) + 1));
+    const auto start = std::chrono::steady_clock::now();
+    if (options_.handler_delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.handler_delay_ms));
+    }
+    std::string response = HandleQuery(item->request);
+    latency->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+    item->reply.set_value(std::move(response));
+    busy->Set(static_cast<double>(
+        busy_workers_.fetch_sub(1, std::memory_order_relaxed) - 1));
+  }
+}
+
+std::string MatchServer::HandleQuery(const Request& request) {
+  FM_TRACE_SPAN("server.handle_query");
+  const size_t want = matcher_->reference().schema().num_columns();
+  if (request.row.size() != want) {
+    return RenderErrorResponse(StringPrintf(
+        "row arity %zu does not match reference arity %zu",
+        request.row.size(), want));
+  }
+  switch (request.op) {
+    case Request::Op::kMatch:
+      return HandleMatch(request);
+    case Request::Op::kClean:
+      return HandleClean(request);
+    default:
+      return RenderErrorResponse("internal: non-query op reached the pool");
+  }
+}
+
+std::string MatchServer::HandleMatch(const Request& request) {
+  auto matches = matcher_->FindMatches(request.row);
+  if (!matches.ok()) {
+    return RenderErrorResponse(matches.status().message());
+  }
+  std::vector<MatchWithRow> enriched;
+  enriched.reserve(matches->size());
+  for (const Match& m : *matches) {
+    auto row = matcher_->GetReferenceTuple(m.tid);
+    if (!row.ok()) {
+      return RenderErrorResponse(row.status().message());
+    }
+    enriched.push_back(MatchWithRow{m, *std::move(row)});
+  }
+  return RenderMatchResponse(request.id, enriched);
+}
+
+std::string MatchServer::HandleClean(const Request& request) {
+  auto result = cleaner_.Clean(request.row);
+  if (!result.ok()) {
+    return RenderErrorResponse(result.status().message());
+  }
+  return RenderCleanResponse(request.id, *result);
+}
+
+}  // namespace server
+}  // namespace fuzzymatch

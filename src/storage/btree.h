@@ -30,6 +30,12 @@ namespace fuzzymatch {
 /// A single B+-tree. The root page id changes as the tree grows; callers
 /// persisting the tree must re-read root() after mutations (the Database
 /// catalog does this at checkpoint).
+///
+/// Concurrency: the read path (Get, iterators, Count, Height) is safe
+/// from any number of threads once the tree is built — node pages are
+/// pinned through the BufferPool's latch and never mutated by readers.
+/// Insert/Put/Delete are exclusive (no node latching): serialize writes
+/// externally and do not interleave them with reads.
 class BPlusTree {
  public:
   /// Creates an empty tree (root = empty leaf).

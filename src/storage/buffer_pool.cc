@@ -51,6 +51,11 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
 
 PageGuard::~PageGuard() { Release(); }
 
+// The lock-free frame accesses below are safe because a frame's byte
+// buffer is allocated once (under mu_) and never moves, and the pin taken
+// by Fetch/New keeps the frame from being evicted or re-pointed while any
+// guard is alive.
+
 Page PageGuard::page() {
   FM_CHECK(valid());
   return Page(pool_->frames_[frame_].data.get());
@@ -108,15 +113,16 @@ Result<size_t> BufferPool::GrabFrame() {
   }
   page_to_frame_.erase(fr.page_id);
   fr.page_id = kInvalidPageId;
-  ++evictions_;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
   EvictionsCounter().Increment();
   return victim;
 }
 
 Result<PageGuard> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_to_frame_.find(id);
   if (it != page_to_frame_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     HitsCounter().Increment();
     Frame& fr = frames_[it->second];
     if (fr.in_lru) {
@@ -126,7 +132,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
     ++fr.pin_count;
     return PageGuard(this, it->second, id);
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   MissesCounter().Increment();
   FM_ASSIGN_OR_RETURN(const size_t f, GrabFrame());
   Frame& fr = frames_[f];
@@ -139,6 +145,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
 }
 
 Result<PageGuard> BufferPool::New() {
+  std::lock_guard<std::mutex> lock(mu_);
   FM_ASSIGN_OR_RETURN(const PageId id, pager_->AllocatePage());
   FM_ASSIGN_OR_RETURN(const size_t f, GrabFrame());
   Frame& fr = frames_[f];
@@ -151,6 +158,7 @@ Result<PageGuard> BufferPool::New() {
 }
 
 void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
   Frame& fr = frames_[frame];
   FM_CHECK_GT(fr.pin_count, 0u);
   if (--fr.pin_count == 0) {
@@ -158,6 +166,11 @@ void BufferPool::Unpin(size_t frame) {
     fr.lru_pos = std::prev(lru_.end());
     fr.in_lru = true;
   }
+}
+
+void BufferPool::MarkDirty(size_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frames_[frame].dirty = true;
 }
 
 Status BufferPool::FlushFrame(size_t frame) {
@@ -168,6 +181,7 @@ Status BufferPool::FlushFrame(size_t frame) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t f = 0; f < next_unused_frame_; ++f) {
     if (frames_[f].page_id != kInvalidPageId && frames_[f].dirty) {
       FM_RETURN_IF_ERROR(FlushFrame(f));

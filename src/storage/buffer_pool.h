@@ -1,16 +1,34 @@
 // BufferPool: a fixed-capacity LRU cache of page frames over a Pager.
 //
 // Callers access pages through RAII PageGuards that pin the frame for the
-// guard's lifetime. The pool is single-threaded by design (the fuzzy match
-// pipeline is single-threaded, as in the paper's setup); there is no
-// latching.
+// guard's lifetime.
+//
+// Thread safety (the shared-read contract): all public operations are
+// safe to call from multiple threads concurrently. One internal mutex
+// guards the frame table, the LRU list, pin counts, and the page->frame
+// map; page *contents* are read through PageGuards without any lock — a
+// pinned frame can neither be evicted nor re-pointed at another page, and
+// the frame's byte buffer is allocated once and never moves. This is
+// exactly what the fuzzy-match serving workload needs: the reference
+// relation and the ETI are immutable after build, so queries are pure
+// readers and never conflict on page bytes. Writers (index build,
+// incremental ETI maintenance) are NOT internally serialized against each
+// other or against readers of the pages they mutate; run them exclusively
+// (build before serving starts, or behind an external write lock).
+//
+// The critical section covers pager I/O on a miss, so concurrent misses
+// serialize. With a pool sized to the working set (the serving setup)
+// misses vanish after warmup and the lock hold time is a hash lookup
+// plus a list splice.
 
 #ifndef FUZZYMATCH_STORAGE_BUFFER_POOL_H_
 #define FUZZYMATCH_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -23,7 +41,9 @@ namespace fuzzymatch {
 
 class BufferPool;
 
-/// Pins one page frame while alive; movable, not copyable.
+/// Pins one page frame while alive; movable, not copyable. A PageGuard
+/// must stay on the thread that created it or be handed off with external
+/// synchronization (it is a capability, not a synchronized object).
 class PageGuard {
  public:
   PageGuard() = default;
@@ -64,7 +84,8 @@ class PageGuard {
 };
 
 /// LRU page cache. Evicts only unpinned frames; dirty frames are written
-/// back on eviction and on FlushAll().
+/// back on eviction and on FlushAll(). Safe for concurrent use; see the
+/// file comment for the shared-read contract.
 class BufferPool {
  public:
   /// `capacity` is the number of resident frames (>= 1).
@@ -84,9 +105,11 @@ class BufferPool {
   Status FlushAll();
 
   /// Cache statistics (for tests and the resource-requirements bench).
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   size_t capacity() const { return frames_.size(); }
 
   Pager* pager() { return pager_; }
@@ -105,19 +128,22 @@ class BufferPool {
   };
 
   /// Finds a frame to (re)use: a never-used frame or the LRU unpinned one.
+  /// Caller must hold mu_.
   Result<size_t> GrabFrame();
   void Unpin(size_t frame);
-  void MarkDirty(size_t frame) { frames_[frame].dirty = true; }
+  void MarkDirty(size_t frame);
+  /// Caller must hold mu_.
   Status FlushFrame(size_t frame);
 
   Pager* pager_;
+  std::mutex mu_;  // guards frames_ metadata, page_to_frame_, lru_
   std::vector<Frame> frames_;
   size_t next_unused_frame_ = 0;
   std::unordered_map<PageId, size_t> page_to_frame_;
   std::list<size_t> lru_;  // front = least recently used
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace fuzzymatch

@@ -26,7 +26,17 @@ struct DatabaseOptions {
   size_t pool_pages = 4096;
 };
 
-/// One storage namespace. Single-threaded.
+/// One storage namespace.
+///
+/// Thread safety (the shared-read contract): after the catalog and the
+/// tables/indexes it hands out are built, any number of threads may read
+/// concurrently — Table::Get/Scan, BPlusTree::Get/iteration and
+/// Eti::Lookup all funnel into the BufferPool, whose internal latch makes
+/// the read path safe. Catalog mutations (CreateTable/DropTable/
+/// CreateIndex/DropIndex/Checkpoint) and row/index writes remain
+/// exclusive: run them before serving starts or behind an external write
+/// lock. The fuzzy-match deployment fits this exactly — the reference
+/// relation and the ETI are immutable once built.
 class Database {
  public:
   /// Opens (or creates) a database.

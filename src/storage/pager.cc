@@ -81,10 +81,11 @@ std::unique_ptr<Pager> Pager::OpenInMemory() {
 }
 
 Result<PageId> Pager::AllocatePage() {
-  if (page_count_ == kInvalidPageId) {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  const PageId id = page_count_.load(std::memory_order_relaxed);
+  if (id == kInvalidPageId) {
     return Status::ResourceExhausted("pager full");
   }
-  const PageId id = page_count_;
   if (fd_ >= 0) {
     // Extend the file with a zero page.
     std::vector<char> zeros(kPageSize, 0);
@@ -94,13 +95,23 @@ Result<PageId> Pager::AllocatePage() {
     std::memset(buf.get(), 0, kPageSize);
     mem_pages_.push_back(std::move(buf));
   }
-  ++page_count_;
+  // Release-publish so a reader that observes the new count also sees the
+  // extended file / the grown mem_pages_ entry it guards.
+  page_count_.store(id + 1, std::memory_order_release);
   PagesAllocatedCounter().Increment();
   return id;
 }
 
+// Looks up the in-memory buffer of page `id` under the allocation mutex
+// (mem_pages_ may be mid-growth on another thread); the buffer itself is
+// stable once allocated, so the copy happens outside the lock.
+char* Pager::MemPageUnlocked_(PageId id) {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  return mem_pages_[id].get();
+}
+
 Status Pager::ReadPage(PageId id, char* buf) {
-  if (id >= page_count_) {
+  if (id >= page_count()) {
     return Status::OutOfRange(StringPrintf("read of unallocated page %u", id));
   }
   PagesReadCounter().Increment();
@@ -122,12 +133,12 @@ Status Pager::ReadPage(PageId id, char* buf) {
     }
     return Status::OK();
   }
-  std::memcpy(buf, mem_pages_[id].get(), kPageSize);
+  std::memcpy(buf, MemPageUnlocked_(id), kPageSize);
   return Status::OK();
 }
 
 Status Pager::WritePage(PageId id, const char* buf) {
-  if (id >= page_count_) {
+  if (id >= page_count()) {
     return Status::OutOfRange(
         StringPrintf("write of unallocated page %u", id));
   }
@@ -135,7 +146,7 @@ Status Pager::WritePage(PageId id, const char* buf) {
   if (fd_ >= 0) {
     return WritePageAtUnchecked_(id, buf);
   }
-  std::memcpy(mem_pages_[id].get(), buf, kPageSize);
+  std::memcpy(MemPageUnlocked_(id), buf, kPageSize);
   return Status::OK();
 }
 

@@ -7,11 +7,19 @@
 //
 // The Pager knows nothing about page contents; caching and pinning are the
 // BufferPool's job.
+//
+// Thread safety: all operations may be called concurrently. Allocation
+// takes a mutex; reads and writes of already-allocated pages run without
+// it (pread/pwrite are positional, and in-memory page buffers never move
+// once allocated). Concurrent accesses to the SAME page are the caller's
+// problem — the BufferPool's latching already serializes them.
 
 #ifndef FUZZYMATCH_STORAGE_PAGER_H_
 #define FUZZYMATCH_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,7 +45,9 @@ class Pager {
   static std::unique_ptr<Pager> OpenInMemory();
 
   /// Number of allocated pages.
-  uint32_t page_count() const { return page_count_; }
+  uint32_t page_count() const {
+    return page_count_.load(std::memory_order_acquire);
+  }
 
   /// Allocates a new zero-filled page at the end of the store.
   Result<PageId> AllocatePage();
@@ -60,9 +70,15 @@ class Pager {
   /// Writes without the page-bounds check (used while extending the file).
   Status WritePageAtUnchecked_(PageId id, const char* buf);
 
+  /// In-memory mode: resolves page `id` to its stable buffer under the
+  /// allocation mutex.
+  char* MemPageUnlocked_(PageId id);
+
   int fd_ = -1;
   std::string path_;
-  uint32_t page_count_ = 0;
+  std::mutex alloc_mu_;  // serializes AllocatePage (file extension /
+                         // mem_pages_ growth)
+  std::atomic<uint32_t> page_count_{0};
   std::vector<std::unique_ptr<char[]>> mem_pages_;  // in-memory mode only
 };
 

@@ -21,6 +21,10 @@ namespace fuzzymatch {
 using Tid = uint32_t;
 
 /// A stored relation. Created/opened through Database.
+///
+/// Concurrency: Get/GetByRid/Scan are safe from concurrent threads once
+/// loading is done (reads go through the BufferPool latch). Insert/
+/// Update/Delete are exclusive — see the Database shared-read contract.
 class Table {
  public:
   const std::string& name() const { return name_; }

@@ -22,10 +22,16 @@ struct SweepParam {
   bool conservative;
 
   std::string Name() const {
-    return "K" + std::to_string(k) + "_q" + std::to_string(q) + "_" +
-           (index_tokens ? "QT" : "Q") + std::to_string(h) +
-           (use_osc ? "_osc" : "_basic") +
-           (conservative ? "_safe" : "_fast");
+    std::string name = "K";
+    name += std::to_string(k);
+    name += "_q";
+    name += std::to_string(q);
+    name += '_';
+    name += index_tokens ? "QT" : "Q";
+    name += std::to_string(h);
+    name += use_osc ? "_osc" : "_basic";
+    name += conservative ? "_safe" : "_fast";
+    return name;
   }
 };
 

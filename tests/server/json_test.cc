@@ -1,0 +1,109 @@
+#include "server/json.h"
+
+#include <gtest/gtest.h>
+
+namespace fuzzymatch {
+namespace server {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  auto null = ParseJson("null");
+  ASSERT_TRUE(null.ok());
+  EXPECT_TRUE(null->is_null());
+
+  auto truthy = ParseJson(" true ");
+  ASSERT_TRUE(truthy.ok());
+  EXPECT_TRUE(truthy->bool_value());
+
+  auto number = ParseJson("-12.5e2");
+  ASSERT_TRUE(number.ok());
+  EXPECT_DOUBLE_EQ(number->number_value(), -1250.0);
+
+  auto text = ParseJson("\"hi there\"");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->string_value(), "hi there");
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  auto doc = ParseJson(
+      "{\"op\":\"match\",\"row\":[\"a\",null,\"c\"],\"id\":7,"
+      "\"nested\":{\"k\":[1,2,3]}}");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("op")->string_value(), "match");
+  EXPECT_EQ(doc->Find("id")->number_value(), 7.0);
+  const JsonValue* row = doc->Find("row");
+  ASSERT_NE(row, nullptr);
+  ASSERT_EQ(row->array_items().size(), 3u);
+  EXPECT_TRUE(row->array_items()[1].is_null());
+  EXPECT_EQ(doc->Find("nested")->Find("k")->array_items().size(), 3u);
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto s = ParseJson("\"a\\n\\t\\\"b\\\\c\\u0041\\u00e9\"");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->string_value(), "a\n\t\"b\\cA\xc3\xa9");
+
+  // Surrogate pair: U+1F600.
+  auto emoji = ParseJson("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(emoji.ok());
+  EXPECT_EQ(emoji->string_value(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("truex").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok()) << "trailing content";
+  EXPECT_FALSE(ParseJson("\"bad \\q escape\"").ok());
+  EXPECT_FALSE(ParseJson("nan").ok());
+}
+
+TEST(JsonTest, DepthLimitStopsHostileNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonTest, DumpRoundTrips) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("ok", JsonValue::Bool(true));
+  obj.Set("tid", JsonValue::Number(12));
+  obj.Set("similarity", JsonValue::Number(0.9731));
+  JsonValue row = JsonValue::Array();
+  row.Append(JsonValue::String("a \"quoted\" field"));
+  row.Append(JsonValue::Null());
+  obj.Set("row", std::move(row));
+
+  const std::string text = obj.Dump();
+  EXPECT_EQ(text.find("\"tid\":12,"), text.find("\"tid\""))
+      << "integers print without a fraction: " << text;
+
+  auto parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << text;
+  EXPECT_TRUE(parsed->Find("ok")->bool_value());
+  EXPECT_EQ(parsed->Find("tid")->number_value(), 12.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("similarity")->number_value(), 0.9731);
+  EXPECT_EQ(parsed->Find("row")->array_items()[0].string_value(),
+            "a \"quoted\" field");
+}
+
+TEST(JsonTest, EscaperHandlesControlCharacters) {
+  std::string out;
+  AppendJsonString("a\nb\x01", &out);
+  EXPECT_EQ(out, "\"a\\nb\\u0001\"");
+}
+
+TEST(JsonTest, DuplicateKeysKeepLastValue) {
+  auto doc = ParseJson("{\"a\":1,\"a\":2}");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("a")->number_value(), 2.0);
+  EXPECT_EQ(doc->object_items().size(), 1u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace fuzzymatch

@@ -1,0 +1,120 @@
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "server/json.h"
+
+namespace fuzzymatch {
+namespace server {
+namespace {
+
+TEST(ProtocolTest, ParsesJsonMatchRequest) {
+  auto request =
+      ParseRequest("{\"op\":\"match\",\"row\":[\"a b\",null,\"\"],\"id\":3}");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->op, Request::Op::kMatch);
+  ASSERT_EQ(request->row.size(), 3u);
+  EXPECT_EQ(request->row[0], std::optional<std::string>("a b"));
+  EXPECT_FALSE(request->row[1].has_value());
+  EXPECT_FALSE(request->row[2].has_value()) << "empty string doubles as NULL";
+  ASSERT_TRUE(request->id.has_value());
+  EXPECT_EQ(*request->id, 3u);
+}
+
+TEST(ProtocolTest, ParsesCsvForms) {
+  auto match = ParseRequest("match joe smith,seattle,wa,98052");
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->op, Request::Op::kMatch);
+  ASSERT_EQ(match->row.size(), 4u);
+  EXPECT_EQ(*match->row[0], "joe smith");
+
+  auto clean = ParseRequest("clean \"a,b\",,c");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->op, Request::Op::kClean);
+  ASSERT_EQ(clean->row.size(), 3u);
+  EXPECT_EQ(*clean->row[0], "a,b") << "quoted CSV field";
+  EXPECT_FALSE(clean->row[1].has_value());
+}
+
+TEST(ProtocolTest, ParsesControlOps) {
+  EXPECT_EQ(ParseRequest("ping")->op, Request::Op::kPing);
+  EXPECT_EQ(ParseRequest("metrics")->op, Request::Op::kMetrics);
+  EXPECT_EQ(ParseRequest("GET /metrics")->op, Request::Op::kMetrics);
+  EXPECT_EQ(ParseRequest("quit")->op, Request::Op::kQuit);
+  EXPECT_EQ(ParseRequest("{\"op\":\"ping\"}")->op, Request::Op::kPing);
+  // Trailing '\r' from telnet-style clients is tolerated.
+  EXPECT_EQ(ParseRequest("ping\r")->op, Request::Op::kPing);
+}
+
+TEST(ProtocolTest, RejectsBadRequests) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("bogus").ok());
+  EXPECT_FALSE(ParseRequest("{\"op\":\"match\"}").ok()) << "missing row";
+  EXPECT_FALSE(ParseRequest("{\"op\":\"teleport\",\"row\":[]}").ok());
+  EXPECT_FALSE(ParseRequest("{\"row\":[\"a\"]}").ok()) << "missing op";
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"match\",\"row\":[1]}").ok())
+      << "row fields must be strings or null";
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"match\",\"row\":[\"a\"],\"id\":-1}").ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"match\",\"row\":[\"a\"],\"id\":1.5}").ok());
+}
+
+TEST(ProtocolTest, RendersMatchResponse) {
+  std::vector<MatchWithRow> matches;
+  matches.push_back(MatchWithRow{
+      Match{12, 0.9731},
+      Row{std::string("joe"), std::nullopt, std::string("wa")}});
+  const std::string line = RenderMatchResponse(7, matches);
+  EXPECT_EQ(line,
+            "{\"ok\":true,\"op\":\"match\",\"id\":7,\"matches\":"
+            "[{\"tid\":12,\"similarity\":0.9731,"
+            "\"row\":[\"joe\",null,\"wa\"]}]}\n");
+  // Without an id the field is omitted entirely.
+  const std::string anon = RenderMatchResponse(std::nullopt, {});
+  EXPECT_EQ(anon, "{\"ok\":true,\"op\":\"match\",\"matches\":[]}\n");
+}
+
+TEST(ProtocolTest, RendersCleanResponse) {
+  CleanResult result;
+  result.outcome = CleanOutcome::kCorrected;
+  result.output = Row{std::string("fixed")};
+  result.best_match = Match{4, 0.91};
+  const std::string line = RenderCleanResponse(std::nullopt, result);
+  EXPECT_EQ(line,
+            "{\"ok\":true,\"op\":\"clean\",\"outcome\":\"corrected\","
+            "\"tid\":4,\"similarity\":0.91,\"row\":[\"fixed\"]}\n");
+
+  CleanResult routed;
+  routed.outcome = CleanOutcome::kRouted;
+  routed.output = Row{std::string("bad")};
+  EXPECT_EQ(RenderCleanResponse(std::nullopt, routed),
+            "{\"ok\":true,\"op\":\"clean\",\"outcome\":\"routed\","
+            "\"row\":[\"bad\"]}\n");
+}
+
+TEST(ProtocolTest, RendersErrors) {
+  EXPECT_EQ(RenderErrorResponse("boom"),
+            "{\"ok\":false,\"error\":\"boom\"}\n");
+  EXPECT_EQ(RenderErrorResponse("overloaded", true),
+            "{\"ok\":false,\"error\":\"overloaded\",\"shed\":true}\n");
+}
+
+TEST(ProtocolTest, RoundTripsThroughItsOwnRenderer) {
+  // A rendered response is itself valid protocol JSON a client can parse.
+  std::vector<MatchWithRow> matches;
+  matches.push_back(
+      MatchWithRow{Match{3, 1.0}, Row{std::string("x \"y\" z")}});
+  const std::string line = RenderMatchResponse(1, matches);
+  auto doc = ParseJson(std::string_view(line).substr(0, line.size() - 1));
+  ASSERT_TRUE(doc.ok()) << line;
+  EXPECT_EQ(
+      doc->Find("matches")->array_items()[0].Find("row")->array_items()[0]
+          .string_value(),
+      "x \"y\" z");
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace fuzzymatch

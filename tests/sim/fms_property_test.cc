@@ -128,7 +128,9 @@ TEST_P(QGramSweepTest, SignatureCoordinatesAreValidGrams) {
 INSTANTIATE_TEST_SUITE_P(QSweep, QGramSweepTest,
                          ::testing::Values(2, 3, 4, 5),
                          [](const auto& info) {
-                           return "q" + std::to_string(info.param);
+                           std::string name = "q";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 }  // namespace

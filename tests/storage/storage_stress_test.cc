@@ -182,7 +182,9 @@ TEST(FileBackedPipelineTest, SmallPoolEndToEnd) {
     options.pool_pages = 64;
     auto db = Database::Open(options);
     ASSERT_TRUE(db.ok());
-    auto matcher = FuzzyMatcher::Open(db->get(), "customers", "Q+T_2");
+    FuzzyMatchConfig reopen_config;
+    auto matcher =
+        FuzzyMatcher::Open(db->get(), "customers", "Q+T_2", reopen_config);
     ASSERT_TRUE(matcher.ok()) << matcher.status();
     auto row = (*matcher)->reference().Get(1234);
     ASSERT_TRUE(row.ok());

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# CI entry point: the checks a change must pass before merging.
+#
+#   tools/ci.sh            # full run: Release tier-1 + TSan + ASan slices
+#   tools/ci.sh release    # just the Release build + full ctest
+#   tools/ci.sh tsan       # just the ThreadSanitizer concurrency slice
+#   tools/ci.sh asan       # just the AddressSanitizer slice
+#
+# Build trees live under build-ci-* so they never collide with a
+# developer's ./build. JOBS defaults to the machine's core count.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+STAGE="${1:-all}"
+
+# The concurrency-sensitive test slice: everything that exercises the
+# shared-read latching model (DESIGN.md 5c) plus the server itself.
+SANITIZER_TESTS='ConcurrentMatchTest|BufferPoolConcurrencyTest|ServerTest|MetricsRegistryTest|BTreeStressTest|HeapFileStressTest|FileBackedPipelineTest|BatchCleanerTest'
+
+run_release() {
+  echo "=== [ci] Release build + full test suite ==="
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build build-ci-release -j "$JOBS"
+  ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+}
+
+run_sanitizer() {  # $1 = thread|address  $2 = build dir
+  echo "=== [ci] ${1}-sanitizer build + concurrency slice ==="
+  cmake -B "$2" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DFM_SANITIZE="$1" > /dev/null
+  # Only the test targets the slice needs: sanitizer builds are slow.
+  cmake --build "$2" -j "$JOBS" --target \
+        concurrent_match_test buffer_pool_concurrency_test server_test \
+        metrics_registry_test storage_stress_test batch_cleaner_test
+  ctest --test-dir "$2" --output-on-failure -j "$JOBS" \
+        -R "$SANITIZER_TESTS"
+}
+
+case "$STAGE" in
+  release) run_release ;;
+  tsan)    run_sanitizer thread build-ci-tsan ;;
+  asan)    run_sanitizer address build-ci-asan ;;
+  all)
+    run_release
+    run_sanitizer thread build-ci-tsan
+    run_sanitizer address build-ci-asan
+    ;;
+  *)
+    echo "usage: tools/ci.sh [release|tsan|asan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "=== [ci] OK (${STAGE}) ==="

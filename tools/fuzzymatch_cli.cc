@@ -12,11 +12,13 @@
 //   fuzzymatch_cli match   --ref ref.csv --input dirty.csv --out out.csv
 //                          [--q N] [--h N] [--tokens] [--k N]
 //                          [--threshold C] [--load-threshold C]
-//                          [--metrics [FILE]] [--verbose]
+//                          [--threads N] [--metrics [FILE]] [--verbose]
 //       Builds an Error Tolerant Index over the reference CSV and batch-
 //       cleans the input CSV. The output repeats each input row and
 //       appends: outcome (validated/corrected/routed), similarity, and
-//       the matched reference row.
+//       the matched reference row. --threads N fans the batch out over N
+//       worker threads on the concurrent query path; routing decisions
+//       and output row order are identical to the serial run.
 //
 //       --metrics dumps the process-wide metrics registry (buffer-pool
 //       hit rates, pages read, ETI probes, OSC outcomes, per-phase span
@@ -27,6 +29,7 @@
 //
 // CSV convention: first record is the header; empty fields are NULL.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -289,10 +292,13 @@ Status CmdMatch(const Args& args) {
   BatchCleaner::Options clean_options;
   clean_options.load_threshold = args.GetDouble("load-threshold", 0.8);
   const BatchCleaner cleaner(matcher.get(), clean_options);
+  const size_t threads =
+      static_cast<size_t>(std::max<int64_t>(1, args.GetInt("threads", 1)));
   FM_ASSIGN_OR_RETURN(
       const CleanStats stats,
-      cleaner.CleanBatch(
-          inputs, [&](size_t i, const CleanResult& result) -> Status {
+      cleaner.CleanBatchParallel(
+          inputs, threads,
+          [&](size_t i, const CleanResult& result) -> Status {
             std::vector<std::string> record(raw_inputs[i].begin(),
                                             raw_inputs[i].begin() +
                                                 static_cast<long>(arity));
@@ -359,7 +365,8 @@ void PrintUsage() {
       "          [--profile D1|D2|D3] [--seed S] [--seeds]\n"
       "  match   --ref ref.csv --input dirty.csv --out out.csv\n"
       "          [--q N] [--h N] [--tokens] [--k N] [--threshold C]\n"
-      "          [--load-threshold C] [--metrics [FILE]] [--verbose]\n");
+      "          [--load-threshold C] [--threads N] [--metrics [FILE]]\n"
+      "          [--verbose]\n");
 }
 
 }  // namespace

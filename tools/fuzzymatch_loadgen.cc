@@ -1,0 +1,224 @@
+// fuzzymatch_loadgen: closed-loop load generator for fuzzymatch_server.
+//
+//   fuzzymatch_loadgen --port P [--host A] [--clients N] [--requests N]
+//                      [--input dirty.csv] [--op match|clean]
+//
+// Each client opens its own connection and issues `--requests` requests
+// back to back (one outstanding at a time, matching the protocol).
+// Request rows come from --input (a CSV with header, cycled as needed);
+// without --input every request is a ping, which measures pure
+// server/protocol overhead. Prints throughput and latency quantiles, and
+// counts shed ("overloaded") responses separately.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "server/client.h"
+#include "server/json.h"
+
+using namespace fuzzymatch;
+
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        continue;
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Builds the request lines up front so the measured loop is pure I/O.
+Result<std::vector<std::string>> BuildRequests(const std::string& input_path,
+                                               const std::string& op) {
+  std::vector<std::string> requests;
+  if (input_path.empty()) {
+    requests.push_back("ping");
+    return requests;
+  }
+  std::ifstream in(input_path);
+  if (!in) {
+    return Status::IOError("cannot open " + input_path);
+  }
+  CsvReader reader(&in);
+  std::vector<std::string> fields;
+  FM_ASSIGN_OR_RETURN(const bool has_header, reader.Next(&fields));
+  if (!has_header) {
+    return Status::InvalidArgument(input_path + " is empty");
+  }
+  for (;;) {
+    FM_ASSIGN_OR_RETURN(const bool more, reader.Next(&fields));
+    if (!more) break;
+    std::string line = "{\"op\":";
+    server::AppendJsonString(op, &line);
+    line += ",\"row\":[";
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) line.push_back(',');
+      if (fields[i].empty()) {
+        line += "null";
+      } else {
+        server::AppendJsonString(fields[i], &line);
+      }
+    }
+    line += "]}";
+    requests.push_back(std::move(line));
+  }
+  if (requests.empty()) {
+    return Status::InvalidArgument(input_path + " has no data rows");
+  }
+  return requests;
+}
+
+struct ClientResult {
+  std::vector<double> latencies_s;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  std::string fatal;  // non-empty = connection-level failure
+};
+
+void RunClient(const std::string& host, uint16_t port,
+               const std::vector<std::string>& requests, size_t offset,
+               size_t count, ClientResult* out) {
+  server::LineClient client;
+  if (const Status s = client.Connect(host, port); !s.ok()) {
+    out->fatal = s.ToString();
+    return;
+  }
+  out->latencies_s.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const std::string& request = requests[(offset + i) % requests.size()];
+    const auto start = std::chrono::steady_clock::now();
+    auto response = client.Roundtrip(request);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (!response.ok()) {
+      out->fatal = response.status().ToString();
+      return;
+    }
+    out->latencies_s.push_back(elapsed);
+    if (response->find("\"shed\":true") != std::string::npos) {
+      ++out->shed;
+    } else if (response->rfind("{\"ok\":true", 0) == 0) {
+      ++out->ok;
+    } else {
+      ++out->errors;
+    }
+  }
+}
+
+double Quantile(std::vector<double>* sorted, double q) {
+  if (sorted->empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted->size())));
+  return (*sorted)[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.Has("help") || !args.Has("port")) {
+    std::fprintf(
+        stderr,
+        "usage: fuzzymatch_loadgen --port P [--host A] [--clients N]\n"
+        "         [--requests N] [--input dirty.csv] [--op match|clean]\n");
+    return 2;
+  }
+  const std::string host = args.Get("host", "127.0.0.1");
+  const uint16_t port = static_cast<uint16_t>(args.GetInt("port", 0));
+  const size_t clients =
+      static_cast<size_t>(std::max<int64_t>(1, args.GetInt("clients", 4)));
+  const size_t requests_per_client =
+      static_cast<size_t>(std::max<int64_t>(1, args.GetInt("requests", 100)));
+  const std::string op = args.Get("op", "match");
+
+  auto requests = BuildRequests(args.Get("input", ""), op);
+  if (!requests.ok()) {
+    std::fprintf(stderr, "error: %s\n", requests.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<ClientResult> results(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back(RunClient, host, port, std::cref(*requests),
+                         c * requests_per_client, requests_per_client,
+                         &results[c]);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  uint64_t ok = 0, shed = 0, errors = 0;
+  std::vector<double> latencies;
+  for (const ClientResult& r : results) {
+    if (!r.fatal.empty()) {
+      std::fprintf(stderr, "client error: %s\n", r.fatal.c_str());
+    }
+    ok += r.ok;
+    shed += r.shed;
+    errors += r.errors;
+    latencies.insert(latencies.end(), r.latencies_s.begin(),
+                     r.latencies_s.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double throughput =
+      wall > 0 ? static_cast<double>(latencies.size()) / wall : 0.0;
+  std::printf(
+      "%zu clients x %zu requests in %.3fs\n"
+      "  throughput: %.1f req/s\n"
+      "  ok: %llu  shed: %llu  errors: %llu\n"
+      "  latency p50: %.3fms  p95: %.3fms  p99: %.3fms  max: %.3fms\n",
+      clients, requests_per_client, wall, throughput,
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(errors),
+      Quantile(&latencies, 0.50) * 1e3, Quantile(&latencies, 0.95) * 1e3,
+      Quantile(&latencies, 0.99) * 1e3,
+      latencies.empty() ? 0.0 : latencies.back() * 1e3);
+  return latencies.empty() ? 1 : 0;
+}

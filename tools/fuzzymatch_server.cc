@@ -1,0 +1,238 @@
+// fuzzymatch_server: the online serving daemon.
+//
+//   fuzzymatch_server --ref ref.csv [--port P] [--host A]
+//                     [--workers N] [--queue N] [--max-conns N]
+//                     [--idle-timeout-ms N]
+//                     [--q N] [--h N] [--tokens] [--k N] [--threshold C]
+//                     [--load-threshold C] [--verbose]
+//
+// Loads the reference CSV, builds the Error Tolerant Index once, then
+// serves match/clean requests over the line protocol (see
+// src/server/protocol.h) from a fixed worker pool. A full request queue
+// sheds with {"ok":false,"error":"overloaded","shed":true}. SIGTERM and
+// SIGINT trigger a graceful drain: in-flight requests complete and their
+// responses flush before the process exits.
+//
+// Try it with netcat:
+//
+//   $ fuzzymatch_server --ref ref.csv --port 7878 &
+//   $ printf 'ping\n{"op":"match","row":["joe","smith",...],"id":1}\n' |
+//       nc 127.0.0.1 7878
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/fuzzy_match.h"
+#include "server/server.h"
+
+using namespace fuzzymatch;
+
+namespace {
+
+/// Tiny --flag[=value] parser: flags with values must use --flag value.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        continue;
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+Row FieldsToRow(const std::vector<std::string>& fields) {
+  Row row;
+  row.reserve(fields.size());
+  for (const auto& f : fields) {
+    if (f.empty()) {
+      row.emplace_back(std::nullopt);
+    } else {
+      row.emplace_back(f);
+    }
+  }
+  return row;
+}
+
+Result<Table*> LoadCsvTable(Database* db, const std::string& name,
+                            const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  CsvReader reader(&in);
+  std::vector<std::string> fields;
+  FM_ASSIGN_OR_RETURN(const bool has_header, reader.Next(&fields));
+  if (!has_header) {
+    return Status::InvalidArgument(path + " is empty");
+  }
+  FM_ASSIGN_OR_RETURN(Table * table, db->CreateTable(name, Schema(fields)));
+  const size_t arity = fields.size();
+  for (;;) {
+    FM_ASSIGN_OR_RETURN(const bool more, reader.Next(&fields));
+    if (!more) break;
+    if (fields.size() != arity) {
+      return Status::InvalidArgument(
+          StringPrintf("%s row %llu has %zu fields, header has %zu",
+                       path.c_str(),
+                       static_cast<unsigned long long>(reader.records_read()),
+                       fields.size(), arity));
+    }
+    FM_RETURN_IF_ERROR(table->Insert(FieldsToRow(fields)).status());
+  }
+  return table;
+}
+
+// Self-pipe: the signal handler's only job is to wake main (a write(2) to
+// a pipe is async-signal-safe; so is the server's RequestStop, but the
+// graceful Shutdown must run on a normal thread).
+int g_stop_pipe[2] = {-1, -1};
+server::MatchServer* g_server = nullptr;
+
+void HandleStopSignal(int) {
+  if (g_server != nullptr) {
+    g_server->RequestStop();
+  }
+  const char byte = 1;
+  // The return value is irrelevant: if the pipe is full, main is already
+  // waking up.
+  [[maybe_unused]] const ssize_t n = ::write(g_stop_pipe[1], &byte, 1);
+}
+
+Status Run(const Args& args) {
+  const std::string ref_path = args.Get("ref", "");
+  if (ref_path.empty()) {
+    return Status::InvalidArgument("fuzzymatch_server requires --ref");
+  }
+
+  FM_ASSIGN_OR_RETURN(auto db, Database::Open(DatabaseOptions{
+                                   .path = "", .pool_pages = 64 * 1024}));
+  FM_ASSIGN_OR_RETURN(Table * ref, LoadCsvTable(db.get(), "ref", ref_path));
+  std::printf("loaded %llu reference tuples from %s\n",
+              static_cast<unsigned long long>(ref->row_count()),
+              ref_path.c_str());
+
+  FuzzyMatchConfig config;
+  config.eti.q = static_cast<int>(args.GetInt("q", 4));
+  config.eti.signature_size = static_cast<int>(args.GetInt("h", 3));
+  config.eti.index_tokens = args.Has("tokens");
+  config.matcher.k = static_cast<size_t>(args.GetInt("k", 1));
+  config.matcher.min_similarity = args.GetDouble("threshold", 0.0);
+  FM_ASSIGN_OR_RETURN(auto matcher,
+                      FuzzyMatcher::Build(db.get(), "ref", config));
+  std::printf("built ETI %s in %.2fs (%llu rows)\n",
+              config.eti.StrategyName().c_str(),
+              matcher->build_stats().total_seconds,
+              static_cast<unsigned long long>(matcher->build_stats().eti_rows));
+
+  BatchCleaner::Options clean_options;
+  clean_options.load_threshold = args.GetDouble("load-threshold", 0.8);
+
+  server::ServerOptions options;
+  options.host = args.Get("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(args.GetInt("port", 7878));
+  options.workers = static_cast<size_t>(args.GetInt("workers", 4));
+  options.queue_capacity = static_cast<size_t>(args.GetInt("queue", 64));
+  options.max_connections =
+      static_cast<size_t>(args.GetInt("max-conns", 256));
+  options.idle_timeout_ms =
+      static_cast<int>(args.GetInt("idle-timeout-ms", 30000));
+
+  server::MatchServer srv(matcher.get(), clean_options, options);
+
+  if (::pipe(g_stop_pipe) != 0) {
+    return Status::IOError("pipe: " + std::string(std::strerror(errno)));
+  }
+  g_server = &srv;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleStopSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  FM_RETURN_IF_ERROR(srv.Start());
+  std::printf("serving on %s:%u (%zu workers, queue %zu); "
+              "SIGTERM drains gracefully\n",
+              options.host.c_str(), srv.port(), options.workers,
+              options.queue_capacity);
+  std::fflush(stdout);
+
+  // Block until a stop signal arrives.
+  char byte;
+  while (::read(g_stop_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("stop requested; draining...\n");
+  srv.Shutdown();
+  g_server = nullptr;
+  std::printf("served %llu requests (%llu shed); bye\n",
+              static_cast<unsigned long long>(srv.responses_sent()),
+              static_cast<unsigned long long>(srv.shed_requests()));
+  return Status::OK();
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: fuzzymatch_server --ref ref.csv [--port P] [--host A]\n"
+      "         [--workers N] [--queue N] [--max-conns N]\n"
+      "         [--idle-timeout-ms N] [--q N] [--h N] [--tokens] [--k N]\n"
+      "         [--threshold C] [--load-threshold C] [--verbose]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.Has("help") || argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  if (args.Has("verbose")) {
+    SetLogLevel(LogLevel::kDebug);
+  }
+  const Status status = Run(args);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
