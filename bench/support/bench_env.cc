@@ -89,12 +89,22 @@ double Accuracy(const std::vector<InputTuple>& inputs,
   return static_cast<double>(correct) / static_cast<double>(inputs.size());
 }
 
+void ApplyHotPathEnvOverrides(FuzzyMatchConfig* config) {
+  config->accel_memory_bytes =
+      EnvSize("FM_ACCEL_BUDGET_MB", config->accel_memory_bytes >> 20) << 20;
+  config->matcher.tuple_cache_bytes =
+      EnvSize("FM_TUPLE_CACHE_MB",
+              config->matcher.tuple_cache_bytes >> 20)
+      << 20;
+}
+
 Result<std::unique_ptr<FuzzyMatcher>> BuildStrategy(
     BenchEnv& env, const EtiParams& params,
     const MatcherOptions& matcher_options) {
   FuzzyMatchConfig config;
   config.eti = params;
   config.matcher = matcher_options;
+  ApplyHotPathEnvOverrides(&config);
   return FuzzyMatcher::Build(env.db.get(), "customers", config);
 }
 

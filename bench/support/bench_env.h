@@ -4,6 +4,8 @@
 // same binaries run as quick smoke checks or full paper-scale sweeps:
 //   FM_REF_SIZE    reference relation cardinality (default 100000)
 //   FM_NUM_INPUTS  input tuples per dataset (default 1655, as the paper)
+//   FM_ACCEL_BUDGET_MB  ETI read-accelerator budget in MiB (0 disables)
+//   FM_TUPLE_CACHE_MB   verified-tuple cache budget in MiB (0 disables)
 
 #ifndef FUZZYMATCH_BENCH_SUPPORT_BENCH_ENV_H_
 #define FUZZYMATCH_BENCH_SUPPORT_BENCH_ENV_H_
@@ -50,8 +52,13 @@ double Accuracy(const std::vector<InputTuple>& inputs,
 /// Prints one aligned row of a results table.
 void PrintRow(const std::vector<std::string>& cells);
 
+/// Applies the hot-path acceleration overrides (DESIGN.md 5d) so every
+/// harness measures the accelerated vs B-tree-only paths from the same
+/// binary: FM_ACCEL_BUDGET_MB and FM_TUPLE_CACHE_MB (0 disables each).
+void ApplyHotPathEnvOverrides(FuzzyMatchConfig* config);
+
 /// Builds a FuzzyMatcher over env.customers with the given index strategy
-/// and query options.
+/// and query options (hot-path env overrides applied).
 Result<std::unique_ptr<FuzzyMatcher>> BuildStrategy(
     BenchEnv& env, const EtiParams& params,
     const MatcherOptions& matcher_options = {});

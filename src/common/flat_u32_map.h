@@ -1,0 +1,129 @@
+// Open-addressed hash map keyed by dense 32-bit ids (tids), probing with
+// the repo's Mix64 hash.
+//
+// The candidate-score table is the single hottest data structure of query
+// processing: every tid-list entry of every ETI probe does one lookup in
+// it (Figure 3 step 9). std::unordered_map pays a heap allocation per
+// node and a pointer chase per find; this map is two flat arrays with
+// linear probing, so a find is one multiply-shift and a short cache-local
+// scan, and inserts allocate only on power-of-two growth.
+//
+// Key 0xFFFFFFFF is reserved as the empty-slot marker. Tids are assigned
+// densely from 0 (storage/table.h), so the reserved key is unreachable in
+// practice; inserting it is a checked error in debug builds and a no-find
+// in release.
+
+#ifndef FUZZYMATCH_COMMON_FLAT_U32_MAP_H_
+#define FUZZYMATCH_COMMON_FLAT_U32_MAP_H_
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace fuzzymatch {
+
+template <typename Value>
+class FlatU32Map {
+ public:
+  static constexpr uint32_t kEmptyKey = 0xFFFFFFFFu;
+
+  FlatU32Map() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pre-sizes the table for `n` keys without rehashing along the way.
+  void Reserve(size_t n) {
+    size_t target = 16;
+    while (target < 2 * n) {
+      target <<= 1;
+    }
+    if (target > keys_.size()) {
+      Rehash(target);
+    }
+  }
+
+  /// Pointer to the value stored under `key`; nullptr when absent.
+  Value* Find(uint32_t key) {
+    if (keys_.empty()) {
+      return nullptr;
+    }
+    const size_t mask = keys_.size() - 1;
+    for (size_t i = Mix64(key) & mask;; i = (i + 1) & mask) {
+      if (keys_[i] == key) {
+        return &values_[i];
+      }
+      if (keys_[i] == kEmptyKey) {
+        return nullptr;
+      }
+    }
+  }
+  const Value* Find(uint32_t key) const {
+    return const_cast<FlatU32Map*>(this)->Find(key);
+  }
+
+  /// Inserts `value` under `key` (which must be absent) and returns a
+  /// reference to the stored value.
+  Value& Insert(uint32_t key, Value value) {
+    assert(key != kEmptyKey);
+    if (2 * (size_ + 1) > keys_.size()) {
+      Rehash(keys_.empty() ? 16 : 2 * keys_.size());
+    }
+    const size_t mask = keys_.size() - 1;
+    size_t i = Mix64(key) & mask;
+    while (keys_[i] != kEmptyKey) {
+      assert(keys_[i] != key);
+      i = (i + 1) & mask;
+    }
+    keys_[i] = key;
+    values_[i] = std::move(value);
+    ++size_;
+    return values_[i];
+  }
+
+  /// Calls fn(key, const Value&) for every entry, in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmptyKey) {
+        fn(keys_[i], values_[i]);
+      }
+    }
+  }
+
+  void Clear() {
+    keys_.assign(keys_.size(), kEmptyKey);
+    size_ = 0;
+  }
+
+ private:
+  void Rehash(size_t new_capacity) {
+    std::vector<uint32_t> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+    keys_.assign(new_capacity, kEmptyKey);
+    values_.assign(new_capacity, Value());
+    const size_t mask = new_capacity - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmptyKey) {
+        continue;
+      }
+      size_t j = Mix64(old_keys[i]) & mask;
+      while (keys_[j] != kEmptyKey) {
+        j = (j + 1) & mask;
+      }
+      keys_[j] = old_keys[i];
+      values_[j] = std::move(old_values[i]);
+    }
+  }
+
+  std::vector<uint32_t> keys_;  // always a power of two (or empty)
+  std::vector<Value> values_;
+  size_t size_ = 0;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_COMMON_FLAT_U32_MAP_H_

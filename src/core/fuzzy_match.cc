@@ -2,14 +2,17 @@
 
 namespace fuzzymatch {
 
-std::unique_ptr<FuzzyMatcher> FuzzyMatcher::Assemble(FuzzyMatchConfig config,
-                                                     Table* ref,
-                                                     BuiltEti built) {
+Result<std::unique_ptr<FuzzyMatcher>> FuzzyMatcher::Assemble(
+    FuzzyMatchConfig config, Table* ref, BuiltEti built) {
   auto matcher = std::unique_ptr<FuzzyMatcher>(new FuzzyMatcher());
   matcher->config_ = std::move(config);
   matcher->config_.eti = built.eti.params();
   matcher->ref_ = ref;
   matcher->eti_ = std::make_unique<Eti>(std::move(built.eti));
+  if (matcher->config_.accel_memory_bytes > 0) {
+    FM_RETURN_IF_ERROR(matcher->eti_->AttachAccelerator(
+        EtiAccelOptions{matcher->config_.accel_memory_bytes}));
+  }
   matcher->weights_ = std::make_unique<IdfWeights>(std::move(built.weights));
   matcher->build_stats_ = built.stats;
   matcher->matcher_ = std::make_unique<EtiMatcher>(
@@ -62,6 +65,7 @@ Result<Tid> FuzzyMatcher::InsertReferenceTuple(const Row& row) {
   FM_ASSIGN_OR_RETURN(const Tid tid, ref_->Insert(row));
   const Tokenizer tokenizer = eti_->MakeTokenizer();
   FM_RETURN_IF_ERROR(eti_->IndexTuple(tid, tokenizer.TokenizeTuple(row)));
+  matcher_->InvalidateCachedTuple(tid);
   return tid;
 }
 
@@ -69,6 +73,7 @@ Status FuzzyMatcher::RemoveReferenceTuple(Tid tid) {
   FM_ASSIGN_OR_RETURN(const Row row, ref_->Get(tid));
   const Tokenizer tokenizer = eti_->MakeTokenizer();
   FM_RETURN_IF_ERROR(eti_->UnindexTuple(tid, tokenizer.TokenizeTuple(row)));
+  matcher_->InvalidateCachedTuple(tid);
   return ref_->Delete(tid);
 }
 

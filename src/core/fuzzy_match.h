@@ -38,6 +38,10 @@ struct FuzzyMatchConfig {
   /// ETI build resources.
   size_t sort_memory_bytes = 64u << 20;
   std::string temp_dir = "/tmp";
+  /// Memory budget of the in-memory ETI read accelerator built over the
+  /// persisted index at Build/Open time (DESIGN.md 5d); 0 disables it and
+  /// every probe takes the B-tree path.
+  size_t accel_memory_bytes = 64u << 20;
 };
 
 /// A built fuzzy-match operator over one reference relation.
@@ -110,9 +114,10 @@ class FuzzyMatcher {
  private:
   FuzzyMatcher() = default;
 
-  /// Shared tail of Build() and Open().
-  static std::unique_ptr<FuzzyMatcher> Assemble(FuzzyMatchConfig config,
-                                                Table* ref, BuiltEti built);
+  /// Shared tail of Build() and Open(): wires the components together and
+  /// attaches the ETI read accelerator (when budgeted).
+  static Result<std::unique_ptr<FuzzyMatcher>> Assemble(
+      FuzzyMatchConfig config, Table* ref, BuiltEti built);
 
   FuzzyMatchConfig config_;
   Table* ref_ = nullptr;

@@ -119,7 +119,11 @@ Status Eti::MutateEntry(std::string_view gram, uint32_t coordinate,
         const Table::InsertInfo info,
         rows_->InsertWithLocation(EncodeRow(gram, coordinate, column,
                                             entry)));
-    return index_->Insert(key, info.rid.Encode());
+    FM_RETURN_IF_ERROR(index_->Insert(key, info.rid.Encode()));
+    if (accel_) {
+      accel_->Invalidate(gram, coordinate, column);
+    }
+    return Status::OK();
   }
 
   FM_ASSIGN_OR_RETURN(const Rid rid, Rid::Decode(*rid_bytes));
@@ -163,6 +167,9 @@ Status Eti::MutateEntry(std::string_view gram, uint32_t coordinate,
       rows_->UpdateByRid(rid, EncodeRow(gram, coordinate, column, entry)));
   if (new_rid != rid) {
     FM_RETURN_IF_ERROR(index_->Put(key, new_rid.Encode()));
+  }
+  if (accel_) {
+    accel_->Invalidate(gram, coordinate, column);
   }
   return Status::OK();
 }
@@ -276,23 +283,67 @@ Result<EtiParams> LoadEtiParams(Database* db, const std::string& eti_name) {
 Result<std::optional<EtiEntry>> Eti::Lookup(std::string_view gram,
                                             uint32_t coordinate,
                                             uint32_t column) const {
+  EtiScratch scratch;
+  FM_ASSIGN_OR_RETURN(const EtiLookupView view,
+                      LookupInto(gram, coordinate, column, &scratch));
+  if (!view.found) {
+    return std::optional<EtiEntry>(std::nullopt);
+  }
+  EtiEntry entry;
+  entry.frequency = view.frequency;
+  entry.is_stop = view.is_stop;
+  entry.tids.assign(view.tids, view.tids + view.num_tids);
+  return std::optional<EtiEntry>(std::move(entry));
+}
+
+Result<EtiLookupView> Eti::LookupInto(std::string_view gram,
+                                      uint32_t coordinate, uint32_t column,
+                                      EtiScratch* scratch) const {
   ProbesCounter().Increment();
+  if (accel_) {
+    EtiLookupView view;
+    switch (accel_->Probe(gram, coordinate, column, &scratch->tids, &view)) {
+      case EtiAccel::Outcome::kHit:
+        ProbeHitsCounter().Increment();
+        return view;
+      case EtiAccel::Outcome::kNegative:
+        return EtiLookupView{};
+      case EtiAccel::Outcome::kFallback:
+        break;  // consult the B-tree
+    }
+  }
   const std::string key = IndexKey(gram, coordinate, column);
   auto rid_bytes = index_->Get(key);
   if (!rid_bytes.ok()) {
     if (rid_bytes.status().IsNotFound()) {
-      return std::optional<EtiEntry>(std::nullopt);
+      return EtiLookupView{};
     }
     return rid_bytes.status();
   }
   FM_ASSIGN_OR_RETURN(const Rid rid, Rid::Decode(*rid_bytes));
   FM_ASSIGN_OR_RETURN(const Row row, rows_->GetByRid(rid));
-  if (row.size() == 5 && row[4].has_value()) {
-    TidListBytesCounter().Increment(row[4]->size());
+  if (row.size() != 5) {
+    return Status::Corruption("ETI row has wrong arity");
   }
-  FM_ASSIGN_OR_RETURN(EtiEntry entry, DecodeEntry(row));
+  EtiLookupView view;
+  view.found = true;
+  FM_ASSIGN_OR_RETURN(view.frequency, DecodeU32Field(row[3]));
+  if (!row[4].has_value()) {
+    view.is_stop = true;
+    ProbeHitsCounter().Increment();
+    return view;
+  }
+  TidListBytesCounter().Increment(row[4]->size());
+  FM_RETURN_IF_ERROR(DecodeTidListInto(*row[4], &scratch->tids));
+  view.tids = scratch->tids.data();
+  view.num_tids = scratch->tids.size();
   ProbeHitsCounter().Increment();
-  return std::optional<EtiEntry>(std::move(entry));
+  return view;
+}
+
+Status Eti::AttachAccelerator(const EtiAccelOptions& options) {
+  FM_ASSIGN_OR_RETURN(accel_, EtiAccel::Build(rows_, options));
+  return Status::OK();
 }
 
 }  // namespace fuzzymatch

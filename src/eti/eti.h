@@ -15,11 +15,13 @@
 #define FUZZYMATCH_ETI_ETI_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "eti/eti_accel.h"
 #include "storage/btree.h"
 #include "storage/database.h"
 #include "storage/table.h"
@@ -62,6 +64,12 @@ struct EtiEntry {
   std::vector<Tid> tids;
 };
 
+/// Caller-owned scratch for the zero-allocation lookup path. One per
+/// thread (or per query); its buffer capacity is reused across probes.
+struct EtiScratch {
+  std::vector<Tid> tids;
+};
+
 /// Read handle over a built ETI.
 class Eti {
  public:
@@ -70,10 +78,27 @@ class Eti {
   Eti(Table* rows, BPlusTree* index, EtiParams params);
 
   /// Fetches the ETI row for (gram, coordinate, column); nullopt when the
-  /// combination is not indexed.
+  /// combination is not indexed. Convenience wrapper over LookupInto that
+  /// copies the tid-list out; the query hot path uses LookupInto.
   Result<std::optional<EtiEntry>> Lookup(std::string_view gram,
                                          uint32_t coordinate,
                                          uint32_t column) const;
+
+  /// The hot-path lookup: consults the acceleration segment first (zero
+  /// latching, zero allocation) and falls back to the B-tree on a spill.
+  /// The returned view's tid pointer aims into `scratch` and stays valid
+  /// until the next LookupInto with the same scratch.
+  Result<EtiLookupView> LookupInto(std::string_view gram,
+                                   uint32_t coordinate, uint32_t column,
+                                   EtiScratch* scratch) const;
+
+  /// Builds the in-memory read accelerator over the persisted rows (one
+  /// sequential scan, DESIGN.md 5d). Must run before concurrent readers
+  /// start; maintenance keeps it coherent via Invalidate.
+  Status AttachAccelerator(const EtiAccelOptions& options);
+
+  /// The attached accelerator, or nullptr (telemetry and tests).
+  const EtiAccel* accelerator() const { return accel_.get(); }
 
   /// Incremental maintenance (the paper defers this "due to space
   /// constraints"): adds a freshly inserted reference tuple's signature
@@ -120,6 +145,8 @@ class Eti {
   Table* rows_;
   BPlusTree* index_;
   EtiParams params_;
+  /// Shared so copies of the handle keep accelerating the same tables.
+  std::shared_ptr<EtiAccel> accel_;
 };
 
 /// Persists/reads the build parameters of an ETI as a small side relation

@@ -60,4 +60,45 @@ std::vector<TokenCoordinate> MakeTokenCoordinates(const MinHasher& hasher,
                              token, token_weight);
 }
 
+void AppendTokenCoordinates(const MinHasher& hasher, const EtiParams& params,
+                            std::string_view token, double token_weight,
+                            std::string* arena,
+                            std::vector<ArenaTokenCoordinate>* out) {
+  const std::vector<std::string> sig = params.full_qgram_index
+                                           ? QGramSet(token, hasher.q())
+                                           : hasher.Signature(token);
+  const bool index_tokens =
+      params.index_tokens && token.size() <= kMaxIndexedTokenLength;
+  const auto append = [&](std::string_view gram, uint32_t coordinate,
+                          double share) {
+    ArenaTokenCoordinate tc;
+    tc.gram_offset = static_cast<uint32_t>(arena->size());
+    tc.gram_len = static_cast<uint32_t>(gram.size());
+    tc.coordinate = coordinate;
+    tc.weight_share = share;
+    arena->append(gram);
+    out->push_back(tc);
+  };
+  if (index_tokens) {
+    if (sig.empty()) {
+      append(token, 0, token_weight);
+      return;
+    }
+    append(token, 0, token_weight / 2.0);
+    const double share =
+        token_weight / (2.0 * static_cast<double>(sig.size()));
+    for (uint32_t j = 0; j < sig.size(); ++j) {
+      append(sig[j], params.full_qgram_index ? 1 : j + 1, share);
+    }
+    return;
+  }
+  if (sig.empty()) {
+    return;
+  }
+  const double share = token_weight / static_cast<double>(sig.size());
+  for (uint32_t j = 0; j < sig.size(); ++j) {
+    append(sig[j], params.full_qgram_index ? 1 : j + 1, share);
+  }
+}
+
 }  // namespace fuzzymatch

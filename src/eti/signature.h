@@ -51,6 +51,24 @@ std::vector<TokenCoordinate> MakeTokenCoordinates(const MinHasher& hasher,
                                                   std::string_view token,
                                                   double token_weight);
 
+/// One ETI coordinate whose gram bytes live in a caller-owned arena —
+/// the allocation-free shape of the query hot path. Offsets (not
+/// pointers/views) stay valid across arena reallocation.
+struct ArenaTokenCoordinate {
+  uint32_t gram_offset = 0;
+  uint32_t gram_len = 0;
+  uint32_t coordinate = 0;
+  double weight_share = 0.0;
+};
+
+/// Arena variant of MakeTokenCoordinates: appends each coordinate's gram
+/// bytes to `*arena` and its offset record to `*out` instead of handing
+/// back per-gram strings.
+void AppendTokenCoordinates(const MinHasher& hasher, const EtiParams& params,
+                            std::string_view token, double token_weight,
+                            std::string* arena,
+                            std::vector<ArenaTokenCoordinate>* out);
+
 }  // namespace fuzzymatch
 
 #endif  // FUZZYMATCH_ETI_SIGNATURE_H_

@@ -17,9 +17,15 @@ std::string EncodeTidList(const std::vector<Tid>& tids) {
 }
 
 Result<std::vector<Tid>> DecodeTidList(std::string_view blob) {
-  FM_ASSIGN_OR_RETURN(const uint64_t count, GetVarint64(&blob));
   std::vector<Tid> tids;
-  tids.reserve(count);
+  FM_RETURN_IF_ERROR(DecodeTidListInto(blob, &tids));
+  return tids;
+}
+
+Status DecodeTidListInto(std::string_view blob, std::vector<Tid>* out) {
+  out->clear();
+  FM_ASSIGN_OR_RETURN(const uint64_t count, GetVarint64(&blob));
+  out->reserve(count);
   Tid prev = 0;
   for (uint64_t i = 0; i < count; ++i) {
     FM_ASSIGN_OR_RETURN(const uint64_t delta, GetVarint64(&blob));
@@ -28,13 +34,13 @@ Result<std::vector<Tid>> DecodeTidList(std::string_view blob) {
     if (i > 0 && delta == 0) {
       return Status::Corruption("duplicate tid in tid-list");
     }
-    tids.push_back(t);
+    out->push_back(t);
     prev = t;
   }
   if (!blob.empty()) {
     return Status::Corruption("trailing bytes after tid-list");
   }
-  return tids;
+  return Status::OK();
 }
 
 }  // namespace fuzzymatch

@@ -21,6 +21,11 @@ std::string EncodeTidList(const std::vector<Tid>& tids);
 /// Decodes a tid list; fails on corrupt or unsorted data.
 Result<std::vector<Tid>> DecodeTidList(std::string_view blob);
 
+/// Decodes into a caller-owned buffer (cleared first). The buffer's
+/// capacity is reused across calls, so steady-state decoding allocates
+/// nothing — the shape the query hot path needs.
+Status DecodeTidListInto(std::string_view blob, std::vector<Tid>* out);
+
 }  // namespace fuzzymatch
 
 #endif  // FUZZYMATCH_ETI_TID_LIST_H_

@@ -65,23 +65,32 @@ EtiMatcher::EtiMatcher(Table* ref, const Eti* eti, const IdfWeights* weights,
       options_(std::move(options)),
       fms_(weights, options_.fms),
       tokenizer_(eti->MakeTokenizer()),
-      hasher_(eti->MakeHasher()) {}
+      hasher_(eti->MakeHasher()),
+      tuple_cache_(options_.tuple_cache_bytes, options_.tuple_cache_shards) {}
 
-Result<double> EtiMatcher::VerifiedSimilarity(
-    Tid tid, const TokenizedTuple& u,
-    std::unordered_map<Tid, double>* cache, QueryStats* qs) const {
-  const auto it = cache->find(tid);
-  if (it != cache->end()) {
-    return it->second;
+Result<double> EtiMatcher::VerifiedSimilarity(Tid tid,
+                                              const TokenizedTuple& u,
+                                              FlatU32Map<double>* cache,
+                                              QueryStats* qs) const {
+  if (const double* memo = cache->Find(tid)) {
+    return *memo;
   }
-  FM_ASSIGN_OR_RETURN(const Row row, [&]() -> Result<Row> {
-    FM_TRACE_SPAN("match.fetch");
-    return ref_->Get(tid);
-  }());
-  ++qs->ref_tuples_fetched;
+  std::shared_ptr<const TokenizedTuple> tokens = tuple_cache_.Get(tid);
+  if (tokens != nullptr) {
+    ++qs->tuple_cache_hits;
+  } else {
+    FM_ASSIGN_OR_RETURN(const Row row, [&]() -> Result<Row> {
+      FM_TRACE_SPAN("match.fetch");
+      return ref_->Get(tid);
+    }());
+    ++qs->ref_tuples_fetched;
+    tokens = std::make_shared<const TokenizedTuple>(
+        tokenizer_.TokenizeTuple(row));
+    tuple_cache_.Put(tid, tokens);
+  }
   FM_TRACE_SPAN("match.verify");
-  const double sim = fms_.Similarity(u, tokenizer_.TokenizeTuple(row));
-  cache->emplace(tid, sim);
+  const double sim = fms_.Similarity(u, *tokens);
+  cache->Insert(tid, sim);
   return sim;
 }
 
@@ -102,22 +111,44 @@ Result<std::vector<Match>> EtiMatcher::FindMatches(const Row& input,
   const EtiParams& params = eti_->params();
 
   // Expand tokens into weighted ETI probes; compute w(u) and the total
-  // adjustment term Σ_t w(t)·(1 − 1/q) (Figure 3, step 7).
+  // adjustment term Σ_t w(t)·(1 − 1/q) (Figure 3, step 7). Gram bytes go
+  // into one arena string and probes carry offsets, so expansion does a
+  // handful of amortized appends instead of a string per probe.
+  std::string gram_arena;
   std::vector<Probe> probes;
   double total_weight = 0.0;
   double full_adjustment = 0.0;
   const double dq = 1.0 - 1.0 / static_cast<double>(params.q);
   {
     FM_TRACE_SPAN("match.signature");
+    size_t token_count = 0;
+    size_t char_count = 0;
+    for (uint32_t col = 0; col < u.size(); ++col) {
+      for (const auto& token : u[col]) {
+        ++token_count;
+        char_count += token.size();
+      }
+    }
+    const size_t probe_estimate =
+        params.full_qgram_index
+            ? char_count + token_count
+            : token_count *
+                  (static_cast<size_t>(params.signature_size) + 1);
+    probes.reserve(probe_estimate);
+    gram_arena.reserve(char_count +
+                       probe_estimate * static_cast<size_t>(params.q));
+    std::vector<ArenaTokenCoordinate> coords;
     for (uint32_t col = 0; col < u.size(); ++col) {
       for (const auto& token : u[col]) {
         const double w = fms_.TokenWeight(token, col);
         total_weight += w;
         full_adjustment += w * dq;
-        for (TokenCoordinate& tc : MakeTokenCoordinates(
-                 hasher_, params, token, w)) {
-          probes.push_back(Probe{std::move(tc.gram), tc.coordinate, col,
-                                 tc.weight_share});
+        coords.clear();
+        AppendTokenCoordinates(hasher_, params, token, w, &gram_arena,
+                               &coords);
+        for (const ArenaTokenCoordinate& tc : coords) {
+          probes.push_back(Probe{tc.gram_offset, tc.gram_len,
+                                 tc.coordinate, col, tc.weight_share});
         }
       }
     }
@@ -161,34 +192,40 @@ Result<std::vector<Match>> EtiMatcher::FindMatches(const Row& input,
                      });
   }
 
-  std::unordered_map<Tid, double> scores;
-  std::unordered_map<Tid, double> fms_cache;
+  FlatU32Map<double> scores;
+  scores.Reserve(256);
+  FlatU32Map<double> fms_cache;
+  fms_cache.Reserve(2 * options_.k + 8);
   TopScores top_scores(options_.k);
+  EtiScratch scratch;
 
   double remaining = total_weight;  // weight of probes not yet processed
   double processed = 0.0;
 
   for (size_t idx = 0; idx < probes.size(); ++idx) {
     const Probe& probe = probes[idx];
+    const std::string_view gram(gram_arena.data() + probe.gram_offset,
+                                probe.gram_len);
     ++qs->eti_lookups;
     FM_ASSIGN_OR_RETURN(
-        const std::optional<EtiEntry> entry,
-        [&]() -> Result<std::optional<EtiEntry>> {
+        const EtiLookupView entry,
+        [&]() -> Result<EtiLookupView> {
           FM_TRACE_SPAN("match.probe");
-          return eti_->Lookup(probe.gram, probe.coordinate, probe.column);
+          return eti_->LookupInto(gram, probe.coordinate, probe.column,
+                                  &scratch);
         }());
     remaining -= probe.weight;
     processed += probe.weight;
 
-    if (entry.has_value() && !entry->is_stop) {
+    if (entry.found && !entry.is_stop) {
       FM_TRACE_SPAN("match.score");
-      for (const Tid tid : entry->tids) {
+      for (size_t t = 0; t < entry.num_tids; ++t) {
+        const Tid tid = entry.tids[t];
         ++qs->tids_processed;
-        const auto it = scores.find(tid);
-        if (it != scores.end()) {
-          it->second += probe.weight;
+        if (double* score = scores.Find(tid)) {
+          *score += probe.weight;
           if (options_.use_osc) {
-            top_scores.Update(tid, it->second);
+            top_scores.Update(tid, *score);
           }
         } else if (!options_.admission_filter ||
                    ScoreUpperBound(probe.weight + remaining) >=
@@ -196,7 +233,7 @@ Result<std::vector<Match>> EtiMatcher::FindMatches(const Row& input,
           // A new tid can reach at most probe.weight + remaining score;
           // admit only if that could clear the similarity threshold
           // (Figure 3 step 9b, with the configured bound flavour).
-          scores.emplace(tid, probe.weight);
+          scores.Insert(tid, probe.weight);
           if (options_.use_osc) {
             top_scores.Update(tid, probe.weight);
           }
@@ -243,7 +280,8 @@ Result<std::vector<Match>> EtiMatcher::FindMatches(const Row& input,
     qs->hash_table_size = scores.size();
     TopKCollector collector(options_.k, options_.min_similarity);
     for (size_t j = 0; j < options_.k; ++j) {
-      collector.Offer(top_scores.tid(j), fms_cache.at(top_scores.tid(j)));
+      collector.Offer(top_scores.tid(j),
+                      *fms_cache.Find(top_scores.tid(j)));
     }
     return finish(collector.Take());
   }
@@ -254,11 +292,11 @@ Result<std::vector<Match>> EtiMatcher::FindMatches(const Row& input,
   qs->hash_table_size = scores.size();
   std::vector<std::pair<double, Tid>> candidates;
   candidates.reserve(scores.size());
-  for (const auto& [tid, score] : scores) {
+  scores.ForEach([&](uint32_t tid, const double& score) {
     if (ScoreUpperBound(score) >= options_.min_similarity) {
       candidates.emplace_back(score, tid);
     }
-  }
+  });
   qs->candidates = candidates.size();
   std::sort(candidates.begin(), candidates.end(),
             [](const auto& a, const auto& b) {

@@ -11,11 +11,12 @@
 #define FUZZYMATCH_MATCH_ETI_MATCHER_H_
 
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_u32_map.h"
 #include "eti/eti.h"
 #include "match/match_types.h"
+#include "match/tuple_cache.h"
 #include "sim/fms.h"
 #include "storage/table.h"
 #include "text/idf_weights.h"
@@ -56,18 +57,30 @@ class EtiMatcher {
 
   const MatcherOptions& options() const { return options_; }
 
+  /// Drops `tid` from the verified-tuple cache — called by reference
+  /// maintenance so served verifications never see a stale tokenization.
+  void InvalidateCachedTuple(Tid tid) const { tuple_cache_.Erase(tid); }
+
+  /// The cross-query verified-tuple cache (telemetry and tests).
+  const TupleCache& tuple_cache() const { return tuple_cache_; }
+
  private:
+  /// One ETI probe. The gram bytes live in the query's arena string —
+  /// offsets instead of per-probe strings keep expansion allocation-free
+  /// (and safe across arena reallocation, which string_views would not
+  /// be under SSO).
   struct Probe {
-    std::string gram;
+    uint32_t gram_offset;
+    uint32_t gram_len;
     uint32_t coordinate;
     uint32_t column;
     double weight;
   };
 
-  /// fms(u, reference tuple `tid`), fetching and tokenizing the tuple on a
-  /// cache miss.
+  /// fms(u, reference tuple `tid`), served from the per-query memo, then
+  /// the cross-query tuple cache, and only then the pager.
   Result<double> VerifiedSimilarity(Tid tid, const TokenizedTuple& u,
-                                    std::unordered_map<Tid, double>* cache,
+                                    FlatU32Map<double>* cache,
                                     QueryStats* qs) const;
 
   Table* ref_;
@@ -76,6 +89,7 @@ class EtiMatcher {
   FmsSimilarity fms_;
   Tokenizer tokenizer_;
   MinHasher hasher_;
+  mutable TupleCache tuple_cache_;
   mutable std::mutex aggregate_mu_;
   mutable AggregateStats aggregate_;  // guarded by aggregate_mu_
 };

@@ -54,6 +54,7 @@ void AggregateStats::Accumulate(const QueryStats& q) {
   hash_table_size += q.hash_table_size;
   candidates += q.candidates;
   ref_tuples_fetched += q.ref_tuples_fetched;
+  tuple_cache_hits += q.tuple_cache_hits;
   osc_attempted += q.osc_attempted ? 1 : 0;
   osc_succeeded += q.osc_succeeded ? 1 : 0;
   if (q.osc_succeeded) {

@@ -56,6 +56,13 @@ struct MatcherOptions {
   BoundPolicy bound_policy = BoundPolicy::kAggressive;
   /// fms parameters (c_ins, transpositions, column weights).
   FmsOptions fms;
+
+  /// Budget of the verified-tuple cache (tokenized reference tuples kept
+  /// across queries, DESIGN.md 5d); 0 disables it.
+  size_t tuple_cache_bytes = 32u << 20;
+  /// Shard count of the tuple cache (rounded up to a power of two);
+  /// higher values reduce lock contention between concurrent queries.
+  size_t tuple_cache_shards = 8;
 };
 
 /// Per-query counters (the quantities Figures 6, 8, 9, 10 report).
@@ -65,6 +72,7 @@ struct QueryStats {
   uint64_t hash_table_size = 0;   // distinct tids that entered the table
   uint64_t candidates = 0;        // tids passing the score threshold
   uint64_t ref_tuples_fetched = 0;  // reference tuples fetched & compared
+  uint64_t tuple_cache_hits = 0;  // verifications served from the cache
   bool osc_attempted = false;     // fetching test fired at least once
   bool osc_succeeded = false;     // stopping test confirmed the result
   double elapsed_seconds = 0.0;
@@ -86,6 +94,9 @@ struct AggregateStats {
   uint64_t hash_table_size = 0;
   uint64_t candidates = 0;
   uint64_t ref_tuples_fetched = 0;
+  /// Cache-served verifications (the registry's tuple_cache.* counters
+  /// carry the process-wide account; this is the per-matcher slice).
+  uint64_t tuple_cache_hits = 0;
   uint64_t osc_attempted = 0;
   uint64_t osc_succeeded = 0;
   /// Fetch counts split by OSC outcome (Figure 8's bars): succeeded,

@@ -1,0 +1,144 @@
+#include "match/tuple_cache.h"
+
+#include "common/hash.h"
+#include "obs/metrics.h"
+
+namespace fuzzymatch {
+
+namespace {
+
+obs::Counter& HitsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("tuple_cache.hits");
+  return *c;
+}
+
+obs::Counter& MissesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("tuple_cache.misses");
+  return *c;
+}
+
+obs::Counter& EvictionsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("tuple_cache.evictions");
+  return *c;
+}
+
+obs::Counter& InvalidationsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("tuple_cache.invalidations");
+  return *c;
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+TupleCache::TupleCache(size_t memory_budget_bytes, size_t shards) {
+  const size_t num_shards = RoundUpPow2(shards == 0 ? 1 : shards);
+  shards_ = std::vector<Shard>(num_shards);
+  budget_per_shard_ = memory_budget_bytes / num_shards;
+}
+
+TupleCache::Shard& TupleCache::ShardFor(Tid tid) const {
+  return shards_[Mix64(tid) & (shards_.size() - 1)];
+}
+
+size_t TupleCache::TupleBytes(const TokenizedTuple& tuple) {
+  size_t bytes = 128;  // entry, list node, and map slot overheads
+  for (const auto& column : tuple) {
+    bytes += sizeof(std::vector<std::string>) + 8;
+    for (const auto& token : column) {
+      bytes += sizeof(std::string) + token.capacity();
+    }
+  }
+  return bytes;
+}
+
+std::shared_ptr<const TokenizedTuple> TupleCache::Get(Tid tid) const {
+  if (!enabled()) {
+    return nullptr;
+  }
+  Shard& shard = ShardFor(tid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(tid);
+  if (it == shard.map.end()) {
+    MissesCounter().Increment();
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  HitsCounter().Increment();
+  return it->second->tuple;
+}
+
+void TupleCache::Put(Tid tid, std::shared_ptr<const TokenizedTuple> tuple) {
+  if (!enabled() || tuple == nullptr) {
+    return;
+  }
+  const size_t bytes = TupleBytes(*tuple);
+  Shard& shard = ShardFor(tid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(tid);
+  if (it != shard.map.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  // An oversized tuple would evict the whole shard for nothing.
+  if (bytes > budget_per_shard_) {
+    return;
+  }
+  while (shard.bytes + bytes > budget_per_shard_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.map.erase(victim.tid);
+    shard.lru.pop_back();
+    EvictionsCounter().Increment();
+  }
+  shard.lru.push_front(Entry{tid, std::move(tuple), bytes});
+  shard.map.emplace(tid, shard.lru.begin());
+  shard.bytes += bytes;
+}
+
+void TupleCache::Erase(Tid tid) {
+  if (!enabled()) {
+    return;
+  }
+  Shard& shard = ShardFor(tid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(tid);
+  if (it == shard.map.end()) {
+    return;
+  }
+  shard.bytes -= it->second->bytes;
+  shard.lru.erase(it->second);
+  shard.map.erase(it);
+  InvalidationsCounter().Increment();
+}
+
+size_t TupleCache::entry_count() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+size_t TupleCache::memory_bytes() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.bytes;
+  }
+  return n;
+}
+
+}  // namespace fuzzymatch

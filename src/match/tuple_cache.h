@@ -1,0 +1,83 @@
+// TupleCache: a sharded LRU cache of tokenized reference tuples.
+//
+// Candidate verification (the match.fetch/match.verify spans) re-reads
+// popular reference tuples through the pager on every query that reaches
+// them — in a served workload the same clean tuples are fetched over and
+// over across queries. This cache keeps their *tokenized* form resident,
+// so a hit skips both the heap-file read (buffer-pool latching included)
+// and the re-tokenization.
+//
+// Values are shared_ptr<const TokenizedTuple>: a reader holds its pin via
+// the shared_ptr while eviction or invalidation can drop the cache's own
+// reference concurrently, so no reader ever observes a freed tuple.
+//
+// Thread safety: fully thread-safe. Keys are sharded by mixed tid; each
+// shard has its own mutex and LRU list, so concurrent queries rarely
+// contend. Maintenance (tuple insert/remove in the reference relation)
+// calls Erase(tid) to keep served verifications coherent.
+
+#ifndef FUZZYMATCH_MATCH_TUPLE_CACHE_H_
+#define FUZZYMATCH_MATCH_TUPLE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "text/tokenizer.h"
+
+namespace fuzzymatch {
+
+class TupleCache {
+ public:
+  /// `memory_budget_bytes` caps the estimated resident bytes across all
+  /// shards (0 disables the cache: Get always misses, Put is a no-op).
+  /// `shards` is rounded up to a power of two.
+  TupleCache(size_t memory_budget_bytes, size_t shards);
+
+  TupleCache(const TupleCache&) = delete;
+  TupleCache& operator=(const TupleCache&) = delete;
+
+  /// The cached tokenization of `tid`, or nullptr on a miss. A hit
+  /// refreshes the entry's LRU position.
+  std::shared_ptr<const TokenizedTuple> Get(Tid tid) const;
+
+  /// Inserts (or replaces) the tokenization of `tid`, evicting
+  /// least-recently-used entries of the same shard past the budget.
+  void Put(Tid tid, std::shared_ptr<const TokenizedTuple> tuple);
+
+  /// Drops `tid` if cached — the maintenance coherence hook.
+  void Erase(Tid tid);
+
+  bool enabled() const { return budget_per_shard_ > 0; }
+  size_t entry_count() const;
+  size_t memory_bytes() const;
+
+  /// Estimated resident cost of one cached tuple (strings + overheads).
+  static size_t TupleBytes(const TokenizedTuple& tuple);
+
+ private:
+  struct Entry {
+    Tid tid = 0;
+    std::shared_ptr<const TokenizedTuple> tuple;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Tid, std::list<Entry>::iterator> map;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(Tid tid) const;
+
+  size_t budget_per_shard_ = 0;
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_MATCH_TUPLE_CACHE_H_

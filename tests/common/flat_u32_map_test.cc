@@ -1,0 +1,123 @@
+#include "common/flat_u32_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace fuzzymatch {
+namespace {
+
+TEST(FlatU32MapTest, EmptyMapFindsNothing) {
+  FlatU32Map<double> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(0), nullptr);
+  EXPECT_EQ(map.Find(42), nullptr);
+}
+
+TEST(FlatU32MapTest, InsertAndFind) {
+  FlatU32Map<double> map;
+  map.Insert(7, 1.5);
+  map.Insert(1000000, 2.5);
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_DOUBLE_EQ(*map.Find(7), 1.5);
+  ASSERT_NE(map.Find(1000000), nullptr);
+  EXPECT_DOUBLE_EQ(*map.Find(1000000), 2.5);
+  EXPECT_EQ(map.Find(8), nullptr);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatU32MapTest, KeyZeroIsAValidKey) {
+  // Tids are dense from 0, so key 0 must behave like any other key (only
+  // 0xFFFFFFFF is reserved).
+  FlatU32Map<int> map;
+  map.Insert(0, 99);
+  ASSERT_NE(map.Find(0), nullptr);
+  EXPECT_EQ(*map.Find(0), 99);
+  EXPECT_EQ(map.Find(1), nullptr);
+}
+
+TEST(FlatU32MapTest, FindReturnsMutableSlot) {
+  FlatU32Map<double> map;
+  map.Insert(3, 0.25);
+  *map.Find(3) += 0.75;
+  EXPECT_DOUBLE_EQ(*map.Find(3), 1.0);
+}
+
+TEST(FlatU32MapTest, GrowthKeepsEveryEntry) {
+  // Push well past several power-of-two rehashes with keys spread across
+  // the 32-bit space.
+  FlatU32Map<uint32_t> map;
+  const uint32_t n = 5000;
+  for (uint32_t i = 0; i < n; ++i) {
+    map.Insert(i * 2654435761u % 0xFFFFFFFEu, i);
+  }
+  EXPECT_EQ(map.size(), static_cast<size_t>(n));
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t* v = map.Find(i * 2654435761u % 0xFFFFFFFEu);
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(FlatU32MapTest, ReserveThenFill) {
+  FlatU32Map<int> map;
+  map.Reserve(1000);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    map.Insert(i, static_cast<int>(i) + 1);
+  }
+  for (uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_NE(map.Find(i), nullptr);
+    EXPECT_EQ(*map.Find(i), static_cast<int>(i) + 1);
+  }
+}
+
+TEST(FlatU32MapTest, ForEachVisitsEveryEntryOnce) {
+  FlatU32Map<int> map;
+  for (uint32_t i = 10; i < 30; ++i) {
+    map.Insert(i, static_cast<int>(i));
+  }
+  std::set<uint32_t> seen;
+  int sum = 0;
+  map.ForEach([&](uint32_t key, const int& value) {
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate visit of " << key;
+    sum += value;
+  });
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(sum, (10 + 29) * 20 / 2);
+}
+
+TEST(FlatU32MapTest, ClearKeepsCapacityDropsEntries) {
+  FlatU32Map<int> map;
+  for (uint32_t i = 0; i < 100; ++i) {
+    map.Insert(i, 1);
+  }
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(map.Find(i), nullptr);
+  }
+  // Reusable after Clear (the per-query pattern in the matcher).
+  map.Insert(5, 7);
+  ASSERT_NE(map.Find(5), nullptr);
+  EXPECT_EQ(*map.Find(5), 7);
+}
+
+TEST(FlatU32MapTest, CollidingKeysProbeLinearly) {
+  // Adjacent keys that land on the same small table exercise the probe
+  // chain; correctness must not depend on hash spread.
+  FlatU32Map<int> map;
+  std::vector<uint32_t> keys = {1, 17, 33, 49, 65, 81, 97, 113};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    map.Insert(keys[i], static_cast<int>(i));
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_NE(map.Find(keys[i]), nullptr);
+    EXPECT_EQ(*map.Find(keys[i]), static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace fuzzymatch

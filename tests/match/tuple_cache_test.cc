@@ -1,0 +1,134 @@
+#include "match/tuple_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace fuzzymatch {
+namespace {
+
+std::shared_ptr<const TokenizedTuple> MakeTuple(const std::string& stem,
+                                                size_t tokens = 3) {
+  auto tuple = std::make_shared<TokenizedTuple>();
+  tuple->emplace_back();
+  for (size_t i = 0; i < tokens; ++i) {
+    tuple->back().push_back(stem + std::to_string(i));
+  }
+  return tuple;
+}
+
+TEST(TupleCacheTest, ZeroBudgetDisablesTheCache) {
+  TupleCache cache(0, 4);
+  EXPECT_FALSE(cache.enabled());
+  cache.Put(1, MakeTuple("a"));
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.memory_bytes(), 0u);
+}
+
+TEST(TupleCacheTest, PutThenGetReturnsSameTuple) {
+  TupleCache cache(1u << 20, 4);
+  EXPECT_TRUE(cache.enabled());
+  auto tuple = MakeTuple("boeing");
+  cache.Put(42, tuple);
+  auto hit = cache.Get(42);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), tuple.get());
+  EXPECT_EQ(cache.Get(43), nullptr);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_GT(cache.memory_bytes(), 0u);
+}
+
+TEST(TupleCacheTest, PutReplacesExistingEntry) {
+  TupleCache cache(1u << 20, 1);
+  cache.Put(7, MakeTuple("old"));
+  auto fresh = MakeTuple("new");
+  cache.Put(7, fresh);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  auto hit = cache.Get(7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), fresh.get());
+}
+
+TEST(TupleCacheTest, EraseDropsTheEntry) {
+  TupleCache cache(1u << 20, 4);
+  cache.Put(9, MakeTuple("x"));
+  ASSERT_NE(cache.Get(9), nullptr);
+  cache.Erase(9);
+  EXPECT_EQ(cache.Get(9), nullptr);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  // Erasing an absent tid is a no-op.
+  cache.Erase(9);
+  cache.Erase(12345);
+}
+
+TEST(TupleCacheTest, EvictsLeastRecentlyUsedPastTheBudget) {
+  // Single shard so the LRU order is global. Budget sized for roughly
+  // three of these tuples.
+  const size_t one = TupleCache::TupleBytes(*MakeTuple("tuple0"));
+  TupleCache cache(3 * one + one / 2, 1);
+  cache.Put(0, MakeTuple("tuple0"));
+  cache.Put(1, MakeTuple("tuple1"));
+  cache.Put(2, MakeTuple("tuple2"));
+  EXPECT_EQ(cache.entry_count(), 3u);
+  // Touch 0 so 1 becomes the LRU victim.
+  ASSERT_NE(cache.Get(0), nullptr);
+  cache.Put(3, MakeTuple("tuple3"));
+  EXPECT_LE(cache.memory_bytes(), 3 * one + one / 2);
+  EXPECT_EQ(cache.Get(1), nullptr) << "LRU entry should be evicted";
+  EXPECT_NE(cache.Get(0), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+}
+
+TEST(TupleCacheTest, EvictionDoesNotInvalidateHeldReferences) {
+  const size_t one = TupleCache::TupleBytes(*MakeTuple("tuple0"));
+  TupleCache cache(one + one / 2, 1);
+  auto pinned = MakeTuple("pinned");
+  cache.Put(0, pinned);
+  std::shared_ptr<const TokenizedTuple> held = cache.Get(0);
+  ASSERT_NE(held, nullptr);
+  // Force eviction of tid 0.
+  cache.Put(1, MakeTuple("evictor"));
+  EXPECT_EQ(cache.Get(0), nullptr);
+  // The reader's pin keeps the tuple alive and intact.
+  ASSERT_EQ(held->size(), 1u);
+  EXPECT_EQ((*held)[0][0], "pinned0");
+}
+
+TEST(TupleCacheTest, OversizedTuplesAreNotCached) {
+  // A tuple larger than a shard's budget can never fit; Put must skip it
+  // rather than evict everything and then fail anyway.
+  TupleCache cache(512, 1);
+  auto giant = std::make_shared<TokenizedTuple>();
+  giant->emplace_back();
+  giant->back().push_back(std::string(4096, 'g'));
+  cache.Put(0, giant);
+  EXPECT_EQ(cache.Get(0), nullptr);
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(TupleCacheTest, ShardsPartitionTheBudget) {
+  // Same total budget, more shards: entries land in different shards and
+  // both shards enforce their own slice.
+  TupleCache cache(1u << 20, 8);
+  for (Tid tid = 0; tid < 64; ++tid) {
+    std::string stem = "t";
+    stem += std::to_string(tid);
+    cache.Put(tid, MakeTuple(stem));
+  }
+  EXPECT_EQ(cache.entry_count(), 64u);
+  for (Tid tid = 0; tid < 64; ++tid) {
+    EXPECT_NE(cache.Get(tid), nullptr) << tid;
+  }
+}
+
+TEST(TupleCacheTest, TupleBytesGrowsWithContent) {
+  const size_t small = TupleCache::TupleBytes(*MakeTuple("a", 1));
+  const size_t big = TupleCache::TupleBytes(*MakeTuple("longertokens", 20));
+  EXPECT_GT(small, 0u);
+  EXPECT_GT(big, small);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

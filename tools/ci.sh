@@ -2,9 +2,11 @@
 # CI entry point: the checks a change must pass before merging.
 #
 #   tools/ci.sh            # full run: Release tier-1 + TSan + ASan slices
+#                          # + accelerator perf smoke
 #   tools/ci.sh release    # just the Release build + full ctest
 #   tools/ci.sh tsan       # just the ThreadSanitizer concurrency slice
 #   tools/ci.sh asan       # just the AddressSanitizer slice
+#   tools/ci.sh perfsmoke  # ETI-accelerator on/off output parity + metrics
 #
 # Build trees live under build-ci-* so they never collide with a
 # developer's ./build. JOBS defaults to the machine's core count.
@@ -17,7 +19,7 @@ STAGE="${1:-all}"
 
 # The concurrency-sensitive test slice: everything that exercises the
 # shared-read latching model (DESIGN.md 5c) plus the server itself.
-SANITIZER_TESTS='ConcurrentMatchTest|BufferPoolConcurrencyTest|ServerTest|MetricsRegistryTest|BTreeStressTest|HeapFileStressTest|FileBackedPipelineTest|BatchCleanerTest'
+SANITIZER_TESTS='ConcurrentMatchTest|BufferPoolConcurrencyTest|ServerTest|MetricsRegistryTest|BTreeStressTest|HeapFileStressTest|FileBackedPipelineTest|BatchCleanerTest|EtiAccelConcurrencyTest|TupleCacheTest'
 
 run_release() {
   echo "=== [ci] Release build + full test suite ==="
@@ -33,22 +35,63 @@ run_sanitizer() {  # $1 = thread|address  $2 = build dir
   # Only the test targets the slice needs: sanitizer builds are slow.
   cmake --build "$2" -j "$JOBS" --target \
         concurrent_match_test buffer_pool_concurrency_test server_test \
-        metrics_registry_test storage_stress_test batch_cleaner_test
+        metrics_registry_test storage_stress_test batch_cleaner_test \
+        eti_accel_concurrency_test tuple_cache_test
   ctest --test-dir "$2" --output-on-failure -j "$JOBS" \
         -R "$SANITIZER_TESTS"
 }
 
+# The accelerator must never change answers, only latency: run the same
+# match workload with the read accelerator + tuple cache on and off, and
+# require byte-identical output CSVs. Both bench_query_time runs archive
+# their metrics JSON under bench_results/ for before/after comparison.
+run_perfsmoke() {
+  echo "=== [ci] perf smoke: accelerator on/off parity + metrics ==="
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build build-ci-release -j "$JOBS" --target \
+        fuzzymatch_cli bench_query_time
+  local cli=build-ci-release/tools/fuzzymatch_cli
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+  "$cli" gen --out "$tmp/ref.csv" --rows 2000 --seed 42
+  "$cli" corrupt --ref "$tmp/ref.csv" --out "$tmp/dirty.csv" --inputs 200
+  "$cli" match --ref "$tmp/ref.csv" --input "$tmp/dirty.csv" \
+        --out "$tmp/out.accel.csv" --tokens \
+        --accel-budget-mb 64 --tuple-cache-mb 32
+  "$cli" match --ref "$tmp/ref.csv" --input "$tmp/dirty.csv" \
+        --out "$tmp/out.plain.csv" --tokens \
+        --accel-budget-mb 0 --tuple-cache-mb 0
+  cmp "$tmp/out.accel.csv" "$tmp/out.plain.csv"
+  echo "[ci] match output byte-identical with accelerator on and off"
+
+  mkdir -p bench_results
+  FM_REF_SIZE=2000 FM_NUM_INPUTS=200 FM_METRICS_DIR=bench_results \
+    FM_ACCEL_BUDGET_MB=0 FM_TUPLE_CACHE_MB=0 \
+    build-ci-release/bench/bench_query_time
+  mv bench_results/bench_query_time.metrics.json \
+     bench_results/bench_query_time.noaccel.metrics.json
+  FM_REF_SIZE=2000 FM_NUM_INPUTS=200 FM_METRICS_DIR=bench_results \
+    FM_ACCEL_BUDGET_MB=64 FM_TUPLE_CACHE_MB=32 \
+    build-ci-release/bench/bench_query_time
+  mv bench_results/bench_query_time.metrics.json \
+     bench_results/bench_query_time.accel.metrics.json
+  echo "[ci] metrics archived: bench_results/bench_query_time.{noaccel,accel}.metrics.json"
+}
+
 case "$STAGE" in
-  release) run_release ;;
-  tsan)    run_sanitizer thread build-ci-tsan ;;
-  asan)    run_sanitizer address build-ci-asan ;;
+  release)   run_release ;;
+  tsan)      run_sanitizer thread build-ci-tsan ;;
+  asan)      run_sanitizer address build-ci-asan ;;
+  perfsmoke) run_perfsmoke ;;
   all)
     run_release
     run_sanitizer thread build-ci-tsan
     run_sanitizer address build-ci-asan
+    run_perfsmoke
     ;;
   *)
-    echo "usage: tools/ci.sh [release|tsan|asan|all]" >&2
+    echo "usage: tools/ci.sh [release|tsan|asan|perfsmoke|all]" >&2
     exit 2
     ;;
 esac

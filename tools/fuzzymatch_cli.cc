@@ -12,7 +12,9 @@
 //   fuzzymatch_cli match   --ref ref.csv --input dirty.csv --out out.csv
 //                          [--q N] [--h N] [--tokens] [--k N]
 //                          [--threshold C] [--load-threshold C]
-//                          [--threads N] [--metrics [FILE]] [--verbose]
+//                          [--threads N] [--metrics [FILE]]
+//                          [--accel-budget-mb MB] [--tuple-cache-mb MB]
+//                          [--verbose]
 //       Builds an Error Tolerant Index over the reference CSV and batch-
 //       cleans the input CSV. The output repeats each input row and
 //       appends: outcome (validated/corrected/routed), similarity, and
@@ -239,6 +241,16 @@ Status CmdMatch(const Args& args) {
   config.eti.index_tokens = args.Has("tokens");
   config.matcher.k = static_cast<size_t>(args.GetInt("k", 1));
   config.matcher.min_similarity = args.GetDouble("threshold", 0.0);
+  config.accel_memory_bytes =
+      static_cast<size_t>(args.GetInt(
+          "accel-budget-mb",
+          static_cast<int64_t>(config.accel_memory_bytes >> 20)))
+      << 20;
+  config.matcher.tuple_cache_bytes =
+      static_cast<size_t>(args.GetInt(
+          "tuple-cache-mb",
+          static_cast<int64_t>(config.matcher.tuple_cache_bytes >> 20)))
+      << 20;
   FM_ASSIGN_OR_RETURN(auto matcher,
                       FuzzyMatcher::Build(db.get(), "ref", config));
   std::printf("built ETI %s in %.2fs (%llu rows)\n",
@@ -366,6 +378,7 @@ void PrintUsage() {
       "  match   --ref ref.csv --input dirty.csv --out out.csv\n"
       "          [--q N] [--h N] [--tokens] [--k N] [--threshold C]\n"
       "          [--load-threshold C] [--threads N] [--metrics [FILE]]\n"
+      "          [--accel-budget-mb MB] [--tuple-cache-mb MB]\n"
       "          [--verbose]\n");
 }
 

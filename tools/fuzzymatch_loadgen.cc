@@ -2,13 +2,16 @@
 //
 //   fuzzymatch_loadgen --port P [--host A] [--clients N] [--requests N]
 //                      [--input dirty.csv] [--op match|clean]
+//                      [--metrics-out FILE]
 //
 // Each client opens its own connection and issues `--requests` requests
 // back to back (one outstanding at a time, matching the protocol).
 // Request rows come from --input (a CSV with header, cycled as needed);
 // without --input every request is a ping, which measures pure
 // server/protocol overhead. Prints throughput and latency quantiles, and
-// counts shed ("overloaded") responses separately.
+// counts shed ("overloaded") responses separately. --metrics-out writes
+// the run's throughput/latency summary as one JSON object, in the same
+// shape the bench harnesses archive under bench_results/.
 
 #include <algorithm>
 #include <atomic>
@@ -160,7 +163,8 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: fuzzymatch_loadgen --port P [--host A] [--clients N]\n"
-        "         [--requests N] [--input dirty.csv] [--op match|clean]\n");
+        "         [--requests N] [--input dirty.csv] [--op match|clean]\n"
+        "         [--metrics-out FILE]\n");
     return 2;
   }
   const std::string host = args.Get("host", "127.0.0.1");
@@ -220,5 +224,28 @@ int main(int argc, char** argv) {
       Quantile(&latencies, 0.50) * 1e3, Quantile(&latencies, 0.95) * 1e3,
       Quantile(&latencies, 0.99) * 1e3,
       latencies.empty() ? 0.0 : latencies.back() * 1e3);
+
+  const std::string metrics_path = args.Get("metrics-out", "");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    out << StringPrintf(
+        "{\"clients\": %zu, \"requests_per_client\": %zu, "
+        "\"wall_seconds\": %.6f, \"throughput_rps\": %.3f, "
+        "\"ok\": %llu, \"shed\": %llu, \"errors\": %llu, "
+        "\"latency_ms\": {\"p50\": %.6f, \"p95\": %.6f, \"p99\": %.6f, "
+        "\"max\": %.6f}}\n",
+        clients, requests_per_client, wall, throughput,
+        static_cast<unsigned long long>(ok),
+        static_cast<unsigned long long>(shed),
+        static_cast<unsigned long long>(errors),
+        Quantile(&latencies, 0.50) * 1e3, Quantile(&latencies, 0.95) * 1e3,
+        Quantile(&latencies, 0.99) * 1e3,
+        latencies.empty() ? 0.0 : latencies.back() * 1e3);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
   return latencies.empty() ? 1 : 0;
 }

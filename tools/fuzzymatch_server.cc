@@ -4,7 +4,9 @@
 //                     [--workers N] [--queue N] [--max-conns N]
 //                     [--idle-timeout-ms N]
 //                     [--q N] [--h N] [--tokens] [--k N] [--threshold C]
-//                     [--load-threshold C] [--verbose]
+//                     [--load-threshold C]
+//                     [--accel-budget-mb MB] [--tuple-cache-mb MB]
+//                     [--verbose]
 //
 // Loads the reference CSV, builds the Error Tolerant Index once, then
 // serves match/clean requests over the line protocol (see
@@ -156,12 +158,28 @@ Status Run(const Args& args) {
   config.eti.index_tokens = args.Has("tokens");
   config.matcher.k = static_cast<size_t>(args.GetInt("k", 1));
   config.matcher.min_similarity = args.GetDouble("threshold", 0.0);
+  config.accel_memory_bytes =
+      static_cast<size_t>(args.GetInt(
+          "accel-budget-mb",
+          static_cast<int64_t>(config.accel_memory_bytes >> 20)))
+      << 20;
+  config.matcher.tuple_cache_bytes =
+      static_cast<size_t>(args.GetInt(
+          "tuple-cache-mb",
+          static_cast<int64_t>(config.matcher.tuple_cache_bytes >> 20)))
+      << 20;
   FM_ASSIGN_OR_RETURN(auto matcher,
                       FuzzyMatcher::Build(db.get(), "ref", config));
   std::printf("built ETI %s in %.2fs (%llu rows)\n",
               config.eti.StrategyName().c_str(),
               matcher->build_stats().total_seconds,
               static_cast<unsigned long long>(matcher->build_stats().eti_rows));
+  if (const EtiAccel* accel = matcher->eti().accelerator()) {
+    std::printf("ETI accelerator: %zu entries resident (%.1f MiB, %s)\n",
+                accel->entry_count(),
+                static_cast<double>(accel->memory_bytes()) / (1u << 20),
+                accel->complete() ? "complete" : "partial");
+  }
 
   BatchCleaner::Options clean_options;
   clean_options.load_threshold = args.GetDouble("load-threshold", 0.8);
@@ -215,7 +233,8 @@ void PrintUsage() {
       "usage: fuzzymatch_server --ref ref.csv [--port P] [--host A]\n"
       "         [--workers N] [--queue N] [--max-conns N]\n"
       "         [--idle-timeout-ms N] [--q N] [--h N] [--tokens] [--k N]\n"
-      "         [--threshold C] [--load-threshold C] [--verbose]\n");
+      "         [--threshold C] [--load-threshold C]\n"
+      "         [--accel-budget-mb MB] [--tuple-cache-mb MB] [--verbose]\n");
 }
 
 }  // namespace
