@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "fault/failpoint.h"
 #include "match/naive_matcher.h"
 #include "obs/metrics.h"
 
@@ -29,6 +30,11 @@ size_t EnvSize(const char* name, size_t fallback) {
 }
 
 Result<BenchEnv> MakeBenchEnv() {
+  if (fault::kEnabled) {
+    FM_LOG(Warning) << "failpoints are compiled in (-DFM_FAILPOINTS=ON): "
+                       "numbers from this binary are not comparable to "
+                       "Release results";
+  }
   BenchEnv env;
   env.ref_size = EnvSize("FM_REF_SIZE", 100000);
   env.num_inputs = EnvSize("FM_NUM_INPUTS", 1655);

@@ -1,6 +1,25 @@
 #include "core/fuzzy_match.h"
 
+#include "common/logging.h"
+#include "obs/metrics.h"
+
 namespace fuzzymatch {
+
+namespace {
+
+obs::Counter& MaintenanceRollbacksCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("maintenance.rollbacks");
+  return *c;
+}
+
+obs::Counter& MaintenanceRollbackFailuresCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "maintenance.rollback_failures");
+  return *c;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<FuzzyMatcher>> FuzzyMatcher::Assemble(
     FuzzyMatchConfig config, Table* ref, BuiltEti built) {
@@ -64,7 +83,28 @@ Result<std::unique_ptr<FuzzyMatcher>> FuzzyMatcher::Open(
 Result<Tid> FuzzyMatcher::InsertReferenceTuple(const Row& row) {
   FM_ASSIGN_OR_RETURN(const Tid tid, ref_->Insert(row));
   const Tokenizer tokenizer = eti_->MakeTokenizer();
-  FM_RETURN_IF_ERROR(eti_->IndexTuple(tid, tokenizer.TokenizeTuple(row)));
+  const TokenizedTuple tokens = tokenizer.TokenizeTuple(row);
+  const Status indexed = eti_->IndexTuple(tid, tokens);
+  if (!indexed.ok()) {
+    // Roll the half-applied insert back so the tuple ends fully absent
+    // (the all-or-nothing maintenance invariant, DESIGN.md 5e). The
+    // caller may retry the whole insert; the tid is burned either way.
+    MaintenanceRollbacksCounter().Increment();
+    const Status unindexed = eti_->UnindexTuple(tid, tokens);
+    if (!unindexed.ok() && !unindexed.IsNotFound()) {
+      MaintenanceRollbackFailuresCounter().Increment();
+      FM_LOG(Warning) << "rollback of partially indexed tuple " << tid
+                      << " failed: " << unindexed;
+    }
+    const Status removed = ref_->Delete(tid);
+    if (!removed.ok()) {
+      MaintenanceRollbackFailuresCounter().Increment();
+      FM_LOG(Warning) << "rollback delete of reference tuple " << tid
+                      << " failed: " << removed;
+    }
+    matcher_->InvalidateCachedTuple(tid);
+    return indexed;
+  }
   matcher_->InvalidateCachedTuple(tid);
   return tid;
 }
@@ -72,7 +112,12 @@ Result<Tid> FuzzyMatcher::InsertReferenceTuple(const Row& row) {
 Status FuzzyMatcher::RemoveReferenceTuple(Tid tid) {
   FM_ASSIGN_OR_RETURN(const Row row, ref_->Get(tid));
   const Tokenizer tokenizer = eti_->MakeTokenizer();
-  FM_RETURN_IF_ERROR(eti_->UnindexTuple(tid, tokenizer.TokenizeTuple(row)));
+  const Status unindexed = eti_->UnindexTuple(tid, tokenizer.TokenizeTuple(row));
+  // NotFound means a previous attempt already stripped every coordinate
+  // before failing later in this function; finish the removal.
+  if (!unindexed.ok() && !unindexed.IsNotFound()) {
+    return unindexed;
+  }
   matcher_->InvalidateCachedTuple(tid);
   return ref_->Delete(tid);
 }

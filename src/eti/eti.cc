@@ -5,9 +5,11 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "eti/signature.h"
 #include "eti/tid_list.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "storage/key_codec.h"
 
@@ -100,8 +102,18 @@ Result<EtiEntry> Eti::DecodeEntry(const Row& row) {
   return entry;
 }
 
+void Eti::InvalidateAccel(std::string_view gram, uint32_t coordinate,
+                          uint32_t column) {
+  if (accel_ == nullptr) {
+    return;
+  }
+  FM_FAIL_POINT_VOID("eti.accel_invalidate");
+  accel_->Invalidate(gram, coordinate, column);
+}
+
 Status Eti::MutateEntry(std::string_view gram, uint32_t coordinate,
                         uint32_t column, Tid tid, bool add) {
+  FM_FAIL_POINT("eti.mutate_entry");
   const std::string key = IndexKey(gram, coordinate, column);
   auto rid_bytes = index_->Get(key);
   if (!rid_bytes.ok()) {
@@ -119,10 +131,19 @@ Status Eti::MutateEntry(std::string_view gram, uint32_t coordinate,
         const Table::InsertInfo info,
         rows_->InsertWithLocation(EncodeRow(gram, coordinate, column,
                                             entry)));
-    FM_RETURN_IF_ERROR(index_->Insert(key, info.rid.Encode()));
-    if (accel_) {
-      accel_->Invalidate(gram, coordinate, column);
+    const Status indexed = index_->Insert(key, info.rid.Encode());
+    if (!indexed.ok()) {
+      // Unwind the row insert so a failed coordinate leaves no unindexed
+      // orphan behind; if even the unwind fails the orphan is invisible
+      // to lookups (nothing points at it) and harmless.
+      const Status unwound = rows_->Delete(info.tid);
+      if (!unwound.ok()) {
+        FM_LOG(Warning) << "ETI row unwind after failed index insert: "
+                        << unwound;
+      }
+      return indexed;
     }
+    InvalidateAccel(gram, coordinate, column);
     return Status::OK();
   }
 
@@ -134,7 +155,13 @@ Status Eti::MutateEntry(std::string_view gram, uint32_t coordinate,
     if (entry.is_stop) {
       ++entry.frequency;
     } else {
-      if (!entry.tids.empty() && entry.tids.back() >= tid) {
+      if (!entry.tids.empty() && entry.tids.back() == tid) {
+        // Already applied: a retry after a mid-tuple failure re-visits
+        // coordinates that committed the first time. Skip without
+        // touching the frequency so the retry converges.
+        return Status::OK();
+      }
+      if (!entry.tids.empty() && entry.tids.back() > tid) {
         return Status::InvalidArgument(
             "IndexTuple requires monotonically growing tids");
       }
@@ -162,19 +189,27 @@ Status Eti::MutateEntry(std::string_view gram, uint32_t coordinate,
     }
   }
 
+  // Two-phase relocation: the old image stays readable until the
+  // clustered index points at the new one, so a failure at any step
+  // leaves the key resolvable (old or new image) and the retry converges.
   FM_ASSIGN_OR_RETURN(
       const Rid new_rid,
-      rows_->UpdateByRid(rid, EncodeRow(gram, coordinate, column, entry)));
+      rows_->ReplaceByRid(rid, EncodeRow(gram, coordinate, column, entry)));
   if (new_rid != rid) {
     FM_RETURN_IF_ERROR(index_->Put(key, new_rid.Encode()));
+    const Status erased = rows_->EraseRid(rid);
+    if (!erased.ok()) {
+      // The superseded image is unreachable (nothing points at it);
+      // leaking it is harmless, so the mutation still counts as applied.
+      FM_LOG(Warning) << "ETI row erase after relocation: " << erased;
+    }
   }
-  if (accel_) {
-    accel_->Invalidate(gram, coordinate, column);
-  }
+  InvalidateAccel(gram, coordinate, column);
   return Status::OK();
 }
 
 Status Eti::IndexTuple(Tid tid, const TokenizedTuple& tokens) {
+  FM_FAIL_POINT("eti.index_tuple");
   const MinHasher hasher = MakeHasher();
   for (uint32_t col = 0; col < tokens.size(); ++col) {
     // Dedupe per column: a token appearing twice contributes once.
@@ -202,23 +237,72 @@ Status Eti::IndexTuple(Tid tid, const TokenizedTuple& tokens) {
 
 Status Eti::UnindexTuple(Tid tid, const TokenizedTuple& tokens) {
   const MinHasher hasher = MakeHasher();
+  struct Coord {
+    std::string gram;
+    uint32_t coordinate;
+    uint32_t column;
+  };
+  std::vector<Coord> coords;
   for (uint32_t col = 0; col < tokens.size(); ++col) {
     std::vector<std::string> distinct(tokens[col]);
     std::sort(distinct.begin(), distinct.end());
     distinct.erase(std::unique(distinct.begin(), distinct.end()),
                    distinct.end());
-    std::vector<std::pair<std::string, uint32_t>> coords;
+    std::vector<std::pair<std::string, uint32_t>> col_coords;
     for (const auto& token : distinct) {
       for (const auto& tc :
            MakeTokenCoordinates(hasher, params_, token, 0.0)) {
-        coords.emplace_back(tc.gram, tc.coordinate);
+        col_coords.emplace_back(tc.gram, tc.coordinate);
       }
     }
-    std::sort(coords.begin(), coords.end());
-    coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
-    for (const auto& [gram, coordinate] : coords) {
-      FM_RETURN_IF_ERROR(MutateEntry(gram, coordinate, col, tid, false));
+    std::sort(col_coords.begin(), col_coords.end());
+    col_coords.erase(std::unique(col_coords.begin(), col_coords.end()),
+                     col_coords.end());
+    for (auto& [gram, coordinate] : col_coords) {
+      coords.push_back(Coord{std::move(gram), coordinate, col});
     }
+  }
+
+  // Read-only evidence pass: decide which coordinates still reference the
+  // tid before mutating anything. A stop row's NULL tid-list cannot be
+  // checked, so it always counts (and gets its frequency decremented); a
+  // live row without the tid is skipped, which makes a retry after a
+  // mid-tuple failure converge instead of tripping on the coordinates the
+  // first attempt already removed.
+  bool referenced = coords.empty();  // vacuously done: nothing to remove
+  std::vector<bool> apply(coords.size(), false);
+  for (size_t i = 0; i < coords.size(); ++i) {
+    const std::string key =
+        IndexKey(coords[i].gram, coords[i].coordinate, coords[i].column);
+    auto rid_bytes = index_->Get(key);
+    if (!rid_bytes.ok()) {
+      if (rid_bytes.status().IsNotFound()) {
+        continue;
+      }
+      return rid_bytes.status();
+    }
+    FM_ASSIGN_OR_RETURN(const Rid rid, Rid::Decode(*rid_bytes));
+    FM_ASSIGN_OR_RETURN(const Row row, rows_->GetByRid(rid));
+    FM_ASSIGN_OR_RETURN(const EtiEntry entry, DecodeEntry(row));
+    if (entry.is_stop ||
+        std::find(entry.tids.begin(), entry.tids.end(), tid) !=
+            entry.tids.end()) {
+      referenced = true;
+      apply[i] = true;
+    }
+  }
+  if (!referenced) {
+    return Status::NotFound(
+        StringPrintf("tid %u is not indexed in the ETI", tid));
+  }
+
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (!apply[i]) {
+      continue;
+    }
+    FM_FAIL_POINT("eti.unindex_tuple");
+    FM_RETURN_IF_ERROR(MutateEntry(coords[i].gram, coords[i].coordinate,
+                                   coords[i].column, tid, false));
   }
   return Status::OK();
 }

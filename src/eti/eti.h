@@ -109,7 +109,10 @@ class Eti {
 
   /// Removes a reference tuple's coordinates. Stop q-grams only decrement
   /// their frequency (the dropped tid-list is not reconstructed); rows
-  /// whose tid-list empties are deleted.
+  /// whose tid-list empties are deleted. Returns NotFound when `tid` is
+  /// not referenced by any of its coordinates (never indexed, or already
+  /// fully unindexed); a retry after a mid-operation failure skips the
+  /// coordinates already removed and finishes the rest.
   Status UnindexTuple(Tid tid, const TokenizedTuple& tokens);
 
   const EtiParams& params() const { return params_; }
@@ -141,6 +144,10 @@ class Eti {
   /// Applies one add/remove of `tid` to the row for (gram, coord, col).
   Status MutateEntry(std::string_view gram, uint32_t coordinate,
                      uint32_t column, Tid tid, bool add);
+
+  /// Drops the accelerator's entry for a mutated key, if attached.
+  void InvalidateAccel(std::string_view gram, uint32_t coordinate,
+                       uint32_t column);
 
   Table* rows_;
   BPlusTree* index_;

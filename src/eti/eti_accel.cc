@@ -226,9 +226,12 @@ Result<std::shared_ptr<EtiAccel>> EtiAccel::Build(
                             std::max<size_t>(1024, admitted_key_bytes / 8));
   accel->post_arena_.reserve(admitted_post_bytes);
 
-  // Pass 2: load the admitted rows. Keys are unique (the ETI is clustered
-  // on [QGram, Coordinate, Column]), so every insert lands in a fresh
-  // slot.
+  // Pass 2: load the admitted rows. Keys are normally unique (the ETI is
+  // clustered on [QGram, Coordinate, Column]); a duplicate can appear if
+  // a row relocation was interrupted mid-update and left a superseded
+  // image behind. Neither copy is trustworthy from a heap scan alone, so
+  // the key is demoted to a spill marker and served from the B-tree,
+  // which always points at the authoritative image.
   if (admitted_count > 0) {
     Table::Scanner scanner = rows->Scan();
     Tid tid;
@@ -247,7 +250,12 @@ Result<std::shared_ptr<EtiAccel>> EtiAccel::Build(
       const size_t i =
           accel->FindSlot(hash, gram, coordinate, column);
       if (accel->slots_[i].state != kEmpty) {
-        return Status::Corruption("duplicate ETI key during accel build");
+        Slot& dup = accel->slots_[i];
+        if (dup.state != kSpill) {
+          --accel->resident_entries_;
+          dup.state = kSpill;
+        }
+        continue;
       }
       accel->InsertAt(i, hash, gram, coordinate, column, frequency,
                       row[4] ? kValid : kStop,

@@ -1,0 +1,146 @@
+#include "fault/failpoint.h"
+
+#include "common/string_util.h"
+#include "fault/faulty_env.h"
+#include "obs/metrics.h"
+
+namespace fuzzymatch::fault {
+
+namespace {
+
+obs::Counter& InjectedErrorsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("fault.injected_errors");
+  return *c;
+}
+
+obs::Counter& SimulatedCrashesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("fault.crashes_simulated");
+  return *c;
+}
+
+Status MakeInjectedError(StatusCode code, std::string_view name) {
+  return Status(code,
+                StringPrintf("injected fault at failpoint %.*s",
+                             static_cast<int>(name.size()), name.data()));
+}
+
+CrashMode CrashModeFor(Action action) {
+  switch (action) {
+    case Action::kCrashTorn:
+      return CrashMode::kTornWrite;
+    case Action::kCrashTruncate:
+      return CrashMode::kTruncate;
+    case Action::kError:
+    case Action::kCrash:
+      break;
+  }
+  return CrashMode::kDropWrites;
+}
+
+}  // namespace
+
+Failpoints& Failpoints::Global() {
+  static Failpoints* instance = new Failpoints();
+  return *instance;
+}
+
+void Failpoints::Arm(const std::string& name, FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[name];
+  p.spec = spec;
+  p.armed = true;
+  p.hits_since_arm = 0;
+  p.rng.emplace(spec.seed);
+}
+
+void Failpoints::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(name);
+  if (it != points_.end()) {
+    it->second.armed = false;
+  }
+}
+
+void Failpoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, point] : points_) {
+    point.armed = false;
+  }
+}
+
+void Failpoints::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  fired_ = 0;
+}
+
+Status Failpoints::Hit(std::string_view name) {
+  Action action;
+  StatusCode error_code;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Point& p = points_[std::string(name)];
+    ++p.total_hits;
+    if (!p.armed) {
+      return Status::OK();
+    }
+    ++p.hits_since_arm;
+    const bool fire = p.spec.probability.has_value()
+                          ? p.rng->Bernoulli(*p.spec.probability)
+                          : p.hits_since_arm == p.spec.fire_on_hit;
+    if (!fire) {
+      return Status::OK();
+    }
+    if (p.spec.one_shot) {
+      p.armed = false;
+    }
+    ++fired_;
+    action = p.spec.action;
+    error_code = p.spec.error_code;
+  }
+  // The FileFaults call and metrics run outside the registry lock: the
+  // pager's write gate is hit from the same stack moments later.
+  if (action == Action::kError) {
+    InjectedErrorsCounter().Increment();
+    return MakeInjectedError(error_code, name);
+  }
+  FileFaults::Global().Crash(CrashModeFor(action));
+  SimulatedCrashesCounter().Increment();
+  return Status(StatusCode::kIOError,
+                StringPrintf("simulated crash at failpoint %.*s",
+                             static_cast<int>(name.size()), name.data()));
+}
+
+void Failpoints::HitVoid(std::string_view name) {
+  // Error actions cannot propagate from a void site; only crash actions
+  // (which act through the global write gate) take effect.
+  const Status s = Hit(name);
+  (void)s;
+}
+
+uint64_t Failpoints::HitCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.total_hits;
+}
+
+uint64_t Failpoints::fired_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+std::vector<std::string> Failpoints::SeenPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    if (point.total_hits > 0) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+}  // namespace fuzzymatch::fault

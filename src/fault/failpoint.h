@@ -1,0 +1,187 @@
+// Deterministic fault injection for the storage/ETI write path.
+//
+// A failpoint is a named hook compiled into a write path:
+//
+//   Status HeapFile::Insert(...) {
+//     FM_FAIL_POINT("heap.insert");
+//     ...
+//   }
+//
+// Unarmed failpoints only bump a hit counter; a test arms one with a
+// FailpointSpec to make it fire — either returning an injected error
+// Status from the enclosing function, or simulating a process crash by
+// flipping the global FileFaults gate (see fault/faulty_env.h) so every
+// subsequent page write is dropped before it reaches the file, exactly as
+// if the machine had lost power.
+//
+// Firing is deterministic by default (the Nth hit after arming) and
+// optionally probabilistic with a seeded RNG, so every failure schedule a
+// test explores is reproducible from its seed.
+//
+// The hooks compile to nothing unless FM_FAILPOINTS_ENABLED is defined
+// (CMake: -DFM_FAILPOINTS=ON; default on for every build type except
+// Release). The registry itself is always built so tests can link and
+// GTEST_SKIP when the hooks are compiled out.
+//
+// Thread safety: all registry operations take an internal mutex; the
+// macros are safe to hit from concurrent writers.
+
+#ifndef FUZZYMATCH_FAULT_FAILPOINT_H_
+#define FUZZYMATCH_FAULT_FAILPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace fuzzymatch::fault {
+
+/// True when the FM_FAIL_POINT hooks are compiled into the write paths.
+#if FM_FAILPOINTS_ENABLED
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// What an armed failpoint does when it fires.
+enum class Action : uint8_t {
+  /// Return an injected error Status from the enclosing function.
+  kError = 0,
+  /// Simulate power loss: every later page write/sync is silently dropped
+  /// (FileFaults CrashMode::kDropWrites), and the enclosing function
+  /// returns an IOError so the stack unwinds.
+  kCrash = 1,
+  /// As kCrash, but the next page write is torn (first half reaches the
+  /// file) before the gate closes.
+  kCrashTorn = 2,
+  /// As kCrash, but the registered database file is also truncated to a
+  /// non-page-multiple length, as if the crash interrupted an extension.
+  kCrashTruncate = 3,
+};
+
+/// Per-test control block for one failpoint.
+struct FailpointSpec {
+  Action action = Action::kError;
+
+  /// Deterministic trigger: fire on the Nth hit after arming (1-based).
+  /// Ignored when `probability` is set.
+  uint64_t fire_on_hit = 1;
+
+  /// Probabilistic trigger: fire each hit with this probability, drawn
+  /// from an Rng seeded with `seed`.
+  std::optional<double> probability;
+  uint64_t seed = 0;
+
+  /// Disarm automatically after the first firing (the common case: tests
+  /// inject one fault, then expect the retry to go through clean).
+  bool one_shot = true;
+
+  /// Status code injected by Action::kError.
+  StatusCode error_code = StatusCode::kIOError;
+};
+
+/// Process-wide registry of failpoints, keyed by name. Names are created
+/// lazily on first Hit() or Arm(), so the registry doubles as a record of
+/// which points a workload actually crossed (see SeenPoints()).
+class Failpoints {
+ public:
+  static Failpoints& Global();
+
+  /// Arms `name` with `spec`; resets its since-arm hit counter.
+  void Arm(const std::string& name, FailpointSpec spec);
+
+  /// Disarms `name` (no-op if unarmed). Hit counters are kept.
+  void Disarm(const std::string& name);
+
+  /// Disarms every failpoint. Hit counters are kept.
+  void DisarmAll();
+
+  /// Forgets all hit counters and firing stats (keeps nothing armed).
+  void Reset();
+
+  /// The hook behind FM_FAIL_POINT: returns an injected error when `name`
+  /// is armed and due, OK otherwise.
+  Status Hit(std::string_view name);
+
+  /// The hook behind FM_FAIL_POINT_VOID, for void write paths (e.g.
+  /// accelerator invalidation): crash actions take effect, error actions
+  /// are counted but cannot propagate and so do nothing else.
+  void HitVoid(std::string_view name);
+
+  /// Total hits of `name` since the last Reset (armed or not).
+  uint64_t HitCount(const std::string& name) const;
+
+  /// Total injected faults (errors + crashes) since the last Reset.
+  uint64_t fired_count() const;
+
+  /// Names of every failpoint hit at least once since the last Reset.
+  std::vector<std::string> SeenPoints() const;
+
+ private:
+  struct Point {
+    uint64_t total_hits = 0;
+    uint64_t hits_since_arm = 0;
+    bool armed = false;
+    FailpointSpec spec;
+    std::optional<Rng> rng;
+  };
+
+  Failpoints() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Point> points_;
+  uint64_t fired_ = 0;
+};
+
+/// The canonical write-path failpoints. Every name here is compiled into
+/// a storage/ETI write path; the crash-consistency suite iterates this
+/// list and asserts each one both fires and recovers. Keep it in sync
+/// with the FM_FAIL_POINT sites (failpoint_test cross-checks).
+inline constexpr const char* kWritePathFailpoints[] = {
+    "pager.write_page",       // Pager::WritePage (file + memory modes)
+    "pager.sync",             // Pager::Sync
+    "pager.allocate_page",    // Pager::AllocatePage
+    "bufferpool.evict_dirty", // BufferPool dirty-victim writeback
+    "bufferpool.flush_all",   // BufferPool::FlushAll (checkpoint path)
+    "heap.insert",            // HeapFile::Insert
+    "heap.write_overflow",    // HeapFile overflow-chain writeout
+    "heap.delete",            // HeapFile::Delete
+    "btree.put",              // BPlusTree::Put
+    "btree.split_leaf",       // leaf split
+    "btree.split_internal",   // internal-node split
+    "btree.delete",           // BPlusTree::Delete
+    "table.insert",           // Table::Insert / InsertWithLocation
+    "table.update",           // Table::UpdateByRid (ETI row relocation)
+    "eti.mutate_entry",       // Eti::MutateEntry (per-coordinate write)
+    "eti.index_tuple",        // Eti::IndexTuple (per-tuple)
+    "eti.unindex_tuple",      // Eti::UnindexTuple apply pass
+    "eti.accel_invalidate",   // EtiAccel::Invalidate (void site)
+    "db.checkpoint",          // Database::Checkpoint
+};
+
+}  // namespace fuzzymatch::fault
+
+#if FM_FAILPOINTS_ENABLED
+/// Write-path hook: propagates an injected fault out of a function that
+/// returns Status or Result<T>.
+#define FM_FAIL_POINT(name) \
+  FM_RETURN_IF_ERROR(::fuzzymatch::fault::Failpoints::Global().Hit(name))
+/// Hook for void write paths: only crash-type actions take effect.
+#define FM_FAIL_POINT_VOID(name) \
+  ::fuzzymatch::fault::Failpoints::Global().HitVoid(name)
+#else
+#define FM_FAIL_POINT(name) \
+  do {                      \
+  } while (false)
+#define FM_FAIL_POINT_VOID(name) \
+  do {                           \
+  } while (false)
+#endif
+
+#endif  // FUZZYMATCH_FAULT_FAILPOINT_H_

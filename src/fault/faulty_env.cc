@@ -1,0 +1,87 @@
+#include "fault/faulty_env.h"
+
+#include <filesystem>
+#include <system_error>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "storage/page.h"
+
+namespace fuzzymatch::fault {
+
+namespace {
+
+obs::Counter& WritesDroppedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("fault.writes_dropped");
+  return *c;
+}
+
+obs::Gauge& CrashedGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("fault.crashed");
+  return *g;
+}
+
+}  // namespace
+
+FileFaults& FileFaults::Global() {
+  static FileFaults* instance = new FileFaults();
+  return *instance;
+}
+
+void FileFaults::Crash(CrashMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (mode == CrashMode::kTornWrite) {
+    tear_next_.store(true, std::memory_order_relaxed);
+  }
+  if (mode == CrashMode::kTruncate && !path_.empty()) {
+    // A crash mid file-extension: leave the file half a page past the
+    // last full page boundary. Reopen must reject it as corrupt.
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path_, ec);
+    if (!ec && size >= kPageSize) {
+      std::filesystem::resize_file(path_, size - kPageSize / 2, ec);
+    }
+    if (ec) {
+      FM_LOG(Warning) << "fault: truncate of " << path_
+                      << " failed: " << ec.message();
+    }
+  }
+  crashed_.store(true, std::memory_order_relaxed);
+  CrashedGauge().Set(1);
+}
+
+void FileFaults::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_.store(false, std::memory_order_relaxed);
+  tear_next_.store(false, std::memory_order_relaxed);
+  writes_dropped_.store(0, std::memory_order_relaxed);
+  CrashedGauge().Set(0);
+}
+
+void FileFaults::RegisterFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = path;
+}
+
+size_t FileFaults::AdmitWrite(size_t len) {
+  if (!crashed_.load(std::memory_order_relaxed)) {
+    return len;
+  }
+  writes_dropped_.fetch_add(1, std::memory_order_relaxed);
+  WritesDroppedCounter().Increment();
+  if (tear_next_.exchange(false, std::memory_order_relaxed)) {
+    return len / 2;
+  }
+  return 0;
+}
+
+bool FileFaults::AdmitSync() {
+  return !crashed_.load(std::memory_order_relaxed);
+}
+
+}  // namespace fuzzymatch::fault

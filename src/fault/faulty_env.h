@@ -1,0 +1,85 @@
+// FaultyEnv: a global gate between the Pager and the page file that lets
+// tests simulate power loss mid-write.
+//
+// After FileFaults::Global().Crash(mode), every page write and fsync from
+// a file-backed Pager is silently dropped ("accepted" from the caller's
+// point of view, never reaching the file), exactly like a kernel losing
+// its dirty page cache at power-off. The process keeps running so the
+// test can tear the stack down, then Reset() the gate and reopen the
+// database file to observe what a restart would see.
+//
+// Modes refine what the last moments look like:
+//  - kDropWrites: clean cut — nothing after the crash point reaches disk;
+//  - kTornWrite:  the write in flight at crash time lands half-done
+//                 (first half of the page), then the gate closes;
+//  - kTruncate:   the registered database file is truncated to a
+//                 non-page-multiple size (a crash mid file-extension).
+//
+// The Pager consults the gate only in FM_FAILPOINTS_ENABLED builds; in
+// Release the shim is dead code behind a constant-false branch that never
+// compiles in.
+//
+// Thread safety: Crash/Reset/Register take a mutex; AdmitWrite/AdmitSync
+// are a single relaxed atomic load until a crash is simulated.
+
+#ifndef FUZZYMATCH_FAULT_FAULTY_ENV_H_
+#define FUZZYMATCH_FAULT_FAULTY_ENV_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace fuzzymatch::fault {
+
+enum class CrashMode : uint8_t {
+  kDropWrites = 0,
+  kTornWrite = 1,
+  kTruncate = 2,
+};
+
+class FileFaults {
+ public:
+  static FileFaults& Global();
+
+  /// Simulates power loss now. Idempotent; the first call wins.
+  void Crash(CrashMode mode);
+
+  /// Reopens the gate (the "machine" is back up) and forgets counters.
+  /// The registered file path is kept until the next RegisterFile.
+  void Reset();
+
+  bool crashed() const {
+    return crashed_.load(std::memory_order_relaxed);
+  }
+
+  /// Pager hook at OpenFile: remembers the file kTruncate will shorten.
+  void RegisterFile(const std::string& path);
+
+  /// Pager hook before a page write of `len` bytes: how many bytes may
+  /// actually reach the file. `len` when the gate is open, 0 once crashed
+  /// (drop), `len / 2` exactly once in kTornWrite mode.
+  size_t AdmitWrite(size_t len);
+
+  /// Pager hook before fsync: false once crashed (skip the sync).
+  bool AdmitSync();
+
+  /// Page writes fully or partially suppressed since the last Reset.
+  uint64_t writes_dropped() const {
+    return writes_dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FileFaults() = default;
+
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> tear_next_{false};
+  std::atomic<uint64_t> writes_dropped_{0};
+  mutable std::mutex mu_;  // guards path_ and the Crash transition
+  std::string path_;
+};
+
+}  // namespace fuzzymatch::fault
+
+#endif  // FUZZYMATCH_FAULT_FAULTY_ENV_H_

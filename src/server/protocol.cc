@@ -227,5 +227,40 @@ std::string RenderErrorResponse(std::string_view error, bool shed) {
   return FinishLine(obj);
 }
 
+std::string_view StatusCodeToken(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kIOError:
+      return "io_error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kNotSupported:
+      return "not_supported";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string RenderStatusResponse(const Status& status) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("ok", JsonValue::Bool(false));
+  obj.Set("error", JsonValue::String(status.message()));
+  obj.Set("code", JsonValue::String(std::string(StatusCodeToken(
+                      status.code()))));
+  return FinishLine(obj);
+}
+
 }  // namespace server
 }  // namespace fuzzymatch

@@ -24,6 +24,7 @@
 //       "tid":12,"row":[...]}
 //   {"ok":true,"op":"ping"}
 //   {"ok":false,"error":"..."}               malformed request
+//   {"ok":false,"error":"...","code":"io_error"}    typed backend failure
 //   {"ok":false,"error":"overloaded","shed":true}   admission control
 //
 // `metrics` is the one multi-line response: the Prometheus text
@@ -72,6 +73,16 @@ std::string RenderCleanResponse(const std::optional<uint64_t>& id,
                                 const CleanResult& result);
 std::string RenderPingResponse(const std::optional<uint64_t>& id);
 std::string RenderErrorResponse(std::string_view error, bool shed = false);
+
+/// Renders a non-OK backend Status with a machine-readable "code" field
+/// (the snake_case StatusCode name, e.g. "io_error", "not_found"), so
+/// clients can tell an injected/real storage failure from a malformed
+/// request and decide whether to retry.
+std::string RenderStatusResponse(const Status& status);
+
+/// The stable wire token for a status code ("io_error", "corruption",
+/// ...). Exposed for tests.
+std::string_view StatusCodeToken(StatusCode code);
 
 /// The terminator line of a metrics response (followed by '\n' on the
 /// wire).

@@ -50,6 +50,14 @@ Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
 }
 
+// Backend Status failures surfaced to clients as typed error responses
+// (distinct from malformed-request errors, which clients must not retry).
+obs::Counter& QueryErrorsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("server.query_errors");
+  return *c;
+}
+
 }  // namespace
 
 MatchServer::MatchServer(const FuzzyMatcher* matcher,
@@ -395,14 +403,16 @@ std::string MatchServer::HandleQuery(const Request& request) {
 std::string MatchServer::HandleMatch(const Request& request) {
   auto matches = matcher_->FindMatches(request.row);
   if (!matches.ok()) {
-    return RenderErrorResponse(matches.status().message());
+    QueryErrorsCounter().Increment();
+    return RenderStatusResponse(matches.status());
   }
   std::vector<MatchWithRow> enriched;
   enriched.reserve(matches->size());
   for (const Match& m : *matches) {
     auto row = matcher_->GetReferenceTuple(m.tid);
     if (!row.ok()) {
-      return RenderErrorResponse(row.status().message());
+      QueryErrorsCounter().Increment();
+      return RenderStatusResponse(row.status());
     }
     enriched.push_back(MatchWithRow{m, *std::move(row)});
   }
@@ -412,7 +422,8 @@ std::string MatchServer::HandleMatch(const Request& request) {
 std::string MatchServer::HandleClean(const Request& request) {
   auto result = cleaner_.Clean(request.row);
   if (!result.ok()) {
-    return RenderErrorResponse(result.status().message());
+    QueryErrorsCounter().Increment();
+    return RenderStatusResponse(result.status());
   }
   return RenderCleanResponse(request.id, *result);
 }

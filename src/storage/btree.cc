@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 
 namespace fuzzymatch {
@@ -173,6 +174,7 @@ Status BPlusTree::Put(std::string_view key, std::string_view value) {
 
 Status BPlusTree::PutImpl(std::string_view key, std::string_view value,
                           bool allow_overwrite) {
+  FM_FAIL_POINT("btree.put");
   if (key.size() + value.size() > kMaxEntrySize) {
     return Status::InvalidArgument(
         StringPrintf("btree entry too large (%zu bytes, max %zu)",
@@ -292,6 +294,7 @@ Status BPlusTree::InsertInto(PageId node, std::string_view key,
 
 Status BPlusTree::SplitLeaf(PageGuard& guard,
                             std::optional<SplitResult>* split) {
+  FM_FAIL_POINT("btree.split_leaf");
   Page left = guard.page();
   const uint16_t count = left.slot_count();
   FM_CHECK_GE(count, uint16_t{2});
@@ -327,6 +330,7 @@ Status BPlusTree::SplitLeaf(PageGuard& guard,
 
 Status BPlusTree::SplitInternal(PageGuard& guard,
                                 std::optional<SplitResult>* split) {
+  FM_FAIL_POINT("btree.split_internal");
   Page left = guard.page();
   const uint16_t count = left.slot_count();
   FM_CHECK_GE(count, uint16_t{3});
@@ -363,6 +367,7 @@ Status BPlusTree::SplitInternal(PageGuard& guard,
 }
 
 Status BPlusTree::Delete(std::string_view key) {
+  FM_FAIL_POINT("btree.delete");
   FM_ASSIGN_OR_RETURN(const PageId leaf, FindLeaf(key));
   FM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(leaf));
   Page page = guard.page();

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 
 namespace fuzzymatch {
@@ -104,6 +105,11 @@ Result<size_t> BufferPool::GrabFrame() {
         "buffer pool: all frames pinned; increase capacity");
   }
   const size_t victim = lru_.front();
+  if (frames_[victim].dirty) {
+    // Fires before any pool state changes so an injected error leaves the
+    // victim evictable by the caller's retry.
+    FM_FAIL_POINT("bufferpool.evict_dirty");
+  }
   lru_.pop_front();
   Frame& fr = frames_[victim];
   fr.in_lru = false;
@@ -181,6 +187,7 @@ Status BufferPool::FlushFrame(size_t frame) {
 }
 
 Status BufferPool::FlushAll() {
+  FM_FAIL_POINT("bufferpool.flush_all");
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t f = 0; f < next_unused_frame_; ++f) {
     if (frames_[f].page_id != kInvalidPageId && frames_[f].dirty) {

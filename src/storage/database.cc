@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/varint.h"
+#include "fault/failpoint.h"
 
 namespace fuzzymatch {
 
@@ -202,6 +203,7 @@ Status Database::DropIndex(const std::string& name) {
 }
 
 Status Database::Checkpoint() {
+  FM_FAIL_POINT("db.checkpoint");
   FM_RETURN_IF_ERROR(SaveCatalog());
   return pool_->FlushAll();
 }

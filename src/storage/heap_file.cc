@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 
 namespace fuzzymatch {
 
@@ -63,6 +64,7 @@ Result<PageId> HeapFile::WriteOverflow(std::string_view record) {
   PageId prev = kInvalidPageId;
   size_t off = 0;
   while (off < record.size() || head == kInvalidPageId) {
+    FM_FAIL_POINT("heap.write_overflow");
     FM_ASSIGN_OR_RETURN(PageGuard guard, pool_->New());
     guard.page().Init(PageType::kMeta);
     const size_t take = std::min(kOverflowPayload, record.size() - off);
@@ -100,6 +102,7 @@ Result<std::string> HeapFile::ReadOverflow(PageId head,
 }
 
 Result<Rid> HeapFile::Insert(std::string_view record) {
+  FM_FAIL_POINT("heap.insert");
   std::string stub;
   std::string_view to_store = record;
   if (record.size() >= kMaxInlineRecord) {
@@ -168,6 +171,7 @@ Result<std::string> HeapFile::Get(const Rid& rid) const {
 }
 
 Status HeapFile::Delete(const Rid& rid) {
+  FM_FAIL_POINT("heap.delete");
   FM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page_id));
   Page page = guard.page();
   if (!page.Delete(rid.slot)) {

@@ -7,6 +7,8 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
+#include "fault/faulty_env.h"
 #include "obs/metrics.h"
 
 namespace fuzzymatch {
@@ -68,6 +70,9 @@ Result<std::unique_ptr<Pager>> Pager::OpenFile(const std::string& path) {
                      path.c_str(), static_cast<long long>(size)));
   }
   TouchPagerCounters();
+#if FM_FAILPOINTS_ENABLED
+  fault::FileFaults::Global().RegisterFile(path);
+#endif
   auto pager = std::unique_ptr<Pager>(new Pager());
   pager->fd_ = fd;
   pager->path_ = path;
@@ -81,6 +86,7 @@ std::unique_ptr<Pager> Pager::OpenInMemory() {
 }
 
 Result<PageId> Pager::AllocatePage() {
+  FM_FAIL_POINT("pager.allocate_page");
   std::lock_guard<std::mutex> lock(alloc_mu_);
   const PageId id = page_count_.load(std::memory_order_relaxed);
   if (id == kInvalidPageId) {
@@ -138,6 +144,7 @@ Status Pager::ReadPage(PageId id, char* buf) {
 }
 
 Status Pager::WritePage(PageId id, const char* buf) {
+  FM_FAIL_POINT("pager.write_page");
   if (id >= page_count()) {
     return Status::OutOfRange(
         StringPrintf("write of unallocated page %u", id));
@@ -151,6 +158,12 @@ Status Pager::WritePage(PageId id, const char* buf) {
 }
 
 Status Pager::Sync() {
+  FM_FAIL_POINT("pager.sync");
+#if FM_FAILPOINTS_ENABLED
+  if (!fault::FileFaults::Global().AdmitSync()) {
+    return Status::OK();  // simulated crash: the fsync never happens
+  }
+#endif
   if (fd_ >= 0 && ::fsync(fd_) != 0) {
     return Status::IOError(StringPrintf("fsync: %s", std::strerror(errno)));
   }
@@ -159,10 +172,16 @@ Status Pager::Sync() {
 
 // Private helper declared inline here to keep the header small.
 Status Pager::WritePageAtUnchecked_(PageId id, const char* buf) {
+  size_t admitted = kPageSize;
+#if FM_FAILPOINTS_ENABLED
+  // Simulated power loss: the kernel "accepts" the write, but some suffix
+  // (or all) of it never reaches the platter.
+  admitted = fault::FileFaults::Global().AdmitWrite(kPageSize);
+#endif
   const off_t off = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
   size_t done = 0;
-  while (done < kPageSize) {
-    const ssize_t n = ::pwrite(fd_, buf + done, kPageSize - done, off + done);
+  while (done < admitted) {
+    const ssize_t n = ::pwrite(fd_, buf + done, admitted - done, off + done);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::IOError(

@@ -2,6 +2,7 @@
 
 #include "common/string_util.h"
 #include "common/varint.h"
+#include "fault/failpoint.h"
 #include "storage/key_codec.h"
 
 namespace fuzzymatch {
@@ -36,6 +37,7 @@ Result<Tid> Table::Insert(const Row& row) {
 }
 
 Result<Table::InsertInfo> Table::InsertWithLocation(const Row& row) {
+  FM_FAIL_POINT("table.insert");
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(
         StringPrintf("row has %zu fields, schema %s has %zu columns",
@@ -60,26 +62,40 @@ Result<Rid> Table::Update(Tid tid, const Row& row) {
         StringPrintf("row has %zu fields, schema %s has %zu columns",
                      row.size(), name_.c_str(), schema_.num_columns()));
   }
+  FM_FAIL_POINT("table.update");
   FM_ASSIGN_OR_RETURN(const std::string rid_bytes,
                       tid_index_.Get(TidKey(tid)));
   FM_ASSIGN_OR_RETURN(const Rid old_rid, Rid::Decode(rid_bytes));
+  // Insert-new / repoint-index / delete-old, in that order: a write that
+  // fails partway leaves the tid index pointing at a complete record (the
+  // old one, or the new one with the old left as an unindexed orphan)
+  // instead of dangling at a deleted slot.
+  FM_ASSIGN_OR_RETURN(const Rid new_rid,
+                      heap_.Insert(EncodeHeapRecord(tid, row)));
+  FM_RETURN_IF_ERROR(tid_index_.Put(TidKey(tid), new_rid.Encode()));
   FM_RETURN_IF_ERROR(heap_.Delete(old_rid));
+  return new_rid;
+}
+
+Result<Rid> Table::UpdateByRid(const Rid& rid, const Row& row) {
+  FM_ASSIGN_OR_RETURN(const Rid new_rid, ReplaceByRid(rid, row));
+  FM_RETURN_IF_ERROR(EraseRid(rid));
+  return new_rid;
+}
+
+Result<Rid> Table::ReplaceByRid(const Rid& rid, const Row& row) {
+  FM_FAIL_POINT("table.update");
+  FM_ASSIGN_OR_RETURN(const std::string payload, heap_.Get(rid));
+  FM_ASSIGN_OR_RETURN(auto decoded, DecodeHeapRecord(payload));
+  const Tid tid = decoded.first;
+  // Same ordering rationale as Update above.
   FM_ASSIGN_OR_RETURN(const Rid new_rid,
                       heap_.Insert(EncodeHeapRecord(tid, row)));
   FM_RETURN_IF_ERROR(tid_index_.Put(TidKey(tid), new_rid.Encode()));
   return new_rid;
 }
 
-Result<Rid> Table::UpdateByRid(const Rid& rid, const Row& row) {
-  FM_ASSIGN_OR_RETURN(const std::string payload, heap_.Get(rid));
-  FM_ASSIGN_OR_RETURN(auto decoded, DecodeHeapRecord(payload));
-  const Tid tid = decoded.first;
-  FM_RETURN_IF_ERROR(heap_.Delete(rid));
-  FM_ASSIGN_OR_RETURN(const Rid new_rid,
-                      heap_.Insert(EncodeHeapRecord(tid, row)));
-  FM_RETURN_IF_ERROR(tid_index_.Put(TidKey(tid), new_rid.Encode()));
-  return new_rid;
-}
+Status Table::EraseRid(const Rid& rid) { return heap_.Delete(rid); }
 
 Status Table::Delete(Tid tid) {
   FM_ASSIGN_OR_RETURN(const std::string rid_bytes,

@@ -59,6 +59,15 @@ class Table {
   /// new rid. Same secondary-index caveat as Update().
   Result<Rid> UpdateByRid(const Rid& rid, const Row& row);
 
+  /// First half of a two-phase update: writes the new image and repoints
+  /// the tid index, but leaves the old record at `rid` so callers can
+  /// repoint their secondary indexes before EraseRid drops it. A failure
+  /// between the two phases leaves at worst an unreferenced old image.
+  Result<Rid> ReplaceByRid(const Rid& rid, const Row& row);
+
+  /// Second half of a two-phase update: removes the superseded record.
+  Status EraseRid(const Rid& rid);
+
   /// Removes the row stored under `tid`. Secondary index entries for it
   /// are the caller's responsibility.
   Status Delete(Tid tid);

@@ -174,5 +174,42 @@ TEST_F(EtiInvariantsTest, SoundAfterIncrementalMaintenance) {
   Audit(options.params, ref_->row_count(), /*strict_stop=*/false);
 }
 
+// Regression: unindexing a tuple the ETI never saw (or already dropped)
+// must report NotFound without mutating any entry — the evidence pre-pass
+// rejects the operation before the apply pass starts.
+TEST_F(EtiInvariantsTest, UnindexAbsentTidReturnsNotFound) {
+  EtiBuilder::Options options;
+  options.params.signature_size = 2;
+  options.params.stop_qgram_threshold = 150;
+  auto built = EtiBuilder::Build(db_.get(), ref_, options);
+  ASSERT_TRUE(built.ok());
+  const Tokenizer tokenizer = built->eti.MakeTokenizer();
+
+  // A tid far past everything ever indexed, with real token evidence.
+  auto donor = ref_->Get(3);
+  ASSERT_TRUE(donor.ok());
+  const Tid ghost = static_cast<Tid>(ref_->row_count()) + 100;
+  const Status absent =
+      built->eti.UnindexTuple(ghost, tokenizer.TokenizeTuple(*donor));
+  ASSERT_FALSE(absent.ok());
+  EXPECT_TRUE(absent.IsNotFound()) << absent;
+
+  // Double-unindex: the first succeeds, the second is NotFound.
+  const Row fresh = {"absentuniq incorporated", "utica", "ny", "13501"};
+  auto tid = ref_->Insert(fresh);
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(
+      built->eti.IndexTuple(*tid, tokenizer.TokenizeTuple(fresh)).ok());
+  ASSERT_TRUE(
+      built->eti.UnindexTuple(*tid, tokenizer.TokenizeTuple(fresh)).ok());
+  const Status again =
+      built->eti.UnindexTuple(*tid, tokenizer.TokenizeTuple(fresh));
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.IsNotFound()) << again;
+
+  // Neither rejected operation may have disturbed the index.
+  Audit(options.params, ref_->row_count(), /*strict_stop=*/false);
+}
+
 }  // namespace
 }  // namespace fuzzymatch

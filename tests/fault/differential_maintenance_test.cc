@@ -1,0 +1,231 @@
+// Randomized differential harness for incremental maintenance under
+// fault injection: replay seeded insert/delete/query interleavings
+// against the ETI-backed matcher, injecting one-shot write faults into
+// randomly chosen failpoints, retrying failed operations, and requiring
+// the surviving state to answer exactly like the exhaustive NaiveMatcher
+// oracle. Divergence — a ghost match, a missing tuple, a similarity that
+// drifts — means a fault left the index inconsistent.
+//
+// The harness also runs with failpoints compiled out (Release): arming is
+// then a no-op and the same schedules verify fault-free maintenance.
+//
+// Flake guard: every seeded scope carries a SCOPED_TRACE with the seed
+// and the FM_TEST_SEED rerun recipe; FM_TEST_SEED=<n> narrows the run.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/fuzzy_match.h"
+#include "fault/failpoint.h"
+#include "gen/customer_gen.h"
+#include "match/naive_matcher.h"
+#include "support/seed.h"
+
+namespace fuzzymatch {
+namespace {
+
+using fault::Action;
+using fault::FailpointSpec;
+using fault::Failpoints;
+
+constexpr size_t kBaseTuples = 120;
+constexpr size_t kOpsPerSeed = 36;
+
+// Write-path failpoints a maintenance operation can cross; the harness
+// arms a random one (error action, one-shot) before a random subset of
+// the mutations.
+const char* const kFaultMenu[] = {
+    "heap.insert",    "heap.delete",      "btree.put",
+    "btree.delete",   "table.insert",     "table.update",
+    "eti.mutate_entry", "eti.index_tuple", "eti.unindex_tuple",
+};
+
+class DifferentialMaintenanceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::Global().Reset(); }
+
+  void BuildFixture(uint64_t seed) {
+    Failpoints::Global().Reset();
+    auto db = Database::Open(DatabaseOptions{});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    auto table =
+        db_->CreateTable("customers", CustomerGenerator::CustomerSchema());
+    ASSERT_TRUE(table.ok());
+    ref_ = *table;
+    CustomerGenOptions gen_options;
+    gen_options.seed = seed;
+    gen_options.num_tuples = kBaseTuples;
+    CustomerGenerator gen(gen_options);
+    ASSERT_TRUE(gen.Populate(ref_).ok());
+
+    FuzzyMatchConfig config;
+    config.eti.signature_size = 2;
+    config.eti.index_tokens = true;
+    config.matcher.k = 5;
+    auto matcher = FuzzyMatcher::Build(db_.get(), "customers", config);
+    ASSERT_TRUE(matcher.ok());
+    matcher_ = std::move(*matcher);
+
+    shadow_.clear();
+    for (Tid tid = 0; tid < kBaseTuples; ++tid) {
+      auto row = ref_->Get(tid);
+      ASSERT_TRUE(row.ok());
+      shadow_[tid] = *row;
+    }
+  }
+
+  Tid RandomLiveTid(Rng& rng) const {
+    auto it = shadow_.begin();
+    std::advance(it, rng.Uniform(shadow_.size()));
+    return it->first;
+  }
+
+  /// Arms a random failpoint from the menu (error action, one-shot) with
+  /// probability 1/2. Returns true if something was armed.
+  bool MaybeArmFault(Rng& rng) {
+    if (!rng.Bernoulli(0.5)) {
+      return false;
+    }
+    const size_t n = sizeof(kFaultMenu) / sizeof(kFaultMenu[0]);
+    FailpointSpec spec;
+    spec.action = Action::kError;
+    // Vary the trigger depth so faults land at different points inside a
+    // multi-coordinate maintenance operation.
+    spec.fire_on_hit = 1 + rng.Uniform(4);
+    Failpoints::Global().Arm(kFaultMenu[rng.Uniform(n)], spec);
+    return true;
+  }
+
+  /// Full differential sweep: every ETI answer must be reproducible by
+  /// the exhaustive oracle over the same live relation.
+  void DifferentialSweep(Rng& rng) {
+    MatcherOptions oracle_options = matcher_->config().matcher;
+    oracle_options.k = shadow_.size();  // rank everything
+    NaiveMatcher naive(ref_, &matcher_->weights(),
+                       NaiveMatcher::SimilarityKind::kFms, oracle_options);
+    ASSERT_TRUE(naive.Prepare().ok());
+
+    std::vector<Tid> sample;
+    for (const auto& [tid, row] : shadow_) {
+      sample.push_back(tid);
+    }
+    if (sample.size() > 24) {
+      rng.Shuffle(sample);
+      sample.resize(24);
+    }
+    for (const Tid probe_tid : sample) {
+      const Row& probe = shadow_.at(probe_tid);
+      auto eti_matches = matcher_->FindMatches(probe);
+      auto oracle = naive.FindMatches(probe);
+      ASSERT_TRUE(eti_matches.ok()) << eti_matches.status();
+      ASSERT_TRUE(oracle.ok()) << oracle.status();
+      ASSERT_FALSE(eti_matches->empty()) << "probe tid " << probe_tid;
+      ASSERT_FALSE(oracle->empty());
+
+      // Top-1 must agree exactly: similarity 1.0 on an exact probe of a
+      // live tuple, and the same tuple content on both sides.
+      EXPECT_DOUBLE_EQ((*eti_matches)[0].similarity, 1.0);
+      EXPECT_DOUBLE_EQ((*oracle)[0].similarity, 1.0);
+      auto eti_row = matcher_->GetReferenceTuple((*eti_matches)[0].tid);
+      auto oracle_row = matcher_->GetReferenceTuple((*oracle)[0].tid);
+      ASSERT_TRUE(eti_row.ok()) << eti_row.status();
+      ASSERT_TRUE(oracle_row.ok());
+      EXPECT_EQ(*eti_row, *oracle_row);
+
+      // Every ETI match must exist in the oracle's full ranking with the
+      // identical similarity — no ghost tuples, no drifted scores.
+      for (const Match& m : *eti_matches) {
+        const auto in_oracle =
+            std::find_if(oracle->begin(), oracle->end(),
+                         [&](const Match& o) { return o.tid == m.tid; });
+        ASSERT_NE(in_oracle, oracle->end())
+            << "ETI matched tid " << m.tid
+            << " which the oracle does not rank";
+        EXPECT_DOUBLE_EQ(in_oracle->similarity, m.similarity)
+            << "similarity drift for tid " << m.tid;
+      }
+    }
+  }
+
+  std::unique_ptr<Database> db_;
+  Table* ref_ = nullptr;
+  std::unique_ptr<FuzzyMatcher> matcher_;
+  std::map<Tid, Row> shadow_;
+};
+
+TEST_F(DifferentialMaintenanceTest, SeededInterleavingsWithFaultsAndRetry) {
+  uint64_t faults_injected_total = 0;
+  for (const uint64_t seed :
+       test_support::TestSeeds({101, 102, 103, 104, 105})) {
+    SCOPED_TRACE(test_support::SeedTrace(seed));
+    BuildFixture(seed);
+    Rng rng(seed);
+    CustomerGenOptions fresh_options;
+    fresh_options.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+    CustomerGenerator fresh_gen(fresh_options);
+
+    for (size_t op = 0; op < kOpsPerSeed; ++op) {
+      const uint64_t dice = rng.Uniform(100);
+      if (dice < 55 || shadow_.size() < 40) {
+        // Insert: a generated row plus a unique marker token, so exact
+        // probes identify it unambiguously.
+        Row fresh = fresh_gen.NextRow();
+        fresh[0] = "diff" + std::to_string(seed) + "x" +
+                   std::to_string(op) + " " + *fresh[0];
+        const bool armed = MaybeArmFault(rng);
+        auto tid = matcher_->InsertReferenceTuple(fresh);
+        if (!tid.ok()) {
+          ASSERT_TRUE(armed) << tid.status();  // only injected faults fail
+          Failpoints::Global().DisarmAll();
+          ++faults_injected_total;
+          tid = matcher_->InsertReferenceTuple(fresh);
+          ASSERT_TRUE(tid.ok())
+              << "retry after injected fault failed: " << tid.status();
+        }
+        Failpoints::Global().DisarmAll();
+        shadow_[*tid] = fresh;
+      } else if (dice < 80) {
+        // Remove a random live tuple.
+        const Tid victim = RandomLiveTid(rng);
+        const bool armed = MaybeArmFault(rng);
+        Status removed = matcher_->RemoveReferenceTuple(victim);
+        if (!removed.ok()) {
+          ASSERT_TRUE(armed) << removed;
+          Failpoints::Global().DisarmAll();
+          ++faults_injected_total;
+          removed = matcher_->RemoveReferenceTuple(victim);
+          ASSERT_TRUE(removed.ok())
+              << "retry after injected fault failed: " << removed;
+        }
+        Failpoints::Global().DisarmAll();
+        shadow_.erase(victim);
+      } else {
+        // Spot query between mutations: a random live tuple still
+        // matches itself exactly.
+        const Tid probe_tid = RandomLiveTid(rng);
+        auto matches = matcher_->FindMatches(shadow_.at(probe_tid));
+        ASSERT_TRUE(matches.ok()) << matches.status();
+        ASSERT_FALSE(matches->empty());
+        EXPECT_DOUBLE_EQ((*matches)[0].similarity, 1.0);
+      }
+      if ((op + 1) % 12 == 0) {
+        DifferentialSweep(rng);
+      }
+    }
+    DifferentialSweep(rng);
+  }
+  if (fault::kEnabled) {
+    // The schedules above must actually have exercised the fault paths;
+    // a menu of never-hit failpoints would make this suite vacuous.
+    EXPECT_GT(faults_injected_total, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace fuzzymatch

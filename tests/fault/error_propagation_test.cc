@@ -1,0 +1,186 @@
+// Error-path propagation: an injected write failure must surface as a
+// clean Status at every layer boundary — FuzzyMatcher maintenance rolls
+// the tuple back (all-or-nothing), Database::Checkpoint reports the
+// failure, and the serving layer renders a typed error response while
+// counting it — and a retry after the transient fault must succeed.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/fuzzy_match.h"
+#include "fault/failpoint.h"
+#include "gen/customer_gen.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/json.h"
+#include "server/server.h"
+
+namespace fuzzymatch {
+namespace {
+
+using fault::Action;
+using fault::FailpointSpec;
+using fault::Failpoints;
+
+// GTEST_SKIP only works from a void function, so the guard is a macro.
+#define REQUIRE_FAILPOINTS()                                            \
+  if (!fault::kEnabled)                                                 \
+  GTEST_SKIP() << "failpoints compiled out (-DFM_FAILPOINTS=OFF)"
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+class ErrorPropagationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Failpoints::Global().Reset();
+    auto db = Database::Open(DatabaseOptions{});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    auto table =
+        db_->CreateTable("customers", CustomerGenerator::CustomerSchema());
+    ASSERT_TRUE(table.ok());
+    ref_ = *table;
+    CustomerGenOptions options;
+    options.num_tuples = 150;
+    CustomerGenerator gen(options);
+    ASSERT_TRUE(gen.Populate(ref_).ok());
+    FuzzyMatchConfig config;
+    config.eti.signature_size = 2;
+    config.eti.index_tokens = true;
+    auto matcher = FuzzyMatcher::Build(db_.get(), "customers", config);
+    ASSERT_TRUE(matcher.ok());
+    matcher_ = std::move(*matcher);
+  }
+
+  void TearDown() override { Failpoints::Global().Reset(); }
+
+  /// An exact probe of `row` must come back as a similarity-1.0 match of
+  /// tid `expect` — the quick post-mutation consistency check.
+  void ExpectExactMatch(const Row& row, Tid expect) {
+    auto matches = matcher_->FindMatches(row);
+    ASSERT_TRUE(matches.ok()) << matches.status();
+    ASSERT_FALSE(matches->empty());
+    EXPECT_EQ((*matches)[0].tid, expect);
+    EXPECT_DOUBLE_EQ((*matches)[0].similarity, 1.0);
+  }
+
+  std::unique_ptr<Database> db_;
+  Table* ref_ = nullptr;
+  std::unique_ptr<FuzzyMatcher> matcher_;
+};
+
+TEST_F(ErrorPropagationTest, FailedInsertRollsBackThenRetrySucceeds) {
+  REQUIRE_FAILPOINTS();
+  const uint64_t errors_before = CounterValue("fault.injected_errors");
+  const uint64_t rollbacks_before = CounterValue("maintenance.rollbacks");
+
+  Row fresh = {"erroruniq corporation", "rochester", "ny", "14623"};
+  FailpointSpec spec;
+  spec.action = Action::kError;
+  spec.fire_on_hit = 3;  // partway through the per-coordinate writes
+  Failpoints::Global().Arm("eti.mutate_entry", spec);
+
+  auto tid = matcher_->InsertReferenceTuple(fresh);
+  ASSERT_FALSE(tid.ok());
+  EXPECT_TRUE(tid.status().IsIOError()) << tid.status();
+  EXPECT_GT(CounterValue("fault.injected_errors"), errors_before);
+  EXPECT_GT(CounterValue("maintenance.rollbacks"), rollbacks_before);
+
+  // All-or-nothing: after rollback the tuple must be fully absent — an
+  // exact probe of it must not find a similarity-1.0 ghost.
+  Failpoints::Global().DisarmAll();
+  auto ghost = matcher_->FindMatches(fresh);
+  ASSERT_TRUE(ghost.ok()) << ghost.status();
+  for (const Match& m : *ghost) {
+    EXPECT_LT(m.similarity, 1.0) << "ghost of rolled-back tid " << m.tid;
+  }
+
+  // The fault was transient: the retry lands the tuple completely.
+  auto retried = matcher_->InsertReferenceTuple(fresh);
+  ASSERT_TRUE(retried.ok()) << retried.status();
+  ExpectExactMatch(fresh, *retried);
+}
+
+TEST_F(ErrorPropagationTest, FailedRemoveSurfacesStatusThenRetrySucceeds) {
+  REQUIRE_FAILPOINTS();
+  auto victim_row = ref_->Get(7);
+  ASSERT_TRUE(victim_row.ok());
+
+  FailpointSpec spec;
+  spec.action = Action::kError;
+  spec.fire_on_hit = 2;
+  Failpoints::Global().Arm("eti.mutate_entry", spec);
+  const Status failed = matcher_->RemoveReferenceTuple(7);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.IsIOError()) << failed;
+
+  Failpoints::Global().DisarmAll();
+  ASSERT_TRUE(matcher_->RemoveReferenceTuple(7).ok());
+  auto gone = matcher_->FindMatches(*victim_row);
+  ASSERT_TRUE(gone.ok());
+  for (const Match& m : *gone) {
+    EXPECT_NE(m.tid, 7u) << "removed tuple still matched";
+  }
+}
+
+TEST_F(ErrorPropagationTest, CheckpointFailureSurfacesStatus) {
+  REQUIRE_FAILPOINTS();
+  FailpointSpec spec;
+  spec.action = Action::kError;
+  Failpoints::Global().Arm("db.checkpoint", spec);
+  const Status s = db_->Checkpoint();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError()) << s;
+  Failpoints::Global().DisarmAll();
+  EXPECT_TRUE(db_->Checkpoint().ok());
+}
+
+// Serving-layer propagation. This test does not need compiled-in
+// failpoints: deleting a reference row out from under the matcher (as a
+// crashed maintenance operation would) leaves a dangling ETI posting, and
+// the query path must turn the resulting backend NotFound into a typed
+// error response instead of dropping the connection.
+TEST_F(ErrorPropagationTest, ServerRendersTypedErrorAndCountsIt) {
+  server::ServerOptions options;
+  options.port = 0;  // ephemeral
+  server::MatchServer srv(matcher_.get(), BatchCleaner::Options{},
+                          options);
+  ASSERT_TRUE(srv.Start().ok());
+
+  auto doomed = ref_->Get(5);
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_TRUE(ref_->Delete(5).ok());  // bypass the matcher: dangling posting
+
+  std::string row_json = "[";
+  for (size_t i = 0; i < doomed->size(); ++i) {
+    if (i > 0) row_json.push_back(',');
+    server::AppendJsonString((*doomed)[i].value_or(""), &row_json);
+  }
+  row_json.push_back(']');
+
+  const uint64_t errors_before = CounterValue("server.query_errors");
+  server::LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", srv.port()).ok());
+  auto response =
+      client.Roundtrip("{\"op\":\"match\",\"id\":1,\"row\":" + row_json + "}");
+  ASSERT_TRUE(response.ok());
+  auto doc = server::ParseJson(*response);
+  ASSERT_TRUE(doc.ok()) << *response;
+  ASSERT_NE(doc->Find("ok"), nullptr);
+  EXPECT_FALSE(doc->Find("ok")->bool_value()) << *response;
+  ASSERT_NE(doc->Find("code"), nullptr) << *response;
+  EXPECT_EQ(doc->Find("code")->string_value(), "not_found") << *response;
+  EXPECT_EQ(CounterValue("server.query_errors"), errors_before + 1);
+
+  // The connection survives the error: a follow-up ping still answers.
+  auto pong = client.Roundtrip("ping");
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(*pong, "{\"ok\":true,\"op\":\"ping\"}");
+}
+
+}  // namespace
+}  // namespace fuzzymatch

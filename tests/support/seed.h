@@ -1,0 +1,42 @@
+// Seed handling for randomized tests (the flake guard): every randomized
+// suite derives its seeds through TestSeeds() so a failure always prints
+// the seed that produced it, and FM_TEST_SEED=<n> reruns exactly that
+// schedule.
+//
+// Usage:
+//
+//   for (const uint64_t seed : test_support::TestSeeds({101, 102, 103})) {
+//     SCOPED_TRACE(test_support::SeedTrace(seed));
+//     ... run the seeded scenario ...
+//   }
+
+#ifndef FUZZYMATCH_TESTS_SUPPORT_SEED_H_
+#define FUZZYMATCH_TESTS_SUPPORT_SEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace fuzzymatch::test_support {
+
+/// The suite's default seed list, unless FM_TEST_SEED narrows the run to
+/// a single seed for deterministic reproduction.
+inline std::vector<uint64_t> TestSeeds(std::vector<uint64_t> defaults) {
+  const char* env = std::getenv("FM_TEST_SEED");
+  if (env != nullptr && *env != '\0') {
+    return {std::strtoull(env, nullptr, 10)};
+  }
+  return defaults;
+}
+
+/// The SCOPED_TRACE payload: printed by gtest on any failure inside the
+/// seeded scope, with the rerun recipe.
+inline std::string SeedTrace(uint64_t seed) {
+  return "seed=" + std::to_string(seed) +
+         " (rerun with FM_TEST_SEED=" + std::to_string(seed) + ")";
+}
+
+}  // namespace fuzzymatch::test_support
+
+#endif  // FUZZYMATCH_TESTS_SUPPORT_SEED_H_

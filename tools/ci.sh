@@ -2,10 +2,12 @@
 # CI entry point: the checks a change must pass before merging.
 #
 #   tools/ci.sh            # full run: Release tier-1 + TSan + ASan slices
-#                          # + accelerator perf smoke
+#                          # + fault-injection suites + accelerator perf smoke
 #   tools/ci.sh release    # just the Release build + full ctest
 #   tools/ci.sh tsan       # just the ThreadSanitizer concurrency slice
 #   tools/ci.sh asan       # just the AddressSanitizer slice
+#   tools/ci.sh faultcheck # failpoints compiled in + ASan: crash
+#                          # consistency, differential, error propagation
 #   tools/ci.sh perfsmoke  # ETI-accelerator on/off output parity + metrics
 #
 # Build trees live under build-ci-* so they never collide with a
@@ -18,8 +20,15 @@ JOBS="${JOBS:-$(nproc)}"
 STAGE="${1:-all}"
 
 # The concurrency-sensitive test slice: everything that exercises the
-# shared-read latching model (DESIGN.md 5c) plus the server itself.
-SANITIZER_TESTS='ConcurrentMatchTest|BufferPoolConcurrencyTest|ServerTest|MetricsRegistryTest|BTreeStressTest|HeapFileStressTest|FileBackedPipelineTest|BatchCleanerTest|EtiAccelConcurrencyTest|TupleCacheTest'
+# shared-read latching model (DESIGN.md 5c) plus the server itself, plus
+# the fault suites (sanitizer builds compile failpoints in, and injected
+# errors are where cleanup paths race). Randomized fault suites honor
+# FM_TEST_SEED, pinned below so sanitizer runs are reproducible.
+SANITIZER_TESTS='ConcurrentMatchTest|BufferPoolConcurrencyTest|ServerTest|MetricsRegistryTest|BTreeStressTest|HeapFileStressTest|FileBackedPipelineTest|BatchCleanerTest|EtiAccelConcurrencyTest|TupleCacheTest|FailpointTest|DifferentialMaintenanceTest|ErrorPropagationTest|BufferPoolPressureTest'
+
+# The full fault-injection surface: the crash-consistency sweep over every
+# canonical failpoint plus the randomized differential harness.
+FAULT_TESTS='FailpointTest|CrashConsistencyTest|DifferentialMaintenanceTest|ErrorPropagationTest|BufferPoolPressureTest|EtiInvariantsTest|ServerStartupTest'
 
 run_release() {
   echo "=== [ci] Release build + full test suite ==="
@@ -36,9 +45,28 @@ run_sanitizer() {  # $1 = thread|address  $2 = build dir
   cmake --build "$2" -j "$JOBS" --target \
         concurrent_match_test buffer_pool_concurrency_test server_test \
         metrics_registry_test storage_stress_test batch_cleaner_test \
-        eti_accel_concurrency_test tuple_cache_test
-  ctest --test-dir "$2" --output-on-failure -j "$JOBS" \
+        eti_accel_concurrency_test tuple_cache_test failpoint_test \
+        differential_maintenance_test error_propagation_test \
+        buffer_pool_pressure_test
+  FM_TEST_SEED="${FM_TEST_SEED:-101}" \
+    ctest --test-dir "$2" --output-on-failure -j "$JOBS" \
         -R "$SANITIZER_TESTS"
+}
+
+# Failpoints compiled in + AddressSanitizer: the crash-consistency sweep
+# (kill the stack at every canonical failpoint, reopen, audit), the
+# randomized differential harness (all default seeds), error propagation,
+# and the server startup-failure contract.
+run_faultcheck() {
+  echo "=== [ci] fault injection: failpoints + ASan ==="
+  cmake -B build-ci-fault -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DFM_FAILPOINTS=ON -DFM_SANITIZE=address > /dev/null
+  cmake --build build-ci-fault -j "$JOBS" --target \
+        failpoint_test crash_consistency_test \
+        differential_maintenance_test error_propagation_test \
+        buffer_pool_pressure_test eti_invariants_test server_startup_test
+  ctest --test-dir build-ci-fault --output-on-failure -j "$JOBS" \
+        -R "$FAULT_TESTS"
 }
 
 # The accelerator must never change answers, only latency: run the same
@@ -80,18 +108,20 @@ run_perfsmoke() {
 }
 
 case "$STAGE" in
-  release)   run_release ;;
-  tsan)      run_sanitizer thread build-ci-tsan ;;
-  asan)      run_sanitizer address build-ci-asan ;;
-  perfsmoke) run_perfsmoke ;;
+  release)    run_release ;;
+  tsan)       run_sanitizer thread build-ci-tsan ;;
+  asan)       run_sanitizer address build-ci-asan ;;
+  faultcheck) run_faultcheck ;;
+  perfsmoke)  run_perfsmoke ;;
   all)
     run_release
     run_sanitizer thread build-ci-tsan
     run_sanitizer address build-ci-asan
+    run_faultcheck
     run_perfsmoke
     ;;
   *)
-    echo "usage: tools/ci.sh [release|tsan|asan|perfsmoke|all]" >&2
+    echo "usage: tools/ci.sh [release|tsan|asan|faultcheck|perfsmoke|all]" >&2
     exit 2
     ;;
 esac

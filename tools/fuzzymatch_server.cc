@@ -21,8 +21,10 @@
 //   $ printf 'ping\n{"op":"match","row":["joe","smith",...],"id":1}\n' |
 //       nc 127.0.0.1 7878
 
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -31,6 +33,7 @@
 #include <unistd.h>
 
 #include "common/csv.h"
+#include "common/result.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/fuzzy_match.h"
@@ -65,21 +68,57 @@ class Args {
     return it == values_.end() ? fallback : it->second;
   }
 
-  int64_t GetInt(const std::string& key, int64_t fallback) const {
+  /// Strict numeric flags: a present-but-malformed value is a startup
+  /// error with a one-line diagnostic, never a silent zero.
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback
-                               : std::strtoll(it->second.c_str(), nullptr, 10);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+    if (it->second.empty() || end == nullptr || *end != '\0' || errno != 0) {
+      return Status::InvalidArgument(
+          StringPrintf("--%s: '%s' is not an integer", key.c_str(),
+                       it->second.c_str()));
+    }
+    return v;
   }
 
-  double GetDouble(const std::string& key, double fallback) const {
+  Result<double> GetDouble(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback
-                               : std::strtod(it->second.c_str(), nullptr);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (it->second.empty() || end == nullptr || *end != '\0' || errno != 0) {
+      return Status::InvalidArgument(
+          StringPrintf("--%s: '%s' is not a number", key.c_str(),
+                       it->second.c_str()));
+    }
+    return v;
   }
 
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// GetInt plus a range check, for flags where out-of-range values would
+/// otherwise be silently truncated by a narrowing cast.
+Result<int64_t> GetIntInRange(const Args& args, const std::string& key,
+                              int64_t fallback, int64_t lo, int64_t hi) {
+  FM_ASSIGN_OR_RETURN(const int64_t v, args.GetInt(key, fallback));
+  if (v < lo || v > hi) {
+    return Status::InvalidArgument(
+        StringPrintf("--%s: %lld out of range [%lld, %lld]", key.c_str(),
+                     static_cast<long long>(v), static_cast<long long>(lo),
+                     static_cast<long long>(hi)));
+  }
+  return v;
+}
 
 Row FieldsToRow(const std::vector<std::string>& fields) {
   Row row;
@@ -145,6 +184,55 @@ Status Run(const Args& args) {
     return Status::InvalidArgument("fuzzymatch_server requires --ref");
   }
 
+  // Parse and validate every flag before touching the data so a typo'd
+  // invocation fails in milliseconds with a one-line diagnostic.
+  FuzzyMatchConfig config;
+  FM_ASSIGN_OR_RETURN(const int64_t q, GetIntInRange(args, "q", 4, 1, 64));
+  FM_ASSIGN_OR_RETURN(const int64_t h, GetIntInRange(args, "h", 3, 1, 256));
+  FM_ASSIGN_OR_RETURN(const int64_t k, GetIntInRange(args, "k", 1, 1, 1024));
+  config.eti.q = static_cast<int>(q);
+  config.eti.signature_size = static_cast<int>(h);
+  config.eti.index_tokens = args.Has("tokens");
+  config.matcher.k = static_cast<size_t>(k);
+  FM_ASSIGN_OR_RETURN(config.matcher.min_similarity,
+                      args.GetDouble("threshold", 0.0));
+  FM_ASSIGN_OR_RETURN(
+      const int64_t accel_mb,
+      GetIntInRange(args, "accel-budget-mb",
+                    static_cast<int64_t>(config.accel_memory_bytes >> 20), 0,
+                    1 << 20));
+  config.accel_memory_bytes = static_cast<size_t>(accel_mb) << 20;
+  FM_ASSIGN_OR_RETURN(
+      const int64_t cache_mb,
+      GetIntInRange(args, "tuple-cache-mb",
+                    static_cast<int64_t>(config.matcher.tuple_cache_bytes >>
+                                         20),
+                    0, 1 << 20));
+  config.matcher.tuple_cache_bytes = static_cast<size_t>(cache_mb) << 20;
+
+  BatchCleaner::Options clean_options;
+  FM_ASSIGN_OR_RETURN(clean_options.load_threshold,
+                      args.GetDouble("load-threshold", 0.8));
+
+  server::ServerOptions options;
+  options.host = args.Get("host", "127.0.0.1");
+  FM_ASSIGN_OR_RETURN(const int64_t port,
+                      GetIntInRange(args, "port", 7878, 0, 65535));
+  options.port = static_cast<uint16_t>(port);
+  FM_ASSIGN_OR_RETURN(const int64_t workers,
+                      GetIntInRange(args, "workers", 4, 1, 4096));
+  options.workers = static_cast<size_t>(workers);
+  FM_ASSIGN_OR_RETURN(const int64_t queue,
+                      GetIntInRange(args, "queue", 64, 1, 1 << 20));
+  options.queue_capacity = static_cast<size_t>(queue);
+  FM_ASSIGN_OR_RETURN(const int64_t max_conns,
+                      GetIntInRange(args, "max-conns", 256, 1, 1 << 20));
+  options.max_connections = static_cast<size_t>(max_conns);
+  FM_ASSIGN_OR_RETURN(
+      const int64_t idle_ms,
+      GetIntInRange(args, "idle-timeout-ms", 30000, 0, 86400000));
+  options.idle_timeout_ms = static_cast<int>(idle_ms);
+
   FM_ASSIGN_OR_RETURN(auto db, Database::Open(DatabaseOptions{
                                    .path = "", .pool_pages = 64 * 1024}));
   FM_ASSIGN_OR_RETURN(Table * ref, LoadCsvTable(db.get(), "ref", ref_path));
@@ -152,22 +240,6 @@ Status Run(const Args& args) {
               static_cast<unsigned long long>(ref->row_count()),
               ref_path.c_str());
 
-  FuzzyMatchConfig config;
-  config.eti.q = static_cast<int>(args.GetInt("q", 4));
-  config.eti.signature_size = static_cast<int>(args.GetInt("h", 3));
-  config.eti.index_tokens = args.Has("tokens");
-  config.matcher.k = static_cast<size_t>(args.GetInt("k", 1));
-  config.matcher.min_similarity = args.GetDouble("threshold", 0.0);
-  config.accel_memory_bytes =
-      static_cast<size_t>(args.GetInt(
-          "accel-budget-mb",
-          static_cast<int64_t>(config.accel_memory_bytes >> 20)))
-      << 20;
-  config.matcher.tuple_cache_bytes =
-      static_cast<size_t>(args.GetInt(
-          "tuple-cache-mb",
-          static_cast<int64_t>(config.matcher.tuple_cache_bytes >> 20)))
-      << 20;
   FM_ASSIGN_OR_RETURN(auto matcher,
                       FuzzyMatcher::Build(db.get(), "ref", config));
   std::printf("built ETI %s in %.2fs (%llu rows)\n",
@@ -180,19 +252,6 @@ Status Run(const Args& args) {
                 static_cast<double>(accel->memory_bytes()) / (1u << 20),
                 accel->complete() ? "complete" : "partial");
   }
-
-  BatchCleaner::Options clean_options;
-  clean_options.load_threshold = args.GetDouble("load-threshold", 0.8);
-
-  server::ServerOptions options;
-  options.host = args.Get("host", "127.0.0.1");
-  options.port = static_cast<uint16_t>(args.GetInt("port", 7878));
-  options.workers = static_cast<size_t>(args.GetInt("workers", 4));
-  options.queue_capacity = static_cast<size_t>(args.GetInt("queue", 64));
-  options.max_connections =
-      static_cast<size_t>(args.GetInt("max-conns", 256));
-  options.idle_timeout_ms =
-      static_cast<int>(args.GetInt("idle-timeout-ms", 30000));
 
   server::MatchServer srv(matcher.get(), clean_options, options);
 
