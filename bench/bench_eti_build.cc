@@ -46,6 +46,48 @@ Status Run() {
               "(paper: ~10; see bench_query_time for the per-input "
               "speedup).\n",
               naive_probe);
+
+  // Parallel-build speedup (DESIGN.md 5f): the heaviest strategy, serial
+  // vs FM_BUILD_THREADS workers (default 4). Each run uses a fresh
+  // environment because rebuilding a strategy in place is AlreadyExists.
+  // The output is byte-identical either way (CI's buildcheck enforces
+  // it); only the wall clock may differ, and only on multi-core hosts.
+  const int par_threads =
+      static_cast<int>(EnvSize("FM_BUILD_THREADS", 4));
+  EtiParams heavy;
+  heavy.q = 4;
+  heavy.signature_size = 3;
+  heavy.index_tokens = true;
+  std::printf("\nParallel build — %s, 1 vs %d thread(s)\n\n",
+              heavy.StrategyName().c_str(), par_threads);
+  PrintRow({"threads", "build(s)", "scan(s)", "sort(s)", "merge(s)",
+            "spills"});
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  for (const int threads : {1, par_threads}) {
+    FM_ASSIGN_OR_RETURN(BenchEnv fresh, MakeBenchEnv());
+    FuzzyMatchConfig config;
+    config.eti = heavy;
+    ApplyHotPathEnvOverrides(&config);
+    config.build_threads = threads;
+    FM_ASSIGN_OR_RETURN(
+        auto matcher,
+        FuzzyMatcher::Build(fresh.db.get(), "customers", config));
+    const EtiBuildStats& stats = matcher->build_stats();
+    (threads == 1 ? serial_seconds : parallel_seconds) =
+        stats.total_seconds;
+    PrintRow({StringPrintf("%u", stats.build_threads),
+              StringPrintf("%.2f", stats.total_seconds),
+              StringPrintf("%.2f", stats.scan_seconds),
+              StringPrintf("%.2f", stats.sort_seconds),
+              StringPrintf("%.2f", stats.merge_seconds),
+              StringPrintf("%llu", static_cast<unsigned long long>(
+                                       stats.spilled_runs))});
+  }
+  if (parallel_seconds > 0.0) {
+    std::printf("\nSpeedup: %.2fx with %d threads\n",
+                serial_seconds / parallel_seconds, par_threads);
+  }
   return Status::OK();
 }
 

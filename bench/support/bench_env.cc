@@ -102,6 +102,8 @@ void ApplyHotPathEnvOverrides(FuzzyMatchConfig* config) {
       EnvSize("FM_TUPLE_CACHE_MB",
               config->matcher.tuple_cache_bytes >> 20)
       << 20;
+  config->build_threads = static_cast<int>(EnvSize(
+      "FM_BUILD_THREADS", static_cast<size_t>(config->build_threads)));
 }
 
 Result<std::unique_ptr<FuzzyMatcher>> BuildStrategy(

@@ -6,6 +6,7 @@
 //   FM_NUM_INPUTS  input tuples per dataset (default 1655, as the paper)
 //   FM_ACCEL_BUDGET_MB  ETI read-accelerator budget in MiB (0 disables)
 //   FM_TUPLE_CACHE_MB   verified-tuple cache budget in MiB (0 disables)
+//   FM_BUILD_THREADS    ETI build parallelism (1 = serial, 0 = all cores)
 
 #ifndef FUZZYMATCH_BENCH_SUPPORT_BENCH_ENV_H_
 #define FUZZYMATCH_BENCH_SUPPORT_BENCH_ENV_H_

@@ -51,6 +51,7 @@ Result<std::unique_ptr<FuzzyMatcher>> FuzzyMatcher::Build(
   build_options.bounded_buckets = config.bounded_cache_buckets;
   build_options.sort_memory_bytes = config.sort_memory_bytes;
   build_options.temp_dir = config.temp_dir;
+  build_options.build_threads = config.build_threads;
   FM_ASSIGN_OR_RETURN(BuiltEti built, EtiBuilder::Build(db, ref,
                                                         build_options));
   return Assemble(std::move(config), ref, std::move(built));

@@ -37,7 +37,14 @@ struct FuzzyMatchConfig {
   size_t bounded_cache_buckets = 1u << 20;
   /// ETI build resources.
   size_t sort_memory_bytes = 64u << 20;
-  std::string temp_dir = "/tmp";
+  /// Spill directory for the build's external sort. Empty derives it from
+  /// the database's own directory (then $TMPDIR, then /tmp); see
+  /// EtiBuilder::Options::temp_dir.
+  std::string temp_dir;
+  /// ETI build parallelism (EtiBuilder::Options::build_threads): 1 =
+  /// serial, 0 = one worker per hardware thread. Output is byte-identical
+  /// for any value.
+  int build_threads = 1;
   /// Memory budget of the in-memory ETI read accelerator built over the
   /// persisted index at Build/Open time (DESIGN.md 5d); 0 disables it and
   /// every probe takes the B-tree path.

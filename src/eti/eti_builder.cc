@@ -1,11 +1,29 @@
 #include "eti/eti_builder.h"
 
-#include <algorithm>
+#include <fcntl.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "eti/signature.h"
 #include "eti/tid_list.h"
+#include "fault/failpoint.h"
+#include "obs/metrics.h"
 #include "storage/external_sort.h"
 #include "storage/key_codec.h"
 
@@ -42,16 +60,20 @@ Result<PreEtiRow> DecodePreEtiRow(std::string_view record) {
   return row;
 }
 
-/// Accumulates one [QGram, Coordinate, Column] group and flushes it as an
-/// ETI row. Tid-lists that reach the stop threshold are dropped and the
-/// row is marked as a stop q-gram (NULL tid-list), still recording the
-/// true frequency.
-class GroupWriter {
+/// Accumulates one [QGram, Coordinate, Column] group from the sorted
+/// pre-ETI stream and emits it as an ETI entry. Tid-lists that reach the
+/// stop threshold are dropped and the group is marked as a stop q-gram
+/// (NULL tid-list), still recording the true frequency. Shared by the
+/// serial writer and the per-partition group encoders of the parallel
+/// build, so the two paths cannot diverge.
+class GroupAccumulator {
  public:
-  GroupWriter(Table* eti_table, BPlusTree* eti_index, uint32_t stop_threshold)
-      : eti_table_(eti_table),
-        eti_index_(eti_index),
-        stop_threshold_(stop_threshold) {}
+  using Emit = std::function<Status(const std::string& gram,
+                                    uint32_t coordinate, uint32_t column,
+                                    EtiEntry entry)>;
+
+  GroupAccumulator(uint32_t stop_threshold, Emit emit)
+      : stop_threshold_(stop_threshold), emit_(std::move(emit)) {}
 
   Status Consume(const PreEtiRow& row) {
     if (!open_ || row.gram != gram_ || row.coordinate != coordinate_ ||
@@ -93,11 +115,7 @@ class GroupWriter {
     }
     stop_qgrams_ += entry.is_stop ? 1 : 0;
     ++eti_rows_;
-    const Row row = Eti::EncodeRow(gram_, coordinate_, column_, entry);
-    FM_ASSIGN_OR_RETURN(const Table::InsertInfo info,
-                        eti_table_->InsertWithLocation(row));
-    FM_RETURN_IF_ERROR(eti_index_->Insert(
-        Eti::IndexKey(gram_, coordinate_, column_), info.rid.Encode()));
+    FM_RETURN_IF_ERROR(emit_(gram_, coordinate_, column_, std::move(entry)));
     tids_.clear();
     open_ = false;
     return Status::OK();
@@ -107,9 +125,8 @@ class GroupWriter {
   uint64_t stop_qgrams() const { return stop_qgrams_; }
 
  private:
-  Table* eti_table_;
-  BPlusTree* eti_index_;
   uint32_t stop_threshold_;
+  Emit emit_;
 
   bool open_ = false;
   std::string gram_;
@@ -121,6 +138,561 @@ class GroupWriter {
   uint64_t eti_rows_ = 0;
   uint64_t stop_qgrams_ = 0;
 };
+
+/// Appends one finished group to the ETI relation and its clustered
+/// index. All calls must arrive in ascending key order — this is the
+/// single ordered writer both build paths funnel into.
+Status WriteEncodedEtiRow(Table* eti_table, BPlusTree* eti_index,
+                          const std::string& key, const Row& row) {
+  FM_FAIL_POINT("eti_build.write_row");
+  FM_ASSIGN_OR_RETURN(const Table::InsertInfo info,
+                      eti_table->InsertWithLocation(row));
+  return eti_index->Insert(key, info.rid.Encode());
+}
+
+Status WriteEtiRow(Table* eti_table, BPlusTree* eti_index,
+                   const std::string& gram, uint32_t coordinate,
+                   uint32_t column, const EtiEntry& entry) {
+  return WriteEncodedEtiRow(eti_table, eti_index,
+                            Eti::IndexKey(gram, coordinate, column),
+                            Eti::EncodeRow(gram, coordinate, column, entry));
+}
+
+std::atomic<uint64_t> g_probe_counter{0};
+
+/// Resolves the spill directory (Options::temp_dir semantics) and probes
+/// it for writability so a full or read-only disk fails here, naming the
+/// directory, instead of as a bare fopen error mid-sort.
+Result<std::string> ResolveTempDir(Database* db,
+                                   const std::string& configured) {
+  std::string dir = configured;
+  if (dir.empty()) {
+    const std::string& db_path = db->path();
+    if (!db_path.empty()) {
+      const size_t slash = db_path.find_last_of('/');
+      dir = slash == std::string::npos ? std::string(".")
+                                       : db_path.substr(0, slash);
+      if (dir.empty()) {
+        dir = "/";  // database file sits at the filesystem root
+      }
+    } else {
+      const char* tmpdir = std::getenv("TMPDIR");
+      dir = (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
+    }
+  }
+  const std::string probe = StringPrintf(
+      "%s/fm_spill_probe_%d_%llu.tmp", dir.c_str(), ::getpid(),
+      static_cast<unsigned long long>(
+          g_probe_counter.fetch_add(1, std::memory_order_relaxed)));
+  const int fd = ::open(probe.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0600);
+  if (fd < 0) {
+    return Status::IOError(StringPrintf(
+        "ETI spill directory '%s' is not writable: %s (set "
+        "EtiBuilder::Options::temp_dir to a writable directory)",
+        dir.c_str(), std::strerror(errno)));
+  }
+  ::close(fd);
+  ::unlink(probe.c_str());
+  return dir;
+}
+
+void MirrorBuildStats(const EtiBuildStats& stats) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("eti_build.threads")->Set(stats.build_threads);
+  reg.GetGauge("eti_build.scan_seconds")->Set(stats.scan_seconds);
+  reg.GetGauge("eti_build.sort_seconds")->Set(stats.sort_seconds);
+  reg.GetGauge("eti_build.merge_seconds")->Set(stats.merge_seconds);
+  reg.GetGauge("eti_build.total_seconds")->Set(stats.total_seconds);
+  reg.GetCounter("eti_build.reference_tuples")
+      ->Increment(stats.reference_tuples);
+  reg.GetCounter("eti_build.pre_eti_rows")->Increment(stats.pre_eti_rows);
+  reg.GetCounter("eti_build.eti_rows")->Increment(stats.eti_rows);
+  reg.GetCounter("eti_build.stop_qgrams")->Increment(stats.stop_qgrams);
+  reg.GetCounter("eti_build.spilled_runs")->Increment(stats.spilled_runs);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel pipeline (DESIGN.md 5f)
+// ---------------------------------------------------------------------------
+
+/// Seed of the hash that routes a pre-ETI row to a partition sorter. The
+/// partition count varies with build_threads and the output is re-merged
+/// into global key order, so the value only affects load balance — but it
+/// must not depend on process state (the CI buildcheck compares builds
+/// across processes).
+constexpr uint64_t kPartitionSeed = 0x705a'7271'6d65'7469ULL;
+
+/// Records handed from scan workers to a partition sorter per batch.
+constexpr size_t kScanChunkBytes = 256u << 10;
+
+/// Encoded ETI rows handed from a group encoder to the ordered writer.
+constexpr size_t kGroupBatchRows = 512;
+
+/// Bounded handoff of batches between pipeline stages. Close() signals
+/// end of input; Cancel() aborts the build and unblocks both sides.
+template <typename T>
+class BoundedBatchQueue {
+ public:
+  explicit BoundedBatchQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// False when the build was cancelled (the batch is dropped).
+  bool Push(T batch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] {
+      return cancelled_ || batches_.size() < capacity_;
+    });
+    if (cancelled_) {
+      return false;
+    }
+    batches_.push_back(std::move(batch));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// False when the queue is closed and drained, or cancelled.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] {
+      return cancelled_ || closed_ || !batches_.empty();
+    });
+    if (cancelled_ || batches_.empty()) {
+      return false;
+    }
+    *out = std::move(batches_.front());
+    batches_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+  }
+
+  void Cancel() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> batches_;
+  bool closed_ = false;
+  bool cancelled_ = false;
+};
+
+using RecordChunk = std::vector<std::string>;
+
+/// One encoded ETI row plus its clustered-index key, produced by a group
+/// encoder and consumed by the ordered writer.
+struct EtiRowOut {
+  std::string key;
+  Row row;
+};
+
+using EtiRowBatch = std::vector<EtiRowOut>;
+
+/// Per-scan-worker token-frequency tally, merged into the IdfWeights
+/// cache at the post-scan barrier (counts add commutatively, so the merge
+/// is deterministic regardless of thread timing).
+struct WorkerTally {
+  uint64_t tuples = 0;
+  uint64_t pre_eti_rows = 0;
+  /// counts[column][token] = distinct reference tuples containing token.
+  std::vector<std::unordered_map<std::string, uint32_t>> counts;
+
+  void AddTuple(const TokenizedTuple& tokens,
+                std::vector<std::string>* scratch) {
+    ++tuples;
+    if (tokens.size() > counts.size()) {
+      counts.resize(tokens.size());
+    }
+    for (uint32_t col = 0; col < tokens.size(); ++col) {
+      scratch->assign(tokens[col].begin(), tokens[col].end());
+      std::sort(scratch->begin(), scratch->end());
+      scratch->erase(std::unique(scratch->begin(), scratch->end()),
+                     scratch->end());
+      for (const auto& token : *scratch) {
+        ++counts[col][token];
+      }
+    }
+  }
+};
+
+/// Streams one partition's sorted row batches to the ordered writer.
+class MergeCursor {
+ public:
+  explicit MergeCursor(BoundedBatchQueue<EtiRowBatch>* queue)
+      : queue_(queue) {}
+
+  /// Positions on the next row; false once the partition is exhausted.
+  bool Advance() {
+    ++pos_;
+    while (pos_ >= batch_.size()) {
+      if (!queue_->Pop(&batch_)) {
+        return false;
+      }
+      pos_ = 0;
+    }
+    return true;
+  }
+
+  EtiRowOut& current() { return batch_[pos_]; }
+
+ private:
+  BoundedBatchQueue<EtiRowBatch>* queue_;
+  EtiRowBatch batch_;
+  // Starts one past an empty batch so the first Advance() pulls batch 0.
+  size_t pos_ = static_cast<size_t>(-1);
+};
+
+/// Shared abort switch: the first failure wins, every queue is cancelled
+/// so no stage stays blocked, and all workers drain out.
+class BuildAbort {
+ public:
+  void RegisterQueue(std::function<void()> cancel) {
+    cancels_.push_back(std::move(cancel));
+  }
+
+  void Fail(Status status) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_.ok()) {
+        first_error_ = std::move(status);
+      }
+    }
+    failed_.store(true, std::memory_order_release);
+    for (const auto& cancel : cancels_) {
+      cancel();
+    }
+  }
+
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  Status first_error() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_error_;
+  }
+
+ private:
+  std::mutex mu_;
+  Status first_error_;
+  std::atomic<bool> failed_{false};
+  // Registered before any thread starts; read-only afterwards.
+  std::vector<std::function<void()>> cancels_;
+};
+
+/// The parallel build pipeline. `workers` >= 2; the caller has already
+/// created the (empty) ETI table/index, persisted the params, and
+/// resolved the spill directory.
+Status ParallelBuild(Table* ref, Table* eti_table, BPlusTree* eti_index,
+                     const EtiBuilder::Options& options,
+                     const std::string& temp_dir, size_t workers,
+                     IdfWeights::Builder* weights_builder,
+                     EtiBuildStats* stats) {
+  const EtiParams& params = options.params;
+  const size_t kPartitions = workers;
+
+  Timer phase_timer;
+  BuildAbort abort;
+
+  // Stage plumbing. Chunk queues carry pre-ETI records from scan workers
+  // to partition sorters; out queues carry encoded ETI rows from group
+  // encoders to the ordered writer.
+  std::vector<std::unique_ptr<BoundedBatchQueue<RecordChunk>>> chunk_queues;
+  std::vector<std::unique_ptr<BoundedBatchQueue<EtiRowBatch>>> out_queues;
+  for (size_t p = 0; p < kPartitions; ++p) {
+    chunk_queues.push_back(
+        std::make_unique<BoundedBatchQueue<RecordChunk>>(4));
+    out_queues.push_back(std::make_unique<BoundedBatchQueue<EtiRowBatch>>(4));
+  }
+  for (size_t p = 0; p < kPartitions; ++p) {
+    abort.RegisterQueue([q = chunk_queues[p].get()] { q->Cancel(); });
+    abort.RegisterQueue([q = out_queues[p].get()] { q->Cancel(); });
+  }
+
+  // One sorter per partition; the memory budget is shared, as in the
+  // serial build.
+  const size_t per_sorter_budget =
+      std::max<size_t>(options.sort_memory_bytes / kPartitions, 4096);
+  std::vector<std::unique_ptr<ExternalSorter>> sorters;
+  for (size_t p = 0; p < kPartitions; ++p) {
+    ExternalSorter::Options sort_options;
+    sort_options.memory_budget_bytes = per_sorter_budget;
+    sort_options.temp_dir = temp_dir;
+    sorters.push_back(std::make_unique<ExternalSorter>(sort_options));
+  }
+
+  // --- Phase 1: parallel scan + pipelined partition sorting. -------------
+  //
+  // Scan worker w tokenizes and min-hashes the tuples with tid % N == w
+  // (disjoint ranges) and routes each pre-ETI record to the partition
+  // owning its [QGram, Coordinate, Column] group; sorter feeder p drains
+  // partition p's queue so run sorting and spill writes stay off the scan
+  // workers' critical path.
+  std::vector<WorkerTally> tallies(workers);
+  std::vector<std::thread> feeders;
+  for (size_t p = 0; p < kPartitions; ++p) {
+    feeders.emplace_back([&, p] {
+      RecordChunk chunk;
+      while (chunk_queues[p]->Pop(&chunk)) {
+        for (const auto& record : chunk) {
+          const Status added = sorters[p]->Add(record);
+          if (!added.ok()) {
+            abort.Fail(added);
+            return;
+          }
+        }
+        chunk.clear();
+      }
+    });
+  }
+
+  std::vector<std::thread> scanners;
+  for (size_t w = 0; w < workers; ++w) {
+    scanners.emplace_back([&, w] {
+      const Tokenizer tokenizer(params.delimiters);
+      const MinHasher hasher(params.q, params.signature_size,
+                             params.minhash_seed);
+      WorkerTally& tally = tallies[w];
+      std::vector<std::string> dedup_scratch;
+      std::vector<RecordChunk> chunks(kPartitions);
+      std::vector<size_t> chunk_bytes(kPartitions, 0);
+      const auto flush = [&](size_t p) {
+        if (chunks[p].empty()) {
+          return true;
+        }
+        if (!chunk_queues[p]->Push(std::move(chunks[p]))) {
+          return false;
+        }
+        chunks[p] = RecordChunk();
+        chunk_bytes[p] = 0;
+        return true;
+      };
+
+      Table::Scanner scanner = ref->Scan();
+      Tid tid;
+      Row row;
+      for (;;) {
+        if (abort.failed()) {
+          return;
+        }
+        const Result<bool> more = scanner.Next(&tid, &row);
+        if (!more.ok()) {
+          abort.Fail(more.status());
+          return;
+        }
+        if (!*more) {
+          break;
+        }
+        if (tid % workers != w) {
+          continue;
+        }
+        const TokenizedTuple tokens = tokenizer.TokenizeTuple(row);
+        tally.AddTuple(tokens, &dedup_scratch);
+        for (uint32_t col = 0; col < tokens.size(); ++col) {
+          for (const auto& token : tokens[col]) {
+            for (const TokenCoordinate& tc : MakeTokenCoordinates(
+                     hasher, params, token, /*token_weight=*/0)) {
+              KeyEncoder enc;
+              enc.AppendString(tc.gram)
+                  .AppendU32(tc.coordinate)
+                  .AppendU32(col);
+              const size_t p =
+                  Hash64(enc.key(), kPartitionSeed) % kPartitions;
+              enc.AppendU32(tid);
+              std::string record = enc.Take();
+              chunk_bytes[p] += record.size();
+              chunks[p].push_back(std::move(record));
+              ++tally.pre_eti_rows;
+              if (chunk_bytes[p] >= kScanChunkBytes && !flush(p)) {
+                return;
+              }
+            }
+          }
+        }
+      }
+      for (size_t p = 0; p < kPartitions; ++p) {
+        if (!flush(p)) {
+          return;
+        }
+      }
+    });
+  }
+
+  for (auto& t : scanners) {
+    t.join();
+  }
+
+  // Frequency-merge barrier: fold the per-worker tallies into the shared
+  // IdfWeights cache. Counts are additive, so the result is identical to
+  // the serial scan's cache regardless of worker interleaving.
+  for (const WorkerTally& tally : tallies) {
+    weights_builder->AddTupleCount(tally.tuples);
+    stats->reference_tuples += tally.tuples;
+    stats->pre_eti_rows += tally.pre_eti_rows;
+    for (uint32_t col = 0; col < tally.counts.size(); ++col) {
+      for (const auto& [token, count] : tally.counts[col]) {
+        weights_builder->AddTokenCount(token, col, count);
+      }
+    }
+  }
+  stats->scan_seconds = phase_timer.ElapsedSeconds();
+  phase_timer.Reset();
+
+  for (auto& q : chunk_queues) {
+    q->Close();
+  }
+  for (auto& t : feeders) {
+    t.join();
+  }
+  stats->sort_seconds = phase_timer.ElapsedSeconds();
+  phase_timer.Reset();
+
+  if (abort.failed()) {
+    return abort.first_error();
+  }
+
+  for (const auto& sorter : sorters) {
+    stats->spilled_runs += sorter->spilled_runs();
+  }
+
+  // --- Phase 2: parallel grouping/encoding, single ordered writer. -------
+  //
+  // Partitions are disjoint in the group key, so each can be merged,
+  // grouped and encoded independently; the writer k-way-merges the
+  // partition streams by clustered key, which is exactly the serial
+  // build's row order (the pre-ETI sort key extends the group key), so
+  // the persisted relation and index come out byte-identical.
+  std::vector<uint64_t> rows_out(kPartitions, 0);
+  std::vector<uint64_t> stops_out(kPartitions, 0);
+  std::vector<std::thread> groupers;
+  for (size_t p = 0; p < kPartitions; ++p) {
+    groupers.emplace_back([&, p] {
+      // Whatever path exits this worker, the writer must not block on an
+      // open queue.
+      struct Closer {
+        BoundedBatchQueue<EtiRowBatch>* q;
+        ~Closer() { q->Close(); }
+      } closer{out_queues[p].get()};
+
+      const Result<std::unique_ptr<SortedStream>> stream =
+          sorters[p]->Finish();
+      if (!stream.ok()) {
+        abort.Fail(stream.status());
+        return;
+      }
+      EtiRowBatch batch;
+      batch.reserve(kGroupBatchRows);
+      GroupAccumulator acc(
+          params.stop_qgram_threshold,
+          [&](const std::string& gram, uint32_t coordinate, uint32_t column,
+              EtiEntry entry) -> Status {
+            EtiRowOut out;
+            out.key = Eti::IndexKey(gram, coordinate, column);
+            out.row = Eti::EncodeRow(gram, coordinate, column, entry);
+            batch.push_back(std::move(out));
+            if (batch.size() >= kGroupBatchRows) {
+              if (!out_queues[p]->Push(std::move(batch))) {
+                return Status::Internal("eti build aborted");
+              }
+              batch = EtiRowBatch();
+              batch.reserve(kGroupBatchRows);
+            }
+            return Status::OK();
+          });
+      std::string record;
+      for (;;) {
+        if (abort.failed()) {
+          return;
+        }
+        const Result<bool> more = (*stream)->Next(&record);
+        if (!more.ok()) {
+          abort.Fail(more.status());
+          return;
+        }
+        if (!*more) {
+          break;
+        }
+        const Result<PreEtiRow> row = DecodePreEtiRow(record);
+        if (!row.ok()) {
+          abort.Fail(row.status());
+          return;
+        }
+        const Status consumed = acc.Consume(*row);
+        if (!consumed.ok()) {
+          abort.Fail(consumed);
+          return;
+        }
+      }
+      const Status flushed = acc.Flush();
+      if (!flushed.ok()) {
+        abort.Fail(flushed);
+        return;
+      }
+      if (!batch.empty() && !out_queues[p]->Push(std::move(batch))) {
+        return;
+      }
+      rows_out[p] = acc.eti_rows();
+      stops_out[p] = acc.stop_qgrams();
+    });
+  }
+
+  // The ordered writer runs on the calling thread — the only thread that
+  // touches the database during the build, which keeps page allocation
+  // (and thus the persisted file) deterministic.
+  {
+    std::vector<MergeCursor> cursors;
+    cursors.reserve(kPartitions);
+    for (size_t p = 0; p < kPartitions; ++p) {
+      cursors.emplace_back(out_queues[p].get());
+    }
+    const auto greater = [&](size_t a, size_t b) {
+      // Group keys are unique across partitions; no tie-break needed.
+      return cursors[a].current().key > cursors[b].current().key;
+    };
+    std::priority_queue<size_t, std::vector<size_t>, decltype(greater)>
+        heap(greater);
+    for (size_t p = 0; p < kPartitions; ++p) {
+      if (cursors[p].Advance()) {
+        heap.push(p);
+      }
+    }
+    while (!heap.empty()) {
+      const size_t p = heap.top();
+      heap.pop();
+      EtiRowOut& out = cursors[p].current();
+      const Status written =
+          WriteEncodedEtiRow(eti_table, eti_index, out.key, out.row);
+      if (!written.ok()) {
+        abort.Fail(written);
+        break;
+      }
+      if (cursors[p].Advance()) {
+        heap.push(p);
+      }
+    }
+  }
+
+  for (auto& t : groupers) {
+    t.join();
+  }
+  if (abort.failed()) {
+    return abort.first_error();
+  }
+  for (size_t p = 0; p < kPartitions; ++p) {
+    stats->eti_rows += rows_out[p];
+    stats->stop_qgrams += stops_out[p];
+  }
+  stats->merge_seconds = phase_timer.ElapsedSeconds();
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -138,10 +710,23 @@ Result<BuiltEti> EtiBuilder::Build(Database* db, Table* ref,
     return Status::InvalidArgument(
         "Q_0 indexes nothing; enable token indexing or use H >= 1");
   }
+  if (options.build_threads < 0) {
+    return Status::InvalidArgument("build_threads must be >= 0");
+  }
 
   Timer total_timer;
   Timer phase_timer;
   EtiBuildStats stats;
+
+  size_t workers = static_cast<size_t>(options.build_threads);
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers = std::min<size_t>(workers, 256);
+  stats.build_threads = static_cast<uint32_t>(workers);
+
+  FM_ASSIGN_OR_RETURN(stats.temp_dir,
+                      ResolveTempDir(db, options.temp_dir));
 
   const std::string eti_name =
       ref->name() + "_eti_" + params.StrategyName();
@@ -151,15 +736,26 @@ Result<BuiltEti> EtiBuilder::Build(Database* db, Table* ref,
                       db->CreateIndex(eti_name + "_idx"));
   FM_RETURN_IF_ERROR(SaveEtiParams(db, eti_name, params));
 
-  const Tokenizer tokenizer(params.delimiters);
-  const MinHasher hasher(params.q, params.signature_size,
-                         params.minhash_seed);
   IdfWeights::Builder weights_builder(
       MakeFrequencyCache(options.cache_kind, options.bounded_buckets));
 
+  if (workers > 1) {
+    FM_RETURN_IF_ERROR(ParallelBuild(ref, eti_table, eti_index, options,
+                                     stats.temp_dir, workers,
+                                     &weights_builder, &stats));
+    stats.total_seconds = total_timer.ElapsedSeconds();
+    MirrorBuildStats(stats);
+    return BuiltEti{Eti(eti_table, eti_index, params),
+                    weights_builder.Finish(), stats};
+  }
+
+  const Tokenizer tokenizer(params.delimiters);
+  const MinHasher hasher(params.q, params.signature_size,
+                         params.minhash_seed);
+
   ExternalSorter::Options sort_options;
   sort_options.memory_budget_bytes = options.sort_memory_bytes;
-  sort_options.temp_dir = options.temp_dir;
+  sort_options.temp_dir = stats.temp_dir;
   ExternalSorter sorter(sort_options);
 
   // Phase 1: scan R, feed the weight builder, emit pre-ETI rows.
@@ -191,7 +787,13 @@ Result<BuiltEti> EtiBuilder::Build(Database* db, Table* ref,
   // Phase 2: sort (the ETI-query's ORDER BY), group, write ETI rows.
   stats.spilled_runs = sorter.spilled_runs();
   FM_ASSIGN_OR_RETURN(std::unique_ptr<SortedStream> stream, sorter.Finish());
-  GroupWriter writer(eti_table, eti_index, params.stop_qgram_threshold);
+  GroupAccumulator writer(
+      params.stop_qgram_threshold,
+      [&](const std::string& gram, uint32_t coordinate, uint32_t column,
+          EtiEntry entry) {
+        return WriteEtiRow(eti_table, eti_index, gram, coordinate, column,
+                           entry);
+      });
   std::string record;
   for (;;) {
     FM_ASSIGN_OR_RETURN(const bool more, stream->Next(&record));
@@ -204,6 +806,7 @@ Result<BuiltEti> EtiBuilder::Build(Database* db, Table* ref,
   stats.stop_qgrams = writer.stop_qgrams();
   stats.merge_seconds = phase_timer.ElapsedSeconds();
   stats.total_seconds = total_timer.ElapsedSeconds();
+  MirrorBuildStats(stats);
 
   return BuiltEti{Eti(eti_table, eti_index, params),
                   weights_builder.Finish(), stats};

@@ -7,6 +7,16 @@
 // consecutive groups become ETI rows with frequency and (delta-compressed)
 // tid-list, persisted as a regular relation plus a B+-tree on
 // [QGram, Coordinate, Column].
+//
+// With Options::build_threads > 1 the whole pipeline fans out (DESIGN.md
+// 5f): N scan workers tokenize and min-hash disjoint tuple ranges, routing
+// pre-ETI rows to N partition sorters hash-partitioned on the group key
+// [QGram, Coordinate, Column]; per-worker token-frequency tallies merge
+// into the IdfWeights cache at the post-scan barrier; each partition is
+// sorted, grouped and encoded in parallel, and a single ordered writer
+// merges the partition streams back into the exact serial row order — the
+// persisted ETI relation, index and meta are byte-identical to a
+// single-threaded build.
 
 #ifndef FUZZYMATCH_ETI_ETI_BUILDER_H_
 #define FUZZYMATCH_ETI_ETI_BUILDER_H_
@@ -28,7 +38,14 @@ struct EtiBuildStats {
   uint64_t eti_rows = 0;
   uint64_t stop_qgrams = 0;
   uint64_t spilled_runs = 0;
+  /// Worker count the build actually ran with (1 = serial path).
+  uint32_t build_threads = 1;
+  /// Resolved spill directory (see Options::temp_dir).
+  std::string temp_dir;
   double scan_seconds = 0;   // reference scan + pre-ETI emission
+  double sort_seconds = 0;   // residual sorter drain after the scan
+                             // barrier (0 on the serial path: its sort
+                             // work happens inside scan and merge)
   double merge_seconds = 0;  // sort/merge + grouping + ETI writes
   double total_seconds = 0;
 };
@@ -48,10 +65,20 @@ class EtiBuilder {
     FrequencyCacheKind cache_kind = FrequencyCacheKind::kExact;
     /// Bucket count for the kBounded cache.
     size_t bounded_buckets = 1u << 20;
-    /// External sort memory budget.
+    /// External sort memory budget, shared across the partition sorters
+    /// of a parallel build.
     size_t sort_memory_bytes = 64u << 20;
-    /// Spill directory for sort runs.
-    std::string temp_dir = "/tmp";
+    /// Spill directory for sort runs. Empty (the default) derives it:
+    /// the database's own directory for file-backed stores, else $TMPDIR,
+    /// else /tmp. The directory is probed for writability up front so a
+    /// full or read-only disk fails with a clear Status instead of a
+    /// mysterious fopen error mid-sort; the resolved choice is surfaced
+    /// in EtiBuildStats::temp_dir.
+    std::string temp_dir;
+    /// Build parallelism: number of scan/sort/group workers. 1 runs the
+    /// serial reference pipeline; 0 means one worker per hardware
+    /// thread. Any value produces byte-identical persisted output.
+    int build_threads = 1;
   };
 
   /// Builds the ETI for `ref` inside `db`. The ETI relation is named

@@ -43,6 +43,7 @@ Database::~Database() {
 
 Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   auto db = std::unique_ptr<Database>(new Database());
+  db->path_ = options.path;
   const bool fresh_memory = options.path.empty();
   bool fresh_file = false;
   if (fresh_memory) {

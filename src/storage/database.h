@@ -70,12 +70,18 @@ class Database {
 
   BufferPool* buffer_pool() { return pool_.get(); }
 
+  /// Backing file path; empty for in-memory stores. Lets co-located
+  /// scratch data (e.g. ETI build spill runs) default to the database's
+  /// own directory instead of /tmp.
+  const std::string& path() const { return path_; }
+
  private:
   Database() = default;
 
   Status LoadCatalog();
   Status SaveCatalog();
 
+  std::string path_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
   // Stable addresses for handed-out pointers.

@@ -3,15 +3,23 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <queue>
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 
 namespace fuzzymatch {
 
 namespace {
+
+/// Process-wide sorter id: spill-file names built from the pid alone
+/// collide when two sorters share a temp_dir in one process (each starts
+/// its run numbering at 0), silently overwriting each other's runs. The
+/// id makes every sorter's namespace disjoint.
+std::atomic<uint64_t> g_next_sorter_id{0};
 
 /// Reads length-prefixed records from one run file.
 class RunReader {
@@ -87,6 +95,7 @@ class MergeStream : public SortedStream {
   }
 
   Status Init() {
+    FM_FAIL_POINT("extsort.run_reopen");
     for (size_t i = 0; i < readers_.size(); ++i) {
       if (!readers_[i]->ok()) {
         return Status::IOError("failed to reopen run file");
@@ -150,14 +159,15 @@ class MergeStream : public SortedStream {
 }  // namespace
 
 ExternalSorter::ExternalSorter(Options options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      sorter_id_(g_next_sorter_id.fetch_add(1, std::memory_order_relaxed)) {}
 
 ExternalSorter::~ExternalSorter() {
-  // Remove any spilled runs if Finish() was never called.
-  if (!finished_) {
-    for (const auto& path : run_files_) {
-      ::unlink(path.c_str());
-    }
+  // Remove any spilled runs still owned here: Finish() was never called,
+  // or it failed before handing the runs to a MergeStream (which then
+  // owns their cleanup).
+  for (const auto& path : run_files_) {
+    ::unlink(path.c_str());
   }
 }
 
@@ -175,9 +185,11 @@ Status ExternalSorter::Add(std::string_view record) {
 }
 
 Status ExternalSorter::SpillRun() {
+  FM_FAIL_POINT("extsort.spill");
   std::sort(buffer_.begin(), buffer_.end());
   const std::string path = StringPrintf(
-      "%s/fm_sort_run_%d_%zu.tmp", options_.temp_dir.c_str(), ::getpid(),
+      "%s/fm_sort_run_%d_%llu_%zu.tmp", options_.temp_dir.c_str(),
+      ::getpid(), static_cast<unsigned long long>(sorter_id_),
       run_files_.size());
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (!f) {
@@ -208,6 +220,7 @@ Result<std::unique_ptr<SortedStream>> ExternalSorter::Finish() {
   if (finished_) {
     return Status::InvalidArgument("Finish() called twice");
   }
+  FM_FAIL_POINT("extsort.finish");
   finished_ = true;
   std::sort(buffer_.begin(), buffer_.end());
   if (run_files_.empty()) {

@@ -11,6 +11,7 @@
 #ifndef FUZZYMATCH_STORAGE_EXTERNAL_SORT_H_
 #define FUZZYMATCH_STORAGE_EXTERNAL_SORT_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -32,6 +33,13 @@ class SortedStream {
 };
 
 /// Accumulates records, then produces them in sorted order.
+///
+/// Spill files are named fm_sort_run_<pid>_<sorter>_<run>.tmp, where
+/// <sorter> is a process-wide id — any number of sorters may share one
+/// temp_dir (the parallel ETI build runs one per partition) without their
+/// runs colliding. Every spilled run is unlinked exactly once: by the
+/// merge stream after a successful Finish(), or by the sorter's own
+/// destructor on early destruction and on every Finish() error path.
 class ExternalSorter {
  public:
   struct Options {
@@ -64,6 +72,7 @@ class ExternalSorter {
   Status SpillRun();
 
   Options options_;
+  uint64_t sorter_id_ = 0;
   std::vector<std::string> buffer_;
   size_t buffered_bytes_ = 0;
   uint64_t record_count_ = 0;

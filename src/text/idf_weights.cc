@@ -21,6 +21,13 @@ void IdfWeights::Builder::AddTuple(const TokenizedTuple& tuple) {
   }
 }
 
+void IdfWeights::Builder::AddTokenCount(std::string_view token,
+                                        uint32_t column, uint32_t count) {
+  cache_->AddCount(token, column, count);
+}
+
+void IdfWeights::Builder::AddTupleCount(uint64_t n) { num_tuples_ += n; }
+
 IdfWeights IdfWeights::Builder::Finish() {
   const double r = static_cast<double>(std::max<uint64_t>(num_tuples_, 1));
   std::vector<double> sums;

@@ -30,6 +30,17 @@ class IdfWeights {
     /// column of the same tuple count once (freq counts tuples).
     void AddTuple(const TokenizedTuple& tuple);
 
+    /// Bulk-merge interface for the parallel reference scan: each worker
+    /// tallies (token, column) -> distinct-tuple count locally, and the
+    /// tallies merge here at the post-scan barrier. `count` must already
+    /// be de-duplicated per tuple (AddTuple semantics).
+    void AddTokenCount(std::string_view token, uint32_t column,
+                       uint32_t count);
+
+    /// Accounts for `n` scanned tuples whose tokens arrive (or arrived)
+    /// via AddTokenCount.
+    void AddTupleCount(uint64_t n);
+
     /// Seals the weights; the Builder must not be reused.
     IdfWeights Finish();
 

@@ -16,11 +16,16 @@ namespace {
 class ExactFrequencyCache : public TokenFrequencyCache {
  public:
   void Add(std::string_view token, uint32_t column) override {
+    AddCount(token, column, 1);
+  }
+
+  void AddCount(std::string_view token, uint32_t column,
+                uint32_t count) override {
     if (column >= maps_.size()) {
       maps_.resize(column + 1);
     }
     auto [it, inserted] = maps_[column].try_emplace(std::string(token), 0u);
-    ++it->second;
+    it->second += count;
     if (inserted) {
       bytes_ += token.size() + 48;  // rough node + string overhead
     }
@@ -63,8 +68,13 @@ class ExactFrequencyCache : public TokenFrequencyCache {
 class Md5FrequencyCache : public TokenFrequencyCache {
  public:
   void Add(std::string_view token, uint32_t column) override {
+    AddCount(token, column, 1);
+  }
+
+  void AddCount(std::string_view token, uint32_t column,
+                uint32_t count) override {
     Entry& entry = map_[DigestKey(token, column)];
-    ++entry.freq;
+    entry.freq += count;
     entry.column = column;  // kept alongside for ForEachEntry
   }
 
@@ -118,6 +128,11 @@ class BoundedFrequencyCache : public TokenFrequencyCache {
   }
 
   void Add(std::string_view token, uint32_t column) override {
+    AddCount(token, column, 1);
+  }
+
+  void AddCount(std::string_view token, uint32_t column,
+                uint32_t count) override {
     if (column >= counts_.size()) {
       counts_.resize(column + 1);
     }
@@ -125,7 +140,7 @@ class BoundedFrequencyCache : public TokenFrequencyCache {
     if (col.empty()) {
       col.assign(buckets_, 0u);
     }
-    ++col[Bucket(token)];
+    col[Bucket(token)] += count;
   }
 
   uint32_t Frequency(std::string_view token, uint32_t column) const override {

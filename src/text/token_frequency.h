@@ -32,6 +32,14 @@ class TokenFrequencyCache {
   /// tuples, not occurrences.
   virtual void Add(std::string_view token, uint32_t column) = 0;
 
+  /// Records that `count` distinct reference tuples contain `token` in
+  /// `column` — the bulk form of Add(), used to merge the per-worker
+  /// tallies of a parallel reference scan. Equivalent to calling Add()
+  /// `count` times for every cache flavour (bounded-cache collisions
+  /// included: counts land in the same bucket either way).
+  virtual void AddCount(std::string_view token, uint32_t column,
+                        uint32_t count) = 0;
+
   /// freq(token, column); 0 if the token was never seen in that column.
   virtual uint32_t Frequency(std::string_view token,
                              uint32_t column) const = 0;

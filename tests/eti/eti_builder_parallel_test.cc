@@ -1,0 +1,112 @@
+// Concurrency tests for the parallel ETI build pipeline (DESIGN.md 5f).
+// These run in the TSan CI slice: they exercise the scan-worker /
+// sorter-feeder handoff, the frequency-merge barrier, the group-encoder
+// fan-out and the ordered writer under real thread interleavings, and
+// the process-wide spill-file naming with several sorters alive at once.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "eti/eti_builder.h"
+#include "gen/customer_gen.h"
+#include "storage/database.h"
+
+namespace fuzzymatch {
+namespace {
+
+Result<std::unique_ptr<Database>> MakeDbWithCustomers(size_t rows) {
+  FM_ASSIGN_OR_RETURN(auto db, Database::Open(DatabaseOptions{}));
+  FM_ASSIGN_OR_RETURN(
+      Table * table,
+      db->CreateTable("customers", CustomerGenerator::CustomerSchema()));
+  CustomerGenOptions gen_options;
+  gen_options.num_tuples = rows;
+  CustomerGenerator generator(gen_options);
+  FM_RETURN_IF_ERROR(generator.Populate(table));
+  return db;
+}
+
+EtiBuilder::Options SpillingOptions(int threads) {
+  EtiBuilder::Options options;
+  options.params.q = 4;
+  options.params.signature_size = 2;
+  options.params.index_tokens = true;
+  options.sort_memory_bytes = 16 * 1024;  // spill in every partition
+  options.temp_dir = ::testing::TempDir();
+  options.build_threads = threads;
+  return options;
+}
+
+TEST(EtiBuilderParallelTest, PipelineMatchesSerialUnderContention) {
+  constexpr size_t kRows = 600;
+  auto serial_db = MakeDbWithCustomers(kRows);
+  ASSERT_TRUE(serial_db.ok());
+  auto serial_ref = (*serial_db)->GetTable("customers");
+  ASSERT_TRUE(serial_ref.ok());
+  auto serial = EtiBuilder::Build(serial_db->get(), *serial_ref,
+                                  SpillingOptions(1));
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  auto parallel_db = MakeDbWithCustomers(kRows);
+  ASSERT_TRUE(parallel_db.ok());
+  auto parallel_ref = (*parallel_db)->GetTable("customers");
+  ASSERT_TRUE(parallel_ref.ok());
+  auto parallel = EtiBuilder::Build(parallel_db->get(), *parallel_ref,
+                                    SpillingOptions(4));
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+
+  EXPECT_GT(parallel->stats.spilled_runs, 0u);
+  EXPECT_EQ(parallel->stats.pre_eti_rows, serial->stats.pre_eti_rows);
+  EXPECT_EQ(parallel->stats.eti_rows, serial->stats.eti_rows);
+  EXPECT_EQ(parallel->stats.stop_qgrams, serial->stats.stop_qgrams);
+  EXPECT_EQ(parallel->weights.num_tuples(), serial->weights.num_tuples());
+  EXPECT_EQ(parallel->eti.entry_count(), serial->eti.entry_count());
+}
+
+TEST(EtiBuilderParallelTest, ConcurrentBuildsShareSpillDirectory) {
+  // Two parallel builds in different databases run at the same time,
+  // with all of their partition sorters spilling into one directory —
+  // the per-process sorter id keeps every run file distinct.
+  constexpr size_t kRows = 400;
+  constexpr int kBuilders = 2;
+  std::vector<std::unique_ptr<Database>> dbs;
+  for (int i = 0; i < kBuilders; ++i) {
+    auto db = MakeDbWithCustomers(kRows);
+    ASSERT_TRUE(db.ok());
+    dbs.push_back(std::move(*db));
+  }
+
+  std::vector<uint64_t> eti_rows(kBuilders, 0);
+  std::vector<Status> statuses(kBuilders);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kBuilders; ++i) {
+    threads.emplace_back([&, i] {
+      auto ref = dbs[i]->GetTable("customers");
+      if (!ref.ok()) {
+        statuses[i] = ref.status();
+        return;
+      }
+      auto built =
+          EtiBuilder::Build(dbs[i].get(), *ref, SpillingOptions(3));
+      statuses[i] = built.status();
+      if (built.ok()) {
+        eti_rows[i] = built->stats.eti_rows;
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (int i = 0; i < kBuilders; ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << statuses[i];
+  }
+  // Identical inputs: a cross-build spill collision would corrupt one
+  // side's sorted order or record set and break this equality.
+  EXPECT_EQ(eti_rows[0], eti_rows[1]);
+  EXPECT_GT(eti_rows[0], 0u);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "common/string_util.h"
 #include "eti/signature.h"
 #include "gen/customer_gen.h"
@@ -272,6 +276,211 @@ TEST_F(EtiBuilderTest, ScalesWithSpillingSort) {
     EXPECT_NE(std::find((*entry)->tids.begin(), (*entry)->tids.end(), 1234u),
               (*entry)->tids.end());
   }
+}
+
+/// Populates `db` with a deterministic synthetic Customer relation.
+Table* MakeCustomers(Database* db, size_t rows) {
+  auto table =
+      db->CreateTable("customers", CustomerGenerator::CustomerSchema());
+  EXPECT_TRUE(table.ok());
+  CustomerGenOptions gen_options;
+  gen_options.num_tuples = rows;
+  CustomerGenerator generator(gen_options);
+  EXPECT_TRUE(generator.Populate(*table).ok());
+  return *table;
+}
+
+/// All rows of a table in tid order, key-encoded for comparison.
+std::vector<Row> DumpRows(Table* table) {
+  std::vector<Row> rows;
+  Table::Scanner scanner = table->Scan();
+  Tid tid;
+  Row row;
+  for (;;) {
+    auto more = scanner.Next(&tid, &row);
+    EXPECT_TRUE(more.ok());
+    if (!more.ok() || !*more) break;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST_F(EtiBuilderTest, ParallelBuildMatchesSerial) {
+  // Same relation in two databases; build serial vs 3 workers with a
+  // budget small enough to spill. Every persisted ETI row must match,
+  // and the merged frequency cache must agree with the serial scan's.
+  auto serial_db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(serial_db.ok());
+  Table* serial_ref = MakeCustomers(serial_db->get(), 1500);
+  Table* parallel_ref = MakeCustomers(db_.get(), 1500);
+
+  EtiBuilder::Options options;
+  options.params.q = 4;
+  options.params.signature_size = 2;
+  options.params.index_tokens = true;
+  options.sort_memory_bytes = 32 * 1024;
+  options.temp_dir = ::testing::TempDir();
+  auto serial = EtiBuilder::Build(serial_db->get(), serial_ref, options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  EXPECT_EQ(serial->stats.build_threads, 1u);
+
+  options.build_threads = 3;
+  auto parallel = EtiBuilder::Build(db_.get(), parallel_ref, options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ(parallel->stats.build_threads, 3u);
+
+  EXPECT_GT(parallel->stats.spilled_runs, 0u);
+  EXPECT_EQ(parallel->stats.reference_tuples,
+            serial->stats.reference_tuples);
+  EXPECT_EQ(parallel->stats.pre_eti_rows, serial->stats.pre_eti_rows);
+  EXPECT_EQ(parallel->stats.eti_rows, serial->stats.eti_rows);
+  EXPECT_EQ(parallel->stats.stop_qgrams, serial->stats.stop_qgrams);
+
+  auto serial_table = (*serial_db)->GetTable("customers_eti_Q+T_2");
+  auto parallel_table = db_->GetTable("customers_eti_Q+T_2");
+  ASSERT_TRUE(serial_table.ok());
+  ASSERT_TRUE(parallel_table.ok());
+  EXPECT_EQ(DumpRows(*parallel_table), DumpRows(*serial_table));
+
+  // The frequency-merge barrier must reproduce the serial cache.
+  EXPECT_EQ(parallel->weights.num_tuples(), serial->weights.num_tuples());
+  Table::Scanner scanner = parallel_ref->Scan();
+  const Tokenizer tokenizer = parallel->eti.MakeTokenizer();
+  Tid tid;
+  Row row;
+  for (int sampled = 0; sampled < 50;) {
+    auto more = scanner.Next(&tid, &row);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    if (tid % 31 != 0) continue;
+    ++sampled;
+    const TokenizedTuple tokens = tokenizer.TokenizeTuple(row);
+    for (uint32_t col = 0; col < tokens.size(); ++col) {
+      for (const auto& token : tokens[col]) {
+        EXPECT_EQ(parallel->weights.Frequency(token, col),
+                  serial->weights.Frequency(token, col))
+            << token << "/" << col;
+      }
+    }
+  }
+}
+
+TEST_F(EtiBuilderTest, ParallelBuildIsByteIdenticalOnDisk) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "eti_parallel_ident";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  for (const int threads : {1, 3}) {
+    const std::string path =
+        (dir / StringPrintf("t%d.fmdb", threads)).string();
+    auto db = Database::Open(DatabaseOptions{.path = path});
+    ASSERT_TRUE(db.ok());
+    Table* ref = MakeCustomers(db->get(), 1200);
+    EtiBuilder::Options options;
+    options.params.q = 4;
+    options.params.signature_size = 2;
+    options.sort_memory_bytes = 32 * 1024;  // force spills in both builds
+    options.build_threads = threads;
+    auto built = EtiBuilder::Build(db->get(), ref, options);
+    ASSERT_TRUE(built.ok()) << built.status();
+    // The spill directory defaults to the database's own directory.
+    EXPECT_EQ(built->stats.temp_dir, dir.string());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+
+  EXPECT_EQ(ReadFile((dir / "t1.fmdb").string()),
+            ReadFile((dir / "t3.fmdb").string()));
+  // No spill runs (or probe files) left behind.
+  size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+}
+
+TEST_F(EtiBuilderTest, TempDirFallsBackForInMemoryDatabases) {
+  // In-memory database, no configured dir: $TMPDIR (or /tmp) is used and
+  // the choice is surfaced in the stats.
+  Table* orgs = MakeTable1();
+  EtiBuilder::Options options;
+  options.params.q = 3;
+  options.params.signature_size = 2;
+  auto built = EtiBuilder::Build(db_.get(), orgs, options);
+  ASSERT_TRUE(built.ok());
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string expected =
+      (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
+  EXPECT_EQ(built->stats.temp_dir, expected);
+}
+
+TEST_F(EtiBuilderTest, UnwritableTempDirFailsUpFrontWithClearStatus) {
+  Table* orgs = MakeTable1();
+  EtiBuilder::Options options;
+  options.params.q = 3;
+  options.params.signature_size = 2;
+  options.temp_dir = "/nonexistent_fm_spill_dir/sub";
+  const Status status =
+      EtiBuilder::Build(db_.get(), orgs, options).status();
+  EXPECT_TRUE(status.IsIOError()) << status;
+  EXPECT_NE(status.ToString().find("/nonexistent_fm_spill_dir/sub"),
+            std::string::npos)
+      << status;
+  // The failure happened before any catalog mutation: the same strategy
+  // builds cleanly afterwards.
+  options.temp_dir.clear();
+  EXPECT_TRUE(EtiBuilder::Build(db_.get(), orgs, options).ok());
+}
+
+TEST_F(EtiBuilderTest, BuildThreadsZeroAutoDetects) {
+  Table* orgs = MakeTable1();
+  EtiBuilder::Options options;
+  options.params.q = 3;
+  options.params.signature_size = 2;
+  options.build_threads = 0;
+  auto built = EtiBuilder::Build(db_.get(), orgs, options);
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_GE(built->stats.build_threads, 1u);
+  EXPECT_GT(built->stats.eti_rows, 0u);
+}
+
+TEST_F(EtiBuilderTest, NegativeBuildThreadsRejected) {
+  Table* orgs = MakeTable1();
+  EtiBuilder::Options options;
+  options.params.q = 3;
+  options.params.signature_size = 2;
+  options.build_threads = -1;
+  EXPECT_TRUE(EtiBuilder::Build(db_.get(), orgs, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(EtiBuilderTest, ParallelBuildOfTinyRelation) {
+  // More workers than tuples: some scan workers and partitions see no
+  // data at all; the build must still match the serial result.
+  Table* orgs = MakeTable1();
+  EtiBuilder::Options options;
+  options.params.q = 3;
+  options.params.signature_size = 2;
+  options.params.index_tokens = true;
+  options.build_threads = 8;
+  auto built = EtiBuilder::Build(db_.get(), orgs, options);
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_EQ(built->stats.reference_tuples, 3u);
+  auto entry = built->eti.Lookup("seattle", 0, 1);
+  ASSERT_TRUE(entry.ok());
+  ASSERT_TRUE(entry->has_value());
+  EXPECT_EQ((*entry)->tids, (std::vector<Tid>{0, 1, 2}));
+  EXPECT_EQ(built->weights.Frequency("seattle", 1), 3u);
 }
 
 }  // namespace

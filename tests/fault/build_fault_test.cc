@@ -1,0 +1,173 @@
+// Fault injection for the ETI build path: every spill/merge/write
+// failpoint must surface as a clean error Status from EtiBuilder::Build —
+// serial and parallel alike — and must never leak spill-run files into
+// the temp directory, even when the failure strikes mid-pipeline with
+// workers blocked on queues.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "eti/eti_builder.h"
+#include "fault/failpoint.h"
+#include "gen/customer_gen.h"
+#include "storage/database.h"
+
+namespace fuzzymatch {
+namespace {
+
+using fault::FailpointSpec;
+using fault::Failpoints;
+
+class BuildFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fault::kEnabled) {
+      GTEST_SKIP() << "failpoints compiled out (-DFM_FAILPOINTS=OFF)";
+    }
+    Failpoints::Global().Reset();
+  }
+
+  void TearDown() override {
+    if (fault::kEnabled) {
+      Failpoints::Global().Reset();
+    }
+  }
+
+  /// A fresh empty spill directory so emptiness-after-failure is exact.
+  std::string FreshTempDir(const std::string& name) {
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / ("build_fault_" + name);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+  }
+
+  size_t FileCount(const std::string& dir) {
+    size_t n = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      (void)entry;
+      ++n;
+    }
+    return n;
+  }
+
+  /// Builds a spilling ETI over a fresh in-memory relation with `name`
+  /// armed to fail; returns the build status.
+  Status BuildWithFault(const std::string& name, int threads,
+                        const std::string& temp_dir) {
+    auto db = Database::Open(DatabaseOptions{});
+    EXPECT_TRUE(db.ok());
+    auto table = (*db)->CreateTable("customers",
+                                    CustomerGenerator::CustomerSchema());
+    EXPECT_TRUE(table.ok());
+    CustomerGenOptions gen_options;
+    gen_options.num_tuples = 500;
+    CustomerGenerator generator(gen_options);
+    EXPECT_TRUE(generator.Populate(*table).ok());
+
+    if (!name.empty()) {
+      Failpoints::Global().Arm(name, FailpointSpec{});
+    }
+    EtiBuilder::Options options;
+    options.params.q = 4;
+    options.params.signature_size = 2;
+    options.sort_memory_bytes = 16 * 1024;  // force spills
+    options.temp_dir = temp_dir;
+    options.build_threads = threads;
+    const Status status =
+        EtiBuilder::Build(db->get(), *table, options).status();
+    Failpoints::Global().DisarmAll();
+    return status;
+  }
+};
+
+TEST_F(BuildFaultTest, SpillFailureAbortsCleanlyWithoutLeakingRuns) {
+  for (const int threads : {1, 4}) {
+    const std::string dir =
+        FreshTempDir("spill_t" + std::to_string(threads));
+    const Status status = BuildWithFault("extsort.spill", threads, dir);
+    EXPECT_TRUE(status.IsIOError()) << status;
+    EXPECT_NE(status.ToString().find("extsort.spill"), std::string::npos)
+        << status;
+    EXPECT_EQ(FileCount(dir), 0u) << "threads=" << threads;
+  }
+}
+
+TEST_F(BuildFaultTest, FinishFailureAbortsCleanlyWithoutLeakingRuns) {
+  for (const int threads : {1, 4}) {
+    const std::string dir =
+        FreshTempDir("finish_t" + std::to_string(threads));
+    const Status status = BuildWithFault("extsort.finish", threads, dir);
+    EXPECT_TRUE(status.IsIOError()) << status;
+    EXPECT_EQ(FileCount(dir), 0u) << "threads=" << threads;
+  }
+}
+
+TEST_F(BuildFaultTest, RunReopenFailureAbortsCleanlyWithoutLeakingRuns) {
+  for (const int threads : {1, 4}) {
+    const std::string dir =
+        FreshTempDir("reopen_t" + std::to_string(threads));
+    const Status status =
+        BuildWithFault("extsort.run_reopen", threads, dir);
+    EXPECT_TRUE(status.IsIOError()) << status;
+    EXPECT_EQ(FileCount(dir), 0u) << "threads=" << threads;
+  }
+}
+
+TEST_F(BuildFaultTest, EtiRowWriteFailureAbortsCleanlyWithoutLeakingRuns) {
+  for (const int threads : {1, 4}) {
+    const std::string dir =
+        FreshTempDir("write_t" + std::to_string(threads));
+    const Status status =
+        BuildWithFault("eti_build.write_row", threads, dir);
+    EXPECT_TRUE(status.IsIOError()) << status;
+    EXPECT_NE(status.ToString().find("eti_build.write_row"),
+              std::string::npos)
+        << status;
+    EXPECT_EQ(FileCount(dir), 0u) << "threads=" << threads;
+  }
+}
+
+TEST_F(BuildFaultTest, MidSortWriteFailureInParallelBuild) {
+  // Fire deep into the run-write sequence so several partitions already
+  // hold spilled runs when the abort fans out.
+  const std::string dir = FreshTempDir("midspill");
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  auto table = (*db)->CreateTable("customers",
+                                  CustomerGenerator::CustomerSchema());
+  ASSERT_TRUE(table.ok());
+  CustomerGenOptions gen_options;
+  gen_options.num_tuples = 800;
+  CustomerGenerator generator(gen_options);
+  ASSERT_TRUE(generator.Populate(*table).ok());
+
+  FailpointSpec spec;
+  spec.fire_on_hit = 9;
+  Failpoints::Global().Arm("extsort.spill", spec);
+  EtiBuilder::Options options;
+  options.params.q = 4;
+  options.params.signature_size = 2;
+  options.sort_memory_bytes = 16 * 1024;
+  options.temp_dir = dir;
+  options.build_threads = 4;
+  const Status status =
+      EtiBuilder::Build(db->get(), *table, options).status();
+  Failpoints::Global().DisarmAll();
+  EXPECT_TRUE(status.IsIOError()) << status;
+  EXPECT_EQ(FileCount(dir), 0u);
+}
+
+TEST_F(BuildFaultTest, CleanBuildAfterFaultedOne) {
+  // A faulted build must not poison process-wide state: a clean rebuild
+  // (fresh database, nothing armed) succeeds in the same process.
+  const std::string dir = FreshTempDir("recover");
+  EXPECT_FALSE(BuildWithFault("extsort.spill", 4, dir).ok());
+  EXPECT_TRUE(BuildWithFault("", 4, dir).ok());
+  EXPECT_EQ(FileCount(dir), 0u);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

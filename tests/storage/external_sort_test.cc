@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -134,6 +136,179 @@ TEST(ExternalSortTest, SortedInputStaysSorted) {
   auto stream = sorter.Finish();
   ASSERT_TRUE(stream.ok());
   EXPECT_EQ(Drain(stream->get()), expected);
+}
+
+/// A fresh empty directory under the gtest temp root, for tests that
+/// count spill files.
+std::string FreshTempDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+size_t FileCount(const std::string& dir) {
+  size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+ExternalSorter::Options BudgetInDir(size_t bytes, const std::string& dir) {
+  ExternalSorter::Options opt;
+  opt.memory_budget_bytes = bytes;
+  opt.temp_dir = dir;
+  return opt;
+}
+
+// Regression: spill names once keyed on pid + run number only, so two
+// spilling sorters alive in one process overwrote each other's run files.
+// The per-process sorter id makes them disjoint.
+TEST(ExternalSortTest, ConcurrentSortersShareTempDirWithoutCollision) {
+  const std::string dir = FreshTempDir("extsort_collision");
+  constexpr int kSorters = 2;
+  constexpr int kRecords = 2000;
+  std::vector<std::unique_ptr<ExternalSorter>> sorters;
+  for (int s = 0; s < kSorters; ++s) {
+    sorters.push_back(
+        std::make_unique<ExternalSorter>(BudgetInDir(4096, dir)));
+  }
+  // Interleave from concurrent threads so runs of both sorters land in
+  // the directory at the same time.
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSorters; ++s) {
+    threads.emplace_back([&, s] {
+      Rng rng(100 + s);
+      for (int i = 0; i < kRecords; ++i) {
+        ASSERT_TRUE(
+            sorters[s]
+                ->Add(StringPrintf(
+                    "s%d-%08llu", s,
+                    static_cast<unsigned long long>(rng.Uniform(1000000))))
+                .ok());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (int s = 0; s < kSorters; ++s) {
+    ASSERT_GT(sorters[s]->spilled_runs(), 1u);
+    // Rebuild this sorter's oracle.
+    Rng rng(100 + s);
+    std::vector<std::string> expected;
+    for (int i = 0; i < kRecords; ++i) {
+      expected.push_back(StringPrintf(
+          "s%d-%08llu", s,
+          static_cast<unsigned long long>(rng.Uniform(1000000))));
+    }
+    std::sort(expected.begin(), expected.end());
+    auto stream = sorters[s]->Finish();
+    ASSERT_TRUE(stream.ok());
+    EXPECT_EQ(Drain(stream->get()), expected) << "sorter " << s;
+  }
+  sorters.clear();
+  EXPECT_EQ(FileCount(dir), 0u);
+}
+
+TEST(ExternalSortTest, SingleRecordLargerThanBudget) {
+  ExternalSorter sorter(SmallBudget(64));
+  const std::string big(10000, 'z');
+  ASSERT_TRUE(sorter.Add("small").ok());
+  ASSERT_TRUE(sorter.Add(big).ok());
+  ASSERT_TRUE(sorter.Add("a").ok());
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(Drain(stream->get()),
+            (std::vector<std::string>{"a", "small", big}));
+}
+
+TEST(ExternalSortTest, EmbeddedNulsSpanningSpillBoundary) {
+  // Records full of NUL bytes sized so every spill boundary falls inside
+  // one: length-prefixed run framing must not treat them as terminators.
+  ExternalSorter sorter(SmallBudget(300));
+  Rng rng(17);
+  std::vector<std::string> expected;
+  for (int i = 0; i < 300; ++i) {
+    std::string rec(120, '\0');
+    rec[0] = static_cast<char>(rng.Uniform(256));
+    rec[60] = '\0';
+    rec[119] = static_cast<char>(rng.Uniform(256));
+    expected.push_back(rec);
+    ASSERT_TRUE(sorter.Add(rec).ok());
+  }
+  EXPECT_GT(sorter.spilled_runs(), 1u);
+  std::stable_sort(expected.begin(), expected.end());
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(Drain(stream->get()), expected);
+}
+
+TEST(ExternalSortTest, DuplicateKeysAcrossRuns) {
+  // The same handful of keys recurs in every spilled run; the k-way merge
+  // must emit every copy, matching the stable-sort oracle.
+  ExternalSorter sorter(SmallBudget(256));
+  std::vector<std::string> expected;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string rec = StringPrintf("key-%02d", i % 7);
+    expected.push_back(rec);
+    ASSERT_TRUE(sorter.Add(rec).ok());
+  }
+  EXPECT_GT(sorter.spilled_runs(), 1u);
+  std::stable_sort(expected.begin(), expected.end());
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(Drain(stream->get()), expected);
+}
+
+TEST(ExternalSortTest, SpillFilesRemovedAfterDrain) {
+  const std::string dir = FreshTempDir("extsort_drain");
+  {
+    ExternalSorter sorter(BudgetInDir(512, dir));
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(sorter.Add(StringPrintf("%05d", 499 - i)).ok());
+    }
+    ASSERT_GT(sorter.spilled_runs(), 1u);
+    EXPECT_GT(FileCount(dir), 1u);
+    auto stream = sorter.Finish();
+    ASSERT_TRUE(stream.ok());
+    EXPECT_EQ(Drain(stream->get()).size(), 500u);
+  }
+  EXPECT_EQ(FileCount(dir), 0u);
+}
+
+// Regression: abandoning a spilling sorter without calling Finish() (the
+// builder's error paths do this) must not leave run files behind.
+TEST(ExternalSortTest, SpillFilesRemovedWhenAbandonedWithoutFinish) {
+  const std::string dir = FreshTempDir("extsort_abandon");
+  {
+    ExternalSorter sorter(BudgetInDir(512, dir));
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(sorter.Add(StringPrintf("%05d", i)).ok());
+    }
+    ASSERT_GT(sorter.spilled_runs(), 1u);
+    EXPECT_GT(FileCount(dir), 1u);
+  }
+  EXPECT_EQ(FileCount(dir), 0u);
+}
+
+// Abandoning the merge stream mid-drain must also clean up.
+TEST(ExternalSortTest, SpillFilesRemovedWhenStreamAbandonedMidDrain) {
+  const std::string dir = FreshTempDir("extsort_middrain");
+  {
+    ExternalSorter sorter(BudgetInDir(512, dir));
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(sorter.Add(StringPrintf("%05d", i)).ok());
+    }
+    auto stream = sorter.Finish();
+    ASSERT_TRUE(stream.ok());
+    std::string rec;
+    ASSERT_TRUE((*stream)->Next(&rec).ok());  // read one record, then drop
+  }
+  EXPECT_EQ(FileCount(dir), 0u);
 }
 
 }  // namespace

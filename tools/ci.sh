@@ -9,6 +9,8 @@
 #   tools/ci.sh faultcheck # failpoints compiled in + ASan: crash
 #                          # consistency, differential, error propagation
 #   tools/ci.sh perfsmoke  # ETI-accelerator on/off output parity + metrics
+#   tools/ci.sh buildcheck # parallel ETI build determinism: 1-thread vs
+#                          # 4-thread builds must be byte-identical
 #
 # Build trees live under build-ci-* so they never collide with a
 # developer's ./build. JOBS defaults to the machine's core count.
@@ -24,11 +26,11 @@ STAGE="${1:-all}"
 # the fault suites (sanitizer builds compile failpoints in, and injected
 # errors are where cleanup paths race). Randomized fault suites honor
 # FM_TEST_SEED, pinned below so sanitizer runs are reproducible.
-SANITIZER_TESTS='ConcurrentMatchTest|BufferPoolConcurrencyTest|ServerTest|MetricsRegistryTest|BTreeStressTest|HeapFileStressTest|FileBackedPipelineTest|BatchCleanerTest|EtiAccelConcurrencyTest|TupleCacheTest|FailpointTest|DifferentialMaintenanceTest|ErrorPropagationTest|BufferPoolPressureTest'
+SANITIZER_TESTS='ConcurrentMatchTest|BufferPoolConcurrencyTest|ServerTest|MetricsRegistryTest|BTreeStressTest|HeapFileStressTest|FileBackedPipelineTest|BatchCleanerTest|EtiAccelConcurrencyTest|TupleCacheTest|FailpointTest|DifferentialMaintenanceTest|ErrorPropagationTest|BufferPoolPressureTest|ExternalSortTest|EtiBuilderParallelTest'
 
 # The full fault-injection surface: the crash-consistency sweep over every
 # canonical failpoint plus the randomized differential harness.
-FAULT_TESTS='FailpointTest|CrashConsistencyTest|DifferentialMaintenanceTest|ErrorPropagationTest|BufferPoolPressureTest|EtiInvariantsTest|ServerStartupTest'
+FAULT_TESTS='FailpointTest|CrashConsistencyTest|DifferentialMaintenanceTest|ErrorPropagationTest|BufferPoolPressureTest|EtiInvariantsTest|ServerStartupTest|BuildFaultTest'
 
 run_release() {
   echo "=== [ci] Release build + full test suite ==="
@@ -47,7 +49,8 @@ run_sanitizer() {  # $1 = thread|address  $2 = build dir
         metrics_registry_test storage_stress_test batch_cleaner_test \
         eti_accel_concurrency_test tuple_cache_test failpoint_test \
         differential_maintenance_test error_propagation_test \
-        buffer_pool_pressure_test
+        buffer_pool_pressure_test external_sort_test \
+        eti_builder_parallel_test
   FM_TEST_SEED="${FM_TEST_SEED:-101}" \
     ctest --test-dir "$2" --output-on-failure -j "$JOBS" \
         -R "$SANITIZER_TESTS"
@@ -64,7 +67,8 @@ run_faultcheck() {
   cmake --build build-ci-fault -j "$JOBS" --target \
         failpoint_test crash_consistency_test \
         differential_maintenance_test error_propagation_test \
-        buffer_pool_pressure_test eti_invariants_test server_startup_test
+        buffer_pool_pressure_test eti_invariants_test server_startup_test \
+        build_fault_test
   ctest --test-dir build-ci-fault --output-on-failure -j "$JOBS" \
         -R "$FAULT_TESTS"
 }
@@ -107,21 +111,50 @@ run_perfsmoke() {
   echo "[ci] metrics archived: bench_results/bench_query_time.{noaccel,accel}.metrics.json"
 }
 
+# The parallel ETI build must be a pure optimization: building the same
+# reference relation with 1 and 4 threads (spilling in both) has to leave
+# byte-identical database files — ETI relation, clustered index, catalog
+# and all. cmp(1) over the whole page file enforces it exactly.
+run_buildcheck() {
+  echo "=== [ci] buildcheck: parallel ETI build determinism ==="
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build build-ci-release -j "$JOBS" --target fuzzymatch_cli
+  local cli=build-ci-release/tools/fuzzymatch_cli
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+  "$cli" gen --out "$tmp/ref.csv" --rows 4000 --seed 42
+  "$cli" build --ref "$tmp/ref.csv" --db "$tmp/serial.fmdb" --tokens \
+        --build-threads 1 --sort-budget-kb 256
+  "$cli" build --ref "$tmp/ref.csv" --db "$tmp/parallel.fmdb" --tokens \
+        --build-threads 4 --sort-budget-kb 256
+  cmp "$tmp/serial.fmdb" "$tmp/parallel.fmdb"
+  echo "[ci] ETI build byte-identical with 1 and 4 threads"
+  local leftovers
+  leftovers="$(find "$tmp" \( -name 'fm_sort_run_*' -o -name 'fm_spill_probe_*' \))"
+  if [ -n "$leftovers" ]; then
+    echo "[ci] spill files leaked: $leftovers" >&2
+    exit 1
+  fi
+}
+
 case "$STAGE" in
   release)    run_release ;;
   tsan)       run_sanitizer thread build-ci-tsan ;;
   asan)       run_sanitizer address build-ci-asan ;;
   faultcheck) run_faultcheck ;;
   perfsmoke)  run_perfsmoke ;;
+  buildcheck) run_buildcheck ;;
   all)
     run_release
     run_sanitizer thread build-ci-tsan
     run_sanitizer address build-ci-asan
     run_faultcheck
     run_perfsmoke
+    run_buildcheck
     ;;
   *)
-    echo "usage: tools/ci.sh [release|tsan|asan|faultcheck|perfsmoke|all]" >&2
+    echo "usage: tools/ci.sh [release|tsan|asan|faultcheck|perfsmoke|buildcheck|all]" >&2
     exit 2
     ;;
 esac

@@ -9,10 +9,20 @@
 //       error model. --seeds appends the originating row number, so
 //       accuracy can be audited downstream.
 //
+//   fuzzymatch_cli build   --ref ref.csv --db store.fmdb
+//                          [--q N] [--h N] [--tokens]
+//                          [--build-threads N] [--temp-dir DIR]
+//                          [--sort-budget-kb KB]
+//       Loads the reference CSV into a file-backed database, builds the
+//       ETI with the requested parallelism, and checkpoints. The
+//       persisted file is byte-identical for every --build-threads
+//       value, which the CI buildcheck stage verifies with cmp(1).
+//
 //   fuzzymatch_cli match   --ref ref.csv --input dirty.csv --out out.csv
 //                          [--q N] [--h N] [--tokens] [--k N]
 //                          [--threshold C] [--load-threshold C]
-//                          [--threads N] [--metrics [FILE]]
+//                          [--threads N] [--build-threads N]
+//                          [--temp-dir DIR] [--metrics [FILE]]
 //                          [--accel-budget-mb MB] [--tuple-cache-mb MB]
 //                          [--verbose]
 //       Builds an Error Tolerant Index over the reference CSV and batch-
@@ -43,6 +53,7 @@
 #include "common/string_util.h"
 #include "core/batch_cleaner.h"
 #include "core/fuzzy_match.h"
+#include "eti/eti_builder.h"
 #include "gen/customer_gen.h"
 #include "gen/dataset.h"
 #include "obs/metrics.h"
@@ -218,6 +229,46 @@ Status CmdCorrupt(const Args& args) {
   return Status::OK();
 }
 
+Status CmdBuild(const Args& args) {
+  const std::string ref_path = args.Get("ref", "");
+  const std::string db_path = args.Get("db", "");
+  if (ref_path.empty() || db_path.empty()) {
+    return Status::InvalidArgument("build requires --ref and --db");
+  }
+  FM_ASSIGN_OR_RETURN(auto db, Database::Open(DatabaseOptions{
+                                   .path = db_path, .pool_pages = 64 * 1024}));
+  FM_ASSIGN_OR_RETURN(Table * ref,
+                      LoadCsvTable(db.get(), "ref", ref_path));
+
+  EtiBuilder::Options options;
+  options.params.q = static_cast<int>(args.GetInt("q", 4));
+  options.params.signature_size = static_cast<int>(args.GetInt("h", 3));
+  options.params.index_tokens = args.Has("tokens");
+  options.build_threads =
+      static_cast<int>(args.GetInt("build-threads", 1));
+  options.temp_dir = args.Get("temp-dir", "");
+  options.sort_memory_bytes =
+      static_cast<size_t>(args.GetInt("sort-budget-kb", 64 * 1024)) << 10;
+  FM_ASSIGN_OR_RETURN(const BuiltEti built,
+                      EtiBuilder::Build(db.get(), ref, options));
+  FM_RETURN_IF_ERROR(db->Checkpoint());
+
+  const EtiBuildStats& stats = built.stats;
+  std::printf(
+      "built ETI %s over %llu tuples with %u thread(s): %llu rows, "
+      "%llu stop q-grams, %llu spilled runs (spill dir %s)\n"
+      "  scan %.2fs  sort %.2fs  merge %.2fs  total %.2fs -> %s\n",
+      options.params.StrategyName().c_str(),
+      static_cast<unsigned long long>(stats.reference_tuples),
+      stats.build_threads,
+      static_cast<unsigned long long>(stats.eti_rows),
+      static_cast<unsigned long long>(stats.stop_qgrams),
+      static_cast<unsigned long long>(stats.spilled_runs),
+      stats.temp_dir.c_str(), stats.scan_seconds, stats.sort_seconds,
+      stats.merge_seconds, stats.total_seconds, db_path.c_str());
+  return Status::OK();
+}
+
 Status CmdMatch(const Args& args) {
   const std::string ref_path = args.Get("ref", "");
   const std::string input_path = args.Get("input", "");
@@ -241,6 +292,9 @@ Status CmdMatch(const Args& args) {
   config.eti.index_tokens = args.Has("tokens");
   config.matcher.k = static_cast<size_t>(args.GetInt("k", 1));
   config.matcher.min_similarity = args.GetDouble("threshold", 0.0);
+  config.build_threads =
+      static_cast<int>(args.GetInt("build-threads", 1));
+  config.temp_dir = args.Get("temp-dir", "");
   config.accel_memory_bytes =
       static_cast<size_t>(args.GetInt(
           "accel-budget-mb",
@@ -371,13 +425,17 @@ Status CmdMatch(const Args& args) {
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: fuzzymatch_cli <gen|corrupt|match> [flags]\n"
+      "usage: fuzzymatch_cli <gen|corrupt|build|match> [flags]\n"
       "  gen     --out ref.csv [--rows N] [--seed S]\n"
       "  corrupt --ref ref.csv --out dirty.csv [--inputs N]\n"
       "          [--profile D1|D2|D3] [--seed S] [--seeds]\n"
+      "  build   --ref ref.csv --db store.fmdb\n"
+      "          [--q N] [--h N] [--tokens] [--build-threads N]\n"
+      "          [--temp-dir DIR] [--sort-budget-kb KB]\n"
       "  match   --ref ref.csv --input dirty.csv --out out.csv\n"
       "          [--q N] [--h N] [--tokens] [--k N] [--threshold C]\n"
-      "          [--load-threshold C] [--threads N] [--metrics [FILE]]\n"
+      "          [--load-threshold C] [--threads N] [--build-threads N]\n"
+      "          [--temp-dir DIR] [--metrics [FILE]]\n"
       "          [--accel-budget-mb MB] [--tuple-cache-mb MB]\n"
       "          [--verbose]\n");
 }
@@ -399,6 +457,8 @@ int main(int argc, char** argv) {
     status = CmdGen(args);
   } else if (command == "corrupt") {
     status = CmdCorrupt(args);
+  } else if (command == "build") {
+    status = CmdBuild(args);
   } else if (command == "match") {
     status = CmdMatch(args);
   } else {

@@ -209,6 +209,10 @@ Status Run(const Args& args) {
                                          20),
                     0, 1 << 20));
   config.matcher.tuple_cache_bytes = static_cast<size_t>(cache_mb) << 20;
+  FM_ASSIGN_OR_RETURN(
+      const int64_t build_threads,
+      GetIntInRange(args, "build-threads", 1, 0, 256));
+  config.build_threads = static_cast<int>(build_threads);
 
   BatchCleaner::Options clean_options;
   FM_ASSIGN_OR_RETURN(clean_options.load_threshold,
@@ -292,7 +296,7 @@ void PrintUsage() {
       "usage: fuzzymatch_server --ref ref.csv [--port P] [--host A]\n"
       "         [--workers N] [--queue N] [--max-conns N]\n"
       "         [--idle-timeout-ms N] [--q N] [--h N] [--tokens] [--k N]\n"
-      "         [--threshold C] [--load-threshold C]\n"
+      "         [--threshold C] [--load-threshold C] [--build-threads N]\n"
       "         [--accel-budget-mb MB] [--tuple-cache-mb MB] [--verbose]\n");
 }
 
