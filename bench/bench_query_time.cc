@@ -5,16 +5,118 @@
 // strategy on 1655 inputs, i.e. 2-3 orders of magnitude speedup.
 //
 // Expected shapes (paper): times fall as H grows; Q+T_H beats Q_H.
+//
+// Trace-overhead mode: FM_TRACE_OVERHEAD=1 skips the figure and instead
+// A/B-measures request tracing (span tree + flight recorder) against the
+// untraced path on one strategy, interleaving trials to cancel drift. It
+// writes bench_query_time.trace_overhead.json next to the metrics dump
+// and fails when the median overhead exceeds FM_TRACE_BUDGET_PCT
+// (default 5%). The CI obscheck stage runs this mode.
 
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 #include "common/string_util.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "support/bench_env.h"
 
 using namespace fuzzymatch;
 using namespace fuzzymatch::bench;
 
 namespace {
+
+double Median3(double a, double b, double c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+Status RunTraceOverhead() {
+  FM_ASSIGN_OR_RETURN(BenchEnv env, MakeBenchEnv());
+  const EtiParams params = PaperStrategies().back();  // Q+T_3, the default
+  FM_ASSIGN_OR_RETURN(auto matcher, BuildStrategy(env, params));
+  FM_ASSIGN_OR_RETURN(
+      const std::vector<InputTuple> inputs,
+      GenerateInputs(env.customers,
+                     WithInputs(DatasetD2(), env.num_inputs),
+                     &matcher->weights()));
+
+  // Warm the buffer pool and code paths before timing anything.
+  obs::SetTracingEnabled(false);
+  FM_RETURN_IF_ERROR(Evaluate(*matcher, inputs).status());
+
+  // Interleave off/on trials so clock drift and cache effects hit both
+  // sides equally; the median of three absorbs a stray outlier.
+  double off[3], on[3];
+  for (int trial = 0; trial < 3; ++trial) {
+    obs::SetTracingEnabled(false);
+    FM_ASSIGN_OR_RETURN(const EvalResult base, Evaluate(*matcher, inputs));
+    off[trial] = base.stats.elapsed_seconds;
+    obs::SetTracingEnabled(true);
+    FM_ASSIGN_OR_RETURN(const EvalResult traced, Evaluate(*matcher, inputs));
+    on[trial] = traced.stats.elapsed_seconds;
+  }
+  obs::SetTracingEnabled(true);
+
+  const double median_off = Median3(off[0], off[1], off[2]);
+  const double median_on = Median3(on[0], on[1], on[2]);
+  const double overhead_pct =
+      median_off > 0 ? (median_on - median_off) / median_off * 100.0 : 0.0;
+  const char* budget_env = std::getenv("FM_TRACE_BUDGET_PCT");
+  const double budget_pct =
+      (budget_env != nullptr && *budget_env != '\0')
+          ? std::strtod(budget_env, nullptr)
+          : 5.0;
+  const obs::FlightRecorder::Stats recorder =
+      obs::FlightRecorder::Global().GetStats();
+
+  const double per_query_us =
+      inputs.empty() ? 0.0
+                     : (median_on - median_off) /
+                           static_cast<double>(inputs.size()) * 1e6;
+  std::printf(
+      "trace overhead: %zu queries x3 trials\n"
+      "  tracing off median: %.4fs   tracing on median: %.4fs\n"
+      "  overhead: %+.2f%% (%.2fus/query), budget %.1f%%\n"
+      "  recorder: %llu traces recorded\n",
+      inputs.size(), median_off, median_on, overhead_pct, per_query_us,
+      budget_pct, static_cast<unsigned long long>(recorder.recorded));
+
+  const char* dir_env = std::getenv("FM_METRICS_DIR");
+  const std::string dir =
+      (dir_env != nullptr && *dir_env != '\0') ? dir_env : "bench_results";
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("cannot create " + dir + ": " +
+                           std::strerror(errno));
+  }
+  const std::string path = dir + "/bench_query_time.trace_overhead.json";
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot write " + path);
+  }
+  out << StringPrintf(
+      "{\"queries\": %zu, \"trials\": 3, "
+      "\"median_off_seconds\": %.6f, \"median_on_seconds\": %.6f, "
+      "\"overhead_pct\": %.4f, \"per_query_overhead_us\": %.4f, "
+      "\"budget_pct\": %.2f, \"within_budget\": %s, "
+      "\"traces_recorded\": %llu}\n",
+      inputs.size(), median_off, median_on, overhead_pct, per_query_us,
+      budget_pct, overhead_pct <= budget_pct ? "true" : "false",
+      static_cast<unsigned long long>(recorder.recorded));
+  std::printf("trace overhead report written to %s\n", path.c_str());
+
+  if (overhead_pct > budget_pct) {
+    return Status::Internal(StringPrintf(
+        "tracing overhead %.2f%% exceeds budget %.1f%%", overhead_pct,
+        budget_pct));
+  }
+  return Status::OK();
+}
 
 Status Run() {
   FM_ASSIGN_OR_RETURN(BenchEnv env, MakeBenchEnv());
@@ -63,7 +165,11 @@ Status Run() {
 }  // namespace
 
 int main() {
-  const Status status = Run();
+  const char* overhead_env = std::getenv("FM_TRACE_OVERHEAD");
+  const bool overhead_mode =
+      overhead_env != nullptr && *overhead_env != '\0' &&
+      std::strcmp(overhead_env, "0") != 0;
+  const Status status = overhead_mode ? RunTraceOverhead() : Run();
   DumpMetrics("bench_query_time");
   if (!status.ok()) {
     std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());

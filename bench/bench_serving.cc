@@ -16,9 +16,14 @@
 //
 // Scale knobs: FM_REF_SIZE, FM_NUM_INPUTS (bench_env.h), FM_MAX_WORKERS.
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -214,6 +219,7 @@ Status RunBench() {
   }
 
   // Sweep 2: the full server over loopback, clients == workers.
+  std::string tracez_snapshot;
   for (const size_t w : sweep) {
     server::ServerOptions options;
     options.workers = w;
@@ -222,6 +228,17 @@ Status RunBench() {
     FM_RETURN_IF_ERROR(srv.Start());
     FM_ASSIGN_OR_RETURN(const ServedRun run,
                         RunServedSweep(srv.port(), w, requests, expected));
+    // Snapshot the flight recorder while the server is still live; the
+    // widest sweep (last iteration) wins, so the archived traces come
+    // from the most contended configuration.
+    {
+      server::LineClient probe;
+      if (probe.Connect("127.0.0.1", srv.port()).ok()) {
+        if (auto tracez = probe.Roundtrip("tracez 32"); tracez.ok()) {
+          tracez_snapshot = std::move(*tracez);
+        }
+      }
+    }
     srv.Shutdown();
     if (run.divergent > 0 || run.errors > 0) {
       return Status::Internal(StringPrintf(
@@ -244,6 +261,20 @@ Status RunBench() {
         ->Set(run.p95_ms);
     reg.GetGauge("bench_serving.served_p99_ms_w" + std::to_string(w))
         ->Set(run.p99_ms);
+  }
+
+  if (!tracez_snapshot.empty()) {
+    const char* dir_env = std::getenv("FM_METRICS_DIR");
+    const std::string dir =
+        (dir_env != nullptr && *dir_env != '\0') ? dir_env : "bench_results";
+    if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+      const std::string path = dir + "/bench_serving.tracez.json";
+      std::ofstream tracez_out(path);
+      if (tracez_out) {
+        tracez_out << tracez_snapshot << "\n";
+        std::printf("flight recorder snapshot written to %s\n", path.c_str());
+      }
+    }
   }
 
   std::printf(

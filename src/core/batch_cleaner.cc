@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fuzzymatch {
 
@@ -52,7 +53,19 @@ BatchCleaner::BatchCleaner(const FuzzyMatcher* matcher, Options options)
 }
 
 Result<CleanResult> BatchCleaner::Clean(const Row& input) const {
+  // Request boundary when called outside the server (CLI, benches);
+  // under a server worker the worker's trace is already installed.
+  obs::MaybeRequestTrace boundary("clean");
+  Result<CleanResult> result = CleanImpl(input);
+  if (!result.ok()) {
+    boundary.SetStatus(result.status());
+  }
+  return result;
+}
+
+Result<CleanResult> BatchCleaner::CleanImpl(const Row& input) const {
   const CleanerMetrics& m = CleanerMetrics::Get();
+  FM_TRACE_SPAN("cleaner.clean");
   Timer timer;
   FM_ASSIGN_OR_RETURN(const std::vector<Match> matches,
                       matcher_->FindMatches(input));

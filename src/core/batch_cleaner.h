@@ -86,6 +86,10 @@ class BatchCleaner {
   const Options& options() const { return options_; }
 
  private:
+  /// Clean minus the trace boundary (which needs to observe the early
+  /// returns' Status).
+  Result<CleanResult> CleanImpl(const Row& input) const;
+
   const FuzzyMatcher* matcher_;
   Options options_;
 };

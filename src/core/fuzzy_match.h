@@ -109,6 +109,8 @@ class FuzzyMatcher {
 
   const Table& reference() const { return *ref_; }
   const Eti& eti() const { return *eti_; }
+  /// The query engine (introspection: tuple-cache health for statusz).
+  const EtiMatcher& eti_matcher() const { return *matcher_; }
   const IdfWeights& weights() const { return *weights_; }
   const EtiBuildStats& build_stats() const { return build_stats_; }
   /// Snapshot by value — the accumulator is shared across threads.

@@ -11,6 +11,7 @@
 #include "eti/tid_list.h"
 #include "fault/failpoint.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/key_codec.h"
 
 namespace fuzzymatch {
@@ -389,10 +390,13 @@ Result<EtiLookupView> Eti::LookupInto(std::string_view gram,
     switch (accel_->Probe(gram, coordinate, column, &scratch->tids, &view)) {
       case EtiAccel::Outcome::kHit:
         ProbeHitsCounter().Increment();
+        obs::AddTraceCount("accel_hits", 1);
         return view;
       case EtiAccel::Outcome::kNegative:
+        obs::AddTraceCount("accel_hits", 1);
         return EtiLookupView{};
       case EtiAccel::Outcome::kFallback:
+        obs::AddTraceCount("accel_fallbacks", 1);
         break;  // consult the B-tree
     }
   }

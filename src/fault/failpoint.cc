@@ -1,5 +1,9 @@
 #include "fault/failpoint.h"
 
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
 #include "common/string_util.h"
 #include "fault/faulty_env.h"
 #include "obs/metrics.h"
@@ -20,6 +24,12 @@ obs::Counter& SimulatedCrashesCounter() {
   return *c;
 }
 
+obs::Counter& InjectedSleepsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("fault.injected_sleeps");
+  return *c;
+}
+
 Status MakeInjectedError(StatusCode code, std::string_view name) {
   return Status(code,
                 StringPrintf("injected fault at failpoint %.*s",
@@ -34,6 +44,7 @@ CrashMode CrashModeFor(Action action) {
       return CrashMode::kTruncate;
     case Action::kError:
     case Action::kCrash:
+    case Action::kSleep:
       break;
   }
   return CrashMode::kDropWrites;
@@ -79,6 +90,7 @@ void Failpoints::Reset() {
 Status Failpoints::Hit(std::string_view name) {
   Action action;
   StatusCode error_code;
+  uint32_t sleep_ms;
   {
     std::lock_guard<std::mutex> lock(mu_);
     Point& p = points_[std::string(name)];
@@ -99,9 +111,16 @@ Status Failpoints::Hit(std::string_view name) {
     ++fired_;
     action = p.spec.action;
     error_code = p.spec.error_code;
+    sleep_ms = p.spec.sleep_ms;
   }
-  // The FileFaults call and metrics run outside the registry lock: the
-  // pager's write gate is hit from the same stack moments later.
+  // The FileFaults call, sleeps, and metrics run outside the registry
+  // lock: the pager's write gate is hit from the same stack moments
+  // later, and a stalled hit must not block other threads' hooks.
+  if (action == Action::kSleep) {
+    InjectedSleepsCounter().Increment();
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    return Status::OK();
+  }
   if (action == Action::kError) {
     InjectedErrorsCounter().Increment();
     return MakeInjectedError(error_code, name);
@@ -141,6 +160,82 @@ std::vector<std::string> Failpoints::SeenPoints() const {
     }
   }
   return names;
+}
+
+namespace {
+/// Parses one "name=action[:arg]" clause into an Arm() call.
+Status ArmOne(std::string_view clause) {
+  const size_t eq = clause.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument(
+        StringPrintf("failpoint spec clause '%.*s' is not name=action",
+                     static_cast<int>(clause.size()), clause.data()));
+  }
+  const std::string name(clause.substr(0, eq));
+  std::string_view action = clause.substr(eq + 1);
+  std::string_view arg;
+  if (const size_t colon = action.find(':');
+      colon != std::string_view::npos) {
+    arg = action.substr(colon + 1);
+    action = action.substr(0, colon);
+  }
+  FailpointSpec spec;
+  if (action == "sleep") {
+    spec.action = Action::kSleep;
+    spec.one_shot = false;
+    spec.probability = 1.0;  // every hit stalls
+    if (!arg.empty()) {
+      char* end = nullptr;
+      const long ms = std::strtol(std::string(arg).c_str(), &end, 10);
+      if (ms <= 0 || ms > 60'000) {
+        return Status::InvalidArgument("failpoint sleep ms out of range: " +
+                                       std::string(arg));
+      }
+      spec.sleep_ms = static_cast<uint32_t>(ms);
+    }
+  } else if (action == "error") {
+    spec.action = Action::kError;
+    if (!arg.empty()) {
+      const long nth = std::strtol(std::string(arg).c_str(), nullptr, 10);
+      if (nth <= 0) {
+        return Status::InvalidArgument("failpoint error hit out of range: " +
+                                       std::string(arg));
+      }
+      spec.fire_on_hit = static_cast<uint64_t>(nth);
+    }
+  } else if (action == "crash") {
+    spec.action = Action::kCrash;
+  } else {
+    return Status::InvalidArgument("unknown failpoint action: " +
+                                   std::string(action));
+  }
+  Failpoints::Global().Arm(name, spec);
+  return Status::OK();
+}
+}  // namespace
+
+Status ArmFromSpec(std::string_view spec) {
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string_view::npos) {
+      end = spec.size();
+    }
+    const std::string_view clause = spec.substr(begin, end - begin);
+    if (!clause.empty()) {
+      FM_RETURN_IF_ERROR(ArmOne(clause));
+    }
+    begin = end + 1;
+  }
+  return Status::OK();
+}
+
+Status ArmFromEnv() {
+  const char* spec = std::getenv("FM_FAILPOINTS");
+  if (spec == nullptr || spec[0] == '\0') {
+    return Status::OK();
+  }
+  return ArmFromSpec(spec);
 }
 
 }  // namespace fuzzymatch::fault

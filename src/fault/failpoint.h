@@ -63,6 +63,10 @@ enum class Action : uint8_t {
   /// As kCrash, but the registered database file is also truncated to a
   /// non-page-multiple length, as if the crash interrupted an extension.
   kCrashTruncate = 3,
+  /// Stall the enclosing function for FailpointSpec::sleep_ms, then
+  /// continue normally — tail-latency injection for the observability
+  /// stack (slow-query capture, flight-recorder thresholds).
+  kSleep = 4,
 };
 
 /// Per-test control block for one failpoint.
@@ -84,6 +88,9 @@ struct FailpointSpec {
 
   /// Status code injected by Action::kError.
   StatusCode error_code = StatusCode::kIOError;
+
+  /// Stall duration for Action::kSleep.
+  uint32_t sleep_ms = 50;
 };
 
 /// Process-wide registry of failpoints, keyed by name. Names are created
@@ -164,6 +171,20 @@ inline constexpr const char* kWritePathFailpoints[] = {
     "eti.accel_invalidate",   // EtiAccel::Invalidate (void site)
     "db.checkpoint",          // Database::Checkpoint
 };
+
+/// Arms failpoints from a comma-separated spec string — the out-of-band
+/// control surface for a separate server process under test:
+///
+///   "match.query_delay=sleep:80,match.fetch_tuple=error"
+///
+/// Supported actions: `sleep:MS` (fires on every hit), `error` and
+/// `error:N` (one-shot, fires on the Nth hit, default 1), `crash`
+/// (one-shot). Returns InvalidArgument on a malformed spec; arming when
+/// the hooks are compiled out succeeds but has no effect.
+Status ArmFromSpec(std::string_view spec);
+
+/// ArmFromSpec(getenv("FM_FAILPOINTS")); OK no-op when unset or empty.
+Status ArmFromEnv();
 
 }  // namespace fuzzymatch::fault
 

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "eti/signature.h"
+#include "fault/failpoint.h"
 #include "match/naive_matcher.h"  // TopKCollector
 #include "obs/trace.h"
 
@@ -81,6 +82,7 @@ Result<double> EtiMatcher::VerifiedSimilarity(Tid tid,
   } else {
     FM_ASSIGN_OR_RETURN(const Row row, [&]() -> Result<Row> {
       FM_TRACE_SPAN("match.fetch");
+      FM_FAIL_POINT("match.fetch_tuple");
       return ref_->Get(tid);
     }());
     ++qs->ref_tuples_fetched;
@@ -96,16 +98,25 @@ Result<double> EtiMatcher::VerifiedSimilarity(Tid tid,
 
 Result<std::vector<Match>> EtiMatcher::FindMatches(const Row& input,
                                              QueryStats* stats) const {
+  // Request boundary: when nothing upstream (server worker, cleaner)
+  // installed a trace, this query gets its own id and span tree.
+  obs::MaybeRequestTrace boundary("match");
+  Result<std::vector<Match>> result = FindMatchesImpl(input, stats);
+  if (!result.ok()) {
+    boundary.SetStatus(result.status());
+  }
+  return result;
+}
+
+Result<std::vector<Match>> EtiMatcher::FindMatchesImpl(
+    const Row& input, QueryStats* stats) const {
   Timer timer;
   QueryStats local_stats;
   QueryStats* qs = stats != nullptr ? stats : &local_stats;
   qs->Reset();
 
-  // At debug level, collect and dump this query's per-phase breakdown.
-  std::optional<obs::QueryTrace> trace;
-  if (GetLogLevel() == LogLevel::kDebug) {
-    trace.emplace("eti_matcher.query");
-  }
+  FM_TRACE_SPAN("match.find_matches");
+  FM_FAIL_POINT("match.query_delay");
 
   const TokenizedTuple u = tokenizer_.TokenizeTuple(input);
   const EtiParams& params = eti_->params();
@@ -176,6 +187,19 @@ Result<std::vector<Match>> EtiMatcher::FindMatches(const Row& input,
     {
       std::lock_guard<std::mutex> lock(aggregate_mu_);
       aggregate_.Accumulate(*qs);
+    }
+    // Key query attributes ride on the trace so a tracez entry explains
+    // itself without cross-referencing the aggregate counters.
+    if (obs::RequestTrace::Current() != nullptr) {
+      obs::AddTraceCount("eti_lookups", qs->eti_lookups);
+      obs::AddTraceCount("tids_processed", qs->tids_processed);
+      obs::AddTraceCount("candidates", qs->candidates);
+      obs::AddTraceCount("ref_tuples_fetched", qs->ref_tuples_fetched);
+      obs::AddTraceCount("tuple_cache_hits", qs->tuple_cache_hits);
+      obs::AddTraceCount("matches", result.size());
+      if (qs->osc_succeeded) {
+        obs::AddTraceCount("osc_succeeded", 1);
+      }
     }
     return result;
   };

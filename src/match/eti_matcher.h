@@ -64,6 +64,9 @@ class EtiMatcher {
   /// The cross-query verified-tuple cache (telemetry and tests).
   const TupleCache& tuple_cache() const { return tuple_cache_; }
 
+  /// The index this matcher probes (introspection: statusz accel health).
+  const Eti& eti() const { return *eti_; }
+
  private:
   /// One ETI probe. The gram bytes live in the query's arena string —
   /// offsets instead of per-probe strings keep expansion allocation-free
@@ -82,6 +85,11 @@ class EtiMatcher {
   Result<double> VerifiedSimilarity(Tid tid, const TokenizedTuple& u,
                                     FlatU32Map<double>* cache,
                                     QueryStats* qs) const;
+
+  /// FindMatches minus the trace boundary (which needs to observe the
+  /// early returns' Status).
+  Result<std::vector<Match>> FindMatchesImpl(const Row& input,
+                                             QueryStats* stats) const;
 
   Table* ref_;
   const Eti* eti_;

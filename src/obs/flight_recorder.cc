@@ -1,0 +1,222 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "obs/log.h"
+
+namespace fuzzymatch {
+namespace obs {
+
+namespace {
+/// Ring append: overwrite the slot at *head, advance *head.
+void RingPush(std::vector<TraceRecord>* ring, std::vector<uint64_t>* seqs,
+              size_t capacity, size_t* head, TraceRecord&& record,
+              uint64_t seq) {
+  if (capacity == 0) {
+    return;
+  }
+  if (ring->size() < capacity) {
+    ring->push_back(std::move(record));
+    seqs->push_back(seq);
+    *head = ring->size() % capacity;
+    return;
+  }
+  (*ring)[*head] = std::move(record);
+  (*seqs)[*head] = seq;
+  *head = (*head + 1) % capacity;
+}
+}  // namespace
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Options()) {}
+
+FlightRecorder::FlightRecorder(Options options) { Configure(options); }
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Configure(Options options) {
+  options_ = options;
+  if (options_.stripes == 0) {
+    options_.stripes = 1;
+  }
+  stripes_.clear();
+  for (size_t i = 0; i < options_.stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  recorded_.store(0, std::memory_order_relaxed);
+  slow_.store(0, std::memory_order_relaxed);
+  errors_.store(0, std::memory_order_relaxed);
+}
+
+void FlightRecorder::Record(TraceRecord&& record) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  const bool slow =
+      record.duration_seconds() >= options_.slow_threshold_seconds;
+  const bool outlier = slow || record.error;
+  if (slow) {
+    slow_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (record.error) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (outlier && options_.log_outliers) {
+    // The cheap signal; the span tree stays here, addressable by id.
+    LogLine(record.error ? LogLevel::kWarning : LogLevel::kInfo,
+            record.error ? "query.error" : "query.slow")
+        .Field("request_id", record.request_id)
+        .Field("op", record.op)
+        .Field("duration_ms", record.duration_seconds() * 1e3)
+        .Field("spans", static_cast<uint64_t>(record.spans.size()))
+        .Field("status", record.status);
+  }
+  const uint64_t seq = arrival_seq_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = StripeFor(record.request_id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (outlier) {
+    TraceRecord copy = record;
+    RingPush(&stripe.outliers, &stripe.outlier_seq, options_.outlier_capacity,
+             &stripe.outlier_head, std::move(copy), seq);
+  }
+  RingPush(&stripe.recent, &stripe.recent_seq, options_.recent_capacity,
+           &stripe.recent_head, std::move(record), seq);
+}
+
+FlightRecorder::Stats FlightRecorder::GetStats() const {
+  Stats stats;
+  stats.recorded = recorded_.load(std::memory_order_relaxed);
+  stats.slow = slow_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stats.retained += stripe->recent.size() + stripe->outliers.size();
+  }
+  return stats;
+}
+
+std::vector<TraceRecord> FlightRecorder::Snapshot(size_t max) const {
+  struct Entry {
+    uint64_t seq;
+    bool outlier;
+    TraceRecord record;
+  };
+  std::vector<Entry> entries;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (size_t i = 0; i < stripe->outliers.size(); ++i) {
+      entries.push_back(Entry{stripe->outlier_seq[i], true,
+                              stripe->outliers[i]});
+    }
+    for (size_t i = 0; i < stripe->recent.size(); ++i) {
+      entries.push_back(Entry{stripe->recent_seq[i], false,
+                              stripe->recent[i]});
+    }
+  }
+  // Outliers first (they are the evidence a cap must not squeeze out),
+  // newest first within each class.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    if (a.outlier != b.outlier) return a.outlier;
+    return a.seq > b.seq;
+  });
+  std::vector<TraceRecord> out;
+  out.reserve(entries.size());
+  for (Entry& entry : entries) {
+    const uint64_t id = entry.record.request_id;
+    bool duplicate = false;
+    for (const TraceRecord& kept : out) {
+      if (kept.request_id == id) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      continue;
+    }
+    out.push_back(std::move(entry.record));
+    if (max != 0 && out.size() >= max) {
+      break;
+    }
+  }
+  return out;
+}
+
+void FlightRecorder::AppendTraceJson(const TraceRecord& record,
+                                     std::string* out) {
+  *out += StringPrintf(
+      "{\"request_id\":%llu,\"op\":\"",
+      static_cast<unsigned long long>(record.request_id));
+  AppendJsonEscaped(record.op, out);
+  *out += StringPrintf(
+      "\",\"start_unix_ns\":%lld,\"duration_ms\":%.3f,\"error\":%s",
+      static_cast<long long>(record.start_unix_ns),
+      record.duration_seconds() * 1e3, record.error ? "true" : "false");
+  if (record.error) {
+    *out += ",\"status\":\"";
+    AppendJsonEscaped(record.status, out);
+    *out += "\"";
+  }
+  if (record.dropped_spans > 0) {
+    *out += StringPrintf(",\"dropped_spans\":%u", record.dropped_spans);
+  }
+  *out += ",\"counts\":{";
+  for (size_t i = 0; i < record.counts.size(); ++i) {
+    if (i > 0) *out += ",";
+    *out += "\"";
+    AppendJsonEscaped(record.counts[i].key, out);
+    *out += StringPrintf(
+        "\":%llu", static_cast<unsigned long long>(record.counts[i].value));
+  }
+  *out += "},\"spans\":[";
+  for (size_t i = 0; i < record.spans.size(); ++i) {
+    const TraceSpan& span = record.spans[i];
+    if (i > 0) *out += ",";
+    *out += "{\"name\":\"";
+    AppendJsonEscaped(span.name, out);
+    *out += StringPrintf(
+        "\",\"parent\":%d,\"start_us\":%.1f,\"duration_us\":%.1f}",
+        span.parent, static_cast<double>(span.start_ns) * 1e-3,
+        static_cast<double>(span.duration_ns) * 1e-3);
+  }
+  *out += "]}";
+}
+
+std::string FlightRecorder::RenderJson(size_t max_traces) const {
+  const Stats stats = GetStats();
+  const std::vector<TraceRecord> traces = Snapshot(max_traces);
+  std::string out = StringPrintf(
+      "{\"slow_threshold_seconds\":%.3f,"
+      "\"stats\":{\"recorded\":%llu,\"slow\":%llu,\"errors\":%llu,"
+      "\"retained\":%llu},\"traces\":[",
+      options_.slow_threshold_seconds,
+      static_cast<unsigned long long>(stats.recorded),
+      static_cast<unsigned long long>(stats.slow),
+      static_cast<unsigned long long>(stats.errors),
+      static_cast<unsigned long long>(stats.retained));
+  for (size_t i = 0; i < traces.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendTraceJson(traces[i], &out);
+  }
+  out += "]}";
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->recent.clear();
+    stripe->outliers.clear();
+    stripe->recent_seq.clear();
+    stripe->outlier_seq.clear();
+    stripe->recent_head = 0;
+    stripe->outlier_head = 0;
+  }
+  recorded_.store(0, std::memory_order_relaxed);
+  slow_.store(0, std::memory_order_relaxed);
+  errors_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace fuzzymatch

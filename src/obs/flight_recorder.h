@@ -1,0 +1,116 @@
+// Flight recorder: bounded in-memory retention of finished request
+// traces, the evidence store behind `tracez` and the slow-query log.
+//
+// Two retention classes per stripe:
+//   - recent:   a ring of the last N traces, regardless of outcome —
+//               "what has the server been doing just now".
+//   - outliers: a ring of traces that exceeded the slow threshold or
+//               ended in error — the tail-latency and failure evidence
+//               that a plain ring would evict before anyone looks.
+//
+// Recording is lock-striped by request id: each stripe has its own
+// mutex and rings, so concurrent workers finishing requests rarely
+// contend. Memory is bounded by construction: stripes x (recent +
+// outlier capacity) traces, each itself bounded by RequestTrace::Limits
+// (see DESIGN.md 5g for the arithmetic).
+//
+// Every outlier capture also emits one structured slow-query log line
+// (event "query.slow" or "query.error") carrying the request id, so the
+// log is the cheap signal and `tracez` the full span tree.
+
+#ifndef FUZZYMATCH_OBS_FLIGHT_RECORDER_H_
+#define FUZZYMATCH_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace fuzzymatch {
+namespace obs {
+
+class FlightRecorder {
+ public:
+  struct Options {
+    size_t recent_capacity = 64;    // per stripe
+    size_t outlier_capacity = 64;   // per stripe
+    double slow_threshold_seconds = 0.100;
+    size_t stripes = 4;
+    bool log_outliers = true;  // emit query.slow / query.error log lines
+  };
+
+  struct Stats {
+    uint64_t recorded = 0;   // traces offered to Record()
+    uint64_t slow = 0;       // exceeded the latency threshold
+    uint64_t errors = 0;     // finished with a non-OK status
+    uint64_t retained = 0;   // traces currently held across all rings
+  };
+
+  FlightRecorder();  // default Options
+  explicit FlightRecorder(Options options);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder RequestTraces report to by default.
+  static FlightRecorder& Global();
+
+  /// Replaces options and drops all retained traces. Call at startup
+  /// (server options) or between test cases, before traffic — Record()
+  /// racing a Configure() is not supported.
+  void Configure(Options options);
+
+  /// Takes ownership of a finished trace. Classifies it slow/error,
+  /// appends to the stripe's rings, and emits the slow-query log line.
+  void Record(TraceRecord&& record);
+
+  Stats GetStats() const;
+  const Options& options() const { return options_; }
+
+  /// All retained traces, outliers first, newest first within each
+  /// class, deduplicated by request id, capped at `max` (0 = all).
+  std::vector<TraceRecord> Snapshot(size_t max = 0) const;
+
+  /// Compact JSON: {"slow_threshold_seconds":...,"stats":{...},
+  /// "traces":[{...full span tree...}]}. Single line, parseable by
+  /// server/json.h on the consuming side.
+  std::string RenderJson(size_t max_traces = 32) const;
+
+  /// Renders one trace as a compact JSON object (shared with tests).
+  static void AppendTraceJson(const TraceRecord& record, std::string* out);
+
+  /// Drops retained traces and zeroes stats (tests).
+  void Clear();
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<TraceRecord> recent;    // ring, recent_head = next slot
+    std::vector<TraceRecord> outliers;  // ring, outlier_head = next slot
+    size_t recent_head = 0;
+    size_t outlier_head = 0;
+    uint64_t seq = 0;  // arrival order, for cross-stripe newest-first
+    std::vector<uint64_t> recent_seq;
+    std::vector<uint64_t> outlier_seq;
+  };
+
+  Stripe& StripeFor(uint64_t request_id) {
+    return *stripes_[request_id % stripes_.size()];
+  }
+
+  Options options_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> slow_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> arrival_seq_{0};
+};
+
+}  // namespace obs
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,154 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+namespace fuzzymatch {
+namespace obs {
+
+namespace {
+std::atomic<FILE*> g_sink{nullptr};  // null = stderr
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kFatal:
+      return "fatal";
+  }
+  return "info";
+}
+}  // namespace
+
+FILE* SetStructuredLogSink(FILE* sink) {
+  FILE* previous = g_sink.exchange(sink);
+  return previous != nullptr ? previous : stderr;
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StringPrintf("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+LogLine::LogLine(LogLevel level, const char* event)
+    : enabled_(level >= GetLogLevel()) {
+  if (!enabled_) {
+    return;
+  }
+  const double ts =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  line_ = StringPrintf("{\"ts\":%.3f,\"level\":\"%s\",\"event\":\"", ts,
+                       LevelName(level));
+  AppendJsonEscaped(event, &line_);
+  line_ += "\"";
+  if (const RequestTrace* trace = RequestTrace::Current()) {
+    line_ += StringPrintf(",\"request_id\":%llu",
+                          static_cast<unsigned long long>(trace->request_id()));
+  }
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) {
+    return;
+  }
+  line_ += "}\n";
+  FILE* sink = g_sink.load();
+  if (sink == nullptr) {
+    sink = stderr;
+  }
+  // One fwrite per line: stdio's stream lock keeps lines whole under
+  // concurrent loggers.
+  std::fwrite(line_.data(), 1, line_.size(), sink);
+  std::fflush(sink);
+}
+
+void LogLine::AppendKey(const char* key) {
+  line_ += ",\"";
+  AppendJsonEscaped(key, &line_);
+  line_ += "\":";
+}
+
+LogLine& LogLine::Field(const char* key, const char* value) {
+  return Field(key, std::string(value));
+}
+
+LogLine& LogLine::Field(const char* key, const std::string& value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_ += "\"";
+  AppendJsonEscaped(value, &line_);
+  line_ += "\"";
+  return *this;
+}
+
+LogLine& LogLine::Field(const char* key, int64_t value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_ += StringPrintf("%lld", static_cast<long long>(value));
+  return *this;
+}
+
+LogLine& LogLine::Field(const char* key, uint64_t value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_ += StringPrintf("%llu", static_cast<unsigned long long>(value));
+  return *this;
+}
+
+LogLine& LogLine::Field(const char* key, double value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_ += StringPrintf("%.6g", value);
+  return *this;
+}
+
+LogLine& LogLine::Field(const char* key, bool value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_ += value ? "true" : "false";
+  return *this;
+}
+
+LogLine& LogLine::RawField(const char* key, const std::string& json) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  line_ += json;
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace fuzzymatch

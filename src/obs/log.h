@@ -1,0 +1,78 @@
+// Structured leveled logging: one JSON object per line, machine-parseable.
+//
+//   FM_SLOG(Info, "server.start").Field("port", port).Field("workers", n);
+//   => {"ts":1723100000.123,"level":"info","event":"server.start",
+//       "port":7070,"workers":4}
+//
+// This is the operational log surface for the server and tools —
+// lifecycle events, slow queries, errors — designed to be shipped to a
+// log pipeline and joined with traces: when a RequestTrace is active on
+// the logging thread, its request id is attached automatically as
+// "request_id", so a slow-query log line points straight at the
+// `tracez` entry holding the full span tree.
+//
+// FM_LOG (common/logging.h) remains the human-facing debug stream;
+// FM_SLOG respects the same SetLogLevel threshold. Lines are rendered
+// into a single buffer and written with one stdio call, so concurrent
+// loggers never interleave within a line.
+
+#ifndef FUZZYMATCH_OBS_LOG_H_
+#define FUZZYMATCH_OBS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+
+namespace fuzzymatch {
+namespace obs {
+
+/// Redirects structured log lines (default stderr). Not thread-safe
+/// against in-flight loggers; call at startup or in single-threaded
+/// tests. Returns the previous sink.
+FILE* SetStructuredLogSink(FILE* sink);
+
+/// Appends `s` JSON-escaped (without surrounding quotes) to `*out`.
+/// Shared by the hand-rolled JSON emitters in fm_obs, which cannot use
+/// server/json.h (fm_server links fm_obs, not the reverse).
+void AppendJsonEscaped(const std::string& s, std::string* out);
+
+/// One structured log line; builder-style fields, emitted on
+/// destruction when `level` passes GetLogLevel(). Use via FM_SLOG.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* event);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  LogLine& Field(const char* key, const char* value);
+  LogLine& Field(const char* key, const std::string& value);
+  LogLine& Field(const char* key, int64_t value);
+  LogLine& Field(const char* key, uint64_t value);
+  LogLine& Field(const char* key, int value) {
+    return Field(key, static_cast<int64_t>(value));
+  }
+  LogLine& Field(const char* key, double value);
+  LogLine& Field(const char* key, bool value);
+
+  /// Appends `json` verbatim as the value of `key` — for pre-rendered
+  /// sub-objects (a trace summary, a config echo).
+  LogLine& RawField(const char* key, const std::string& json);
+
+ private:
+  void AppendKey(const char* key);
+
+  bool enabled_;
+  std::string line_;
+};
+
+}  // namespace obs
+}  // namespace fuzzymatch
+
+#define FM_SLOG(level, event) \
+  ::fuzzymatch::obs::LogLine(::fuzzymatch::LogLevel::k##level, (event))
+
+#endif  // FUZZYMATCH_OBS_LOG_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <set>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -22,6 +23,30 @@ std::string SanitizeName(const std::string& name) {
   }
   return out;
 }
+
+/// Tracks sanitized names already emitted in one exposition pass and
+/// disambiguates collisions: sanitization folds every non-alphanumeric
+/// to '_', so distinct registered names like "accel.probe-hits" and
+/// "accel.probe.hits" would otherwise both render as
+/// fm_accel_probe_hits — an illegal duplicate metric (worse across
+/// kinds, where the TYPE lines would disagree). The first claimant
+/// keeps the clean name; later ones get a deterministic _2, _3, ...
+/// suffix (registry maps iterate in name order, so the assignment is
+/// stable for a given set of registered metrics).
+class PromNamer {
+ public:
+  std::string Name(const std::string& registered) {
+    const std::string base = SanitizeName(registered);
+    std::string prom = base;
+    for (size_t k = 2; !used_.insert(prom).second; ++k) {
+      prom = base + StringPrintf("_%zu", k);
+    }
+    return prom;
+  }
+
+ private:
+  std::set<std::string> used_;
+};
 
 std::string FormatDouble(double v) { return StringPrintf("%.9g", v); }
 
@@ -152,8 +177,9 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 std::string MetricsRegistry::RenderText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
+  PromNamer namer;  // one namespace across all three kinds
   for (const auto& [name, counter] : counters_) {
-    const std::string prom = SanitizeName(name);
+    const std::string prom = namer.Name(name);
     out += "# HELP " + prom + " " + name + "\n";
     out += "# TYPE " + prom + " counter\n";
     out += prom + " " +
@@ -162,13 +188,13 @@ std::string MetricsRegistry::RenderText() const {
            "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
-    const std::string prom = SanitizeName(name);
+    const std::string prom = namer.Name(name);
     out += "# HELP " + prom + " " + name + "\n";
     out += "# TYPE " + prom + " gauge\n";
     out += prom + " " + FormatDouble(gauge->value()) + "\n";
   }
   for (const auto& [name, hist] : histograms_) {
-    const std::string prom = SanitizeName(name);
+    const std::string prom = namer.Name(name);
     out += "# HELP " + prom + " " + name + "\n";
     out += "# TYPE " + prom + " histogram\n";
     uint64_t cumulative = 0;

@@ -1,0 +1,97 @@
+#include "obs/process_metrics.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace fuzzymatch {
+namespace obs {
+
+namespace {
+uint64_t ReadRssBytes() {
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  unsigned long long size = 0, resident = 0;
+  const int n = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (n != 2) {
+    return 0;
+  }
+  const long page = sysconf(_SC_PAGESIZE);
+  return resident * static_cast<uint64_t>(page > 0 ? page : 4096);
+}
+
+uint64_t CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    return 0;
+  }
+  uint64_t count = 0;
+  while (const dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] != '.') {
+      ++count;
+    }
+  }
+  closedir(dir);
+  // The opendir itself holds one fd while we count.
+  return count > 0 ? count - 1 : 0;
+}
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+// Anchor the uptime epoch as early as static init runs.
+[[maybe_unused]] const auto g_start_anchor = ProcessStart();
+}  // namespace
+
+ProcessStats UpdateProcessMetrics() {
+  ProcessStats stats;
+  stats.rss_bytes = ReadRssBytes();
+  stats.open_fds = CountOpenFds();
+  stats.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ProcessStart())
+          .count();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("process.rss_bytes")
+      ->Set(static_cast<double>(stats.rss_bytes));
+  registry.GetGauge("process.open_fds")
+      ->Set(static_cast<double>(stats.open_fds));
+  registry.GetGauge("process.uptime_seconds")->Set(stats.uptime_seconds);
+  return stats;
+}
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo* info = [] {
+    auto* b = new BuildInfo();
+    b->version = "0.6";
+#ifdef NDEBUG
+    b->build_type = "release";
+#else
+    b->build_type = "debug";
+#endif
+#ifdef __VERSION__
+    b->compiler = __VERSION__;
+#else
+    b->compiler = "unknown";
+#endif
+#ifdef FM_FAILPOINTS_ENABLED
+    b->failpoints = true;
+#endif
+    return b;
+  }();
+  return *info;
+}
+
+}  // namespace obs
+}  // namespace fuzzymatch

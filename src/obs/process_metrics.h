@@ -1,0 +1,45 @@
+// Process-level health gauges and build identification.
+//
+// UpdateProcessMetrics() samples /proc/self and publishes:
+//   process.rss_bytes        resident set size
+//   process.open_fds         open file descriptors
+//   process.uptime_seconds   since the first sample in this process
+// Callers refresh on demand (metrics/statusz scrape, bench dump) — the
+// gauges are snapshots, not continuously maintained.
+//
+// GetBuildInfo() reports what binary is answering: version, build type,
+// compiler, and whether failpoints are compiled in. Deliberately no
+// build timestamp — bit-reproducible builds stay reproducible.
+
+#ifndef FUZZYMATCH_OBS_PROCESS_METRICS_H_
+#define FUZZYMATCH_OBS_PROCESS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fuzzymatch {
+namespace obs {
+
+struct ProcessStats {
+  uint64_t rss_bytes = 0;
+  uint64_t open_fds = 0;
+  double uptime_seconds = 0.0;
+};
+
+struct BuildInfo {
+  std::string version;     // project version, e.g. "0.6"
+  std::string build_type;  // "release" / "debug" (from NDEBUG)
+  std::string compiler;    // __VERSION__
+  bool failpoints = false;
+};
+
+/// Samples the process and sets the process.* gauges in the global
+/// registry; returns the sample. Safe to call from any thread.
+ProcessStats UpdateProcessMetrics();
+
+const BuildInfo& GetBuildInfo();
+
+}  // namespace obs
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_OBS_PROCESS_METRICS_H_

@@ -1,6 +1,7 @@
 #include "server/protocol.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/csv.h"
@@ -77,6 +78,10 @@ Result<Request> ParseJsonRequest(std::string_view line) {
     request.op = Request::Op::kPing;
   } else if (name == "metrics") {
     request.op = Request::Op::kMetrics;
+  } else if (name == "statusz") {
+    request.op = Request::Op::kStatusz;
+  } else if (name == "tracez") {
+    request.op = Request::Op::kTracez;
   } else if (name == "quit") {
     request.op = Request::Op::kQuit;
   } else {
@@ -88,6 +93,13 @@ Result<Request> ParseJsonRequest(std::string_view line) {
       return Status::InvalidArgument("\"id\" must be a non-negative integer");
     }
     request.id = static_cast<uint64_t>(id->number_value());
+  }
+  if (const JsonValue* limit = doc.Find("limit"); limit != nullptr) {
+    if (!limit->is_number() || limit->number_value() < 1 ||
+        limit->number_value() != std::floor(limit->number_value())) {
+      return Status::InvalidArgument("\"limit\" must be a positive integer");
+    }
+    request.limit = static_cast<uint64_t>(limit->number_value());
   }
   if (request.op == Request::Op::kMatch ||
       request.op == Request::Op::kClean) {
@@ -122,6 +134,24 @@ Result<Request> ParseRequest(std::string_view line) {
     request.op = Request::Op::kMetrics;
     return request;
   }
+  if (line == "statusz") {
+    request.op = Request::Op::kStatusz;
+    return request;
+  }
+  if (line == "tracez" || line.rfind("tracez ", 0) == 0) {
+    request.op = Request::Op::kTracez;
+    if (line.size() > 7) {
+      char* end = nullptr;
+      const std::string arg(line.substr(7));
+      const long n = std::strtol(arg.c_str(), &end, 10);
+      if (n <= 0 || end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("tracez limit must be a positive "
+                                       "integer");
+      }
+      request.limit = static_cast<uint64_t>(n);
+    }
+    return request;
+  }
   if (line == "quit") {
     request.op = Request::Op::kQuit;
     return request;
@@ -137,8 +167,8 @@ Result<Request> ParseRequest(std::string_view line) {
     return request;
   }
   return Status::InvalidArgument(
-      "unrecognized request (want JSON, match/clean <csv>, ping, metrics "
-      "or quit)");
+      "unrecognized request (want JSON, match/clean <csv>, ping, metrics, "
+      "statusz, tracez or quit)");
 }
 
 namespace {

@@ -9,6 +9,8 @@
 //   clean <csv row>
 //   ping                         liveness check
 //   metrics                      (alias: "GET /metrics") registry dump
+//   statusz                      live server introspection JSON
+//   tracez [N]                   flight-recorder traces (at most N)
 //   quit                         asks the server to close the connection
 //
 // `row` fields are strings or null (null = NULL attribute; the empty
@@ -26,6 +28,13 @@
 //   {"ok":false,"error":"..."}               malformed request
 //   {"ok":false,"error":"...","code":"io_error"}    typed backend failure
 //   {"ok":false,"error":"overloaded","shed":true}   admission control
+//
+// `statusz` answers one JSON line of live server state (uptime, build
+// info, per-worker state, queue depth, shed/error counts, accel and
+// tuple-cache health, recorder stats); `tracez` answers one JSON line
+// embedding the flight recorder's retained span trees (see
+// obs/flight_recorder.h). Both are answered inline by the connection
+// thread — like ping/metrics, they must work while the pool is wedged.
 //
 // `metrics` is the one multi-line response: the Prometheus text
 // exposition of the process registry, terminated by a line that is
@@ -50,11 +59,12 @@ namespace server {
 
 /// One parsed request line.
 struct Request {
-  enum class Op { kMatch, kClean, kPing, kMetrics, kQuit };
+  enum class Op { kMatch, kClean, kPing, kMetrics, kStatusz, kTracez, kQuit };
 
   Op op = Op::kPing;
   Row row;                      // kMatch / kClean payload
   std::optional<uint64_t> id;   // client correlation id, echoed back
+  std::optional<uint64_t> limit;  // kTracez: max traces returned
 };
 
 /// Parses one request line (without the trailing newline).

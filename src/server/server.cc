@@ -11,8 +11,11 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/process_metrics.h"
 #include "obs/trace.h"
+#include "server/json.h"
 
 namespace fuzzymatch {
 namespace server {
@@ -118,14 +121,34 @@ Status MatchServer::Start() {
   }
 
   started_.store(true, std::memory_order_release);
+  start_time_ = std::chrono::steady_clock::now();
   auto& reg = obs::MetricsRegistry::Global();
   reg.GetGauge("server.workers")->Set(static_cast<double>(options_.workers));
   reg.GetGauge("server.queue_capacity")
       ->Set(static_cast<double>(options_.queue_capacity));
 
+  // Size the flight recorder to this deployment before traffic arrives.
+  {
+    obs::FlightRecorder::Options rec =
+        obs::FlightRecorder::Global().options();
+    if (options_.slow_trace_ms > 0) {
+      rec.slow_threshold_seconds =
+          static_cast<double>(options_.slow_trace_ms) * 1e-3;
+    }
+    if (options_.recorder_capacity > 0) {
+      rec.recent_capacity = options_.recorder_capacity;
+      rec.outlier_capacity = options_.recorder_capacity;
+    }
+    obs::FlightRecorder::Global().Configure(rec);
+  }
+
+  worker_state_.clear();
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    worker_state_.push_back(std::make_unique<WorkerState>());
+  }
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
@@ -314,17 +337,28 @@ void MatchServer::ConnectionLoop(Connection* conn) {
       if (!WriteAll(conn->fd, text)) break;
       continue;
     }
+    if (request.op == Request::Op::kStatusz) {
+      if (!WriteAll(conn->fd, HandleStatusz())) break;
+      continue;
+    }
+    if (request.op == Request::Op::kTracez) {
+      if (!WriteAll(conn->fd, HandleTracez(request))) break;
+      continue;
+    }
     if (request.op == Request::Op::kQuit) {
       WriteAll(conn->fd, "{\"ok\":true,\"op\":\"quit\"}\n");
       break;
     }
 
-    // match / clean: admission control, then hand off to the pool.
+    // match / clean: admission control, then hand off to the pool. The
+    // request id is minted here, at the boundary, so a shed request is
+    // attributable too (its id simply never reaches the recorder).
     requests->Increment();
     requests_received_.fetch_add(1, std::memory_order_relaxed);
 
     WorkItem item;
     item.request = std::move(request);
+    item.request_id = obs::NextRequestId();
     std::future<std::string> reply = item.reply.get_future();
     if (!queue_.TryPush(&item)) {
       shed->Increment();
@@ -357,25 +391,46 @@ void MatchServer::ConnectionLoop(Connection* conn) {
   conn->done.store(true, std::memory_order_release);
 }
 
-void MatchServer::WorkerLoop() {
+void MatchServer::WorkerLoop(size_t worker_index) {
   auto& reg = obs::MetricsRegistry::Global();
   obs::Gauge* busy = reg.GetGauge("server.busy_workers");
   obs::Histogram* latency = reg.GetHistogram(
       "server.request_seconds", obs::LatencyHistogramOptions());
+  WorkerState& state = *worker_state_[worker_index];
 
   WorkItem* item = nullptr;
   while (queue_.Pop(&item)) {
     busy->Set(static_cast<double>(
         busy_workers_.fetch_add(1, std::memory_order_relaxed) + 1));
     const auto start = std::chrono::steady_clock::now();
+    state.request_id.store(item->request_id, std::memory_order_relaxed);
+    state.start_ns.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            start.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+    state.busy.store(true, std::memory_order_release);
     if (options_.handler_delay_ms > 0) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(options_.handler_delay_ms));
     }
-    std::string response = HandleQuery(item->request);
+    std::string response;
+    {
+      // The request's trace context: every span and count below this
+      // frame — matcher, ETI, B-tree, buffer pool, pager — lands in this
+      // request's tree, keyed by the id minted at the connection.
+      std::optional<obs::RequestTrace> trace;
+      if (obs::TracingEnabled()) {
+        trace.emplace(
+            item->request.op == Request::Op::kClean ? "clean" : "match",
+            item->request_id, &obs::FlightRecorder::Global());
+      }
+      response = HandleQuery(item->request);
+    }
     latency->Observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count());
+    state.busy.store(false, std::memory_order_release);
     item->reply.set_value(std::move(response));
     busy->Set(static_cast<double>(
         busy_workers_.fetch_sub(1, std::memory_order_relaxed) - 1));
@@ -412,6 +467,11 @@ std::string MatchServer::HandleMatch(const Request& request) {
     auto row = matcher_->GetReferenceTuple(m.tid);
     if (!row.ok()) {
       QueryErrorsCounter().Increment();
+      // This fetch is outside the matcher's boundary; stamp the trace
+      // directly so the failed request is retained with its status.
+      if (obs::RequestTrace* trace = obs::RequestTrace::Current()) {
+        trace->SetStatus(row.status());
+      }
       return RenderStatusResponse(row.status());
     }
     enriched.push_back(MatchWithRow{m, *std::move(row)});
@@ -426,6 +486,138 @@ std::string MatchServer::HandleClean(const Request& request) {
     return RenderStatusResponse(result.status());
   }
   return RenderCleanResponse(request.id, *result);
+}
+
+std::string MatchServer::HandleStatusz() const {
+  auto& reg = obs::MetricsRegistry::Global();
+  const auto now = std::chrono::steady_clock::now();
+  const obs::ProcessStats proc = obs::UpdateProcessMetrics();
+  const obs::BuildInfo& build = obs::GetBuildInfo();
+  const obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  const obs::FlightRecorder::Stats rec_stats = recorder.GetStats();
+
+  JsonValue obj = JsonValue::Object();
+  obj.Set("ok", JsonValue::Bool(true));
+  obj.Set("op", JsonValue::String("statusz"));
+  obj.Set("uptime_seconds",
+          JsonValue::Number(
+              std::chrono::duration<double>(now - start_time_).count()));
+
+  JsonValue build_obj = JsonValue::Object();
+  build_obj.Set("version", JsonValue::String(build.version));
+  build_obj.Set("build_type", JsonValue::String(build.build_type));
+  build_obj.Set("compiler", JsonValue::String(build.compiler));
+  build_obj.Set("failpoints", JsonValue::Bool(build.failpoints));
+  obj.Set("build", std::move(build_obj));
+
+  obj.Set("tracing_enabled", JsonValue::Bool(obs::TracingEnabled()));
+
+  JsonValue workers = JsonValue::Array();
+  for (const auto& state : worker_state_) {
+    JsonValue w = JsonValue::Object();
+    const bool busy = state->busy.load(std::memory_order_acquire);
+    w.Set("busy", JsonValue::Bool(busy));
+    if (busy) {
+      w.Set("request_id",
+            JsonValue::Number(static_cast<double>(
+                state->request_id.load(std::memory_order_relaxed))));
+      const int64_t start_ns =
+          state->start_ns.load(std::memory_order_relaxed);
+      const int64_t now_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now.time_since_epoch())
+              .count();
+      w.Set("age_ms", JsonValue::Number(
+                          static_cast<double>(now_ns - start_ns) * 1e-6));
+    }
+    workers.Append(std::move(w));
+  }
+  obj.Set("workers", std::move(workers));
+
+  JsonValue queue = JsonValue::Object();
+  queue.Set("depth", JsonValue::Number(static_cast<double>(queue_.size())));
+  queue.Set("capacity",
+            JsonValue::Number(static_cast<double>(queue_.capacity())));
+  obj.Set("queue", std::move(queue));
+
+  JsonValue conns = JsonValue::Object();
+  conns.Set("active", JsonValue::Number(
+                          static_cast<double>(active_connections())));
+  conns.Set("max", JsonValue::Number(
+                       static_cast<double>(options_.max_connections)));
+  obj.Set("connections", std::move(conns));
+
+  JsonValue counters = JsonValue::Object();
+  counters.Set("requests", JsonValue::Number(
+                               static_cast<double>(requests_received())));
+  counters.Set("responses",
+               JsonValue::Number(static_cast<double>(responses_sent())));
+  counters.Set("shed", JsonValue::Number(
+                           static_cast<double>(shed_requests())));
+  counters.Set("query_errors",
+               JsonValue::Number(static_cast<double>(
+                   QueryErrorsCounter().value())));
+  counters.Set("parse_errors",
+               JsonValue::Number(static_cast<double>(
+                   reg.GetCounter("server.parse_errors")->value())));
+  obj.Set("counters", std::move(counters));
+
+  JsonValue accel_obj = JsonValue::Object();
+  const EtiAccel* accel = matcher_->eti().accelerator();
+  accel_obj.Set("present", JsonValue::Bool(accel != nullptr));
+  if (accel != nullptr) {
+    accel_obj.Set("complete", JsonValue::Bool(accel->complete()));
+    accel_obj.Set("entries", JsonValue::Number(
+                                 static_cast<double>(accel->entry_count())));
+    accel_obj.Set("bytes", JsonValue::Number(
+                               static_cast<double>(accel->memory_bytes())));
+  }
+  obj.Set("accel", std::move(accel_obj));
+
+  JsonValue cache_obj = JsonValue::Object();
+  const TupleCache& cache = matcher_->eti_matcher().tuple_cache();
+  cache_obj.Set("enabled", JsonValue::Bool(cache.enabled()));
+  if (cache.enabled()) {
+    cache_obj.Set("entries", JsonValue::Number(
+                                 static_cast<double>(cache.entry_count())));
+    cache_obj.Set("bytes", JsonValue::Number(
+                               static_cast<double>(cache.memory_bytes())));
+  }
+  obj.Set("tuple_cache", std::move(cache_obj));
+
+  JsonValue rec_obj = JsonValue::Object();
+  rec_obj.Set("recorded", JsonValue::Number(
+                              static_cast<double>(rec_stats.recorded)));
+  rec_obj.Set("slow",
+              JsonValue::Number(static_cast<double>(rec_stats.slow)));
+  rec_obj.Set("errors",
+              JsonValue::Number(static_cast<double>(rec_stats.errors)));
+  rec_obj.Set("retained",
+              JsonValue::Number(static_cast<double>(rec_stats.retained)));
+  rec_obj.Set("slow_threshold_ms",
+              JsonValue::Number(
+                  recorder.options().slow_threshold_seconds * 1e3));
+  obj.Set("recorder", std::move(rec_obj));
+
+  JsonValue proc_obj = JsonValue::Object();
+  proc_obj.Set("rss_bytes", JsonValue::Number(
+                                static_cast<double>(proc.rss_bytes)));
+  proc_obj.Set("open_fds", JsonValue::Number(
+                               static_cast<double>(proc.open_fds)));
+  proc_obj.Set("uptime_seconds", JsonValue::Number(proc.uptime_seconds));
+  obj.Set("process", std::move(proc_obj));
+
+  return obj.Dump() + "\n";
+}
+
+std::string MatchServer::HandleTracez(const Request& request) const {
+  // The recorder renders its own JSON (fm_obs cannot use server/json.h);
+  // wrap it in the protocol's response envelope.
+  std::string out = "{\"ok\":true,\"op\":\"tracez\",\"recorder\":";
+  out += obs::FlightRecorder::Global().RenderJson(
+      request.limit.has_value() ? static_cast<size_t>(*request.limit) : 32);
+  out += "}\n";
+  return out;
 }
 
 }  // namespace server

@@ -31,6 +31,7 @@
 #define FUZZYMATCH_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <list>
@@ -74,6 +75,13 @@ struct ServerOptions {
   /// Test hook: artificial extra milliseconds of work per match/clean
   /// request, for deterministic overload/drain tests. 0 in production.
   int handler_delay_ms = 0;
+  /// Flight-recorder slow-query threshold: a request slower than this is
+  /// retained as an outlier and logged (event "query.slow"). <= 0 keeps
+  /// the recorder's default.
+  int slow_trace_ms = 100;
+  /// Flight-recorder retention per class (recent ring and outlier ring,
+  /// per stripe). 0 keeps the recorder's default.
+  size_t recorder_capacity = 64;
 };
 
 class MatchServer {
@@ -128,7 +136,15 @@ class MatchServer {
  private:
   struct WorkItem {
     Request request;
+    uint64_t request_id = 0;  // assigned at the connection boundary
     std::promise<std::string> reply;
+  };
+
+  /// Per-worker live state, read lock-free by statusz.
+  struct WorkerState {
+    std::atomic<bool> busy{false};
+    std::atomic<uint64_t> request_id{0};
+    std::atomic<int64_t> start_ns{0};  // steady-clock ns when work began
   };
 
   struct Connection {
@@ -138,13 +154,17 @@ class MatchServer {
   };
 
   void AcceptLoop();
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
   void ConnectionLoop(Connection* conn);
 
   /// Executes one match/clean request (worker side).
   std::string HandleQuery(const Request& request);
   std::string HandleMatch(const Request& request);
   std::string HandleClean(const Request& request);
+
+  /// Introspection verbs, answered inline by connection threads.
+  std::string HandleStatusz() const;
+  std::string HandleTracez(const Request& request) const;
 
   /// Joins and erases finished connection threads.
   void ReapConnections();
@@ -162,6 +182,8 @@ class MatchServer {
   BoundedQueue<WorkItem*> queue_;
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerState>> worker_state_;
+  std::chrono::steady_clock::time_point start_time_;
 
   std::mutex conns_mu_;
   std::list<std::unique_ptr<Connection>> conns_;

@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "fault/failpoint.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fuzzymatch {
 
@@ -150,6 +151,7 @@ Result<PageId> BPlusTree::FindLeaf(std::string_view key) const {
 }
 
 Result<std::string> BPlusTree::Get(std::string_view key) const {
+  FM_TRACE_SPAN("btree.lookup");
   LookupsCounter().Increment();
   FM_ASSIGN_OR_RETURN(const PageId leaf, FindLeaf(key));
   FM_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(leaf));

@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "fault/failpoint.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fuzzymatch {
 
@@ -140,6 +141,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   MissesCounter().Increment();
+  obs::AddTraceCount("bufferpool_misses", 1);
   FM_ASSIGN_OR_RETURN(const size_t f, GrabFrame());
   Frame& fr = frames_[f];
   FM_RETURN_IF_ERROR(pager_->ReadPage(id, fr.data.get()));

@@ -10,6 +10,7 @@
 #include "fault/failpoint.h"
 #include "fault/faulty_env.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fuzzymatch {
 
@@ -120,7 +121,9 @@ Status Pager::ReadPage(PageId id, char* buf) {
   if (id >= page_count()) {
     return Status::OutOfRange(StringPrintf("read of unallocated page %u", id));
   }
+  FM_TRACE_SPAN("pager.read_page");
   PagesReadCounter().Increment();
+  obs::AddTraceCount("pages_read", 1);
   if (fd_ >= 0) {
     const off_t off = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
     size_t done = 0;

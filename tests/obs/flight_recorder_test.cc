@@ -1,0 +1,238 @@
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+#include "server/json.h"
+
+namespace fuzzymatch {
+namespace obs {
+namespace {
+
+/// A single-stripe recorder so eviction order is deterministic.
+FlightRecorder::Options SmallOptions(size_t capacity) {
+  FlightRecorder::Options options;
+  options.recent_capacity = capacity;
+  options.outlier_capacity = capacity;
+  options.slow_threshold_seconds = 0.100;
+  options.stripes = 1;
+  options.log_outliers = false;
+  return options;
+}
+
+TraceRecord FastTrace(uint64_t id) {
+  TraceRecord rec;
+  rec.request_id = id;
+  rec.op = "match";
+  rec.start_unix_ns = 1;
+  rec.duration_ns = 1'000'000;  // 1ms: well under the slow threshold
+  return rec;
+}
+
+TraceRecord SlowTrace(uint64_t id) {
+  TraceRecord rec = FastTrace(id);
+  rec.duration_ns = 250'000'000;  // 250ms
+  return rec;
+}
+
+TraceRecord ErrorTrace(uint64_t id) {
+  TraceRecord rec = FastTrace(id);
+  rec.error = true;
+  rec.status = Status::IOError("injected").ToString();
+  return rec;
+}
+
+TEST(FlightRecorderTest, RetainsRecentTracesNewestFirst) {
+  FlightRecorder recorder(SmallOptions(8));
+  for (uint64_t id = 1; id <= 3; ++id) {
+    recorder.Record(FastTrace(id));
+  }
+  const auto traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_EQ(traces[0].request_id, 3u);
+  EXPECT_EQ(traces[1].request_id, 2u);
+  EXPECT_EQ(traces[2].request_id, 1u);
+}
+
+TEST(FlightRecorderTest, RecentRingEvictsOldest) {
+  FlightRecorder recorder(SmallOptions(4));
+  for (uint64_t id = 1; id <= 10; ++id) {
+    recorder.Record(FastTrace(id));
+  }
+  const auto traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), 4u);
+  EXPECT_EQ(traces[0].request_id, 10u);
+  EXPECT_EQ(traces[3].request_id, 7u);
+  const FlightRecorder::Stats stats = recorder.GetStats();
+  EXPECT_EQ(stats.recorded, 10u);
+  EXPECT_EQ(stats.retained, 4u);
+}
+
+TEST(FlightRecorderTest, SlowTraceSurvivesRecentEviction) {
+  FlightRecorder recorder(SmallOptions(4));
+  recorder.Record(SlowTrace(1));
+  for (uint64_t id = 2; id <= 20; ++id) {
+    recorder.Record(FastTrace(id));
+  }
+  const auto traces = recorder.Snapshot();
+  // The slow trace was evicted from the recent ring long ago but is
+  // retained in the outlier ring — and sorts first.
+  ASSERT_FALSE(traces.empty());
+  EXPECT_EQ(traces[0].request_id, 1u);
+  EXPECT_EQ(recorder.GetStats().slow, 1u);
+}
+
+TEST(FlightRecorderTest, ThresholdSeparatesSlowFromFast) {
+  FlightRecorder recorder(SmallOptions(4));
+  TraceRecord over = FastTrace(1);
+  over.duration_ns = 100'000'001;  // just over the 100ms threshold
+  recorder.Record(std::move(over));
+  TraceRecord under = FastTrace(2);
+  under.duration_ns = 99'000'000;  // just under
+  recorder.Record(std::move(under));
+  EXPECT_EQ(recorder.GetStats().slow, 1u);
+}
+
+TEST(FlightRecorderTest, ErrorTraceRetainedWithStatus) {
+  FlightRecorder recorder(SmallOptions(4));
+  recorder.Record(ErrorTrace(1));
+  for (uint64_t id = 2; id <= 20; ++id) {
+    recorder.Record(FastTrace(id));
+  }
+  const auto traces = recorder.Snapshot();
+  ASSERT_FALSE(traces.empty());
+  EXPECT_EQ(traces[0].request_id, 1u);
+  EXPECT_TRUE(traces[0].error);
+  EXPECT_NE(traces[0].status.find("injected"), std::string::npos);
+  EXPECT_EQ(recorder.GetStats().errors, 1u);
+}
+
+TEST(FlightRecorderTest, SnapshotDedupsOutlierAlsoInRecentRing) {
+  FlightRecorder recorder(SmallOptions(8));
+  recorder.Record(SlowTrace(5));  // lands in both rings
+  const auto traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].request_id, 5u);
+}
+
+TEST(FlightRecorderTest, SnapshotHonorsMax) {
+  FlightRecorder recorder(SmallOptions(16));
+  recorder.Record(SlowTrace(1));
+  for (uint64_t id = 2; id <= 10; ++id) {
+    recorder.Record(FastTrace(id));
+  }
+  const auto traces = recorder.Snapshot(3);
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_EQ(traces[0].request_id, 1u);  // outliers first, then newest
+  EXPECT_EQ(traces[1].request_id, 10u);
+}
+
+TEST(FlightRecorderTest, StripedRecorderRetainsAcrossStripes) {
+  FlightRecorder::Options options = SmallOptions(4);
+  options.stripes = 4;
+  FlightRecorder recorder(options);
+  for (uint64_t id = 1; id <= 16; ++id) {
+    recorder.Record(FastTrace(id));
+  }
+  EXPECT_EQ(recorder.GetStats().retained, 16u);  // 4 per stripe
+}
+
+TEST(FlightRecorderTest, ClearDropsTracesAndZeroesStats) {
+  FlightRecorder recorder(SmallOptions(4));
+  recorder.Record(SlowTrace(1));
+  recorder.Clear();
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.GetStats().recorded, 0u);
+  EXPECT_EQ(recorder.GetStats().slow, 0u);
+}
+
+TEST(FlightRecorderTest, RenderJsonIsValidAndComplete) {
+  FlightRecorder recorder(SmallOptions(8));
+  TraceRecord rec = SlowTrace(7);
+  rec.op = "clean";
+  rec.spans.push_back(TraceSpan{"server.handle_query", 0, 240'000'000, -1});
+  rec.spans.push_back(TraceSpan{"match.find_matches", 1000, 230'000'000, 0});
+  rec.counts.push_back(TraceCount{"pages_read", 12});
+  rec.dropped_spans = 2;
+  recorder.Record(std::move(rec));
+  recorder.Record(ErrorTrace(8));
+
+  const std::string json = recorder.RenderJson();
+  auto doc = server::ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << "\n" << json;
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_NE(doc->Find("slow_threshold_seconds"), nullptr);
+
+  const server::JsonValue* stats = doc->Find("stats");
+  ASSERT_NE(stats, nullptr);
+  for (const char* key : {"recorded", "slow", "errors", "retained"}) {
+    EXPECT_NE(stats->Find(key), nullptr) << key;
+  }
+
+  const server::JsonValue* traces = doc->Find("traces");
+  ASSERT_NE(traces, nullptr);
+  ASSERT_TRUE(traces->is_array());
+  ASSERT_EQ(traces->array_items().size(), 2u);
+
+  // Both are outliers; the error trace (8) arrived last but outlier order
+  // is insertion order — just check both ids are present with the right
+  // shape.
+  bool saw_slow = false;
+  for (const server::JsonValue& t : traces->array_items()) {
+    ASSERT_TRUE(t.is_object());
+    ASSERT_NE(t.Find("request_id"), nullptr);
+    EXPECT_NE(t.Find("op"), nullptr);
+    EXPECT_NE(t.Find("duration_ms"), nullptr);
+    EXPECT_NE(t.Find("error"), nullptr);
+    if (t.Find("request_id")->number_value() == 7.0) {
+      saw_slow = true;
+      const server::JsonValue* spans = t.Find("spans");
+      ASSERT_NE(spans, nullptr);
+      ASSERT_TRUE(spans->is_array());
+      ASSERT_EQ(spans->array_items().size(), 2u);
+      const server::JsonValue& span = spans->array_items()[1];
+      EXPECT_EQ(span.Find("name")->string_value(), "match.find_matches");
+      EXPECT_EQ(span.Find("parent")->number_value(), 0.0);
+      const server::JsonValue* counts = t.Find("counts");
+      ASSERT_NE(counts, nullptr);
+      ASSERT_NE(counts->Find("pages_read"), nullptr);
+      EXPECT_EQ(counts->Find("pages_read")->number_value(), 12.0);
+      EXPECT_EQ(t.Find("dropped_spans")->number_value(), 2.0);
+    }
+  }
+  EXPECT_TRUE(saw_slow);
+}
+
+TEST(FlightRecorderTest, JsonEscapesStatusStrings) {
+  FlightRecorder recorder(SmallOptions(4));
+  TraceRecord rec = FastTrace(1);
+  rec.error = true;
+  rec.status = "quote \" backslash \\ newline \n tab \t";
+  recorder.Record(std::move(rec));
+  const std::string json = recorder.RenderJson();
+  auto doc = server::ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << "\n" << json;
+  const auto& traces = doc->Find("traces")->array_items();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].Find("status")->string_value(),
+            "quote \" backslash \\ newline \n tab \t");
+}
+
+TEST(FlightRecorderTest, ConfigureReplacesOptions) {
+  FlightRecorder recorder(SmallOptions(4));
+  recorder.Record(SlowTrace(1));
+  FlightRecorder::Options options = SmallOptions(2);
+  options.slow_threshold_seconds = 0.5;
+  recorder.Configure(options);
+  EXPECT_TRUE(recorder.Snapshot().empty());  // Configure drops traces
+  recorder.Record(SlowTrace(2));             // 250ms < new 500ms threshold
+  EXPECT_EQ(recorder.GetStats().slow, 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fuzzymatch

@@ -1,0 +1,44 @@
+#include "obs/process_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace fuzzymatch {
+namespace obs {
+namespace {
+
+TEST(ProcessMetricsTest, ReportsPlausibleProcessStats) {
+  const ProcessStats stats = UpdateProcessMetrics();
+  // A running gtest binary is comfortably past these floors.
+  EXPECT_GT(stats.rss_bytes, 1u << 20);
+  EXPECT_GE(stats.open_fds, 3u);  // stdin/stdout/stderr
+  EXPECT_GE(stats.uptime_seconds, 0.0);
+}
+
+TEST(ProcessMetricsTest, PublishesGaugesIntoTheGlobalRegistry) {
+  UpdateProcessMetrics();
+  auto& reg = MetricsRegistry::Global();
+  EXPECT_GT(reg.GetGauge("process.rss_bytes")->value(), 0.0);
+  EXPECT_GT(reg.GetGauge("process.open_fds")->value(), 0.0);
+  EXPECT_GE(reg.GetGauge("process.uptime_seconds")->value(), 0.0);
+}
+
+TEST(ProcessMetricsTest, UptimeAdvancesMonotonically) {
+  const ProcessStats a = UpdateProcessMetrics();
+  const ProcessStats b = UpdateProcessMetrics();
+  EXPECT_GE(b.uptime_seconds, a.uptime_seconds);
+}
+
+TEST(ProcessMetricsTest, BuildInfoIsPopulated) {
+  const BuildInfo& info = GetBuildInfo();
+  EXPECT_FALSE(info.version.empty());
+  EXPECT_TRUE(info.build_type == "release" || info.build_type == "debug");
+  EXPECT_FALSE(info.compiler.empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fuzzymatch

@@ -92,6 +92,35 @@ TEST(RenderTest, NamesAreSanitizedButHelpKeepsTheDottedOriginal) {
   EXPECT_NE(text.find("fm_buffer_pool_hits_misses 1\n"), std::string::npos);
 }
 
+TEST(RenderTest, CollidingSanitizedNamesGetDistinctSuffixes) {
+  // "a.b" and "a-b" both sanitize to fm_a_b; Prometheus scrapers reject
+  // duplicate series, so the renderer must disambiguate deterministically
+  // (first by sorted order keeps the clean name, later ones get _2, _3).
+  MetricsRegistry registry;
+  registry.GetCounter("a.b")->Increment(1);
+  registry.GetCounter("a-b")->Increment(2);
+  registry.GetCounter("a/b")->Increment(3);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("fm_a_b 2\n"), std::string::npos) << text;    // "a-b"
+  EXPECT_NE(text.find("fm_a_b_2 1\n"), std::string::npos) << text;  // "a.b"
+  EXPECT_NE(text.find("fm_a_b_3 3\n"), std::string::npos) << text;  // "a/b"
+  // HELP lines keep the dotted originals, so the mapping is recoverable.
+  EXPECT_NE(text.find("# HELP fm_a_b a-b\n"), std::string::npos);
+  EXPECT_NE(text.find("# HELP fm_a_b_2 a.b\n"), std::string::npos);
+  EXPECT_NE(text.find("# HELP fm_a_b_3 a/b\n"), std::string::npos);
+}
+
+TEST(RenderTest, CollisionsAcrossMetricKindsAreDisambiguated) {
+  // One namespace across counters, gauges, and histograms: a gauge whose
+  // sanitized name matches a counter's must not emit a duplicate series.
+  MetricsRegistry registry;
+  registry.GetCounter("x.y")->Increment(7);
+  registry.GetGauge("x-y")->Set(1.5);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("fm_x_y 7\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("fm_x_y_2 1.5\n"), std::string::npos) << text;
+}
+
 TEST(RenderTest, CountersSortedByName) {
   MetricsRegistry registry;
   registry.GetCounter("z.last")->Increment();

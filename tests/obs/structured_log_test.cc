@@ -1,0 +1,117 @@
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "obs/trace.h"
+#include "server/json.h"
+
+namespace fuzzymatch {
+namespace obs {
+namespace {
+
+/// Captures structured log output into a string via a tmpfile sink.
+class StructuredLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sink_ = std::tmpfile();
+    ASSERT_NE(sink_, nullptr);
+    previous_sink_ = SetStructuredLogSink(sink_);
+    previous_level_ = GetLogLevel();
+    SetLogLevel(LogLevel::kInfo);
+  }
+
+  void TearDown() override {
+    SetStructuredLogSink(previous_sink_);
+    SetLogLevel(previous_level_);
+    std::fclose(sink_);
+  }
+
+  std::string Captured() {
+    std::fflush(sink_);
+    std::string out;
+    std::rewind(sink_);
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), sink_)) > 0) {
+      out.append(buf, n);
+    }
+    return out;
+  }
+
+  FILE* sink_ = nullptr;
+  FILE* previous_sink_ = nullptr;
+  LogLevel previous_level_ = LogLevel::kInfo;
+};
+
+TEST_F(StructuredLogTest, EmitsOneParseableJsonLine) {
+  FM_SLOG(Info, "server.start")
+      .Field("port", 7070)
+      .Field("workers", static_cast<uint64_t>(4))
+      .Field("host", "127.0.0.1")
+      .Field("ready", true)
+      .Field("uptime", 0.5);
+  const std::string out = Captured();
+  ASSERT_FALSE(out.empty());
+  ASSERT_EQ(out.back(), '\n');
+  auto doc = server::ParseJson(out.substr(0, out.size() - 1));
+  ASSERT_TRUE(doc.ok()) << out;
+  EXPECT_EQ(doc->Find("level")->string_value(), "info");
+  EXPECT_EQ(doc->Find("event")->string_value(), "server.start");
+  EXPECT_EQ(doc->Find("port")->number_value(), 7070.0);
+  EXPECT_EQ(doc->Find("workers")->number_value(), 4.0);
+  EXPECT_EQ(doc->Find("host")->string_value(), "127.0.0.1");
+  EXPECT_TRUE(doc->Find("ready")->bool_value());
+  EXPECT_GT(doc->Find("ts")->number_value(), 0.0);
+}
+
+TEST_F(StructuredLogTest, RespectsLogLevelThreshold) {
+  SetLogLevel(LogLevel::kWarning);
+  FM_SLOG(Info, "suppressed").Field("k", 1);
+  FM_SLOG(Warning, "emitted").Field("k", 2);
+  const std::string out = Captured();
+  EXPECT_EQ(out.find("suppressed"), std::string::npos);
+  EXPECT_NE(out.find("emitted"), std::string::npos);
+  EXPECT_NE(out.find("\"level\":\"warning\""), std::string::npos);
+}
+
+TEST_F(StructuredLogTest, AttachesRequestIdFromCurrentTrace) {
+  {
+    RequestTrace trace("match", 77, nullptr);
+    FM_SLOG(Info, "query.something").Field("k", 1);
+  }
+  FM_SLOG(Info, "no.trace").Field("k", 2);
+  const std::string out = Captured();
+  const size_t first_line_end = out.find('\n');
+  ASSERT_NE(first_line_end, std::string::npos);
+  auto doc = server::ParseJson(out.substr(0, first_line_end));
+  ASSERT_TRUE(doc.ok()) << out;
+  ASSERT_NE(doc->Find("request_id"), nullptr);
+  EXPECT_EQ(doc->Find("request_id")->number_value(), 77.0);
+  auto second = server::ParseJson(
+      out.substr(first_line_end + 1,
+                 out.find('\n', first_line_end + 1) - first_line_end - 1));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->Find("request_id"), nullptr);
+}
+
+TEST_F(StructuredLogTest, EscapesStringsAndRawFieldsPassThrough) {
+  FM_SLOG(Info, "escape.check")
+      .Field("tricky", std::string("a\"b\\c\nd"))
+      .RawField("nested", "{\"x\":1}");
+  const std::string out = Captured();
+  auto doc = server::ParseJson(out.substr(0, out.find('\n')));
+  ASSERT_TRUE(doc.ok()) << out;
+  EXPECT_EQ(doc->Find("tricky")->string_value(), "a\"b\\c\nd");
+  const server::JsonValue* nested = doc->Find("nested");
+  ASSERT_NE(nested, nullptr);
+  ASSERT_TRUE(nested->is_object());
+  EXPECT_EQ(nested->Find("x")->number_value(), 1.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fuzzymatch

@@ -1,0 +1,120 @@
+// Concurrency slice for the tracing pipeline: many worker threads each
+// recording span trees into their own thread-local RequestTrace, all
+// finishing into one shared lock-striped FlightRecorder, while readers
+// concurrently snapshot and render. Run under TSan by tools/ci.sh.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fuzzymatch {
+namespace obs {
+namespace {
+
+TEST(TraceConcurrencyTest, WorkersRecordIntoSharedRecorder) {
+  FlightRecorder::Options options;
+  options.recent_capacity = 16;
+  options.outlier_capacity = 16;
+  options.slow_threshold_seconds = 10.0;  // nothing here is slow
+  options.stripes = 4;
+  options.log_outliers = false;
+  FlightRecorder recorder(options);
+
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 200;
+  Histogram* hist = SpanHistogram("trace_concurrency.work");
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, hist, t] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        RequestTrace trace(t % 2 == 0 ? "match" : "clean", NextRequestId(),
+                           &recorder);
+        {
+          ScopedSpan outer("trace_concurrency.outer", hist);
+          { ScopedSpan inner("trace_concurrency.inner", hist); }
+          AddTraceCount("pages_read", 2);
+          AddTraceCount("candidates", 1);
+        }
+        if (i % 50 == 0) {
+          trace.SetStatus(Status::IOError("synthetic"));
+        }
+      }
+    });
+  }
+
+  // Concurrent readers: the introspection path must be safe while
+  // workers are recording.
+  std::atomic<bool> stop{false};
+  std::thread reader([&recorder, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto traces = recorder.Snapshot(8);
+      const std::string json = recorder.RenderJson(8);
+      EXPECT_LE(traces.size(), 8u);
+      EXPECT_FALSE(json.empty());
+      (void)recorder.GetStats();
+    }
+  });
+
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  const FlightRecorder::Stats stats = recorder.GetStats();
+  EXPECT_EQ(stats.recorded,
+            static_cast<uint64_t>(kThreads) * kRequestsPerThread);
+  EXPECT_EQ(stats.errors, static_cast<uint64_t>(kThreads) *
+                              (kRequestsPerThread / 50));
+  EXPECT_EQ(stats.slow, 0u);
+  EXPECT_GT(stats.retained, 0u);
+
+  // Every retained trace carries its complete two-span tree.
+  for (const TraceRecord& rec : recorder.Snapshot()) {
+    ASSERT_EQ(rec.spans.size(), 2u);
+    EXPECT_EQ(rec.spans[0].parent, -1);
+    EXPECT_EQ(rec.spans[1].parent, 0);
+    ASSERT_EQ(rec.counts.size(), 2u);
+    EXPECT_EQ(rec.counts[0].value, 2u);
+  }
+}
+
+TEST(TraceConcurrencyTest, RequestIdsAreUniqueAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kIdsPerThread = 1000;
+  std::vector<std::vector<uint64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ids, t] {
+      ids[t].reserve(kIdsPerThread);
+      for (int i = 0; i < kIdsPerThread; ++i) {
+        ids[t].push_back(NextRequestId());
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  std::vector<uint64_t> all;
+  for (const auto& batch : ids) {
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fuzzymatch

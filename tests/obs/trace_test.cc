@@ -1,61 +1,205 @@
+#include "obs/trace.h"
+
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <string>
+
+#include "common/status.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
-#include "obs/trace.h"
 
 namespace fuzzymatch {
 namespace obs {
 namespace {
 
-TEST(QueryTraceTest, InstallsAndRestoresCurrent) {
-  EXPECT_EQ(QueryTrace::Current(), nullptr);
+TEST(RequestTraceTest, InstallsAndRestoresCurrent) {
+  EXPECT_EQ(RequestTrace::Current(), nullptr);
   {
-    QueryTrace outer("outer");
-    EXPECT_EQ(QueryTrace::Current(), &outer);
+    RequestTrace outer("outer", 1, nullptr);
+    EXPECT_EQ(RequestTrace::Current(), &outer);
     {
-      QueryTrace inner("inner");
-      EXPECT_EQ(QueryTrace::Current(), &inner);
+      RequestTrace inner("inner", 2, nullptr);
+      EXPECT_EQ(RequestTrace::Current(), &inner);
     }
-    EXPECT_EQ(QueryTrace::Current(), &outer);
+    EXPECT_EQ(RequestTrace::Current(), &outer);
   }
-  EXPECT_EQ(QueryTrace::Current(), nullptr);
+  EXPECT_EQ(RequestTrace::Current(), nullptr);
 }
 
-TEST(QueryTraceTest, RecordAggregatesByPhaseName) {
-  QueryTrace trace("q");
-  trace.Record("probe", 0.5);
-  trace.Record("score", 2.0);
-  trace.Record("probe", 0.25);
-  ASSERT_EQ(trace.phases().size(), 2u);
-  EXPECT_STREQ(trace.phases()[0].name, "probe");
-  EXPECT_EQ(trace.phases()[0].calls, 2u);
-  EXPECT_DOUBLE_EQ(trace.phases()[0].seconds, 0.75);
-  EXPECT_STREQ(trace.phases()[1].name, "score");
-  EXPECT_EQ(trace.phases()[1].calls, 1u);
-  EXPECT_DOUBLE_EQ(trace.phases()[1].seconds, 2.0);
+TEST(RequestTraceTest, NextRequestIdIsMonotonic) {
+  const uint64_t a = NextRequestId();
+  const uint64_t b = NextRequestId();
+  EXPECT_GT(a, 0u);
+  EXPECT_GT(b, a);
+}
+
+TEST(RequestTraceTest, SpansRecordParentLinks) {
+  Histogram hist("trace_parent_test", LatencyHistogramOptions());
+  RequestTrace trace("q", 7, nullptr);
+  {
+    ScopedSpan outer("outer", &hist);
+    { ScopedSpan inner("inner", &hist); }
+    { ScopedSpan sibling("sibling", &hist); }
+  }
+  { ScopedSpan top("top", &hist); }
+  const TraceRecord& rec = trace.record();
+  ASSERT_EQ(rec.spans.size(), 4u);
+  EXPECT_STREQ(rec.spans[0].name, "outer");
+  EXPECT_EQ(rec.spans[0].parent, -1);
+  EXPECT_STREQ(rec.spans[1].name, "inner");
+  EXPECT_EQ(rec.spans[1].parent, 0);
+  EXPECT_STREQ(rec.spans[2].name, "sibling");
+  EXPECT_EQ(rec.spans[2].parent, 0);
+  EXPECT_STREQ(rec.spans[3].name, "top");
+  EXPECT_EQ(rec.spans[3].parent, -1);
+  EXPECT_EQ(rec.dropped_spans, 0u);
+  EXPECT_EQ(rec.request_id, 7u);
+  EXPECT_EQ(rec.op, "q");
+}
+
+TEST(RequestTraceTest, WidthBoundDropsExcessSpans) {
+  RequestTrace::Limits limits;
+  limits.max_spans = 4;
+  RequestTrace trace("q", 1, nullptr, limits);
+  const auto now = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) {
+    const int32_t idx = trace.OpenSpan("s", now);
+    if (i < 4) {
+      EXPECT_GE(idx, 0);
+    } else {
+      EXPECT_EQ(idx, -1);
+    }
+    trace.CloseSpan(idx, 1);
+  }
+  EXPECT_EQ(trace.record().spans.size(), 4u);
+  EXPECT_EQ(trace.record().dropped_spans, 6u);
+}
+
+TEST(RequestTraceTest, DepthBoundDropsDeepSpans) {
+  RequestTrace::Limits limits;
+  limits.max_depth = 2;
+  RequestTrace trace("q", 1, nullptr, limits);
+  const auto now = std::chrono::steady_clock::now();
+  const int32_t a = trace.OpenSpan("a", now);
+  const int32_t b = trace.OpenSpan("b", now);
+  const int32_t c = trace.OpenSpan("c", now);  // third level: dropped
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, 0);
+  EXPECT_EQ(c, -1);
+  trace.CloseSpan(c, 1);
+  trace.CloseSpan(b, 1);
+  trace.CloseSpan(a, 1);
+  EXPECT_EQ(trace.record().spans.size(), 2u);
+  EXPECT_EQ(trace.record().dropped_spans, 1u);
+}
+
+TEST(RequestTraceTest, AddCountAggregatesByKey) {
+  RequestTrace trace("q", 1, nullptr);
+  trace.AddCount("pages_read", 2);
+  trace.AddCount("candidates", 5);
+  trace.AddCount("pages_read", 3);
+  const TraceRecord& rec = trace.record();
+  ASSERT_EQ(rec.counts.size(), 2u);
+  EXPECT_STREQ(rec.counts[0].key, "pages_read");
+  EXPECT_EQ(rec.counts[0].value, 5u);
+  EXPECT_STREQ(rec.counts[1].key, "candidates");
+  EXPECT_EQ(rec.counts[1].value, 5u);
+}
+
+TEST(RequestTraceTest, AddTraceCountHelperIsNoOpWithoutTrace) {
+  AddTraceCount("nothing", 1);  // must not crash
+  RequestTrace trace("q", 1, nullptr);
+  AddTraceCount("something", 2);
+  ASSERT_EQ(trace.record().counts.size(), 1u);
+  EXPECT_EQ(trace.record().counts[0].value, 2u);
+}
+
+TEST(RequestTraceTest, SetStatusMarksError) {
+  RequestTrace trace("q", 1, nullptr);
+  EXPECT_FALSE(trace.record().error);
+  trace.SetStatus(Status::IOError("disk on fire"));
+  EXPECT_TRUE(trace.record().error);
+  EXPECT_NE(trace.record().status.find("disk on fire"), std::string::npos);
+  // OK status does not clear an error already recorded.
+  trace.SetStatus(Status::OK());
+  EXPECT_TRUE(trace.record().error);
+}
+
+TEST(RequestTraceTest, SummaryAggregatesByName) {
+  Histogram hist("trace_summary_test", LatencyHistogramOptions());
+  RequestTrace trace("q", 1, nullptr);
+  { ScopedSpan s("probe", &hist); }
+  { ScopedSpan s("probe", &hist); }
+  { ScopedSpan s("score", &hist); }
   const std::string summary = trace.Summary();
   EXPECT_NE(summary.find("probe="), std::string::npos);
   EXPECT_NE(summary.find("score="), std::string::npos);
   EXPECT_NE(summary.find("/2"), std::string::npos);
 }
 
-TEST(ScopedSpanTest, ObservesIntoHistogramAndCurrentTrace) {
+TEST(RequestTraceTest, DestructionDeliversRecordToRecorder) {
+  FlightRecorder::Options options;
+  options.log_outliers = false;
+  FlightRecorder recorder(options);
+  {
+    RequestTrace trace("match", 42, &recorder);
+    trace.AddCount("candidates", 3);
+  }
+  const auto traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].request_id, 42u);
+  EXPECT_EQ(traces[0].op, "match");
+  EXPECT_GT(traces[0].start_unix_ns, 0);
+}
+
+TEST(MaybeRequestTraceTest, InstallsOnlyAtTheOutermostBoundary) {
+  FlightRecorder::Options options;
+  options.log_outliers = false;
+  FlightRecorder recorder(options);
+  {
+    MaybeRequestTrace outer("match", &recorder);
+    ASSERT_NE(outer.installed(), nullptr);
+    EXPECT_EQ(RequestTrace::Current(), outer.installed());
+    {
+      MaybeRequestTrace inner("clean", &recorder);
+      EXPECT_EQ(inner.installed(), nullptr);
+      EXPECT_EQ(RequestTrace::Current(), outer.installed());
+      // SetStatus forwards to the upstream trace.
+      inner.SetStatus(Status::NotFound("gone"));
+    }
+    EXPECT_TRUE(outer.installed()->record().error);
+  }
+  ASSERT_EQ(recorder.Snapshot().size(), 1u);  // only the outer boundary
+}
+
+TEST(MaybeRequestTraceTest, RespectsTracingEnabled) {
+  SetTracingEnabled(false);
+  {
+    MaybeRequestTrace boundary("match", nullptr);
+    EXPECT_EQ(boundary.installed(), nullptr);
+    EXPECT_EQ(RequestTrace::Current(), nullptr);
+    boundary.SetStatus(Status::IOError("ignored"));  // must not crash
+  }
+  SetTracingEnabled(true);
+  {
+    MaybeRequestTrace boundary("match", nullptr);
+    EXPECT_NE(boundary.installed(), nullptr);
+  }
+}
+
+TEST(ScopedSpanTest, ObservesIntoHistogramWithAndWithoutTrace) {
   Histogram hist("span_test", LatencyHistogramOptions());
   {
-    QueryTrace trace("q");
-    {
-      const ScopedSpan span("phase", &hist);
-    }
+    RequestTrace trace("q", 1, nullptr);
+    { const ScopedSpan span("phase", &hist); }
     EXPECT_EQ(hist.count(), 1u);
     EXPECT_GE(hist.sum(), 0.0);
-    ASSERT_EQ(trace.phases().size(), 1u);
-    EXPECT_STREQ(trace.phases()[0].name, "phase");
-    EXPECT_EQ(trace.phases()[0].calls, 1u);
+    ASSERT_EQ(trace.record().spans.size(), 1u);
+    EXPECT_STREQ(trace.record().spans[0].name, "phase");
   }
   // Without a trace installed the span still feeds the histogram.
-  {
-    const ScopedSpan span("phase", &hist);
-  }
+  { const ScopedSpan span("phase", &hist); }
   EXPECT_EQ(hist.count(), 2u);
 }
 
@@ -93,6 +237,17 @@ TEST(ScopedSpanTest, TwoSpansInOneScopeCompile) {
     FM_TRACE_SPAN("trace_test.pair");
   }
   EXPECT_EQ(h->count(), before + 2);
+}
+
+TEST(ScopedSpanTest, MacroSpansBuildTreeUnderRequestTrace) {
+  RequestTrace trace("q", 9, nullptr);
+  {
+    FM_TRACE_SPAN("trace_test.tree_outer");
+    FM_TRACE_SPAN("trace_test.tree_inner");
+  }
+  ASSERT_EQ(trace.record().spans.size(), 2u);
+  EXPECT_EQ(trace.record().spans[0].parent, -1);
+  EXPECT_EQ(trace.record().spans[1].parent, 0);
 }
 
 }  // namespace

@@ -9,6 +9,9 @@
 #   tools/ci.sh faultcheck # failpoints compiled in + ASan: crash
 #                          # consistency, differential, error propagation
 #   tools/ci.sh perfsmoke  # ETI-accelerator on/off output parity + metrics
+#   tools/ci.sh obscheck   # observability end-to-end: statusz/tracez JSON
+#                          # shapes, slow-query capture via an injected
+#                          # sleep, and the tracing-overhead budget
 #   tools/ci.sh buildcheck # parallel ETI build determinism: 1-thread vs
 #                          # 4-thread builds must be byte-identical
 #
@@ -26,7 +29,7 @@ STAGE="${1:-all}"
 # the fault suites (sanitizer builds compile failpoints in, and injected
 # errors are where cleanup paths race). Randomized fault suites honor
 # FM_TEST_SEED, pinned below so sanitizer runs are reproducible.
-SANITIZER_TESTS='ConcurrentMatchTest|BufferPoolConcurrencyTest|ServerTest|MetricsRegistryTest|BTreeStressTest|HeapFileStressTest|FileBackedPipelineTest|BatchCleanerTest|EtiAccelConcurrencyTest|TupleCacheTest|FailpointTest|DifferentialMaintenanceTest|ErrorPropagationTest|BufferPoolPressureTest|ExternalSortTest|EtiBuilderParallelTest'
+SANITIZER_TESTS='ConcurrentMatchTest|BufferPoolConcurrencyTest|ServerTest|IntrospectionTest|TraceConcurrencyTest|MetricsRegistryTest|BTreeStressTest|HeapFileStressTest|FileBackedPipelineTest|BatchCleanerTest|EtiAccelConcurrencyTest|TupleCacheTest|FailpointTest|DifferentialMaintenanceTest|ErrorPropagationTest|BufferPoolPressureTest|ExternalSortTest|EtiBuilderParallelTest'
 
 # The full fault-injection surface: the crash-consistency sweep over every
 # canonical failpoint plus the randomized differential harness.
@@ -46,6 +49,7 @@ run_sanitizer() {  # $1 = thread|address  $2 = build dir
   # Only the test targets the slice needs: sanitizer builds are slow.
   cmake --build "$2" -j "$JOBS" --target \
         concurrent_match_test buffer_pool_concurrency_test server_test \
+        introspection_test trace_concurrency_test \
         metrics_registry_test storage_stress_test batch_cleaner_test \
         eti_accel_concurrency_test tuple_cache_test failpoint_test \
         differential_maintenance_test error_propagation_test \
@@ -111,6 +115,132 @@ run_perfsmoke() {
   echo "[ci] metrics archived: bench_results/bench_query_time.{noaccel,accel}.metrics.json"
 }
 
+# Observability end to end against the real binaries: boot the server
+# with a 60ms sleep injected into the match path, drive mixed traffic,
+# and require that the introspection surfaces report it — statusz and
+# tracez must be valid JSON with their documented keys, the flight
+# recorder must have captured the injected slow queries with complete
+# span trees, and the Prometheus scrape must carry the process gauges.
+# Then gate the cost of all of it: bench_query_time's A/B mode fails the
+# stage when the span-tree + recorder overhead exceeds the budget, and a
+# small bench_serving run archives its flight-recorder snapshot under
+# bench_results/ for post-hoc inspection.
+run_obscheck() {
+  echo "=== [ci] obscheck: tracing, flight recorder, introspection ==="
+  cmake -B build-ci-obs -S . -DCMAKE_BUILD_TYPE=Release \
+        -DFM_FAILPOINTS=ON > /dev/null
+  cmake --build build-ci-obs -j "$JOBS" --target \
+        fuzzymatch_server fuzzymatch_cli fuzzymatch_loadgen \
+        bench_query_time bench_serving
+  local cli=build-ci-obs/tools/fuzzymatch_cli
+  local tmp server_pid=""
+  tmp="$(mktemp -d)"
+  # shellcheck disable=SC2064  # expand $tmp now; $server_pid at fire time
+  trap "[ -n \"\$server_pid\" ] && kill \"\$server_pid\" 2>/dev/null; \
+        rm -rf '$tmp'" RETURN
+  "$cli" gen --out "$tmp/ref.csv" --rows 2000 --seed 42
+  "$cli" corrupt --ref "$tmp/ref.csv" --out "$tmp/dirty.csv" --inputs 100
+  local port="${FM_OBSCHECK_PORT:-18771}"
+  FM_FAILPOINTS='match.query_delay=sleep:60' \
+    build-ci-obs/tools/fuzzymatch_server --ref "$tmp/ref.csv" \
+      --port "$port" --workers 2 --slow-trace-ms 50 \
+      > "$tmp/server.log" 2>&1 &
+  server_pid=$!
+  local up=0
+  for _ in $(seq 1 150); do
+    if grep -q "serving on" "$tmp/server.log"; then up=1; break; fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then break; fi
+    sleep 0.2
+  done
+  if [ "$up" != 1 ]; then
+    echo "[ci] server failed to start:" >&2
+    cat "$tmp/server.log" >&2
+    exit 1
+  fi
+
+  build-ci-obs/tools/fuzzymatch_loadgen --port "$port" --clients 2 \
+      --requests 10 --input "$tmp/dirty.csv" --op mixed \
+      --metrics-out "$tmp/loadgen.json"
+
+  # Scrape all three introspection surfaces. statusz/tracez are one JSON
+  # line each; the Prometheus body ends at the "# EOF" marker.
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'statusz\n' >&3 && IFS= read -r line <&3 && \
+      printf '%s\n' "$line" > "$tmp/statusz.json"
+  exec 3<&- 3>&-
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'metrics\n' >&3
+  : > "$tmp/metrics.prom"
+  while IFS= read -r line <&3; do
+    [ "$line" = "# EOF" ] && break
+    printf '%s\n' "$line" >> "$tmp/metrics.prom"
+  done
+  exec 3<&- 3>&-
+  "$cli" trace --port "$port" --json > "$tmp/tracez.json"
+  "$cli" trace --port "$port" --limit 4 > "$tmp/tracez.txt"
+  grep -q "server.handle_query" "$tmp/tracez.txt"
+
+  kill "$server_pid" && wait "$server_pid" 2>/dev/null || true
+  server_pid=""
+
+  python3 - "$tmp" <<'PYEOF'
+import json, sys
+tmp = sys.argv[1]
+
+status = json.load(open(tmp + "/statusz.json"))
+assert status["ok"] is True and status["op"] == "statusz", status
+for key in ("uptime_seconds", "build", "tracing_enabled", "workers",
+            "queue", "connections", "counters", "recorder", "process"):
+    assert key in status, f"statusz missing {key}"
+assert status["process"]["rss_bytes"] > 0
+assert status["counters"]["responses"] >= 20
+assert status["recorder"]["slow"] >= 1, status["recorder"]
+
+tracez = json.load(open(tmp + "/tracez.json"))
+assert tracez["ok"] is True, tracez
+rec = tracez["recorder"]
+assert rec["stats"]["recorded"] >= 20 and rec["stats"]["slow"] >= 1
+traces = rec["traces"]
+assert traces, "flight recorder retained no traces"
+# Outliers sort first: the injected 60ms sleep must show up here.
+first = traces[0]
+assert first["duration_ms"] >= 50, first
+spans = first["spans"]
+assert spans and spans[0]["parent"] == -1
+assert any(s["name"] == "match.find_matches" for s in spans), spans
+
+load = json.load(open(tmp + "/loadgen.json"))
+assert load["errors"] == 0 and load["shed"] == 0, load
+for op in ("match", "clean"):
+    assert load["ops"][op]["count"] == 10, load["ops"]
+    assert load["ops"][op]["latency_ms"]["p50"] > 0
+
+prom = open(tmp + "/metrics.prom").read()
+for metric in ("fm_process_rss_bytes", "fm_process_open_fds",
+               "fm_server_requests", "fm_span_match_find_matches_seconds"):
+    assert metric in prom, f"prometheus scrape missing {metric}"
+print("[ci] statusz/tracez/metrics/loadgen JSON shapes OK")
+PYEOF
+
+  # Tracing must stay cheap: A/B the traced vs untraced query path and
+  # fail the stage when the median overhead blows the budget. Small-scale
+  # CI runs are noisy, so the gate is looser than the ~1% measured at
+  # paper scale (DESIGN.md 5g).
+  mkdir -p bench_results
+  FM_REF_SIZE=5000 FM_NUM_INPUTS=400 FM_METRICS_DIR=bench_results \
+    FM_TRACE_OVERHEAD=1 FM_TRACE_BUDGET_PCT="${FM_TRACE_BUDGET_PCT:-10}" \
+    build-ci-obs/bench/bench_query_time
+
+  # Archive a live flight-recorder snapshot from the serving bench.
+  FM_REF_SIZE=2000 FM_NUM_INPUTS=150 FM_MAX_WORKERS=2 \
+    FM_METRICS_DIR=bench_results \
+    build-ci-obs/bench/bench_serving
+  test -s bench_results/bench_serving.tracez.json
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+      bench_results/bench_serving.tracez.json
+  echo "[ci] flight recorder snapshot archived: bench_results/bench_serving.tracez.json"
+}
+
 # The parallel ETI build must be a pure optimization: building the same
 # reference relation with 1 and 4 threads (spilling in both) has to leave
 # byte-identical database files — ETI relation, clustered index, catalog
@@ -144,6 +274,7 @@ case "$STAGE" in
   asan)       run_sanitizer address build-ci-asan ;;
   faultcheck) run_faultcheck ;;
   perfsmoke)  run_perfsmoke ;;
+  obscheck)   run_obscheck ;;
   buildcheck) run_buildcheck ;;
   all)
     run_release
@@ -151,10 +282,11 @@ case "$STAGE" in
     run_sanitizer address build-ci-asan
     run_faultcheck
     run_perfsmoke
+    run_obscheck
     run_buildcheck
     ;;
   *)
-    echo "usage: tools/ci.sh [release|tsan|asan|faultcheck|perfsmoke|buildcheck|all]" >&2
+    echo "usage: tools/ci.sh [release|tsan|asan|faultcheck|perfsmoke|obscheck|buildcheck|all]" >&2
     exit 2
     ;;
 esac

@@ -39,6 +39,13 @@
 //       log level to debug, which also emits a per-query phase
 //       breakdown from the span tracer.
 //
+//   fuzzymatch_cli trace   --port P [--host A] [--limit N] [--json]
+//       Fetches the flight recorder from a running fuzzymatch_server
+//       (the `tracez` protocol verb) and pretty-prints each retained
+//       trace as an indented span tree with per-span durations and the
+//       trace's counters. --json dumps the raw tracez response instead,
+//       for piping into other tooling.
+//
 // CSV convention: first record is the header; empty fields are NULL.
 
 #include <algorithm>
@@ -57,6 +64,8 @@
 #include "gen/customer_gen.h"
 #include "gen/dataset.h"
 #include "obs/metrics.h"
+#include "server/client.h"
+#include "server/json.h"
 
 using namespace fuzzymatch;
 
@@ -422,10 +431,115 @@ Status CmdMatch(const Args& args) {
   return Status::OK();
 }
 
+/// Prints one span and, recursively, its children indented beneath it.
+/// Span order within a trace is open order, so children always appear
+/// after their parent; a simple scan per level keeps this O(n^2) in the
+/// (bounded, <=192) span count.
+void PrintSpanSubtree(const std::vector<server::JsonValue>& spans,
+                      int64_t parent, int depth) {
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const server::JsonValue* p = spans[i].Find("parent");
+    if (!p || static_cast<int64_t>(p->number_value()) != parent) continue;
+    const server::JsonValue* name = spans[i].Find("name");
+    const server::JsonValue* dur = spans[i].Find("duration_us");
+    std::printf("    %*s%s  %.3fms\n", depth * 2, "",
+                name && name->is_string() ? name->string_value().c_str() : "?",
+                dur ? dur->number_value() / 1e3 : 0.0);
+    PrintSpanSubtree(spans, static_cast<int64_t>(i), depth + 1);
+  }
+}
+
+Status CmdTrace(const Args& args) {
+  if (!args.Has("port")) {
+    return Status::InvalidArgument("trace requires --port");
+  }
+  server::LineClient client;
+  FM_RETURN_IF_ERROR(client.Connect(
+      args.Get("host", "127.0.0.1"),
+      static_cast<uint16_t>(args.GetInt("port", 0))));
+  const int64_t limit = std::max<int64_t>(1, args.GetInt("limit", 16));
+  FM_ASSIGN_OR_RETURN(
+      const std::string raw,
+      client.Roundtrip(StringPrintf("tracez %lld",
+                                    static_cast<long long>(limit))));
+  if (args.Has("json")) {
+    std::printf("%s\n", raw.c_str());
+    return Status::OK();
+  }
+  FM_ASSIGN_OR_RETURN(const server::JsonValue doc, server::ParseJson(raw));
+  const server::JsonValue* ok = doc.Find("ok");
+  if (!ok || !ok->is_bool() || !ok->bool_value()) {
+    const server::JsonValue* error = doc.Find("error");
+    return Status::Internal(
+        "server rejected tracez: " +
+        (error && error->is_string() ? error->string_value() : raw));
+  }
+  const server::JsonValue* recorder = doc.Find("recorder");
+  if (!recorder || !recorder->is_object()) {
+    return Status::Internal("tracez response missing recorder object");
+  }
+  if (const server::JsonValue* stats = recorder->Find("stats")) {
+    const auto stat = [&](const char* key) -> unsigned long long {
+      const server::JsonValue* v = stats->Find(key);
+      return v ? static_cast<unsigned long long>(v->number_value()) : 0;
+    };
+    const server::JsonValue* threshold =
+        recorder->Find("slow_threshold_seconds");
+    std::printf(
+        "recorder: %llu recorded, %llu slow, %llu errors, %llu retained "
+        "(slow threshold %.0fms)\n",
+        stat("recorded"), stat("slow"), stat("errors"), stat("retained"),
+        threshold ? threshold->number_value() * 1e3 : 0.0);
+  }
+  const server::JsonValue* traces = recorder->Find("traces");
+  if (!traces || !traces->is_array() || traces->array_items().empty()) {
+    std::printf("no traces retained (is tracing enabled on the server?)\n");
+    return Status::OK();
+  }
+  for (const server::JsonValue& trace : traces->array_items()) {
+    const auto num = [&](const char* key) -> double {
+      const server::JsonValue* v = trace.Find(key);
+      return v ? v->number_value() : 0.0;
+    };
+    const server::JsonValue* op = trace.Find("op");
+    const server::JsonValue* error = trace.Find("error");
+    const server::JsonValue* status = trace.Find("status");
+    std::printf("\n#%llu %s  %.3fms%s\n",
+                static_cast<unsigned long long>(num("request_id")),
+                op && op->is_string() ? op->string_value().c_str() : "?",
+                num("duration_ms"),
+                error && error->is_bool() && error->bool_value() ? "  ERROR"
+                                                                 : "");
+    if (status && status->is_string()) {
+      std::printf("    status: %s\n", status->string_value().c_str());
+    }
+    if (const server::JsonValue* counts = trace.Find("counts")) {
+      if (counts->is_object() && !counts->object_items().empty()) {
+        std::string line = "    counts:";
+        for (const auto& [key, value] : counts->object_items()) {
+          line += StringPrintf(
+              " %s=%llu", key.c_str(),
+              static_cast<unsigned long long>(value.number_value()));
+        }
+        std::printf("%s\n", line.c_str());
+      }
+    }
+    const server::JsonValue* spans = trace.Find("spans");
+    if (spans && spans->is_array()) {
+      PrintSpanSubtree(spans->array_items(), -1, 0);
+    }
+    if (const server::JsonValue* dropped = trace.Find("dropped_spans")) {
+      std::printf("    (%llu spans dropped by the width/depth bound)\n",
+                  static_cast<unsigned long long>(dropped->number_value()));
+    }
+  }
+  return Status::OK();
+}
+
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: fuzzymatch_cli <gen|corrupt|build|match> [flags]\n"
+      "usage: fuzzymatch_cli <gen|corrupt|build|match|trace> [flags]\n"
       "  gen     --out ref.csv [--rows N] [--seed S]\n"
       "  corrupt --ref ref.csv --out dirty.csv [--inputs N]\n"
       "          [--profile D1|D2|D3] [--seed S] [--seeds]\n"
@@ -437,7 +551,8 @@ void PrintUsage() {
       "          [--load-threshold C] [--threads N] [--build-threads N]\n"
       "          [--temp-dir DIR] [--metrics [FILE]]\n"
       "          [--accel-budget-mb MB] [--tuple-cache-mb MB]\n"
-      "          [--verbose]\n");
+      "          [--verbose]\n"
+      "  trace   --port P [--host A] [--limit N] [--json]\n");
 }
 
 }  // namespace
@@ -461,6 +576,8 @@ int main(int argc, char** argv) {
     status = CmdBuild(args);
   } else if (command == "match") {
     status = CmdMatch(args);
+  } else if (command == "trace") {
+    status = CmdTrace(args);
   } else {
     PrintUsage();
     return 2;

@@ -37,6 +37,10 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/fuzzy_match.h"
+#include "fault/failpoint.h"
+#include "obs/log.h"
+#include "obs/process_metrics.h"
+#include "obs/trace.h"
 #include "server/server.h"
 
 using namespace fuzzymatch;
@@ -236,25 +240,39 @@ Status Run(const Args& args) {
       const int64_t idle_ms,
       GetIntInRange(args, "idle-timeout-ms", 30000, 0, 86400000));
   options.idle_timeout_ms = static_cast<int>(idle_ms);
+  FM_ASSIGN_OR_RETURN(const int64_t slow_ms,
+                      GetIntInRange(args, "slow-trace-ms", 100, 1, 3600000));
+  options.slow_trace_ms = static_cast<int>(slow_ms);
+  FM_ASSIGN_OR_RETURN(
+      const int64_t recorder_cap,
+      GetIntInRange(args, "recorder-capacity", 64, 1, 1 << 16));
+  options.recorder_capacity = static_cast<size_t>(recorder_cap);
+  if (args.Has("no-trace")) {
+    obs::SetTracingEnabled(false);
+  }
+
+  // Out-of-band fault arming for harnesses driving this process (e.g.
+  // tools/ci.sh obscheck injects a sleep to exercise slow-query capture).
+  FM_RETURN_IF_ERROR(fault::ArmFromEnv());
 
   FM_ASSIGN_OR_RETURN(auto db, Database::Open(DatabaseOptions{
                                    .path = "", .pool_pages = 64 * 1024}));
   FM_ASSIGN_OR_RETURN(Table * ref, LoadCsvTable(db.get(), "ref", ref_path));
-  std::printf("loaded %llu reference tuples from %s\n",
-              static_cast<unsigned long long>(ref->row_count()),
-              ref_path.c_str());
+  FM_SLOG(Info, "server.reference_loaded")
+      .Field("tuples", ref->row_count())
+      .Field("path", ref_path);
 
   FM_ASSIGN_OR_RETURN(auto matcher,
                       FuzzyMatcher::Build(db.get(), "ref", config));
-  std::printf("built ETI %s in %.2fs (%llu rows)\n",
-              config.eti.StrategyName().c_str(),
-              matcher->build_stats().total_seconds,
-              static_cast<unsigned long long>(matcher->build_stats().eti_rows));
+  FM_SLOG(Info, "server.eti_built")
+      .Field("strategy", config.eti.StrategyName())
+      .Field("seconds", matcher->build_stats().total_seconds)
+      .Field("rows", matcher->build_stats().eti_rows);
   if (const EtiAccel* accel = matcher->eti().accelerator()) {
-    std::printf("ETI accelerator: %zu entries resident (%.1f MiB, %s)\n",
-                accel->entry_count(),
-                static_cast<double>(accel->memory_bytes()) / (1u << 20),
-                accel->complete() ? "complete" : "partial");
+    FM_SLOG(Info, "server.accel_attached")
+        .Field("entries", static_cast<uint64_t>(accel->entry_count()))
+        .Field("bytes", static_cast<uint64_t>(accel->memory_bytes()))
+        .Field("complete", accel->complete());
   }
 
   server::MatchServer srv(matcher.get(), clean_options, options);
@@ -271,6 +289,18 @@ Status Run(const Args& args) {
   ::signal(SIGPIPE, SIG_IGN);
 
   FM_RETURN_IF_ERROR(srv.Start());
+  const obs::BuildInfo& build = obs::GetBuildInfo();
+  FM_SLOG(Info, "server.start")
+      .Field("host", options.host)
+      .Field("port", static_cast<uint64_t>(srv.port()))
+      .Field("workers", static_cast<uint64_t>(options.workers))
+      .Field("queue", static_cast<uint64_t>(options.queue_capacity))
+      .Field("slow_trace_ms", options.slow_trace_ms)
+      .Field("tracing", obs::TracingEnabled())
+      .Field("version", build.version)
+      .Field("build_type", build.build_type);
+  // Keep one human-facing line so `fuzzymatch_server &` in a shell still
+  // shows where to connect.
   std::printf("serving on %s:%u (%zu workers, queue %zu); "
               "SIGTERM drains gracefully\n",
               options.host.c_str(), srv.port(), options.workers,
@@ -281,12 +311,12 @@ Status Run(const Args& args) {
   char byte;
   while (::read(g_stop_pipe[0], &byte, 1) < 0 && errno == EINTR) {
   }
-  std::printf("stop requested; draining...\n");
+  FM_SLOG(Info, "server.drain");
   srv.Shutdown();
   g_server = nullptr;
-  std::printf("served %llu requests (%llu shed); bye\n",
-              static_cast<unsigned long long>(srv.responses_sent()),
-              static_cast<unsigned long long>(srv.shed_requests()));
+  FM_SLOG(Info, "server.stop")
+      .Field("responses", srv.responses_sent())
+      .Field("shed", srv.shed_requests());
   return Status::OK();
 }
 
@@ -297,7 +327,11 @@ void PrintUsage() {
       "         [--workers N] [--queue N] [--max-conns N]\n"
       "         [--idle-timeout-ms N] [--q N] [--h N] [--tokens] [--k N]\n"
       "         [--threshold C] [--load-threshold C] [--build-threads N]\n"
-      "         [--accel-budget-mb MB] [--tuple-cache-mb MB] [--verbose]\n");
+      "         [--accel-budget-mb MB] [--tuple-cache-mb MB]\n"
+      "         [--slow-trace-ms N] [--recorder-capacity N] [--no-trace]\n"
+      "         [--verbose]\n"
+      "env: FM_FAILPOINTS=\"name=sleep:MS,name=error\" arms failpoints\n"
+      "     at startup (builds with -DFM_FAILPOINTS=ON only)\n");
 }
 
 }  // namespace
