@@ -81,6 +81,12 @@ Result<std::unique_ptr<FuzzyMatcher>> FuzzyMatcher::Open(
   return Open(db, ref_table_name, strategy_name, std::move(config));
 }
 
+void FuzzyMatcher::OverrideWeights(IdfWeights weights) {
+  weights_ = std::make_unique<IdfWeights>(std::move(weights));
+  matcher_ = std::make_unique<EtiMatcher>(ref_, eti_.get(), weights_.get(),
+                                          config_.matcher);
+}
+
 Result<Tid> FuzzyMatcher::InsertReferenceTuple(const Row& row) {
   FM_ASSIGN_OR_RETURN(const Tid tid, ref_->Insert(row));
   const Tokenizer tokenizer = eti_->MakeTokenizer();

@@ -21,6 +21,7 @@
 #include "common/result.h"
 #include "eti/eti_builder.h"
 #include "match/eti_matcher.h"
+#include "match/match_source.h"
 #include "match/match_types.h"
 #include "storage/database.h"
 
@@ -59,7 +60,7 @@ struct FuzzyMatchConfig {
 /// internally synchronized). InsertReferenceTuple/RemoveReferenceTuple
 /// are writers and remain exclusive: do not run them concurrently with
 /// queries or each other.
-class FuzzyMatcher {
+class FuzzyMatcher : public MatchSource {
  public:
   /// Builds the ETI and weight table for `ref_table_name` inside `db` and
   /// returns a ready matcher. The ETI persists in `db` as a standard
@@ -99,13 +100,33 @@ class FuzzyMatcher {
 
   /// The K-fuzzy-match operation for one input tuple: at most K reference
   /// tuples with fms >= c, most similar first.
-  Result<std::vector<Match>> FindMatches(const Row& input,
-                                   QueryStats* stats = nullptr) const {
+  Result<std::vector<Match>> FindMatches(
+      const Row& input, QueryStats* stats = nullptr) const override {
     return matcher_->FindMatches(input, stats);
   }
 
   /// Fetches a matched reference tuple.
-  Result<Row> GetReferenceTuple(Tid tid) const { return ref_->Get(tid); }
+  Result<Row> GetReferenceTuple(Tid tid) const override {
+    return ref_->Get(tid);
+  }
+
+  const Schema& reference_schema() const override { return ref_->schema(); }
+
+  /// Replaces the IDF weight table and rebuilds the query engine around
+  /// it. The sharded tier uses this to install weights computed over the
+  /// FULL reference relation, so per-shard similarities are identical to
+  /// the single-database matcher's. Not thread-safe: call before serving
+  /// queries.
+  void OverrideWeights(IdfWeights weights);
+
+  /// A fresh query engine over this matcher's reference table, ETI and
+  /// weights — its own tuple cache and stats, shared (read-only) index.
+  /// Replica handles of the sharded read fan-out are built from these.
+  /// The matcher must outlive the returned engine.
+  std::unique_ptr<EtiMatcher> NewQueryEngine() const {
+    return std::make_unique<EtiMatcher>(ref_, eti_.get(), weights_.get(),
+                                        config_.matcher);
+  }
 
   const Table& reference() const { return *ref_; }
   const Eti& eti() const { return *eti_; }

@@ -33,9 +33,12 @@ class TopScores {
         break;
       }
     }
+    // Score ties order by tid ascending so the kept set (and which tid
+    // is dropped at the limit) never depends on update order.
     auto pos = std::find_if(
-        entries_.begin(), entries_.end(),
-        [&](const auto& e) { return score > e.second; });
+        entries_.begin(), entries_.end(), [&](const auto& e) {
+          return score > e.second || (score == e.second && tid < e.first);
+        });
     if (pos == entries_.end()) {
       if (entries_.size() < limit_) {
         entries_.emplace_back(tid, score);
@@ -332,7 +335,9 @@ Result<std::vector<Match>> EtiMatcher::FindMatchesImpl(
   for (const auto& [score, tid] : candidates) {
     const double upper = ScoreUpperBound(score);
     const double kth = collector.KthBest();
-    if (kth >= 0.0 && upper <= kth) {
+    // Strict inequality: a candidate whose bound exactly equals the K-th
+    // similarity could still tie and win on the tid tie-break.
+    if (kth >= 0.0 && upper < kth) {
       break;  // nothing left can displace the current top K
     }
     FM_ASSIGN_OR_RETURN(const double sim,

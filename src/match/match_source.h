@@ -1,0 +1,39 @@
+// MatchSource: the minimal query-side contract a serving component needs
+// from a fuzzy-match engine — find top-K matches for a row and fetch the
+// reference tuple behind a match. Both the single-database FuzzyMatcher
+// and the sharded scatter/gather coordinator implement it, so
+// BatchCleaner and MatchServer run unchanged against either topology.
+
+#ifndef FUZZYMATCH_MATCH_MATCH_SOURCE_H_
+#define FUZZYMATCH_MATCH_MATCH_SOURCE_H_
+
+#include <vector>
+
+#include "match/match_types.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace fuzzymatch {
+
+/// Thread safety: implementations must allow concurrent FindMatches /
+/// GetReferenceTuple calls once construction has finished, matching the
+/// read-side contract of FuzzyMatcher.
+class MatchSource {
+ public:
+  virtual ~MatchSource() = default;
+
+  /// Returns the K reference tuples most similar to `input`, best first,
+  /// with ties broken by ascending tid.
+  virtual Result<std::vector<Match>> FindMatches(
+      const Row& input, QueryStats* stats = nullptr) const = 0;
+
+  /// Fetches the reference tuple behind a match result.
+  virtual Result<Row> GetReferenceTuple(Tid tid) const = 0;
+
+  /// Schema of the reference relation (shared by all shards, if any).
+  virtual const Schema& reference_schema() const = 0;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_MATCH_MATCH_SOURCE_H_

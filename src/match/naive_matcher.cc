@@ -22,11 +22,24 @@ obs::Histogram& NaiveQuerySeconds() {
   return *h;
 }
 
+// Min-heap on (similarity, then tid descending): the root is the entry
+// that deterministically loses first, so score ties evict the larger tid
+// and the retained set never depends on insertion order.
 struct HeapLess {
   bool operator()(const Match& a, const Match& b) const {
-    return a.similarity > b.similarity;  // min-heap on similarity
+    if (a.similarity != b.similarity) {
+      return a.similarity > b.similarity;
+    }
+    return a.tid < b.tid;
   }
 };
+
+bool Beats(Tid tid, double similarity, const Match& worst) {
+  if (similarity != worst.similarity) {
+    return similarity > worst.similarity;
+  }
+  return tid < worst.tid;
+}
 }  // namespace
 
 void TopKCollector::Offer(Tid tid, double similarity) {
@@ -38,7 +51,7 @@ void TopKCollector::Offer(Tid tid, double similarity) {
     std::push_heap(heap_.begin(), heap_.end(), HeapLess());
     return;
   }
-  if (similarity > heap_.front().similarity) {
+  if (Beats(tid, similarity, heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), HeapLess());
     heap_.back() = Match{tid, similarity};
     std::push_heap(heap_.begin(), heap_.end(), HeapLess());

@@ -16,6 +16,7 @@
 #include "obs/process_metrics.h"
 #include "obs/trace.h"
 #include "server/json.h"
+#include "shard/sharded_matcher.h"
 
 namespace fuzzymatch {
 namespace server {
@@ -66,8 +67,24 @@ obs::Counter& QueryErrorsCounter() {
 MatchServer::MatchServer(const FuzzyMatcher* matcher,
                          BatchCleaner::Options clean_options,
                          ServerOptions options)
-    : matcher_(matcher),
-      cleaner_(matcher, clean_options),
+    : MatchServer(matcher, matcher, nullptr, std::move(clean_options),
+                  std::move(options)) {}
+
+MatchServer::MatchServer(const shard::ShardedMatcher* matcher,
+                         BatchCleaner::Options clean_options,
+                         ServerOptions options)
+    : MatchServer(matcher, nullptr, matcher, std::move(clean_options),
+                  std::move(options)) {}
+
+MatchServer::MatchServer(const MatchSource* source,
+                         const FuzzyMatcher* single,
+                         const shard::ShardedMatcher* sharded,
+                         BatchCleaner::Options clean_options,
+                         ServerOptions options)
+    : source_(source),
+      single_(single),
+      sharded_(sharded),
+      cleaner_(source, clean_options),
       options_(std::move(options)),
       queue_(options_.queue_capacity) {}
 
@@ -439,7 +456,7 @@ void MatchServer::WorkerLoop(size_t worker_index) {
 
 std::string MatchServer::HandleQuery(const Request& request) {
   FM_TRACE_SPAN("server.handle_query");
-  const size_t want = matcher_->reference().schema().num_columns();
+  const size_t want = source_->reference_schema().num_columns();
   if (request.row.size() != want) {
     return RenderErrorResponse(StringPrintf(
         "row arity %zu does not match reference arity %zu",
@@ -456,7 +473,7 @@ std::string MatchServer::HandleQuery(const Request& request) {
 }
 
 std::string MatchServer::HandleMatch(const Request& request) {
-  auto matches = matcher_->FindMatches(request.row);
+  auto matches = source_->FindMatches(request.row);
   if (!matches.ok()) {
     QueryErrorsCounter().Increment();
     return RenderStatusResponse(matches.status());
@@ -464,7 +481,7 @@ std::string MatchServer::HandleMatch(const Request& request) {
   std::vector<MatchWithRow> enriched;
   enriched.reserve(matches->size());
   for (const Match& m : *matches) {
-    auto row = matcher_->GetReferenceTuple(m.tid);
+    auto row = source_->GetReferenceTuple(m.tid);
     if (!row.ok()) {
       QueryErrorsCounter().Increment();
       // This fetch is outside the matcher's boundary; stamp the trace
@@ -562,28 +579,60 @@ std::string MatchServer::HandleStatusz() const {
                    reg.GetCounter("server.parse_errors")->value())));
   obj.Set("counters", std::move(counters));
 
-  JsonValue accel_obj = JsonValue::Object();
-  const EtiAccel* accel = matcher_->eti().accelerator();
-  accel_obj.Set("present", JsonValue::Bool(accel != nullptr));
-  if (accel != nullptr) {
-    accel_obj.Set("complete", JsonValue::Bool(accel->complete()));
-    accel_obj.Set("entries", JsonValue::Number(
-                                 static_cast<double>(accel->entry_count())));
-    accel_obj.Set("bytes", JsonValue::Number(
-                               static_cast<double>(accel->memory_bytes())));
-  }
-  obj.Set("accel", std::move(accel_obj));
+  if (single_ != nullptr) {
+    JsonValue accel_obj = JsonValue::Object();
+    const EtiAccel* accel = single_->eti().accelerator();
+    accel_obj.Set("present", JsonValue::Bool(accel != nullptr));
+    if (accel != nullptr) {
+      accel_obj.Set("complete", JsonValue::Bool(accel->complete()));
+      accel_obj.Set("entries",
+                    JsonValue::Number(
+                        static_cast<double>(accel->entry_count())));
+      accel_obj.Set("bytes",
+                    JsonValue::Number(
+                        static_cast<double>(accel->memory_bytes())));
+    }
+    obj.Set("accel", std::move(accel_obj));
 
-  JsonValue cache_obj = JsonValue::Object();
-  const TupleCache& cache = matcher_->eti_matcher().tuple_cache();
-  cache_obj.Set("enabled", JsonValue::Bool(cache.enabled()));
-  if (cache.enabled()) {
-    cache_obj.Set("entries", JsonValue::Number(
-                                 static_cast<double>(cache.entry_count())));
-    cache_obj.Set("bytes", JsonValue::Number(
-                               static_cast<double>(cache.memory_bytes())));
+    JsonValue cache_obj = JsonValue::Object();
+    const TupleCache& cache = single_->eti_matcher().tuple_cache();
+    cache_obj.Set("enabled", JsonValue::Bool(cache.enabled()));
+    if (cache.enabled()) {
+      cache_obj.Set("entries",
+                    JsonValue::Number(
+                        static_cast<double>(cache.entry_count())));
+      cache_obj.Set("bytes",
+                    JsonValue::Number(
+                        static_cast<double>(cache.memory_bytes())));
+    }
+    obj.Set("tuple_cache", std::move(cache_obj));
   }
-  obj.Set("tuple_cache", std::move(cache_obj));
+
+  if (sharded_ != nullptr) {
+    JsonValue shards = JsonValue::Array();
+    for (size_t k = 0; k < sharded_->num_shards(); ++k) {
+      const FuzzyMatcher& shard = sharded_->router().shard(k);
+      const AggregateStats stats = sharded_->shard_aggregate_stats(k);
+      JsonValue s = JsonValue::Object();
+      s.Set("index", JsonValue::Number(static_cast<double>(k)));
+      s.Set("tuples", JsonValue::Number(static_cast<double>(
+                          shard.reference().row_count())));
+      s.Set("queue_depth", JsonValue::Number(static_cast<double>(
+                               sharded_->queue_depth(k))));
+      s.Set("replicas", JsonValue::Number(static_cast<double>(
+                            sharded_->replicas_per_shard())));
+      s.Set("queries",
+            JsonValue::Number(static_cast<double>(stats.queries)));
+      s.Set("candidates",
+            JsonValue::Number(static_cast<double>(stats.candidates)));
+      s.Set("osc_short_circuits",
+            JsonValue::Number(static_cast<double>(stats.osc_succeeded)));
+      s.Set("accel_present",
+            JsonValue::Bool(shard.eti().accelerator() != nullptr));
+      shards.Append(std::move(s));
+    }
+    obj.Set("shards", std::move(shards));
+  }
 
   JsonValue rec_obj = JsonValue::Object();
   rec_obj.Set("recorded", JsonValue::Number(

@@ -1,0 +1,298 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "text/idf_weights.h"
+#include "text/token_frequency.h"
+#include "text/tokenizer.h"
+
+namespace fuzzymatch {
+namespace shard {
+
+namespace {
+
+constexpr char kRefTableName[] = "ref";
+constexpr char kShardMapName[] = "ref_shardmap";
+constexpr char kShardInfoName[] = "ref_shardinfo";
+
+Row MakeValueRow(const std::string& value) {
+  Row row;
+  row.emplace_back(value);
+  return row;
+}
+
+Row MakeInfoRow(const std::string& key, const std::string& value) {
+  Row row;
+  row.emplace_back(key);
+  row.emplace_back(value);
+  return row;
+}
+
+Result<uint64_t> ParseUint(const std::optional<std::string>& field,
+                           const char* what) {
+  if (!field.has_value() || field->empty()) {
+    return Status::Corruption(StringPrintf("shard %s field missing", what));
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(field->c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::Corruption(
+        StringPrintf("shard %s field not a number: %s", what,
+                     field->c_str()));
+  }
+  return static_cast<uint64_t>(value);
+}
+
+}  // namespace
+
+size_t ShardOfTid(Tid global_tid, size_t num_shards) {
+  if (num_shards <= 1) {
+    return 0;
+  }
+  return static_cast<size_t>(Mix64(global_tid) %
+                             static_cast<uint64_t>(num_shards));
+}
+
+std::string ShardDbPath(const std::string& base, size_t k) {
+  return base + ".shard" + std::to_string(k);
+}
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Build(
+    Table* ref, const FuzzyMatchConfig& config, const Options& options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  auto router = std::unique_ptr<ShardRouter>(new ShardRouter());
+  router->shards_.resize(options.num_shards);
+
+  // One shard database each, with the partition table, the local->global
+  // tid map, and a small info table guarding against topology mismatch
+  // at Open time.
+  std::vector<Table*> ref_tables(options.num_shards);
+  std::vector<Table*> map_tables(options.num_shards);
+  for (size_t k = 0; k < options.num_shards; ++k) {
+    DatabaseOptions db_options;
+    if (!options.db_path_base.empty()) {
+      db_options.path = ShardDbPath(options.db_path_base, k);
+    }
+    db_options.pool_pages = options.pool_pages;
+    FM_ASSIGN_OR_RETURN(router->shards_[k].db,
+                        Database::Open(std::move(db_options)));
+    Database* db = router->shards_[k].db.get();
+    FM_ASSIGN_OR_RETURN(ref_tables[k],
+                        db->CreateTable(kRefTableName, ref->schema()));
+    FM_ASSIGN_OR_RETURN(
+        map_tables[k],
+        db->CreateTable(kShardMapName, Schema({"gtid"})));
+  }
+
+  // Partition in one scan. Scan order is tid order for this append-only
+  // engine, so each shard's local tids come out in increasing global-tid
+  // order — the mapping stays binary-searchable.
+  {
+    Table::Scanner scanner = ref->Scan();
+    Tid gtid;
+    Row row;
+    for (;;) {
+      FM_ASSIGN_OR_RETURN(const bool more, scanner.Next(&gtid, &row));
+      if (!more) break;
+      const size_t k = ShardOfTid(gtid, options.num_shards);
+      Shard& shard = router->shards_[k];
+      if (!shard.local_to_global.empty() &&
+          gtid <= shard.local_to_global.back()) {
+        return Status::Internal(
+            "reference scan produced non-increasing tids; shard mapping "
+            "would not be searchable");
+      }
+      FM_ASSIGN_OR_RETURN(const Tid local, ref_tables[k]->Insert(row));
+      if (static_cast<size_t>(local) != shard.local_to_global.size()) {
+        return Status::Internal(
+            StringPrintf("shard %zu assigned local tid %u to row %zu",
+                         k, local, shard.local_to_global.size()));
+      }
+      FM_RETURN_IF_ERROR(
+          map_tables[k]->Insert(MakeValueRow(std::to_string(gtid)))
+              .status());
+      shard.local_to_global.push_back(gtid);
+      ++router->total_tuples_;
+    }
+  }
+
+  for (size_t k = 0; k < options.num_shards; ++k) {
+    Database* db = router->shards_[k].db.get();
+    FM_ASSIGN_OR_RETURN(Table * info,
+                        db->CreateTable(kShardInfoName,
+                                        Schema({"key", "value"})));
+    FM_RETURN_IF_ERROR(
+        info->Insert(MakeInfoRow("shard_index", std::to_string(k)))
+            .status());
+    FM_RETURN_IF_ERROR(
+        info->Insert(MakeInfoRow("shard_count",
+                                 std::to_string(options.num_shards)))
+            .status());
+    FM_ASSIGN_OR_RETURN(
+        router->shards_[k].matcher,
+        FuzzyMatcher::Build(db, kRefTableName, config));
+  }
+
+  FM_RETURN_IF_ERROR(router->InstallGlobalWeights(config));
+  return router;
+}
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(
+    const std::string& db_path_base, size_t num_shards,
+    const std::string& strategy_name, const FuzzyMatchConfig& config,
+    size_t pool_pages) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (db_path_base.empty()) {
+    return Status::InvalidArgument(
+        "ShardRouter::Open needs a file-backed db_path_base");
+  }
+  auto router = std::unique_ptr<ShardRouter>(new ShardRouter());
+  router->shards_.resize(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    DatabaseOptions db_options;
+    db_options.path = ShardDbPath(db_path_base, k);
+    db_options.pool_pages = pool_pages;
+    FM_ASSIGN_OR_RETURN(router->shards_[k].db,
+                        Database::Open(std::move(db_options)));
+    Database* db = router->shards_[k].db.get();
+
+    FM_ASSIGN_OR_RETURN(Table * info, db->GetTable(kShardInfoName));
+    Table::Scanner info_scan = info->Scan();
+    Tid tid;
+    Row row;
+    uint64_t stored_index = num_shards;
+    uint64_t stored_count = 0;
+    for (;;) {
+      FM_ASSIGN_OR_RETURN(const bool more, info_scan.Next(&tid, &row));
+      if (!more) break;
+      if (row.size() != 2 || !row[0].has_value()) continue;
+      if (*row[0] == "shard_index") {
+        FM_ASSIGN_OR_RETURN(stored_index, ParseUint(row[1], "shard_index"));
+      } else if (*row[0] == "shard_count") {
+        FM_ASSIGN_OR_RETURN(stored_count, ParseUint(row[1], "shard_count"));
+      }
+    }
+    if (stored_index != k || stored_count != num_shards) {
+      return Status::InvalidArgument(StringPrintf(
+          "shard database %s was built as shard %llu of %llu, opened as "
+          "shard %zu of %zu",
+          ShardDbPath(db_path_base, k).c_str(),
+          static_cast<unsigned long long>(stored_index),
+          static_cast<unsigned long long>(stored_count), k, num_shards));
+    }
+
+    FM_ASSIGN_OR_RETURN(Table * map, db->GetTable(kShardMapName));
+    Table::Scanner map_scan = map->Scan();
+    std::vector<Tid>& mapping = router->shards_[k].local_to_global;
+    mapping.reserve(map->row_count());
+    for (;;) {
+      FM_ASSIGN_OR_RETURN(const bool more, map_scan.Next(&tid, &row));
+      if (!more) break;
+      if (row.size() != 1) {
+        return Status::Corruption("malformed shard map row");
+      }
+      FM_ASSIGN_OR_RETURN(const uint64_t gtid, ParseUint(row[0], "gtid"));
+      if (!mapping.empty() && gtid <= mapping.back()) {
+        return Status::Corruption("shard map tids not increasing");
+      }
+      mapping.push_back(static_cast<Tid>(gtid));
+    }
+    router->total_tuples_ += mapping.size();
+
+    FM_ASSIGN_OR_RETURN(
+        router->shards_[k].matcher,
+        FuzzyMatcher::Open(db, kRefTableName, strategy_name, config));
+    if (router->shards_[k].matcher->reference().row_count() !=
+        mapping.size()) {
+      return Status::Corruption(
+          "shard map size does not match shard reference table");
+    }
+  }
+  FM_RETURN_IF_ERROR(router->InstallGlobalWeights(config));
+  return router;
+}
+
+Status ShardRouter::InstallGlobalWeights(const FuzzyMatchConfig& config) {
+  // Replays the single-database reference scan exactly: tuples feed the
+  // builder in GLOBAL tid order, merged across the shards' (sorted)
+  // local->global maps. Counts alone would commute, but the average
+  // weight of unseen tokens is a float summation over the cache in
+  // iteration order — which follows insertion order — so a shard-by-
+  // shard scan could differ from EtiBuilder's weights by a few ULPs and
+  // break byte-identity with the single-database matcher.
+  IdfWeights::Builder builder(MakeFrequencyCache(
+      config.cache_kind, config.bounded_cache_buckets));
+  const Tokenizer tokenizer = shards_[0].matcher->eti().MakeTokenizer();
+  std::vector<size_t> next(shards_.size(), 0);
+  for (uint64_t processed = 0; processed < total_tuples_; ++processed) {
+    size_t best = shards_.size();
+    Tid best_gtid = 0;
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      if (next[k] >= shards_[k].local_to_global.size()) continue;
+      const Tid gtid = shards_[k].local_to_global[next[k]];
+      if (best == shards_.size() || gtid < best_gtid) {
+        best = k;
+        best_gtid = gtid;
+      }
+    }
+    if (best == shards_.size()) {
+      return Status::Internal("shard maps smaller than total tuple count");
+    }
+    FM_ASSIGN_OR_RETURN(
+        const Row row,
+        shards_[best].matcher->GetReferenceTuple(
+            static_cast<Tid>(next[best])));
+    builder.AddTuple(tokenizer.TokenizeTuple(row));
+    ++next[best];
+  }
+  const IdfWeights global = builder.Finish();
+  for (Shard& shard : shards_) {
+    shard.matcher->OverrideWeights(global);
+  }
+  return Status::OK();
+}
+
+Status ShardRouter::Checkpoint() {
+  for (Shard& shard : shards_) {
+    if (!shard.db->path().empty()) {
+      FM_RETURN_IF_ERROR(shard.db->Checkpoint());
+    }
+  }
+  return Status::OK();
+}
+
+Result<Tid> ShardRouter::GlobalTid(size_t k, Tid local) const {
+  if (k >= shards_.size() ||
+      local >= shards_[k].local_to_global.size()) {
+    return Status::InvalidArgument(
+        StringPrintf("no local tid %u in shard %zu", local, k));
+  }
+  return shards_[k].local_to_global[local];
+}
+
+Result<std::pair<size_t, Tid>> ShardRouter::Locate(Tid global) const {
+  const size_t k = ShardOfTid(global, shards_.size());
+  const std::vector<Tid>& mapping = shards_[k].local_to_global;
+  const auto it =
+      std::lower_bound(mapping.begin(), mapping.end(), global);
+  if (it == mapping.end() || *it != global) {
+    return Status::NotFound(
+        StringPrintf("tid %u not in any shard", global));
+  }
+  return std::make_pair(
+      k, static_cast<Tid>(std::distance(mapping.begin(), it)));
+}
+
+const Schema& ShardRouter::reference_schema() const {
+  return shards_[0].matcher->reference().schema();
+}
+
+}  // namespace shard
+}  // namespace fuzzymatch

@@ -1,0 +1,104 @@
+// ShardRouter: hash-partitions one reference relation into N shard
+// databases, each carrying its own ETI (+ read accelerator) built over
+// just its partition, and owns the global-tid <-> (shard, local-tid)
+// mapping.
+//
+// Partitioning is by tid (Mix64 of the global tid modulo N), decided
+// once at build time. Every shard's IDF weight table is then overridden
+// with the weights computed over the FULL relation, so a tuple scores
+// exactly the same fms against its shard's engine as it does against the
+// single-database matcher — the precondition for the scatter/gather
+// coordinator's merged output being byte-identical (DESIGN.md 5h).
+
+#ifndef FUZZYMATCH_SHARD_SHARD_ROUTER_H_
+#define FUZZYMATCH_SHARD_SHARD_ROUTER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fuzzy_match.h"
+#include "storage/database.h"
+
+namespace fuzzymatch {
+namespace shard {
+
+/// Which shard owns a global tid. Mix64 spreads the dense tid space so
+/// partitions stay balanced even for sequential tids.
+size_t ShardOfTid(Tid global_tid, size_t num_shards);
+
+/// Backing file of shard `k` for a base database path ("x.fmdb" ->
+/// "x.fmdb.shard3").
+std::string ShardDbPath(const std::string& base, size_t k);
+
+/// Thread safety: after Build()/Open() returns, all accessors and the
+/// shard matchers' query paths are safe from concurrent threads (the
+/// mapping vectors are immutable).
+class ShardRouter {
+ public:
+  struct Options {
+    size_t num_shards = 1;
+    /// Base path for the shard databases (shard k lives at
+    /// ShardDbPath(db_path_base, k)); empty keeps every shard in memory.
+    std::string db_path_base;
+    /// Buffer pool pages per shard database.
+    size_t pool_pages = 4096;
+  };
+
+  /// Partitions `ref` into Options::num_shards shard databases, builds
+  /// each shard's ETI, and installs the full-relation IDF weights on
+  /// every shard matcher. The source table is only read.
+  static Result<std::unique_ptr<ShardRouter>> Build(
+      Table* ref, const FuzzyMatchConfig& config, const Options& options);
+
+  /// Re-attaches to shard databases persisted by an earlier file-backed
+  /// Build. `strategy_name` is EtiParams::StrategyName() of the build.
+  static Result<std::unique_ptr<ShardRouter>> Open(
+      const std::string& db_path_base, size_t num_shards,
+      const std::string& strategy_name, const FuzzyMatchConfig& config,
+      size_t pool_pages = 4096);
+
+  /// Persists every shard database (no-op for in-memory shards).
+  Status Checkpoint();
+
+  size_t num_shards() const { return shards_.size(); }
+  const FuzzyMatcher& shard(size_t k) const { return *shards_[k].matcher; }
+
+  /// Global tid of shard `k`'s local tid; InvalidArgument when out of
+  /// range.
+  Result<Tid> GlobalTid(size_t k, Tid local) const;
+
+  /// Locates a global tid as (shard index, local tid); NotFound when the
+  /// tid is not in any shard.
+  Result<std::pair<size_t, Tid>> Locate(Tid global) const;
+
+  /// Schema of the reference relation (identical across shards).
+  const Schema& reference_schema() const;
+
+  uint64_t total_reference_tuples() const { return total_tuples_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<Database> db;
+    std::unique_ptr<FuzzyMatcher> matcher;
+    /// local tid -> global tid; strictly increasing (partitioning
+    /// preserves scan order), so global -> local is a binary search.
+    std::vector<Tid> local_to_global;
+  };
+
+  ShardRouter() = default;
+
+  /// Shared tail of Build/Open: per-shard matchers exist, mappings are
+  /// loaded; computes the full-relation weights (one scan over all
+  /// shards) and overrides every shard matcher's weight table.
+  Status InstallGlobalWeights(const FuzzyMatchConfig& config);
+
+  std::vector<Shard> shards_;
+  uint64_t total_tuples_ = 0;
+};
+
+}  // namespace shard
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_SHARD_SHARD_ROUTER_H_

@@ -1,0 +1,192 @@
+// ShardRouter tests: hash partitioning and the tid mapping, global
+// (full-relation) weight override, and the persistence roundtrip of
+// file-backed shard databases.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "gen/customer_gen.h"
+#include "shard/shard_router.h"
+
+namespace fuzzymatch {
+namespace shard {
+namespace {
+
+std::string TempBasePath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name + "_" +
+         std::to_string(::getpid()) + ".fmdb";
+}
+
+Result<Table*> PopulateCustomers(Database* db, size_t n) {
+  FM_ASSIGN_OR_RETURN(
+      Table * table,
+      db->CreateTable("customers", CustomerGenerator::CustomerSchema()));
+  CustomerGenOptions options;
+  options.num_tuples = n;
+  CustomerGenerator gen(options);
+  FM_RETURN_IF_ERROR(gen.Populate(table));
+  return table;
+}
+
+TEST(ShardOfTidTest, IsStableAndInRange) {
+  for (Tid tid = 0; tid < 1000; ++tid) {
+    const size_t k = ShardOfTid(tid, 4);
+    EXPECT_LT(k, 4u);
+    EXPECT_EQ(k, ShardOfTid(tid, 4));  // pure function of (tid, N)
+  }
+  EXPECT_EQ(ShardOfTid(12345, 1), 0u);
+}
+
+TEST(ShardRouterTest, PartitionCoversEveryTupleExactlyOnce) {
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  auto ref = PopulateCustomers(db->get(), 600);
+  ASSERT_TRUE(ref.ok());
+
+  FuzzyMatchConfig config;
+  ShardRouter::Options options;
+  options.num_shards = 4;
+  auto router = ShardRouter::Build(*ref, config, options);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  EXPECT_EQ((*router)->num_shards(), 4u);
+  EXPECT_EQ((*router)->total_reference_tuples(), 600u);
+  uint64_t shard_total = 0;
+  for (size_t k = 0; k < 4; ++k) {
+    const uint64_t rows = (*router)->shard(k).reference().row_count();
+    EXPECT_GT(rows, 0u);  // Mix64 spreads 600 tids over 4 shards
+    shard_total += rows;
+  }
+  EXPECT_EQ(shard_total, 600u);
+
+  // Every global tid locates to exactly its hash shard, holds the same
+  // row, and the mapping round-trips.
+  for (Tid gtid = 0; gtid < 600; ++gtid) {
+    auto location = (*router)->Locate(gtid);
+    ASSERT_TRUE(location.ok()) << location.status();
+    EXPECT_EQ(location->first, ShardOfTid(gtid, 4));
+    auto back = (*router)->GlobalTid(location->first, location->second);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, gtid);
+
+    auto original = (*ref)->Get(gtid);
+    auto sharded = (*router)
+                       ->shard(location->first)
+                       .GetReferenceTuple(location->second);
+    ASSERT_TRUE(original.ok() && sharded.ok());
+    EXPECT_EQ(*original, *sharded);
+  }
+  EXPECT_TRUE((*router)->Locate(600).status().IsNotFound());
+}
+
+TEST(ShardRouterTest, MoreShardsThanTuplesLeavesEmptyShards) {
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  auto ref = PopulateCustomers(db->get(), 3);
+  ASSERT_TRUE(ref.ok());
+
+  FuzzyMatchConfig config;
+  ShardRouter::Options options;
+  options.num_shards = 8;
+  auto router = ShardRouter::Build(*ref, config, options);
+  ASSERT_TRUE(router.ok()) << router.status();
+  uint64_t total = 0;
+  for (size_t k = 0; k < 8; ++k) {
+    total += (*router)->shard(k).reference().row_count();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(ShardRouterTest, ShardWeightsMatchSingleDatabaseWeights) {
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  auto ref = PopulateCustomers(db->get(), 500);
+  ASSERT_TRUE(ref.ok());
+
+  FuzzyMatchConfig config;
+  auto single = FuzzyMatcher::Build(db->get(), "customers", config);
+  ASSERT_TRUE(single.ok());
+
+  ShardRouter::Options options;
+  options.num_shards = 3;
+  auto router = ShardRouter::Build(*ref, config, options);
+  ASSERT_TRUE(router.ok()) << router.status();
+
+  // Weight table identical on every shard: spot-check the tokens of a
+  // handful of reference tuples against the single-database weights.
+  const Tokenizer tokenizer;
+  for (Tid gtid = 0; gtid < 500; gtid += 97) {
+    auto row = (*ref)->Get(gtid);
+    ASSERT_TRUE(row.ok());
+    const TokenizedTuple tokens = tokenizer.TokenizeTuple(*row);
+    for (uint32_t col = 0; col < tokens.size(); ++col) {
+      for (const std::string& token : tokens[col]) {
+        const double expected = (*single)->weights().Weight(token, col);
+        for (size_t k = 0; k < (*router)->num_shards(); ++k) {
+          EXPECT_DOUBLE_EQ((*router)->shard(k).weights().Weight(token, col),
+                           expected)
+              << "token " << token << " col " << col << " shard " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardRouterTest, PersistsAndReopensWithIdenticalAnswers) {
+  const std::string base = TempBasePath("shard_router");
+  FuzzyMatchConfig config;
+  std::vector<Row> probes;
+
+  {
+    auto db = Database::Open(DatabaseOptions{});
+    ASSERT_TRUE(db.ok());
+    auto ref = PopulateCustomers(db->get(), 400);
+    ASSERT_TRUE(ref.ok());
+    for (Tid tid = 0; tid < 400; tid += 41) {
+      auto row = (*ref)->Get(tid);
+      ASSERT_TRUE(row.ok());
+      probes.push_back(*row);
+    }
+
+    ShardRouter::Options options;
+    options.num_shards = 4;
+    options.db_path_base = base;
+    auto router = ShardRouter::Build(*ref, config, options);
+    ASSERT_TRUE(router.ok()) << router.status();
+    ASSERT_TRUE((*router)->Checkpoint().ok());
+  }
+
+  const std::string strategy = config.eti.StrategyName();
+  auto reopened = ShardRouter::Open(base, 4, strategy, config);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->total_reference_tuples(), 400u);
+  for (Tid gtid = 0; gtid < 400; ++gtid) {
+    auto location = (*reopened)->Locate(gtid);
+    ASSERT_TRUE(location.ok());
+    EXPECT_EQ(location->first, ShardOfTid(gtid, 4));
+  }
+  // Per-shard engines answer (probing a shard engine directly: an exact
+  // copy of a reference row must come back as a similarity-1.0 match).
+  for (const Row& probe : probes) {
+    bool found = false;
+    for (size_t k = 0; k < 4 && !found; ++k) {
+      auto matches = (*reopened)->shard(k).FindMatches(probe);
+      ASSERT_TRUE(matches.ok());
+      found = !matches->empty() && (*matches)[0].similarity >= 1.0;
+    }
+    EXPECT_TRUE(found);
+  }
+
+  // Mismatched topology is refused.
+  EXPECT_FALSE(ShardRouter::Open(base, 2, strategy, config).ok());
+
+  for (size_t k = 0; k < 4; ++k) {
+    std::remove(ShardDbPath(base, k).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace fuzzymatch

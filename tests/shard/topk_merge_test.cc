@@ -1,0 +1,104 @@
+// Unit tests for the k-way top-K merge at the heart of the scatter/
+// gather coordinator: ordering, deterministic tie-breaks, K larger than
+// any per-shard list, and empty shards.
+
+#include <gtest/gtest.h>
+
+#include "shard/sharded_matcher.h"
+
+namespace fuzzymatch {
+namespace shard {
+namespace {
+
+std::vector<Match> List(std::initializer_list<Match> matches) {
+  return std::vector<Match>(matches);
+}
+
+TEST(TopKMergeTest, MergesSortedListsBestFirst) {
+  const std::vector<std::vector<Match>> per_shard = {
+      List({{10, 0.9}, {11, 0.5}}),
+      List({{20, 0.8}, {21, 0.4}}),
+      List({{30, 0.7}}),
+  };
+  const std::vector<Match> merged = MergeTopK(per_shard, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0], (Match{10, 0.9}));
+  EXPECT_EQ(merged[1], (Match{20, 0.8}));
+  EXPECT_EQ(merged[2], (Match{30, 0.7}));
+}
+
+TEST(TopKMergeTest, ScoreTiesBreakByAscendingTid) {
+  // The tied tids arrive from different shards in "wrong" shard order;
+  // the merge must still emit them by ascending tid.
+  const std::vector<std::vector<Match>> per_shard = {
+      List({{42, 0.75}}),
+      List({{7, 0.75}}),
+      List({{19, 0.75}}),
+  };
+  const std::vector<Match> merged = MergeTopK(per_shard, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].tid, 7u);
+  EXPECT_EQ(merged[1].tid, 19u);
+  EXPECT_EQ(merged[2].tid, 42u);
+}
+
+TEST(TopKMergeTest, TieAtTheCutBoundaryKeepsSmallestTid) {
+  const std::vector<std::vector<Match>> per_shard = {
+      List({{100, 0.9}, {50, 0.6}}),
+      List({{8, 0.6}}),
+  };
+  const std::vector<Match> merged = MergeTopK(per_shard, 2);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], (Match{100, 0.9}));
+  // 8 and 50 tie at 0.6; the smaller tid takes the last slot.
+  EXPECT_EQ(merged[1], (Match{8, 0.6}));
+}
+
+TEST(TopKMergeTest, KLargerThanEveryPerShardList) {
+  const std::vector<std::vector<Match>> per_shard = {
+      List({{1, 0.9}}),
+      List({{2, 0.3}}),
+  };
+  const std::vector<Match> merged = MergeTopK(per_shard, 10);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].tid, 1u);
+  EXPECT_EQ(merged[1].tid, 2u);
+}
+
+TEST(TopKMergeTest, EmptyShardsAreSkipped) {
+  const std::vector<std::vector<Match>> per_shard = {
+      {},
+      List({{5, 0.5}}),
+      {},
+      {},
+  };
+  const std::vector<Match> merged = MergeTopK(per_shard, 2);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].tid, 5u);
+}
+
+TEST(TopKMergeTest, AllShardsEmpty) {
+  EXPECT_TRUE(MergeTopK({{}, {}, {}}, 4).empty());
+  EXPECT_TRUE(MergeTopK({}, 4).empty());
+}
+
+TEST(TopKMergeTest, KZeroReturnsNothing) {
+  const std::vector<std::vector<Match>> per_shard = {List({{1, 0.9}})};
+  EXPECT_TRUE(MergeTopK(per_shard, 0).empty());
+}
+
+TEST(TopKMergeTest, TruncatesToK) {
+  const std::vector<std::vector<Match>> per_shard = {
+      List({{1, 0.9}, {2, 0.8}, {3, 0.7}}),
+      List({{4, 0.85}, {5, 0.65}}),
+  };
+  const std::vector<Match> merged = MergeTopK(per_shard, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].tid, 1u);
+  EXPECT_EQ(merged[1].tid, 4u);
+  EXPECT_EQ(merged[2].tid, 2u);
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace fuzzymatch

@@ -14,6 +14,10 @@
 #                          # sleep, and the tracing-overhead budget
 #   tools/ci.sh buildcheck # parallel ETI build determinism: 1-thread vs
 #                          # 4-thread builds must be byte-identical
+#   tools/ci.sh shardcheck # sharded serving tier: 4-shard match output vs
+#                          # single-engine under the conservative bound
+#                          # policy, sharded test suite under TSan, and a
+#                          # bench_serving shard-scaling metrics archive
 #
 # Build trees live under build-ci-* so they never collide with a
 # developer's ./build. JOBS defaults to the machine's core count.
@@ -268,6 +272,72 @@ run_buildcheck() {
   fi
 }
 
+# The sharded tier is a pure topology change: scatter/gather over N
+# per-shard ETI engines must answer exactly what one engine over the
+# whole relation answers. Under the conservative bound policy that
+# equivalence is byte-exact (DESIGN.md 5h), so cmp(1) enforces it over
+# a real CLI round trip; the lossy policies only promise never-worse
+# and are covered by the unit suite. The same suite then runs under
+# ThreadSanitizer — the coordinator's worker pool plus per-shard engines
+# is the newest concurrent surface — and bench_serving archives the
+# shard-scaling rows + shard.* metrics for post-hoc comparison.
+run_shardcheck() {
+  echo "=== [ci] shardcheck: scatter/gather equivalence + TSan + metrics ==="
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build build-ci-release -j "$JOBS" --target \
+        fuzzymatch_cli bench_serving
+  local cli=build-ci-release/tools/fuzzymatch_cli
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+  "$cli" gen --out "$tmp/ref.csv" --rows 2000 --seed 42
+  "$cli" corrupt --ref "$tmp/ref.csv" --out "$tmp/dirty.csv" --inputs 200
+
+  # A 4-shard build must persist one database file per shard.
+  "$cli" build --ref "$tmp/ref.csv" --db "$tmp/store.fmdb" --tokens \
+        --shards 4
+  for k in 0 1 2 3; do
+    test -s "$tmp/store.fmdb.shard$k"
+  done
+  echo "[ci] 4-shard build persisted store.fmdb.shard{0..3}"
+
+  "$cli" match --ref "$tmp/ref.csv" --input "$tmp/dirty.csv" \
+        --out "$tmp/out.single.csv" --tokens --bound-policy conservative
+  "$cli" match --ref "$tmp/ref.csv" --input "$tmp/dirty.csv" \
+        --out "$tmp/out.sharded.csv" --tokens --bound-policy conservative \
+        --shards 4 --replicas-per-shard 2
+  cmp "$tmp/out.single.csv" "$tmp/out.sharded.csv"
+  echo "[ci] match output byte-identical with 1 engine and 4 shards"
+
+  cmake -B build-ci-shard-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DFM_SANITIZE=thread > /dev/null
+  cmake --build build-ci-shard-tsan -j "$JOBS" --target \
+        topk_merge_test shard_router_test sharded_equivalence_test
+  FM_TEST_SEED="${FM_TEST_SEED:-101}" \
+    ctest --test-dir build-ci-shard-tsan --output-on-failure -j "$JOBS" \
+        -R 'TopKMergeTest|ShardOfTidTest|ShardRouterTest|ShardedEquivalenceTest'
+
+  # Archive the shard-scaling sweep (QPS at 1/2/4/8 shards plus the
+  # shard.* gauge family) next to the other bench artifacts.
+  mkdir -p bench_results
+  FM_REF_SIZE=2000 FM_NUM_INPUTS=150 FM_MAX_WORKERS=2 \
+    FM_METRICS_DIR=bench_results \
+    build-ci-release/bench/bench_serving
+  mv bench_results/bench_serving.metrics.json \
+     bench_results/bench_serving.sharded.metrics.json
+  python3 - bench_results/bench_serving.sharded.metrics.json <<'PYEOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+names = set(metrics["counters"]) | set(metrics["gauges"]) \
+        | set(metrics["histograms"])
+for want in ("bench_serving.sharded_qps_s1", "bench_serving.sharded_qps_s4",
+             "shard.fanout_tasks", "shard.queries_s0", "shard.merge_seconds"):
+    assert want in names, f"sharded metrics archive missing {want}"
+print("[ci] sharded metrics archived: "
+      "bench_results/bench_serving.sharded.metrics.json")
+PYEOF
+}
+
 case "$STAGE" in
   release)    run_release ;;
   tsan)       run_sanitizer thread build-ci-tsan ;;
@@ -276,6 +346,7 @@ case "$STAGE" in
   perfsmoke)  run_perfsmoke ;;
   obscheck)   run_obscheck ;;
   buildcheck) run_buildcheck ;;
+  shardcheck) run_shardcheck ;;
   all)
     run_release
     run_sanitizer thread build-ci-tsan
@@ -284,9 +355,10 @@ case "$STAGE" in
     run_perfsmoke
     run_obscheck
     run_buildcheck
+    run_shardcheck
     ;;
   *)
-    echo "usage: tools/ci.sh [release|tsan|asan|faultcheck|perfsmoke|obscheck|buildcheck|all]" >&2
+    echo "usage: tools/ci.sh [release|tsan|asan|faultcheck|perfsmoke|obscheck|buildcheck|shardcheck|all]" >&2
     exit 2
     ;;
 esac

@@ -13,9 +13,11 @@
 // type, and counts shed ("overloaded") and error responses separately.
 // --metrics-out writes the run's summary as one JSON object (overall +
 // per-op breakdown), in the same shape the bench harnesses archive under
-// bench_results/. --watch polls the server's statusz endpoint on a side
-// connection during the run and prints one live line per interval
-// (busy workers, queue depth, shed/error counts, slow traces, RSS).
+// bench_results/. --watch polls the server's statusz and tracez
+// endpoints on a side connection during the run and prints one live line
+// per interval (busy workers, queue depth, shed/error counts, flight-
+// recorder slow/error outliers, RSS, and — against a sharded server —
+// the per-shard scatter-queue depths).
 
 #include <algorithm>
 #include <atomic>
@@ -237,16 +239,50 @@ void WatchLoop(const std::string& host, uint16_t port, double interval_s,
       const server::JsonValue* v = s->Find(key);
       return v == nullptr ? 0.0 : v->number_value();
     };
+    // Flight-recorder outliers come from tracez, not statusz: the
+    // recorder's slow/error tallies are the authoritative count of
+    // requests that crossed the slow threshold or failed.
+    double trace_slow = 0.0;
+    double trace_errors = 0.0;
+    if (auto outliers = client.Roundtrip("tracez 1"); outliers.ok()) {
+      if (auto odoc = server::ParseJson(*outliers);
+          odoc.ok() && odoc->is_object()) {
+        if (const server::JsonValue* recorder = odoc->Find("recorder")) {
+          if (const server::JsonValue* stats = recorder->Find("stats")) {
+            if (const server::JsonValue* v = stats->Find("slow")) {
+              trace_slow = v->number_value();
+            }
+            if (const server::JsonValue* v = stats->Find("errors")) {
+              trace_errors = v->number_value();
+            }
+          }
+        }
+      }
+    }
+    // Sharded servers expose one statusz entry per shard; the live line
+    // shows each shard's scatter-queue depth.
+    std::string shard_queues;
+    if (const server::JsonValue* shards = doc->Find("shards");
+        shards != nullptr && shards->is_array()) {
+      for (const server::JsonValue& one : shards->array_items()) {
+        if (!shard_queues.empty()) shard_queues.push_back(',');
+        const server::JsonValue* depth = one.Find("queue_depth");
+        shard_queues += StringPrintf(
+            "%.0f", depth != nullptr ? depth->number_value() : 0.0);
+      }
+    }
     std::printf(
         "[watch] up=%.0fs busy=%zu/%zu queue=%.0f/%.0f shed=%.0f "
-        "errors=%.0f slow=%.0f rss=%.0fMB\n",
+        "errors=%.0f outliers=%.0f slow/%.0f err rss=%.0fMB%s%s%s\n",
         doc->Find("uptime_seconds") != nullptr
             ? doc->Find("uptime_seconds")->number_value()
             : 0.0,
         busy, workers, number_at("queue", "depth"),
         number_at("queue", "capacity"), number_at("counters", "shed"),
-        number_at("counters", "query_errors"), number_at("recorder", "slow"),
-        number_at("process", "rss_bytes") / (1 << 20));
+        number_at("counters", "query_errors"), trace_slow, trace_errors,
+        number_at("process", "rss_bytes") / (1 << 20),
+        shard_queues.empty() ? "" : " shardq=[",
+        shard_queues.c_str(), shard_queues.empty() ? "" : "]");
     std::fflush(stdout);
     // Sleep in small steps so shutdown is prompt.
     for (double slept = 0.0;

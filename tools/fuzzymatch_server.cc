@@ -42,6 +42,8 @@
 #include "obs/process_metrics.h"
 #include "obs/trace.h"
 #include "server/server.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_matcher.h"
 
 using namespace fuzzymatch;
 
@@ -255,6 +257,12 @@ Status Run(const Args& args) {
   // tools/ci.sh obscheck injects a sleep to exercise slow-query capture).
   FM_RETURN_IF_ERROR(fault::ArmFromEnv());
 
+  FM_ASSIGN_OR_RETURN(
+      const int64_t shards, GetIntInRange(args, "shards", 1, 1, 1024));
+  FM_ASSIGN_OR_RETURN(
+      const int64_t replicas,
+      GetIntInRange(args, "replicas-per-shard", 1, 1, 64));
+
   FM_ASSIGN_OR_RETURN(auto db, Database::Open(DatabaseOptions{
                                    .path = "", .pool_pages = 64 * 1024}));
   FM_ASSIGN_OR_RETURN(Table * ref, LoadCsvTable(db.get(), "ref", ref_path));
@@ -262,25 +270,55 @@ Status Run(const Args& args) {
       .Field("tuples", ref->row_count())
       .Field("path", ref_path);
 
-  FM_ASSIGN_OR_RETURN(auto matcher,
-                      FuzzyMatcher::Build(db.get(), "ref", config));
-  FM_SLOG(Info, "server.eti_built")
-      .Field("strategy", config.eti.StrategyName())
-      .Field("seconds", matcher->build_stats().total_seconds)
-      .Field("rows", matcher->build_stats().eti_rows);
-  if (const EtiAccel* accel = matcher->eti().accelerator()) {
-    FM_SLOG(Info, "server.accel_attached")
-        .Field("entries", static_cast<uint64_t>(accel->entry_count()))
-        .Field("bytes", static_cast<uint64_t>(accel->memory_bytes()))
-        .Field("complete", accel->complete());
+  // Single-database engine, or a scatter/gather tier of per-shard
+  // engines hosted in-process — the protocol surface is identical and
+  // statusz grows a per-shard section.
+  std::unique_ptr<FuzzyMatcher> matcher;
+  std::unique_ptr<shard::ShardRouter> router;
+  std::unique_ptr<shard::ShardedMatcher> sharded;
+  if (shards > 1) {
+    shard::ShardRouter::Options router_options;
+    router_options.num_shards = static_cast<size_t>(shards);
+    FM_ASSIGN_OR_RETURN(router,
+                        shard::ShardRouter::Build(ref, config, router_options));
+    shard::ShardedMatcher::Options sharded_options;
+    sharded_options.replicas_per_shard = static_cast<size_t>(replicas);
+    FM_ASSIGN_OR_RETURN(sharded, shard::ShardedMatcher::Create(
+                                     router.get(), sharded_options));
+    for (size_t k = 0; k < router->num_shards(); ++k) {
+      FM_SLOG(Info, "server.shard_built")
+          .Field("shard", static_cast<uint64_t>(k))
+          .Field("tuples", router->shard(k).reference().row_count())
+          .Field("seconds", router->shard(k).build_stats().total_seconds);
+    }
+  } else {
+    FM_ASSIGN_OR_RETURN(matcher,
+                        FuzzyMatcher::Build(db.get(), "ref", config));
+    FM_SLOG(Info, "server.eti_built")
+        .Field("strategy", config.eti.StrategyName())
+        .Field("seconds", matcher->build_stats().total_seconds)
+        .Field("rows", matcher->build_stats().eti_rows);
+    if (const EtiAccel* accel = matcher->eti().accelerator()) {
+      FM_SLOG(Info, "server.accel_attached")
+          .Field("entries", static_cast<uint64_t>(accel->entry_count()))
+          .Field("bytes", static_cast<uint64_t>(accel->memory_bytes()))
+          .Field("complete", accel->complete());
+    }
   }
 
-  server::MatchServer srv(matcher.get(), clean_options, options);
+  std::unique_ptr<server::MatchServer> srv;
+  if (sharded != nullptr) {
+    srv = std::make_unique<server::MatchServer>(sharded.get(),
+                                                clean_options, options);
+  } else {
+    srv = std::make_unique<server::MatchServer>(matcher.get(),
+                                                clean_options, options);
+  }
 
   if (::pipe(g_stop_pipe) != 0) {
     return Status::IOError("pipe: " + std::string(std::strerror(errno)));
   }
-  g_server = &srv;
+  g_server = srv.get();
   struct sigaction sa;
   std::memset(&sa, 0, sizeof(sa));
   sa.sa_handler = HandleStopSignal;
@@ -288,11 +326,11 @@ Status Run(const Args& args) {
   ::sigaction(SIGINT, &sa, nullptr);
   ::signal(SIGPIPE, SIG_IGN);
 
-  FM_RETURN_IF_ERROR(srv.Start());
+  FM_RETURN_IF_ERROR(srv->Start());
   const obs::BuildInfo& build = obs::GetBuildInfo();
   FM_SLOG(Info, "server.start")
       .Field("host", options.host)
-      .Field("port", static_cast<uint64_t>(srv.port()))
+      .Field("port", static_cast<uint64_t>(srv->port()))
       .Field("workers", static_cast<uint64_t>(options.workers))
       .Field("queue", static_cast<uint64_t>(options.queue_capacity))
       .Field("slow_trace_ms", options.slow_trace_ms)
@@ -303,7 +341,7 @@ Status Run(const Args& args) {
   // shows where to connect.
   std::printf("serving on %s:%u (%zu workers, queue %zu); "
               "SIGTERM drains gracefully\n",
-              options.host.c_str(), srv.port(), options.workers,
+              options.host.c_str(), srv->port(), options.workers,
               options.queue_capacity);
   std::fflush(stdout);
 
@@ -312,11 +350,11 @@ Status Run(const Args& args) {
   while (::read(g_stop_pipe[0], &byte, 1) < 0 && errno == EINTR) {
   }
   FM_SLOG(Info, "server.drain");
-  srv.Shutdown();
+  srv->Shutdown();
   g_server = nullptr;
   FM_SLOG(Info, "server.stop")
-      .Field("responses", srv.responses_sent())
-      .Field("shed", srv.shed_requests());
+      .Field("responses", srv->responses_sent())
+      .Field("shed", srv->shed_requests());
   return Status::OK();
 }
 
