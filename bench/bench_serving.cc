@@ -40,6 +40,7 @@
 #include "server/protocol.h"
 #include "server/server.h"
 #include "shard/sharded_matcher.h"
+#include "support/alloc_counter.h"
 #include "support/bench_env.h"
 
 using namespace fuzzymatch;
@@ -179,7 +180,11 @@ Status RunBench() {
               env.ref_size, rows.size(), hw);
 
   // Serial ground truth: outcomes, rendered response lines, and the
-  // 1-thread batch time every ratio is against.
+  // 1-thread batch time every ratio is against. The allocation counter
+  // around it reports heap allocations per query — the scratch-reuse
+  // regression check (DESIGN.md 5i): matcher hot loops reuse per-thread
+  // buffers, so the steady-state number must stay small and flat.
+  const uint64_t serial_allocs_before = AllocationCount();
   const double serial_start = Now();
   std::vector<std::string> expected(rows.size());
   std::vector<std::string> requests(rows.size());
@@ -197,29 +202,44 @@ Status RunBench() {
   const double serial_seconds = Now() - serial_start;
   const double serial_qps =
       static_cast<double>(rows.size()) / serial_seconds;
-  std::printf("serial CleanBatch: %.3fs (%.0f q/s)\n\n", serial_seconds,
-              serial_qps);
+  const double serial_allocs_per_query =
+      static_cast<double>(AllocationCount() - serial_allocs_before) /
+      static_cast<double>(rows.size());
+  std::printf("serial CleanBatch: %.3fs (%.0f q/s, %.1f allocs/query)\n\n",
+              serial_seconds, serial_qps, serial_allocs_per_query);
 
   auto& reg = obs::MetricsRegistry::Global();
   reg.GetGauge("bench_serving.hardware_concurrency")
       ->Set(static_cast<double>(hw));
   reg.GetGauge("bench_serving.serial_qps")->Set(serial_qps);
+  reg.GetGauge("bench_serving.serial_allocs_per_query")
+      ->Set(serial_allocs_per_query);
 
   PrintRow({"mode", "workers", "seconds", "q/s", "vs-serial", "p50ms",
             "p95ms", "p99ms"});
 
-  // Sweep 1: in-process parallel batch (no sockets).
+  // Sweep 1: in-process parallel batch (no sockets). The per-worker
+  // thread_local scratch means allocations/query should not grow with
+  // worker count once each worker has warmed its buffers.
   for (const size_t w : sweep) {
+    const uint64_t allocs_before = AllocationCount();
     const double t0 = Now();
     FM_ASSIGN_OR_RETURN(const CleanStats stats,
                         cleaner.CleanBatchParallel(rows, w));
     const double seconds = Now() - t0;
     const double qps = static_cast<double>(stats.processed) / seconds;
+    const double allocs_per_query =
+        static_cast<double>(AllocationCount() - allocs_before) /
+        static_cast<double>(stats.processed);
     PrintRow({"in-process", std::to_string(w),
               StringPrintf("%.3f", seconds), StringPrintf("%.0f", qps),
-              StringPrintf("%.2fx", qps / serial_qps), "-", "-", "-"});
+              StringPrintf("%.2fx", qps / serial_qps),
+              StringPrintf("%.1fa/q", allocs_per_query), "-", "-"});
     reg.GetGauge("bench_serving.inprocess_qps_w" + std::to_string(w))
         ->Set(qps);
+    reg.GetGauge("bench_serving.inprocess_allocs_per_query_w" +
+                 std::to_string(w))
+        ->Set(allocs_per_query);
   }
 
   // Sweep 2: the full server over loopback, clients == workers.

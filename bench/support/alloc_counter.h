@@ -1,0 +1,26 @@
+// Process-wide heap-allocation counter for the bench harnesses: linking
+// this TU replaces global operator new/delete with malloc/free wrappers
+// that bump a relaxed atomic, so a bench can report allocations-per-query
+// and catch hot-path regressions (the scratch-reuse contract of
+// DESIGN.md 5i is "zero steady-state allocations in the probe loop").
+//
+// Intentionally bench-only: the wrappers are linked into bench binaries
+// through fm_bench_support, never into the library targets, so shipped
+// code paths are unchanged. Over-aligned allocations keep the library
+// default operators (a consistent pair) and are not counted.
+
+#ifndef FUZZYMATCH_BENCH_SUPPORT_ALLOC_COUNTER_H_
+#define FUZZYMATCH_BENCH_SUPPORT_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace fuzzymatch {
+namespace bench {
+
+/// Global operator new/new[] calls since process start (all threads).
+uint64_t AllocationCount();
+
+}  // namespace bench
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_BENCH_SUPPORT_ALLOC_COUNTER_H_

@@ -32,6 +32,8 @@ Result<std::unique_ptr<FuzzyMatcher>> FuzzyMatcher::Assemble(
     FM_RETURN_IF_ERROR(matcher->eti_->AttachAccelerator(
         EtiAccelOptions{matcher->config_.accel_memory_bytes}));
   }
+  FM_RETURN_IF_ERROR(
+      matcher->eti_->SetLookupPath(matcher->config_.lookup_path));
   matcher->weights_ = std::make_unique<IdfWeights>(std::move(built.weights));
   matcher->build_stats_ = built.stats;
   matcher->matcher_ = std::make_unique<EtiMatcher>(

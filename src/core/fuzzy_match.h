@@ -50,6 +50,10 @@ struct FuzzyMatchConfig {
   /// persisted index at Build/Open time (DESIGN.md 5d); 0 disables it and
   /// every probe takes the B-tree path.
   size_t accel_memory_bytes = 64u << 20;
+  /// Lookup-path ablation variant (DESIGN.md 5i): scalar | simd |
+  /// learned. Match output is byte-identical across variants; they
+  /// differ only in hot-path speed.
+  LookupPath lookup_path = LookupPath::kSimd;
 };
 
 /// A built fuzzy-match operator over one reference relation.

@@ -105,11 +105,16 @@ Result<EtiEntry> Eti::DecodeEntry(const Row& row) {
 
 void Eti::InvalidateAccel(std::string_view gram, uint32_t coordinate,
                           uint32_t column) {
-  if (accel_ == nullptr) {
+  if (accel_ == nullptr && learned_ == nullptr) {
     return;
   }
   FM_FAIL_POINT_VOID("eti.accel_invalidate");
-  accel_->Invalidate(gram, coordinate, column);
+  if (accel_ != nullptr) {
+    accel_->Invalidate(gram, coordinate, column);
+  }
+  if (learned_ != nullptr) {
+    learned_->Invalidate(IndexKey(gram, coordinate, column));
+  }
 }
 
 Status Eti::MutateEntry(std::string_view gram, uint32_t coordinate,
@@ -384,10 +389,49 @@ Result<std::optional<EtiEntry>> Eti::Lookup(std::string_view gram,
 Result<EtiLookupView> Eti::LookupInto(std::string_view gram,
                                       uint32_t coordinate, uint32_t column,
                                       EtiScratch* scratch) const {
+  const uint64_t hash =
+      accel_probes_active() ? ProbeHash(gram, coordinate, column) : 0;
+  return LookupHashed(hash, gram, coordinate, column, scratch);
+}
+
+Result<EtiLookupView> Eti::LookupHashed(uint64_t hash, std::string_view gram,
+                                        uint32_t coordinate, uint32_t column,
+                                        EtiScratch* scratch) const {
   ProbesCounter().Increment();
-  if (accel_) {
+  // Staged encoded key: the learned route needs it up front, the B-tree
+  // route below needs it on fallback. Built at most once per probe, into
+  // scratch capacity.
+  bool key_staged = false;
+  const auto stage_key = [&]() {
+    if (!key_staged) {
+      KeyEncoder enc;
+      enc.Adopt(std::move(scratch->key));
+      enc.AppendString(gram).AppendU32(coordinate).AppendU32(column);
+      scratch->key = enc.Take();
+      key_staged = true;
+    }
+  };
+
+  if (lookup_path_ == LookupPath::kLearned && learned_ != nullptr) {
+    stage_key();
     EtiLookupView view;
-    switch (accel_->Probe(gram, coordinate, column, &scratch->tids, &view)) {
+    switch (learned_->Probe(scratch->key, decode_level_, &scratch->tids,
+                            &view)) {
+      case LearnedOffsets::Outcome::kHit:
+        ProbeHitsCounter().Increment();
+        obs::AddTraceCount("accel_hits", 1);
+        return view;
+      case LearnedOffsets::Outcome::kNegative:
+        obs::AddTraceCount("accel_hits", 1);
+        return EtiLookupView{};
+      case LearnedOffsets::Outcome::kFallback:
+        obs::AddTraceCount("accel_fallbacks", 1);
+        break;  // consult the B-tree
+    }
+  } else if (accel_) {
+    EtiLookupView view;
+    switch (accel_->ProbeHashed(hash, gram, coordinate, column,
+                                &scratch->tids, &view)) {
       case EtiAccel::Outcome::kHit:
         ProbeHitsCounter().Increment();
         obs::AddTraceCount("accel_hits", 1);
@@ -400,8 +444,8 @@ Result<EtiLookupView> Eti::LookupInto(std::string_view gram,
         break;  // consult the B-tree
     }
   }
-  const std::string key = IndexKey(gram, coordinate, column);
-  auto rid_bytes = index_->Get(key);
+  stage_key();
+  auto rid_bytes = index_->Get(scratch->key);
   if (!rid_bytes.ok()) {
     if (rid_bytes.status().IsNotFound()) {
       return EtiLookupView{};
@@ -422,7 +466,8 @@ Result<EtiLookupView> Eti::LookupInto(std::string_view gram,
     return view;
   }
   TidListBytesCounter().Increment(row[4]->size());
-  FM_RETURN_IF_ERROR(DecodeTidListInto(*row[4], &scratch->tids));
+  FM_RETURN_IF_ERROR(
+      DecodeTidListInto(decode_level_, *row[4], &scratch->tids));
   view.tids = scratch->tids.data();
   view.num_tids = scratch->tids.size();
   ProbeHitsCounter().Increment();
@@ -431,6 +476,24 @@ Result<EtiLookupView> Eti::LookupInto(std::string_view gram,
 
 Status Eti::AttachAccelerator(const EtiAccelOptions& options) {
   FM_ASSIGN_OR_RETURN(accel_, EtiAccel::Build(rows_, options));
+  accel_->SetDecodeLevel(decode_level_);
+  return Status::OK();
+}
+
+Status Eti::SetLookupPath(LookupPath path) {
+  lookup_path_ = path;
+  decode_level_ = path == LookupPath::kScalar ? SimdLevel::kScalar
+                                              : DetectSimdLevel();
+  if (accel_ != nullptr) {
+    accel_->SetDecodeLevel(decode_level_);
+  }
+  if (path == LookupPath::kLearned && learned_ == nullptr) {
+    FM_ASSIGN_OR_RETURN(learned_,
+                        LearnedOffsets::Build(rows_, LearnedOffsetsOptions{}));
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("lookup.variant")
+      ->Set(static_cast<double>(path));
   return Status::OK();
 }
 

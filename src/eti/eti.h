@@ -22,6 +22,8 @@
 
 #include "common/result.h"
 #include "eti/eti_accel.h"
+#include "eti/learned_offsets.h"
+#include "eti/lookup_path.h"
 #include "storage/btree.h"
 #include "storage/database.h"
 #include "storage/table.h"
@@ -68,6 +70,8 @@ struct EtiEntry {
 /// thread (or per query); its buffer capacity is reused across probes.
 struct EtiScratch {
   std::vector<Tid> tids;
+  /// Encoded-key staging for the learned and B-tree routes.
+  std::string key;
 };
 
 /// Read handle over a built ETI.
@@ -91,6 +95,47 @@ class Eti {
   Result<EtiLookupView> LookupInto(std::string_view gram,
                                    uint32_t coordinate, uint32_t column,
                                    EtiScratch* scratch) const;
+
+  /// LookupInto with the accelerator probe hash precomputed — the batched
+  /// probe loop computes hashes for a whole tuple, prefetches slot lines
+  /// (PrefetchProbe), then probes in order. `hash` must be
+  /// ProbeHash(gram, coordinate, column); it is ignored on routes that do
+  /// not probe the hash accelerator.
+  Result<EtiLookupView> LookupHashed(uint64_t hash, std::string_view gram,
+                                     uint32_t coordinate, uint32_t column,
+                                     EtiScratch* scratch) const;
+
+  /// The accelerator probe hash for a key (see LookupHashed).
+  static uint64_t ProbeHash(std::string_view gram, uint32_t coordinate,
+                            uint32_t column) {
+    return EtiAccel::KeyHash(gram, coordinate, column);
+  }
+
+  /// Prefetches the accelerator slot line a future LookupHashed will
+  /// touch. No-op when the hash accelerator is not on the probe route.
+  void PrefetchProbe(uint64_t hash) const {
+    if (accel_probes_active()) {
+      accel_->PrefetchSlot(hash);
+    }
+  }
+
+  /// True when probes go through the hash accelerator (so precomputing
+  /// hashes and prefetching slot lines pays off).
+  bool accel_probes_active() const {
+    return accel_ != nullptr && lookup_path_ != LookupPath::kLearned;
+  }
+
+  /// Selects the lookup-path variant (writer-phase setup, before
+  /// concurrent readers start). kScalar pins posting decode to the
+  /// scalar kernel; kSimd (the default) uses the best kernel the CPU
+  /// supports; kLearned additionally builds the learned-offset structure
+  /// over the persisted rows and routes probes through it.
+  Status SetLookupPath(LookupPath path);
+
+  LookupPath lookup_path() const { return lookup_path_; }
+
+  /// The learned-offset structure, or nullptr (telemetry and tests).
+  const LearnedOffsets* learned() const { return learned_.get(); }
 
   /// Builds the in-memory read accelerator over the persisted rows (one
   /// sequential scan, DESIGN.md 5d). Must run before concurrent readers
@@ -154,6 +199,11 @@ class Eti {
   EtiParams params_;
   /// Shared so copies of the handle keep accelerating the same tables.
   std::shared_ptr<EtiAccel> accel_;
+  std::shared_ptr<LearnedOffsets> learned_;
+  LookupPath lookup_path_ = LookupPath::kSimd;
+  /// Varint kernel for posting decode on every route (accel, learned,
+  /// B-tree); follows lookup_path_.
+  SimdLevel decode_level_ = DetectSimdLevel();
 };
 
 /// Persists/reads the build parameters of an ETI as a small side relation

@@ -283,8 +283,15 @@ Result<std::shared_ptr<EtiAccel>> EtiAccel::Build(
 EtiAccel::Outcome EtiAccel::Probe(std::string_view gram, uint32_t coordinate,
                                   uint32_t column, std::vector<Tid>* scratch,
                                   EtiLookupView* out) const {
+  return ProbeHashed(KeyHash(gram, coordinate, column), gram, coordinate,
+                     column, scratch, out);
+}
+
+EtiAccel::Outcome EtiAccel::ProbeHashed(uint64_t hash, std::string_view gram,
+                                        uint32_t coordinate, uint32_t column,
+                                        std::vector<Tid>* scratch,
+                                        EtiLookupView* out) const {
   *out = EtiLookupView{};
-  const uint64_t hash = KeyHash(gram, coordinate, column);
   const size_t mask = slots_.size() - 1;
   for (size_t i = hash & mask;; i = (i + 1) & mask) {
     const Slot& s = slots_[i];
@@ -307,7 +314,7 @@ EtiAccel::Outcome EtiAccel::Probe(std::string_view gram, uint32_t coordinate,
     }
     const std::string_view blob(post_arena_.data() + s.post_offset,
                                 s.post_len);
-    const Status decoded = DecodeTidListInto(blob, scratch);
+    const Status decoded = DecodeTidListInto(decode_level_, blob, scratch);
     if (!decoded.ok()) {
       // Defensive: a corrupt resident blob falls back to the B-tree,
       // which surfaces the corruption through the normal error path.

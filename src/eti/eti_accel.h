@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/simd_varint.h"
 #include "storage/table.h"
 
 namespace fuzzymatch {
@@ -85,6 +86,28 @@ class EtiAccel {
   /// decoded into `*scratch` and `out->tids` points at its data.
   Outcome Probe(std::string_view gram, uint32_t coordinate, uint32_t column,
                 std::vector<Tid>* scratch, EtiLookupView* out) const;
+
+  /// Probe with the key hash already computed (batched probing computes
+  /// hashes for a whole tuple up front, prefetches, then probes). `hash`
+  /// must be KeyHash(gram, coordinate, column).
+  Outcome ProbeHashed(uint64_t hash, std::string_view gram,
+                      uint32_t coordinate, uint32_t column,
+                      std::vector<Tid>* scratch, EtiLookupView* out) const;
+
+  /// The probe hash for a key — what ProbeHashed/PrefetchSlot take.
+  static uint64_t KeyHash(std::string_view gram, uint32_t coordinate,
+                          uint32_t column);
+
+  /// Issues a prefetch for the key's home slot line, so a ProbeHashed a
+  /// few probes later finds it in cache instead of stalling on DRAM.
+  void PrefetchSlot(uint64_t hash) const {
+    __builtin_prefetch(&slots_[hash & (slots_.size() - 1)]);
+  }
+
+  /// Pins the varint kernel postings decode with (writer-phase setup;
+  /// the default is the best kernel the CPU supports). The scalar
+  /// ablation variant routes through here.
+  void SetDecodeLevel(SimdLevel level) { decode_level_ = level; }
 
   /// Writer-phase coherence hook: demotes the key to a spill marker (or
   /// the whole segment to incomplete when no marker fits). Must not run
@@ -128,9 +151,6 @@ class EtiAccel {
 
   EtiAccel() = default;
 
-  static uint64_t KeyHash(std::string_view gram, uint32_t coordinate,
-                          uint32_t column);
-
   /// Probe position of the key, or the first empty slot on its chain.
   size_t FindSlot(uint64_t hash, std::string_view gram, uint32_t coordinate,
                   uint32_t column) const;
@@ -151,6 +171,7 @@ class EtiAccel {
   uint64_t rows_scanned_ = 0;
   uint64_t rows_admitted_ = 0;
   bool complete_ = false;
+  SimdLevel decode_level_ = DetectSimdLevel();
 };
 
 }  // namespace fuzzymatch

@@ -1,0 +1,338 @@
+#include "eti/learned_offsets.h"
+
+#include <chrono>
+#include <cstring>
+
+#include <algorithm>
+
+#include "eti/tid_list.h"
+#include "obs/metrics.h"
+#include "storage/key_codec.h"
+
+namespace fuzzymatch {
+
+namespace {
+
+obs::Counter& ModelHitsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("lookup.model_hits");
+  return *c;
+}
+
+obs::Counter& ModelCorrectionsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("lookup.model_corrections");
+  return *c;
+}
+
+obs::Counter& ModelFallbacksCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("lookup.model_fallbacks");
+  return *c;
+}
+
+obs::Counter& ModelNegativesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("lookup.model_negatives");
+  return *c;
+}
+
+obs::Counter& InvalidationsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "lookup.model_invalidations");
+  return *c;
+}
+
+Result<uint32_t> DecodeU32Field(const std::optional<std::string>& field) {
+  if (!field || field->size() != 4) {
+    return Status::Corruption("bad u32 field in ETI row");
+  }
+  uint32_t v;
+  std::memcpy(&v, field->data(), 4);
+  return v;
+}
+
+/// First 8 key bytes as a big-endian u64 (short keys zero-padded), so
+/// numeric order on prefixes equals memcmp order on the keys they open.
+uint64_t KeyPrefix(std::string_view key) {
+  uint64_t v = 0;
+  const size_t n = std::min<size_t>(8, key.size());
+  for (size_t i = 0; i < n; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(key[i]))
+         << (56 - 8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+uint32_t LearnedOffsets::PredictRank(const Segment& seg, uint64_t prefix) {
+  if (prefix <= seg.first_prefix) {
+    return seg.begin;
+  }
+  const double pos =
+      static_cast<double>(seg.begin) +
+      seg.slope * static_cast<double>(prefix - seg.first_prefix);
+  if (pos <= static_cast<double>(seg.begin)) {
+    return seg.begin;
+  }
+  if (pos >= static_cast<double>(seg.end - 1)) {
+    return seg.end - 1;
+  }
+  return static_cast<uint32_t>(pos + 0.5);
+}
+
+uint32_t LearnedOffsets::LowerBound(uint32_t lo, uint32_t hi,
+                                    std::string_view key) const {
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (EntryKey(entries_[mid]) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Result<std::shared_ptr<LearnedOffsets>> LearnedOffsets::Build(
+    const Table* rows, const LearnedOffsetsOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  if (options.segment_size < 2) {
+    return Status::InvalidArgument("learned segment_size must be >= 2");
+  }
+
+  auto learned = std::shared_ptr<LearnedOffsets>(new LearnedOffsets());
+  learned->entries_.reserve(rows->row_count());
+  {
+    Table::Scanner scanner = rows->Scan();
+    Tid tid;
+    Row row;
+    for (;;) {
+      FM_ASSIGN_OR_RETURN(const bool more, scanner.Next(&tid, &row));
+      if (!more) break;
+      if (row.size() != 5 || !row[0]) {
+        return Status::Corruption("ETI row has wrong arity");
+      }
+      FM_ASSIGN_OR_RETURN(const uint32_t coordinate,
+                          DecodeU32Field(row[1]));
+      FM_ASSIGN_OR_RETURN(const uint32_t column, DecodeU32Field(row[2]));
+      Entry e;
+      KeyEncoder enc;
+      enc.AppendString(*row[0]).AppendU32(coordinate).AppendU32(column);
+      const std::string& key = enc.key();
+      e.prefix = KeyPrefix(key);
+      e.key_offset = static_cast<uint32_t>(learned->key_arena_.size());
+      e.key_len = static_cast<uint32_t>(key.size());
+      learned->key_arena_.append(key);
+      FM_ASSIGN_OR_RETURN(e.frequency, DecodeU32Field(row[3]));
+      if (row[4]) {
+        e.post_offset = static_cast<uint32_t>(learned->post_arena_.size());
+        e.post_len = static_cast<uint32_t>(row[4]->size());
+        learned->post_arena_.append(*row[4]);
+        e.state = kValid;
+      } else {
+        e.state = kStop;
+      }
+      if (learned->key_arena_.size() > UINT32_MAX ||
+          learned->post_arena_.size() > UINT32_MAX) {
+        return Status::InvalidArgument(
+            "learned-offset arenas exceed 4 GiB");
+      }
+      learned->entries_.push_back(e);
+    }
+  }
+
+  std::sort(learned->entries_.begin(), learned->entries_.end(),
+            [&](const Entry& a, const Entry& b) {
+              if (a.prefix != b.prefix) {
+                return a.prefix < b.prefix;
+              }
+              return learned->EntryKey(a) < learned->EntryKey(b);
+            });
+
+  // A duplicate clustered key can appear if a row relocation was
+  // interrupted mid-update and left a superseded image behind; neither
+  // copy is trustworthy from a heap scan alone (same reasoning as
+  // EtiAccel), so the key is kept once as a tombstone and served from
+  // the B-tree.
+  size_t w = 0;
+  for (size_t r = 0; r < learned->entries_.size(); ++r) {
+    if (w > 0 && learned->EntryKey(learned->entries_[w - 1]) ==
+                     learned->EntryKey(learned->entries_[r])) {
+      learned->entries_[w - 1].state = kTombstone;
+      continue;
+    }
+    learned->entries_[w++] = learned->entries_[r];
+  }
+  learned->entries_.resize(w);
+  learned->resident_entries_ = 0;
+  for (const Entry& e : learned->entries_) {
+    if (e.state != kTombstone) {
+      ++learned->resident_entries_;
+    }
+  }
+
+  const uint32_t n = static_cast<uint32_t>(learned->entries_.size());
+  for (uint32_t begin = 0; begin < n;
+       begin += static_cast<uint32_t>(options.segment_size)) {
+    const uint32_t end = std::min<uint32_t>(
+        begin + static_cast<uint32_t>(options.segment_size), n);
+    Segment seg;
+    seg.begin = begin;
+    seg.end = end;
+    seg.first_prefix = learned->entries_[begin].prefix;
+    const uint64_t last_prefix = learned->entries_[end - 1].prefix;
+    seg.slope =
+        last_prefix > seg.first_prefix
+            ? static_cast<double>(end - 1 - begin) /
+                  static_cast<double>(last_prefix - seg.first_prefix)
+            : 0.0;
+    // Measure the exact worst rank error this line makes over its own
+    // keys, with the same arithmetic Probe will use — the bound probes
+    // rely on, not an estimate.
+    uint32_t max_err = 0;
+    for (uint32_t i = begin; i < end; ++i) {
+      const uint32_t predicted =
+          PredictRank(seg, learned->entries_[i].prefix);
+      const uint32_t err = predicted > i ? predicted - i : i - predicted;
+      max_err = std::max(max_err, err);
+    }
+    seg.max_error = max_err;
+    learned->max_error_ = std::max(learned->max_error_, max_err);
+    learned->segments_.push_back(seg);
+  }
+
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("learned.entries")
+      ->Set(static_cast<double>(learned->resident_entries_));
+  registry.GetGauge("learned.segments")
+      ->Set(static_cast<double>(learned->segments_.size()));
+  registry.GetGauge("learned.max_error")
+      ->Set(static_cast<double>(learned->max_error_));
+  registry.GetGauge("learned.bytes")
+      ->Set(static_cast<double>(learned->memory_bytes()));
+  registry.GetGauge("learned.build_seconds")->Set(seconds);
+  return learned;
+}
+
+LearnedOffsets::Outcome LearnedOffsets::FillFromEntry(
+    const Entry& e, SimdLevel level, std::vector<Tid>* scratch,
+    EtiLookupView* out) const {
+  out->found = true;
+  out->frequency = e.frequency;
+  if (e.state == kStop) {
+    out->is_stop = true;
+    return Outcome::kHit;
+  }
+  const std::string_view blob(post_arena_.data() + e.post_offset,
+                              e.post_len);
+  const Status decoded = DecodeTidListInto(level, blob, scratch);
+  if (!decoded.ok()) {
+    // Defensive: a corrupt resident blob falls back to the B-tree, which
+    // surfaces the corruption through the normal error path.
+    *out = EtiLookupView{};
+    ModelFallbacksCounter().Increment();
+    return Outcome::kFallback;
+  }
+  out->tids = scratch->data();
+  out->num_tids = scratch->size();
+  return Outcome::kHit;
+}
+
+LearnedOffsets::Outcome LearnedOffsets::Probe(std::string_view key,
+                                              SimdLevel level,
+                                              std::vector<Tid>* scratch,
+                                              EtiLookupView* out) const {
+  *out = EtiLookupView{};
+  const uint32_t n = static_cast<uint32_t>(entries_.size());
+  if (n == 0) {
+    if (complete_) {
+      ModelNegativesCounter().Increment();
+      return Outcome::kNegative;
+    }
+    ModelFallbacksCounter().Increment();
+    return Outcome::kFallback;
+  }
+
+  const uint64_t prefix = KeyPrefix(key);
+  // Last segment opening at or before the prefix. Equal-prefix runs can
+  // span segment boundaries; the edge-landing check below catches any
+  // probe this sends one segment too far right.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), prefix,
+      [](uint64_t p, const Segment& s) { return p < s.first_prefix; });
+  const Segment& seg =
+      it == segments_.begin() ? segments_.front() : *(it - 1);
+
+  const uint32_t predicted = PredictRank(seg, prefix);
+  const uint32_t lo =
+      predicted > seg.max_error ? predicted - seg.max_error : 0;
+  const uint32_t hi = std::min<uint32_t>(predicted + seg.max_error + 1, n);
+  uint32_t pos = LowerBound(lo, hi, key);
+  bool exact = pos < n && EntryKey(entries_[pos]) == key;
+  if (exact) {
+    ModelHitsCounter().Increment();
+  } else {
+    // Landing on a window edge is inconclusive (the true position may be
+    // outside); anywhere strictly inside, the bound guarantees a present
+    // key would have matched. Present keys land inside by construction,
+    // so this rescue path only fires for boundary-spanning prefix runs
+    // and absent keys near the edges.
+    const bool uncertain = (pos == lo && lo > 0) || (pos == hi && hi < n);
+    if (uncertain) {
+      pos = LowerBound(0, n, key);
+      exact = pos < n && EntryKey(entries_[pos]) == key;
+      if (exact) {
+        ModelCorrectionsCounter().Increment();
+      }
+    }
+  }
+  if (!exact) {
+    if (complete_) {
+      ModelNegativesCounter().Increment();
+      return Outcome::kNegative;
+    }
+    ModelFallbacksCounter().Increment();
+    return Outcome::kFallback;
+  }
+  const Entry& e = entries_[pos];
+  if (e.state == kTombstone) {
+    ModelFallbacksCounter().Increment();
+    return Outcome::kFallback;
+  }
+  return FillFromEntry(e, level, scratch, out);
+}
+
+void LearnedOffsets::Invalidate(std::string_view key) {
+  InvalidationsCounter().Increment();
+  const uint32_t n = static_cast<uint32_t>(entries_.size());
+  const uint32_t pos = LowerBound(0, n, key);
+  if (pos < n && EntryKey(entries_[pos]) == key) {
+    Entry& e = entries_[pos];
+    if (e.state != kTombstone) {
+      e.state = kTombstone;
+      --resident_entries_;
+      obs::MetricsRegistry::Global()
+          .GetGauge("learned.entries")
+          ->Set(static_cast<double>(resident_entries_));
+    }
+    return;
+  }
+  // A key the sorted array has never seen cannot be inserted; misses
+  // stop being authoritative so the B-tree (which has the new row) is
+  // always consulted. Correct, just slower — same degradation rule as
+  // EtiAccel's marker overflow.
+  complete_ = false;
+}
+
+size_t LearnedOffsets::memory_bytes() const {
+  return entries_.capacity() * sizeof(Entry) +
+         segments_.capacity() * sizeof(Segment) + key_arena_.capacity() +
+         post_arena_.capacity();
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,154 @@
+// LearnedOffsets: a per-segment learned model over the ETI's clustered
+// key space that predicts where a [QGram, Coordinate, Column] key's
+// posting entry lives, replacing the hash probe + B-tree walk with a
+// model evaluation and a bounded-error correction search.
+//
+// The structure is a sorted array of the persisted ETI entries (full
+// encoded clustered keys in an arena, postings kept as persisted
+// delta-varints) plus a piecewise-linear model: the array is cut into
+// fixed-size segments, and each segment stores the line through its
+// endpoint (key-prefix, rank) pairs together with the *exact* maximum
+// rank error that line makes over the segment's own keys. A probe:
+//
+//   1. projects the encoded key to a u64 prefix (its first 8 big-endian
+//      bytes — memcmp order on keys implies numeric order on prefixes);
+//   2. binary-searches the segment directory (small: n / segment_size);
+//   3. evaluates the segment's line to get a predicted rank and
+//      binary-searches only [predicted - max_error, predicted + max_error]
+//      with full-key compares.
+//
+// The error bound is exact, not probabilistic: it was measured against
+// every key in the segment at build time with the same float arithmetic
+// the probe uses, so a key that is present is always inside its window.
+// Distinct keys sharing a prefix (the same gram across coordinates)
+// collapse to one predicted rank and simply widen that segment's
+// measured error. If a window search is inconclusive (the landing spot
+// touches a window edge without an exact match), the probe falls back to
+// a whole-array binary search — the model is an accelerator, never an
+// authority. Metrics split these outcomes: lookup.model_hits (resolved
+// inside the window), lookup.model_corrections (whole-array rescue),
+// lookup.model_fallbacks (B-tree consulted).
+//
+// Maintenance coherence mirrors EtiAccel: Invalidate on a known key
+// tombstones its entry (probes then fall back to the B-tree); a key the
+// structure has never seen cannot be inserted into the sorted array, so
+// the structure degrades to incomplete and misses stop being
+// authoritative negatives. Thread safety is the repo's shared-read model
+// (DESIGN.md 5c): concurrent Probes are fine, Invalidate is writer-phase.
+
+#ifndef FUZZYMATCH_ETI_LEARNED_OFFSETS_H_
+#define FUZZYMATCH_ETI_LEARNED_OFFSETS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/simd_varint.h"
+#include "eti/eti_accel.h"
+#include "storage/table.h"
+
+namespace fuzzymatch {
+
+struct LearnedOffsetsOptions {
+  /// Entries per model segment. Smaller segments fit the key
+  /// distribution tighter (smaller correction windows) at the cost of a
+  /// larger segment directory; 256 keeps the directory ~0.4% of the
+  /// entry array while windows stay a few cache lines.
+  size_t segment_size = 256;
+};
+
+class LearnedOffsets {
+ public:
+  enum class Outcome {
+    kHit,       // entry found; *out filled
+    kNegative,  // authoritative "not indexed"
+    kFallback,  // tombstoned or incomplete miss: consult the B-tree
+  };
+
+  /// Builds the sorted entry array + model in one scan of the persisted
+  /// ETI rows. Unlike EtiAccel there is no admission budget: the learned
+  /// path is an explicit opt-in and models the whole key space (a
+  /// partial sorted array could not answer negatives).
+  static Result<std::shared_ptr<LearnedOffsets>> Build(
+      const Table* rows, const LearnedOffsetsOptions& options);
+
+  /// Probes for a full encoded clustered key (Eti::IndexKey bytes).
+  /// Postings decode into `*scratch` with the given kernel; on kHit,
+  /// `out->tids` points at scratch data.
+  Outcome Probe(std::string_view key, SimdLevel level,
+                std::vector<Tid>* scratch, EtiLookupView* out) const;
+
+  /// Writer-phase coherence hook (same contract as EtiAccel::Invalidate).
+  void Invalidate(std::string_view key);
+
+  /// True while misses are authoritative negatives (no unknown-key
+  /// invalidation has happened).
+  bool complete() const { return complete_; }
+
+  /// Non-tombstoned entries.
+  size_t entry_count() const { return resident_entries_; }
+
+  size_t segment_count() const { return segments_.size(); }
+
+  /// The largest per-segment rank error — the widest correction window
+  /// any probe can search.
+  uint32_t max_error() const { return max_error_; }
+
+  size_t memory_bytes() const;
+
+ private:
+  enum EntryState : uint8_t {
+    kValid = 0,
+    kStop = 1,       // stop q-gram: frequency real, tid-list NULL
+    kTombstone = 2,  // invalidated: consult the B-tree
+  };
+
+  struct Entry {
+    uint64_t prefix = 0;       // first 8 key bytes, big-endian
+    uint32_t key_offset = 0;   // full encoded key in key_arena_
+    uint32_t key_len = 0;
+    uint32_t post_offset = 0;  // persisted tid-list blob in post_arena_
+    uint32_t post_len = 0;
+    uint32_t frequency = 0;
+    uint8_t state = kValid;
+  };
+
+  struct Segment {
+    uint64_t first_prefix = 0;
+    double slope = 0.0;
+    uint32_t begin = 0;  // entry rank range [begin, end)
+    uint32_t end = 0;
+    uint32_t max_error = 0;
+  };
+
+  LearnedOffsets() = default;
+
+  std::string_view EntryKey(const Entry& e) const {
+    return std::string_view(key_arena_.data() + e.key_offset, e.key_len);
+  }
+
+  /// The segment's line, evaluated with the same arithmetic at build and
+  /// probe time so the measured error bound is exact.
+  static uint32_t PredictRank(const Segment& seg, uint64_t prefix);
+
+  /// lower_bound over entry ranks [lo, hi) by full encoded key.
+  uint32_t LowerBound(uint32_t lo, uint32_t hi, std::string_view key) const;
+
+  Outcome FillFromEntry(const Entry& e, SimdLevel level,
+                        std::vector<Tid>* scratch, EtiLookupView* out) const;
+
+  std::vector<Entry> entries_;    // sorted by full encoded key
+  std::vector<Segment> segments_;
+  std::string key_arena_;
+  std::string post_arena_;
+  size_t resident_entries_ = 0;
+  uint32_t max_error_ = 0;
+  bool complete_ = true;
+};
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_ETI_LEARNED_OFFSETS_H_

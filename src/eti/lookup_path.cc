@@ -1,0 +1,28 @@
+#include "eti/lookup_path.h"
+
+#include <string>
+
+namespace fuzzymatch {
+
+const char* LookupPathName(LookupPath path) {
+  switch (path) {
+    case LookupPath::kScalar:
+      return "scalar";
+    case LookupPath::kSimd:
+      return "simd";
+    case LookupPath::kLearned:
+      return "learned";
+  }
+  return "unknown";
+}
+
+Result<LookupPath> ParseLookupPath(std::string_view name) {
+  if (name == "scalar") return LookupPath::kScalar;
+  if (name == "simd") return LookupPath::kSimd;
+  if (name == "learned") return LookupPath::kLearned;
+  return Status::InvalidArgument("unknown lookup path: " +
+                                 std::string(name) +
+                                 " (want scalar|simd|learned)");
+}
+
+}  // namespace fuzzymatch

@@ -1,0 +1,39 @@
+// The ablation axis of the ETI lookup hot path (DESIGN.md 5i).
+//
+//   scalar  — hash-accelerator probes with scalar varint posting decode;
+//             the pre-optimization baseline, and the only path compiled
+//             when -DFM_SIMD=OFF.
+//   simd    — the same probe route with SIMD posting decode (best kernel
+//             the CPU supports) and software-prefetched batched probes
+//             from the matcher. The default.
+//   learned — the per-segment learned-offset structure answers probes
+//             (eti/learned_offsets.h), with B-tree fallback on miss;
+//             posting decode is SIMD.
+//
+// Every variant returns byte-identical match output at any shard count —
+// the paths differ only in how fast they find the same postings.
+
+#ifndef FUZZYMATCH_ETI_LOOKUP_PATH_H_
+#define FUZZYMATCH_ETI_LOOKUP_PATH_H_
+
+#include <string_view>
+
+#include "common/result.h"
+
+namespace fuzzymatch {
+
+enum class LookupPath : uint8_t {
+  kScalar = 0,
+  kSimd = 1,
+  kLearned = 2,
+};
+
+/// "scalar" / "simd" / "learned".
+const char* LookupPathName(LookupPath path);
+
+/// Parses a variant name; InvalidArgument on anything else.
+Result<LookupPath> ParseLookupPath(std::string_view name);
+
+}  // namespace fuzzymatch
+
+#endif  // FUZZYMATCH_ETI_LOOKUP_PATH_H_

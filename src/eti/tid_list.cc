@@ -23,20 +23,33 @@ Result<std::vector<Tid>> DecodeTidList(std::string_view blob) {
 }
 
 Status DecodeTidListInto(std::string_view blob, std::vector<Tid>* out) {
+  return DecodeTidListInto(DetectSimdLevel(), blob, out);
+}
+
+Status DecodeTidListInto(SimdLevel level, std::string_view blob,
+                         std::vector<Tid>* out) {
   out->clear();
   FM_ASSIGN_OR_RETURN(const uint64_t count, GetVarint64(&blob));
-  out->reserve(count);
-  Tid prev = 0;
-  for (uint64_t i = 0; i < count; ++i) {
-    FM_ASSIGN_OR_RETURN(const uint64_t delta, GetVarint64(&blob));
-    const Tid t = (i == 0) ? static_cast<Tid>(delta)
-                           : static_cast<Tid>(prev + delta);
-    if (i > 0 && delta == 0) {
-      return Status::Corruption("duplicate tid in tid-list");
-    }
-    out->push_back(t);
-    prev = t;
+  // Every tid takes at least one byte, so a count beyond the remaining
+  // payload is corrupt — checked before resize so a torn count header
+  // can't drive a multi-gigabyte allocation.
+  if (count > blob.size()) {
+    return Status::Corruption("tid-list count exceeds payload");
   }
+  if (count == 0) {
+    if (!blob.empty()) {
+      return Status::Corruption("trailing bytes after tid-list");
+    }
+    return Status::OK();
+  }
+  out->resize(count);
+  FM_ASSIGN_OR_RETURN(const uint64_t first, GetVarint64(&blob));
+  if (first > UINT32_MAX) {
+    return Status::Corruption("tid overflows uint32");
+  }
+  (*out)[0] = static_cast<Tid>(first);
+  FM_RETURN_IF_ERROR(DecodeDeltaVarints(level, &blob, count - 1,
+                                        (*out)[0], out->data() + 1));
   if (!blob.empty()) {
     return Status::Corruption("trailing bytes after tid-list");
   }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/simd_varint.h"
 #include "storage/table.h"
 
 namespace fuzzymatch {
@@ -23,8 +24,15 @@ Result<std::vector<Tid>> DecodeTidList(std::string_view blob);
 
 /// Decodes into a caller-owned buffer (cleared first). The buffer's
 /// capacity is reused across calls, so steady-state decoding allocates
-/// nothing — the shape the query hot path needs.
+/// nothing — the shape the query hot path needs. Uses the best SIMD
+/// kernel this CPU supports (see common/simd_varint.h).
 Status DecodeTidListInto(std::string_view blob, std::vector<Tid>* out);
+
+/// Same, decoding with an explicit kernel — the ablation hook the
+/// scalar|simd lookup-path flag plugs into, and what the codec tests use
+/// to run every kernel on one machine.
+Status DecodeTidListInto(SimdLevel level, std::string_view blob,
+                         std::vector<Tid>* out);
 
 }  // namespace fuzzymatch
 

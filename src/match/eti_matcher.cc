@@ -8,11 +8,23 @@
 #include "eti/signature.h"
 #include "fault/failpoint.h"
 #include "match/naive_matcher.h"  // TopKCollector
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace fuzzymatch {
 
 namespace {
+
+obs::Counter& ProbesBatchedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("lookup.probes_batched");
+  return *c;
+}
+
+/// How far ahead of the probe being processed slot lines are prefetched.
+/// Deep enough to cover a DRAM round-trip behind the decode+score work
+/// of one probe, shallow enough not to thrash L1.
+constexpr size_t kPrefetchDepth = 8;
 
 /// Incrementally tracks the K+1 highest-scoring tids for the OSC tests.
 /// Scores only grow during query processing and Update() is called on
@@ -22,7 +34,14 @@ namespace {
 /// array beats a heap.
 class TopScores {
  public:
+  TopScores() = default;
   explicit TopScores(size_t k) : limit_(k + 1) {}
+
+  /// Re-arms for a new query, keeping the entry array's capacity.
+  void Reset(size_t k) {
+    limit_ = k + 1;
+    entries_.clear();
+  }
 
   /// Reports that `tid` now has total score `score` (>= its last value).
   void Update(Tid tid, double score) {
@@ -56,11 +75,26 @@ class TopScores {
   double score(size_t i) const { return entries_[i].second; }
 
  private:
-  size_t limit_;
+  size_t limit_ = 1;
   std::vector<std::pair<Tid, double>> entries_;  // descending score
 };
 
 }  // namespace
+
+/// All heap-backed per-query state, held per thread so its capacity is
+/// reused query over query — the hot loops then allocate only while a
+/// buffer is still growing toward the workload's high-water mark.
+struct EtiMatcher::MatchScratch {
+  std::string gram_arena;
+  std::vector<Probe> probes;
+  std::vector<uint64_t> probe_hashes;
+  std::vector<ArenaTokenCoordinate> coords;
+  FlatU32Map<double> scores;
+  FlatU32Map<double> fms_cache;
+  TopScores top_scores;
+  EtiScratch eti;
+  std::vector<std::pair<double, Tid>> candidates;
+};
 
 EtiMatcher::EtiMatcher(Table* ref, const Eti* eti, const IdfWeights* weights,
                        MatcherOptions options)
@@ -121,6 +155,8 @@ Result<std::vector<Match>> EtiMatcher::FindMatchesImpl(
   FM_TRACE_SPAN("match.find_matches");
   FM_FAIL_POINT("match.query_delay");
 
+  static thread_local MatchScratch scr;
+
   const TokenizedTuple u = tokenizer_.TokenizeTuple(input);
   const EtiParams& params = eti_->params();
 
@@ -128,8 +164,10 @@ Result<std::vector<Match>> EtiMatcher::FindMatchesImpl(
   // adjustment term Σ_t w(t)·(1 − 1/q) (Figure 3, step 7). Gram bytes go
   // into one arena string and probes carry offsets, so expansion does a
   // handful of amortized appends instead of a string per probe.
-  std::string gram_arena;
-  std::vector<Probe> probes;
+  std::string& gram_arena = scr.gram_arena;
+  gram_arena.clear();
+  std::vector<Probe>& probes = scr.probes;
+  probes.clear();
   double total_weight = 0.0;
   double full_adjustment = 0.0;
   const double dq = 1.0 - 1.0 / static_cast<double>(params.q);
@@ -151,7 +189,7 @@ Result<std::vector<Match>> EtiMatcher::FindMatchesImpl(
     probes.reserve(probe_estimate);
     gram_arena.reserve(char_count +
                        probe_estimate * static_cast<size_t>(params.q));
-    std::vector<ArenaTokenCoordinate> coords;
+    std::vector<ArenaTokenCoordinate>& coords = scr.coords;
     for (uint32_t col = 0; col < u.size(); ++col) {
       for (const auto& token : u[col]) {
         const double w = fms_.TokenWeight(token, col);
@@ -219,12 +257,36 @@ Result<std::vector<Match>> EtiMatcher::FindMatchesImpl(
                      });
   }
 
-  FlatU32Map<double> scores;
+  FlatU32Map<double>& scores = scr.scores;
+  scores.Clear();
   scores.Reserve(256);
-  FlatU32Map<double> fms_cache;
+  FlatU32Map<double>& fms_cache = scr.fms_cache;
+  fms_cache.Clear();
   fms_cache.Reserve(2 * options_.k + 8);
-  TopScores top_scores(options_.k);
-  EtiScratch scratch;
+  TopScores& top_scores = scr.top_scores;
+  top_scores.Reset(options_.k);
+  EtiScratch& scratch = scr.eti;
+
+  // Batched probing: with the hash accelerator on the route, compute
+  // every probe's slot hash up front and software-prefetch slot lines a
+  // fixed depth ahead of the probe being processed. Probes are still
+  // *processed* strictly in the weight-sorted order above, so OSC
+  // semantics — and match output — are unchanged byte for byte.
+  const bool batched = eti_->accel_probes_active();
+  std::vector<uint64_t>& probe_hashes = scr.probe_hashes;
+  if (batched) {
+    probe_hashes.resize(probes.size());
+    for (size_t i = 0; i < probes.size(); ++i) {
+      const Probe& p = probes[i];
+      probe_hashes[i] = Eti::ProbeHash(
+          std::string_view(gram_arena.data() + p.gram_offset, p.gram_len),
+          p.coordinate, p.column);
+    }
+    ProbesBatchedCounter().Increment(probes.size());
+    for (size_t i = 0; i < std::min(kPrefetchDepth, probes.size()); ++i) {
+      eti_->PrefetchProbe(probe_hashes[i]);
+    }
+  }
 
   double remaining = total_weight;  // weight of probes not yet processed
   double processed = 0.0;
@@ -234,10 +296,18 @@ Result<std::vector<Match>> EtiMatcher::FindMatchesImpl(
     const std::string_view gram(gram_arena.data() + probe.gram_offset,
                                 probe.gram_len);
     ++qs->eti_lookups;
+    if (batched && idx + kPrefetchDepth < probes.size()) {
+      eti_->PrefetchProbe(probe_hashes[idx + kPrefetchDepth]);
+    }
     FM_ASSIGN_OR_RETURN(
         const EtiLookupView entry,
         [&]() -> Result<EtiLookupView> {
           FM_TRACE_SPAN("match.probe");
+          if (batched) {
+            return eti_->LookupHashed(probe_hashes[idx], gram,
+                                      probe.coordinate, probe.column,
+                                      &scratch);
+          }
           return eti_->LookupInto(gram, probe.coordinate, probe.column,
                                   &scratch);
         }());
@@ -317,7 +387,8 @@ Result<std::vector<Match>> EtiMatcher::FindMatchesImpl(
   // score order, stopping once no unverified candidate's upper bound can
   // beat the current K-th best similarity.
   qs->hash_table_size = scores.size();
-  std::vector<std::pair<double, Tid>> candidates;
+  std::vector<std::pair<double, Tid>>& candidates = scr.candidates;
+  candidates.clear();
   candidates.reserve(scores.size());
   scores.ForEach([&](uint32_t tid, const double& score) {
     if (ScoreUpperBound(score) >= options_.min_similarity) {

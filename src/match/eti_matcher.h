@@ -80,6 +80,13 @@ class EtiMatcher {
     double weight;
   };
 
+  /// Per-thread reusable query state (gram arena, probe list, score
+  /// tables, decode scratch) — defined in the .cc. FindMatchesImpl grabs
+  /// the calling thread's instance, so steady-state queries allocate
+  /// nothing; this covers ShardedMatcher's worker threads too, since
+  /// they land here per shard.
+  struct MatchScratch;
+
   /// fms(u, reference tuple `tid`), served from the per-query memo, then
   /// the cross-query tuple cache, and only then the pager.
   Result<double> VerifiedSimilarity(Tid tid, const TokenizedTuple& u,

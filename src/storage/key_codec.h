@@ -33,6 +33,14 @@ class KeyEncoder {
   /// Appends a single byte as-is.
   KeyEncoder& AppendU8(uint8_t v);
 
+  /// Reuses `buf`'s capacity as this encoder's storage (contents
+  /// cleared), so hot paths can encode into a scratch string and Take()
+  /// it back without reallocating in steady state.
+  void Adopt(std::string&& buf) {
+    key_ = std::move(buf);
+    key_.clear();
+  }
+
   /// The encoded key so far.
   const std::string& key() const { return key_; }
   std::string Take() { return std::move(key_); }

@@ -1,0 +1,244 @@
+// Property tests for the SIMD delta-varint kernels (DESIGN.md 5i): every
+// compiled level must agree byte-for-byte with a naive oracle on
+// round-trips, block boundaries, max-width deltas, and mixed runs, and
+// must reject truncated, overlong, zero-delta, and overflowing input with
+// Status::Corruption instead of reading out of bounds. The suite runs in
+// the ASan slice (tools/ci.sh) so "no UB" is checked, not assumed.
+
+#include "common/simd_varint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/varint.h"
+
+namespace fuzzymatch {
+namespace {
+
+/// Every level this binary + machine can actually run.
+std::vector<SimdLevel> RunnableLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  const SimdLevel best = DetectSimdLevel();
+  if (best >= SimdLevel::kSse4) levels.push_back(SimdLevel::kSse4);
+  if (best >= SimdLevel::kAvx2) levels.push_back(SimdLevel::kAvx2);
+  return levels;
+}
+
+/// Encodes absolute values as the delta stream the kernels consume.
+std::string EncodeDeltas(const std::vector<uint32_t>& values,
+                         uint32_t base) {
+  std::string out;
+  uint32_t prev = base;
+  for (const uint32_t v : values) {
+    PutVarint64(&out, v - prev);
+    prev = v;
+  }
+  return out;
+}
+
+/// The independent oracle: a byte-at-a-time LEB128 walk written without
+/// reference to the implementation under test. On success `*consumed` is
+/// the number of bytes the stream actually used (random fuzz input may
+/// contain non-canonical varints, so re-encoding cannot recover this).
+Result<std::vector<uint32_t>> OracleDecode(std::string_view in,
+                                           size_t count, uint32_t base,
+                                           size_t* consumed = nullptr) {
+  std::vector<uint32_t> out;
+  uint64_t acc = base;
+  size_t pos = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    int shift = 0;
+    for (;;) {
+      if (pos >= in.size()) return Status::Corruption("truncated");
+      if (shift > 63) return Status::Corruption("overlong");
+      const uint8_t b = static_cast<uint8_t>(in[pos++]);
+      delta |= static_cast<uint64_t>(b & 0x7f) << shift;
+      shift += 7;
+      if ((b & 0x80) == 0) break;
+    }
+    if (delta == 0) return Status::Corruption("duplicate");
+    acc += delta;
+    if (acc > UINT32_MAX) return Status::Corruption("overflow");
+    out.push_back(static_cast<uint32_t>(acc));
+  }
+  if (consumed != nullptr) *consumed = pos;
+  return out;
+}
+
+/// Runs every level on `blob` and checks it agrees with the oracle —
+/// same values and same consumed-byte count on success, Corruption on the
+/// same inputs on failure.
+void ExpectOracleAgreement(const std::string& blob, size_t count,
+                           uint32_t base) {
+  size_t oracle_consumed = 0;
+  const auto expected = OracleDecode(blob, count, base, &oracle_consumed);
+  for (const SimdLevel level : RunnableLevels()) {
+    std::string_view in = blob;
+    std::vector<uint32_t> out(count);
+    const Status s = DecodeDeltaVarints(level, &in, count, base, out.data());
+    if (expected.ok()) {
+      ASSERT_TRUE(s.ok()) << SimdLevelName(level) << ": " << s
+                          << " (count=" << count << ")";
+      ASSERT_EQ(out, *expected) << SimdLevelName(level);
+      // Success must consume exactly the encoded bytes, no more, no less
+      // (trailing garbage stays for the caller to reject).
+      EXPECT_EQ(in.size(), blob.size() - oracle_consumed)
+          << SimdLevelName(level);
+    } else {
+      EXPECT_TRUE(s.IsCorruption())
+          << SimdLevelName(level) << " accepted input the oracle rejects";
+    }
+  }
+}
+
+TEST(SimdVarintTest, LevelNamesRoundTrip) {
+  for (const SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kSse4, SimdLevel::kAvx2}) {
+    const auto parsed = ParseSimdLevel(SimdLevelName(level));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_TRUE(ParseSimdLevel("avx512").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSimdLevel("").status().IsInvalidArgument());
+}
+
+TEST(SimdVarintTest, BlockBoundaryCounts) {
+  // Counts straddling every 16/32-lane boundary, all-dense deltas (the
+  // fast path) — the interesting part is the tail handoff.
+  for (const size_t count : {size_t{0}, size_t{1}, size_t{15}, size_t{16},
+                             size_t{17}, size_t{31}, size_t{32}, size_t{33},
+                             size_t{48}, size_t{64}, size_t{100}}) {
+    std::vector<uint32_t> values;
+    uint32_t v = 7;
+    for (size_t i = 0; i < count; ++i) values.push_back(v += 1 + (i % 3));
+    ExpectOracleAgreement(EncodeDeltas(values, 7), count, 7);
+  }
+}
+
+TEST(SimdVarintTest, MaxWidthDeltas) {
+  // 5-byte varints: deltas that need the full uint32 range.
+  const std::vector<uint32_t> values = {0x7fffffffu, 0xfffffffeu,
+                                        0xffffffffu};
+  ExpectOracleAgreement(EncodeDeltas(values, 0), values.size(), 0);
+
+  // A run that accumulates to exactly UINT32_MAX is legal; one past is
+  // Corruption at every level.
+  std::string exact = EncodeDeltas({UINT32_MAX}, 5);
+  ExpectOracleAgreement(exact, 1, 5);
+  std::string over;
+  PutVarint64(&over, static_cast<uint64_t>(UINT32_MAX));  // 5 + 2^32-1 > max
+  ExpectOracleAgreement(over, 1, 5);
+  EXPECT_FALSE(OracleDecode(over, 1, 5).ok());
+}
+
+TEST(SimdVarintTest, MixedWidthRuns) {
+  // Dense 1-byte runs interrupted by multi-byte deltas at varying lane
+  // positions: exercises the fall-back-one-value-and-re-enter path.
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint32_t> values;
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(1000));
+    const uint32_t base = v;
+    const size_t n = rng.Uniform(120);
+    for (size_t i = 0; i < n; ++i) {
+      // Mostly dense, occasionally a wide jump (2-5 byte varint).
+      const uint32_t delta = rng.Uniform(10) < 8
+                                 ? 1 + static_cast<uint32_t>(rng.Uniform(100))
+                                 : 1 + static_cast<uint32_t>(rng.Uniform(
+                                           1u << (7 * (1 + rng.Uniform(4)))));
+      if (delta > UINT32_MAX - v) break;
+      v += delta;
+      values.push_back(v);
+    }
+    ExpectOracleAgreement(EncodeDeltas(values, base), values.size(), base);
+  }
+}
+
+TEST(SimdVarintTest, NearOverflowBases) {
+  // Bases near UINT32_MAX force the SIMD kernels off the unchecked fast
+  // path (kMaxSafeBase guard); results must still match the oracle.
+  for (const uint32_t base :
+       {UINT32_MAX - 1, UINT32_MAX - 40, UINT32_MAX - 16 * 127,
+        UINT32_MAX - 16 * 127 - 1, UINT32_MAX - 5000}) {
+    std::vector<uint32_t> values;
+    uint32_t v = base;
+    while (v < UINT32_MAX - 2 && values.size() < 40) values.push_back(v += 2);
+    ExpectOracleAgreement(EncodeDeltas(values, base), values.size(), base);
+  }
+}
+
+TEST(SimdVarintTest, TruncatedInputAtEveryByte) {
+  // Every proper prefix of a valid stream must fail with Corruption (the
+  // torn-write shape) — and under ASan, without touching bytes past end.
+  std::vector<uint32_t> values;
+  uint32_t v = 0;
+  for (size_t i = 0; i < 40; ++i) {
+    values.push_back(v += (i % 5 == 0) ? 100000 : 1 + (i % 7));
+  }
+  const std::string blob = EncodeDeltas(values, 0);
+  ASSERT_GT(blob.size(), values.size());  // some multi-byte varints present
+  for (size_t cut = 0; cut < blob.size(); ++cut) {
+    ExpectOracleAgreement(blob.substr(0, cut), values.size(), 0);
+  }
+}
+
+TEST(SimdVarintTest, ZeroDeltaRejectedAtEveryLanePosition) {
+  // A zero delta (duplicate tid) planted at each position of a dense
+  // 1-byte block must be caught inside the SIMD fast path too.
+  for (size_t zero_at = 0; zero_at < 20; ++zero_at) {
+    std::string blob;
+    for (size_t i = 0; i < 20; ++i) {
+      PutVarint64(&blob, i == zero_at ? 0 : 3);
+    }
+    ExpectOracleAgreement(blob, 20, 0);
+    EXPECT_FALSE(OracleDecode(blob, 20, 0).ok());
+  }
+}
+
+TEST(SimdVarintTest, OverlongVarintRejected) {
+  // 0x80 continuation bytes past the 64-bit range: overlong, not a loop.
+  std::string blob(12, static_cast<char>(0x80));
+  blob.push_back(0x01);
+  ExpectOracleAgreement(blob, 1, 0);
+  EXPECT_FALSE(OracleDecode(blob, 1, 0).ok());
+}
+
+TEST(SimdVarintTest, RandomFuzzAgainstOracle) {
+  // Raw random bytes: most are invalid streams; whatever the oracle says,
+  // every kernel must say the same (and never crash — ASan slice).
+  Rng rng(0xf522);
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t len = rng.Uniform(96);
+    std::string blob;
+    for (size_t i = 0; i < len; ++i) {
+      blob.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    const size_t count = rng.Uniform(48);
+    const uint32_t base = static_cast<uint32_t>(
+        rng.Uniform(2) ? rng.Uniform(1000) : UINT32_MAX - rng.Uniform(1000));
+    ExpectOracleAgreement(blob, count, base);
+  }
+}
+
+TEST(SimdVarintTest, DetectedLevelIsRunnable) {
+  // Smoke: whatever DetectSimdLevel picked decodes a real run correctly.
+  std::vector<uint32_t> values;
+  uint32_t v = 0;
+  for (size_t i = 0; i < 1000; ++i) values.push_back(v += 1 + (i % 11));
+  const std::string blob = EncodeDeltas(values, 0);
+  std::string_view in = blob;
+  std::vector<uint32_t> out(values.size());
+  ASSERT_TRUE(DecodeDeltaVarints(DetectSimdLevel(), &in, values.size(), 0,
+                                 out.data())
+                  .ok());
+  EXPECT_EQ(out, values);
+  EXPECT_TRUE(in.empty());
+}
+
+}  // namespace
+}  // namespace fuzzymatch

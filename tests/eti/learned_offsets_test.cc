@@ -1,0 +1,358 @@
+// Tests of the learned-offset lookup structure (DESIGN.md 5i): parity
+// with the B-tree route, the exactness of the per-segment error bound,
+// maintenance coherence (tombstones, incompleteness), and the metrics
+// that split model hits from corrections and fallbacks.
+
+#include "eti/learned_offsets.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/fuzzy_match.h"
+#include "eti/eti.h"
+#include "eti/eti_builder.h"
+#include "eti/lookup_path.h"
+#include "eti/signature.h"
+#include "gen/customer_gen.h"
+#include "gen/dataset.h"
+#include "obs/metrics.h"
+
+namespace fuzzymatch {
+namespace {
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+class LearnedOffsetsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(DatabaseOptions{});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+  }
+
+  /// The paper's Table 1 organization relation.
+  Table* MakeTable1() {
+    auto table = db_->CreateTable(
+        "orgs", Schema({"name", "city", "state", "zipcode"}));
+    EXPECT_TRUE(table.ok());
+    for (const char* name : {"Boeing Company", "Bon Corporation",
+                             "Companions"}) {
+      const char* zip = name[2] == 'e' ? "98004"
+                        : name[2] == 'n' ? "98014"
+                                         : "98024";
+      EXPECT_TRUE((*table)
+                      ->Insert(Row{std::string(name), std::string("Seattle"),
+                                   std::string("WA"), std::string(zip)})
+                      .ok());
+    }
+    return *table;
+  }
+
+  Table* MakeCustomers(size_t n) {
+    auto table = db_->CreateTable("customers",
+                                  CustomerGenerator::CustomerSchema());
+    EXPECT_TRUE(table.ok());
+    CustomerGenOptions options;
+    options.num_tuples = n;
+    CustomerGenerator gen(options);
+    EXPECT_TRUE(gen.Populate(*table).ok());
+    return *table;
+  }
+
+  struct ProbeKey {
+    std::string gram;
+    uint32_t coordinate;
+    uint32_t column;
+  };
+  std::vector<ProbeKey> AllProbeKeys(Table* ref, const Eti& eti,
+                                     size_t max_tuples = SIZE_MAX) {
+    std::vector<ProbeKey> keys;
+    const Tokenizer tokenizer = eti.MakeTokenizer();
+    const MinHasher hasher = eti.MakeHasher();
+    Table::Scanner scanner = ref->Scan();
+    Tid tid;
+    Row row;
+    size_t seen = 0;
+    for (;;) {
+      auto more = scanner.Next(&tid, &row);
+      EXPECT_TRUE(more.ok());
+      if (!*more || seen++ >= max_tuples) break;
+      const TokenizedTuple tokens = tokenizer.TokenizeTuple(row);
+      for (uint32_t col = 0; col < tokens.size(); ++col) {
+        for (const auto& token : tokens[col]) {
+          for (const auto& tc :
+               MakeTokenCoordinates(hasher, eti.params(), token, 1.0)) {
+            keys.push_back({tc.gram, tc.coordinate, col});
+          }
+        }
+      }
+    }
+    return keys;
+  }
+
+  void ExpectLookupParity(const Eti& learned_handle,
+                          const Eti& plain_handle,
+                          const std::vector<ProbeKey>& keys) {
+    for (const ProbeKey& key : keys) {
+      auto a = learned_handle.Lookup(key.gram, key.coordinate, key.column);
+      auto b = plain_handle.Lookup(key.gram, key.coordinate, key.column);
+      ASSERT_TRUE(a.ok()) << key.gram;
+      ASSERT_TRUE(b.ok()) << key.gram;
+      ASSERT_EQ(a->has_value(), b->has_value())
+          << key.gram << "/" << key.coordinate << "/" << key.column;
+      if (!a->has_value()) continue;
+      EXPECT_EQ((*a)->frequency, (*b)->frequency) << key.gram;
+      EXPECT_EQ((*a)->is_stop, (*b)->is_stop) << key.gram;
+      EXPECT_EQ((*a)->tids, (*b)->tids) << key.gram;
+    }
+  }
+
+  Result<BuiltEti> BuildOrgsEti(Table* orgs) {
+    EtiBuilder::Options options;
+    options.params.q = 3;
+    options.params.signature_size = 2;
+    options.params.index_tokens = true;
+    return EtiBuilder::Build(db_.get(), orgs, options);
+  }
+
+  std::unique_ptr<Database> db_;
+  /// Databases backing per-variant matchers (kept alive for the test).
+  std::vector<std::unique_ptr<Database>> extra_dbs_;
+};
+
+TEST_F(LearnedOffsetsTest, LookupPathNamesRoundTrip) {
+  for (const LookupPath path :
+       {LookupPath::kScalar, LookupPath::kSimd, LookupPath::kLearned}) {
+    const auto parsed = ParseLookupPath(LookupPathName(path));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, path);
+  }
+  EXPECT_TRUE(ParseLookupPath("btree").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseLookupPath("").status().IsInvalidArgument());
+}
+
+TEST_F(LearnedOffsetsTest, LearnedPathMirrorsTheBTree) {
+  Table* orgs = MakeTable1();
+  auto built = BuildOrgsEti(orgs);
+  ASSERT_TRUE(built.ok());
+
+  const Eti plain = built->eti;  // stays on the default path
+  ASSERT_TRUE(built->eti.SetLookupPath(LookupPath::kLearned).ok());
+  const LearnedOffsets* learned = built->eti.learned();
+  ASSERT_NE(learned, nullptr);
+  EXPECT_TRUE(learned->complete());
+  EXPECT_EQ(learned->entry_count(), built->eti.entry_count());
+  EXPECT_GT(learned->segment_count(), 0u);
+  EXPECT_GT(learned->memory_bytes(), 0u);
+
+  std::vector<ProbeKey> keys = AllProbeKeys(orgs, built->eti);
+  ASSERT_FALSE(keys.empty());
+  // Misses must agree too (authoritative negatives while complete).
+  keys.push_back({"zzz", 1, 0});
+  keys.push_back({"sea", 1, 3});
+  keys.push_back({"seattle", 0, 3});
+
+  const uint64_t hits_before = CounterValue("lookup.model_hits");
+  const uint64_t negatives_before = CounterValue("lookup.model_negatives");
+  ExpectLookupParity(built->eti, plain, keys);
+  EXPECT_GT(CounterValue("lookup.model_hits"), hits_before);
+  EXPECT_GT(CounterValue("lookup.model_negatives"), negatives_before);
+}
+
+TEST_F(LearnedOffsetsTest, DirectProbeOutcomes) {
+  Table* orgs = MakeTable1();
+  auto built = BuildOrgsEti(orgs);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built->eti.SetLookupPath(LookupPath::kLearned).ok());
+  const LearnedOffsets* learned = built->eti.learned();
+  ASSERT_NE(learned, nullptr);
+
+  std::vector<Tid> scratch;
+  EtiLookupView view;
+  ASSERT_EQ(learned->Probe(Eti::IndexKey("seattle", 0, 1),
+                           SimdLevel::kScalar, &scratch, &view),
+            LearnedOffsets::Outcome::kHit);
+  EXPECT_TRUE(view.found);
+  EXPECT_FALSE(view.is_stop);
+  EXPECT_EQ(view.frequency, 3u);
+  ASSERT_EQ(view.num_tids, 3u);
+  EXPECT_EQ((std::vector<Tid>(view.tids, view.tids + view.num_tids)),
+            (std::vector<Tid>{0, 1, 2}));
+
+  // Absent key on a complete structure: authoritative negative.
+  EXPECT_EQ(learned->Probe(Eti::IndexKey("zzz", 1, 0), SimdLevel::kScalar,
+                           &scratch, &view),
+            LearnedOffsets::Outcome::kNegative);
+  EXPECT_FALSE(view.found);
+}
+
+TEST_F(LearnedOffsetsTest, ErrorBoundHoldsForEveryResidentKey) {
+  // Volume build with tiny segments: every indexed key must resolve as a
+  // model hit or correction, never silently miss — the "exact bound"
+  // claim, tested key by key through the public probe.
+  Table* customers = MakeCustomers(300);
+  EtiBuilder::Options options;
+  options.params.q = 4;
+  options.params.signature_size = 2;
+  options.params.index_tokens = true;
+  auto built = EtiBuilder::Build(db_.get(), customers, options);
+  ASSERT_TRUE(built.ok());
+  const Eti plain = built->eti;
+  ASSERT_TRUE(built->eti.SetLookupPath(LookupPath::kLearned).ok());
+  const LearnedOffsets* learned = built->eti.learned();
+  ASSERT_NE(learned, nullptr);
+  ASSERT_GT(learned->segment_count(), 1u)
+      << "volume build should span multiple segments";
+
+  const uint64_t fallbacks_before = CounterValue("lookup.model_fallbacks");
+  ExpectLookupParity(built->eti, plain,
+                     AllProbeKeys(customers, built->eti, 60));
+  // Every key is resident and untouched: the model never punts to the
+  // B-tree on this workload.
+  EXPECT_EQ(CounterValue("lookup.model_fallbacks"), fallbacks_before);
+}
+
+TEST_F(LearnedOffsetsTest, MaintenanceTombstonesAndIncompleteness) {
+  Table* orgs = MakeTable1();
+  auto built = BuildOrgsEti(orgs);
+  ASSERT_TRUE(built.ok());
+  const Eti plain = built->eti;
+  ASSERT_TRUE(built->eti.SetLookupPath(LookupPath::kLearned).ok());
+  const LearnedOffsets* learned = built->eti.learned();
+  ASSERT_NE(learned, nullptr);
+  const size_t resident_before = learned->entry_count();
+
+  // Insert a tuple sharing 'seattle' and bringing brand-new tokens: the
+  // known keys tombstone, the unknown keys flip the structure to
+  // incomplete.
+  const Row fresh{std::string("Rainier Works"), std::string("Seattle"),
+                  std::string("WA"), std::string("98044")};
+  auto tid = orgs->Insert(fresh);
+  ASSERT_TRUE(tid.ok());
+  const TokenizedTuple tokens =
+      built->eti.MakeTokenizer().TokenizeTuple(fresh);
+  ASSERT_TRUE(built->eti.IndexTuple(*tid, tokens).ok());
+  EXPECT_LT(learned->entry_count(), resident_before);
+  EXPECT_FALSE(learned->complete());
+
+  // Tombstoned key: the probe defers to the B-tree (kFallback) and the
+  // full lookup sees the appended tid.
+  std::vector<Tid> scratch;
+  EtiLookupView view;
+  const uint64_t fallbacks_before = CounterValue("lookup.model_fallbacks");
+  EXPECT_EQ(learned->Probe(Eti::IndexKey("seattle", 0, 1),
+                           SimdLevel::kScalar, &scratch, &view),
+            LearnedOffsets::Outcome::kFallback);
+  EXPECT_GT(CounterValue("lookup.model_fallbacks"), fallbacks_before);
+  auto seattle = built->eti.Lookup("seattle", 0, 1);
+  ASSERT_TRUE(seattle.ok());
+  ASSERT_TRUE(seattle->has_value());
+  EXPECT_EQ((*seattle)->frequency, 4u);
+  EXPECT_EQ((*seattle)->tids, (std::vector<Tid>{0, 1, 2, 3}));
+
+  // Brand-new key: a complete structure would answer a wrong negative;
+  // incompleteness forces the B-tree consult that finds it.
+  EXPECT_EQ(learned->Probe(Eti::IndexKey("works", 0, 0),
+                           SimdLevel::kScalar, &scratch, &view),
+            LearnedOffsets::Outcome::kFallback);
+  auto works = built->eti.Lookup("works", 0, 0);
+  ASSERT_TRUE(works.ok());
+  ASSERT_TRUE(works->has_value());
+  EXPECT_EQ((*works)->tids, (std::vector<Tid>{3}));
+
+  // Full parity against the plain handle, including the new tuple's keys
+  // and after removal.
+  ExpectLookupParity(built->eti, plain, AllProbeKeys(orgs, built->eti));
+  ASSERT_TRUE(built->eti.UnindexTuple(*tid, tokens).ok());
+  ExpectLookupParity(built->eti, plain, AllProbeKeys(orgs, built->eti));
+}
+
+TEST_F(LearnedOffsetsTest, StopQGramsServeNullTidLists) {
+  Table* orgs = MakeTable1();
+  EtiBuilder::Options options;
+  options.params.q = 3;
+  options.params.signature_size = 2;
+  options.params.index_tokens = true;
+  options.params.stop_qgram_threshold = 2;  // freq 3 > 2: 'seattle' is stop
+  auto built = EtiBuilder::Build(db_.get(), orgs, options);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built->eti.SetLookupPath(LookupPath::kLearned).ok());
+
+  std::vector<Tid> scratch;
+  EtiLookupView view;
+  ASSERT_EQ(built->eti.learned()->Probe(Eti::IndexKey("seattle", 0, 1),
+                                        SimdLevel::kScalar, &scratch, &view),
+            LearnedOffsets::Outcome::kHit);
+  EXPECT_TRUE(view.is_stop);
+  EXPECT_EQ(view.frequency, 3u);
+  EXPECT_EQ(view.num_tids, 0u);
+}
+
+TEST_F(LearnedOffsetsTest, MatcherResultsIdenticalAcrossLookupPaths) {
+  // Three matchers over the same deterministic relation, one per lookup
+  // path; results must be exactly identical (the standing byte-identical
+  // contract the CI lookupcheck stage enforces end-to-end).
+  constexpr size_t kRefSize = 500;
+  Table* customers = MakeCustomers(kRefSize);
+
+  auto build_variant =
+      [&](LookupPath path) -> Result<std::unique_ptr<FuzzyMatcher>> {
+    auto db = Database::Open(DatabaseOptions{});
+    if (!db.ok()) return db.status();
+    auto table = (*db)->CreateTable("customers",
+                                    CustomerGenerator::CustomerSchema());
+    if (!table.ok()) return table.status();
+    CustomerGenOptions gen_options;
+    gen_options.num_tuples = kRefSize;
+    CustomerGenerator gen(gen_options);
+    FM_RETURN_IF_ERROR(gen.Populate(*table));
+    FuzzyMatchConfig config;
+    config.eti.signature_size = 3;
+    config.eti.index_tokens = true;
+    config.lookup_path = path;
+    FM_ASSIGN_OR_RETURN(auto matcher,
+                        FuzzyMatcher::Build(db->get(), "customers", config));
+    extra_dbs_.push_back(std::move(*db));
+    return matcher;
+  };
+
+  auto scalar = build_variant(LookupPath::kScalar);
+  ASSERT_TRUE(scalar.ok()) << scalar.status();
+  auto simd = build_variant(LookupPath::kSimd);
+  ASSERT_TRUE(simd.ok()) << simd.status();
+  auto learned = build_variant(LookupPath::kLearned);
+  ASSERT_TRUE(learned.ok()) << learned.status();
+  EXPECT_EQ((*scalar)->eti().lookup_path(), LookupPath::kScalar);
+  EXPECT_EQ((*simd)->eti().lookup_path(), LookupPath::kSimd);
+  ASSERT_NE((*learned)->eti().learned(), nullptr);
+
+  DatasetSpec spec = DatasetD2();
+  spec.num_inputs = 60;
+  auto inputs = GenerateInputs(customers, spec, &(*scalar)->weights());
+  ASSERT_TRUE(inputs.ok());
+  for (const auto& input : *inputs) {
+    auto a = (*scalar)->FindMatches(input.dirty);
+    auto b = (*simd)->FindMatches(input.dirty);
+    auto c = (*learned)->FindMatches(input.dirty);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(c.ok());
+    ASSERT_EQ(a->size(), b->size());
+    ASSERT_EQ(a->size(), c->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].tid, (*b)[i].tid);
+      EXPECT_EQ((*a)[i].tid, (*c)[i].tid);
+      // Exact equality, not near-equality: all variants must run the
+      // same arithmetic in the same order.
+      EXPECT_EQ((*a)[i].similarity, (*b)[i].similarity);
+      EXPECT_EQ((*a)[i].similarity, (*c)[i].similarity);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -1,0 +1,192 @@
+// Torn-postings regression (DESIGN.md 5i hardening): tid-list decode —
+// scalar and SIMD alike — must turn any torn or truncated posting bytes
+// into Status::Corruption, never UB. The first suite feeds real torn
+// pages produced by the FileFaults power-loss gate through every decode
+// kernel; the second tears valid posting blobs deterministically at every
+// byte so the contract is pinned even in builds without failpoints. Both
+// run in the ASan slice.
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/simd_varint.h"
+#include "common/varint.h"
+#include "core/fuzzy_match.h"
+#include "eti/tid_list.h"
+#include "fault/failpoint.h"
+#include "fault/faulty_env.h"
+#include "gen/customer_gen.h"
+
+namespace fuzzymatch {
+namespace {
+
+using fault::Action;
+using fault::FailpointSpec;
+using fault::Failpoints;
+using fault::FileFaults;
+
+std::vector<SimdLevel> RunnableLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  const SimdLevel best = DetectSimdLevel();
+  if (best >= SimdLevel::kSse4) levels.push_back(SimdLevel::kSse4);
+  if (best >= SimdLevel::kAvx2) levels.push_back(SimdLevel::kAvx2);
+  return levels;
+}
+
+/// Decodes `blob` with every runnable kernel and checks they agree: all
+/// succeed with the same tids, or all fail with Corruption. Either way,
+/// no kernel may crash or read out of bounds (ASan enforces).
+void ExpectKernelsAgree(std::string_view blob) {
+  std::vector<Tid> scalar_tids;
+  const Status scalar =
+      DecodeTidListInto(SimdLevel::kScalar, blob, &scalar_tids);
+  for (const SimdLevel level : RunnableLevels()) {
+    std::vector<Tid> tids;
+    const Status s = DecodeTidListInto(level, blob, &tids);
+    ASSERT_EQ(s.ok(), scalar.ok())
+        << SimdLevelName(level) << " disagrees with scalar: " << s;
+    if (s.ok()) {
+      EXPECT_EQ(tids, scalar_tids) << SimdLevelName(level);
+    } else {
+      EXPECT_TRUE(s.IsCorruption()) << s;
+    }
+  }
+}
+
+TEST(TornPostingsTest, EveryTruncationOfValidPostingsFailsCleanly) {
+  // Dense and sparse lists, including multi-byte deltas: every proper
+  // prefix (the shape a torn 4 KiB page boundary leaves behind) must be
+  // rejected by every kernel.
+  std::vector<std::vector<Tid>> lists;
+  std::vector<Tid> dense;
+  for (Tid t = 100; t < 400; ++t) dense.push_back(t);
+  lists.push_back(dense);
+  lists.push_back({5, 1000, 70000, 9000000, 4000000000u});
+  lists.push_back({0});
+  for (const auto& tids : lists) {
+    const std::string blob = EncodeTidList(tids);
+    ExpectKernelsAgree(blob);  // the intact blob decodes identically
+    for (size_t cut = 0; cut < blob.size(); ++cut) {
+      const std::string torn = blob.substr(0, cut);
+      std::vector<Tid> out;
+      for (const SimdLevel level : RunnableLevels()) {
+        EXPECT_FALSE(DecodeTidListInto(level, torn, &out).ok())
+            << "prefix of " << cut << " bytes accepted by "
+            << SimdLevelName(level);
+      }
+      ExpectKernelsAgree(torn);
+    }
+  }
+}
+
+TEST(TornPostingsTest, CorruptCountHeaderCannotAllocationBomb) {
+  // A torn first page can leave a huge count header in front of nothing:
+  // decode must reject it from the payload size, not resize first.
+  std::string blob;
+  PutVarint64(&blob, 1u << 30);  // claims a billion tids
+  blob.push_back(0x01);
+  std::vector<Tid> out;
+  for (const SimdLevel level : RunnableLevels()) {
+    const Status s = DecodeTidListInto(level, blob, &out);
+    ASSERT_TRUE(s.IsCorruption()) << SimdLevelName(level) << ": " << s;
+  }
+}
+
+class TornPostingsFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fault::kEnabled) {
+      GTEST_SKIP() << "failpoints compiled out (-DFM_FAILPOINTS=OFF)";
+    }
+    Failpoints::Global().Reset();
+    FileFaults::Global().Reset();
+  }
+
+  void TearDown() override {
+    if (fault::kEnabled) {
+      Failpoints::Global().Reset();
+      FileFaults::Global().Reset();
+    }
+  }
+};
+
+TEST_F(TornPostingsFaultTest, TornPagesFeedEveryKernelWithoutUB) {
+  const std::string work = std::string(::testing::TempDir()) +
+                           "/fm_torn_postings_" +
+                           std::to_string(::getpid()) + ".db";
+  std::filesystem::remove(work);
+
+  // Seed: a file-backed reference relation + ETI, checkpointed.
+  constexpr char kStrategy[] = "Q+T_2";
+  {
+    DatabaseOptions options;
+    options.path = work;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status();
+    auto table = (*db)->CreateTable("customers",
+                                    CustomerGenerator::CustomerSchema());
+    ASSERT_TRUE(table.ok());
+    CustomerGenOptions gen_options;
+    gen_options.num_tuples = 150;
+    CustomerGenerator gen(gen_options);
+    ASSERT_TRUE(gen.Populate(*table).ok());
+    FuzzyMatchConfig config;
+    config.eti.signature_size = 2;
+    config.eti.index_tokens = true;
+    auto matcher = FuzzyMatcher::Build(db->get(), "customers", config);
+    ASSERT_TRUE(matcher.ok()) << matcher.status();
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+
+    // Tear a page mid-maintenance: postings grow on every insert, so the
+    // half-written page lands inside the ETI heap with high probability.
+    FailpointSpec spec;
+    spec.action = Action::kCrashTorn;
+    spec.fire_on_hit = 2;
+    Failpoints::Global().Arm("pager.write_page", spec);
+    for (int i = 0; i < 30 && !FileFaults::Global().crashed(); ++i) {
+      auto base = (*matcher)->GetReferenceTuple(static_cast<Tid>(i));
+      if (!base.ok()) break;
+      Row fresh = *base;
+      fresh[0] = "tornuniq" + std::to_string(i) + " industries";
+      (void)(*matcher)->InsertReferenceTuple(fresh);
+      (void)(*db)->Checkpoint();
+    }
+    EXPECT_TRUE(FileFaults::Global().crashed());
+  }
+  FileFaults::Global().Reset();
+  Failpoints::Global().DisarmAll();
+
+  // Reboot: scan whatever ETI rows survived and push every posting blob
+  // through every kernel. Corrupt blobs must fail identically across
+  // kernels; nothing may crash (the ASan slice runs this test).
+  DatabaseOptions options;
+  options.path = work;
+  auto db = Database::Open(options);
+  if (db.ok()) {
+    auto rows = (*db)->GetTable(std::string("customers_eti_") + kStrategy);
+    if (rows.ok()) {
+      Table::Scanner scanner = (*rows)->Scan();
+      Tid tid;
+      Row row;
+      size_t blobs = 0;
+      for (;;) {
+        auto more = scanner.Next(&tid, &row);
+        if (!more.ok() || !*more) break;  // clean error or end: both fine
+        if (row.size() == 5 && row[4].has_value()) {
+          ExpectKernelsAgree(*row[4]);
+          ++blobs;
+        }
+      }
+      EXPECT_GT(blobs, 0u) << "torn database kept no posting blobs at all";
+    }
+  }
+  std::filesystem::remove(work);
+}
+
+}  // namespace
+}  // namespace fuzzymatch

@@ -18,6 +18,11 @@
 #                          # single-engine under the conservative bound
 #                          # policy, sharded test suite under TSan, and a
 #                          # bench_serving shard-scaling metrics archive
+#   tools/ci.sh lookupcheck # lookup-path ablation (DESIGN.md 5i): match
+#                          # output byte-identical across
+#                          # scalar|simd|learned, single-engine and
+#                          # 4-shard; a -DFM_SIMD=OFF build passing
+#                          # tier-1; bench_lookup_path metrics archived
 #
 # Build trees live under build-ci-* so they never collide with a
 # developer's ./build. JOBS defaults to the machine's core count.
@@ -33,11 +38,11 @@ STAGE="${1:-all}"
 # the fault suites (sanitizer builds compile failpoints in, and injected
 # errors are where cleanup paths race). Randomized fault suites honor
 # FM_TEST_SEED, pinned below so sanitizer runs are reproducible.
-SANITIZER_TESTS='ConcurrentMatchTest|BufferPoolConcurrencyTest|ServerTest|IntrospectionTest|TraceConcurrencyTest|MetricsRegistryTest|BTreeStressTest|HeapFileStressTest|FileBackedPipelineTest|BatchCleanerTest|EtiAccelConcurrencyTest|TupleCacheTest|FailpointTest|DifferentialMaintenanceTest|ErrorPropagationTest|BufferPoolPressureTest|ExternalSortTest|EtiBuilderParallelTest'
+SANITIZER_TESTS='ConcurrentMatchTest|BufferPoolConcurrencyTest|ServerTest|IntrospectionTest|TraceConcurrencyTest|MetricsRegistryTest|BTreeStressTest|HeapFileStressTest|FileBackedPipelineTest|BatchCleanerTest|EtiAccelConcurrencyTest|TupleCacheTest|FailpointTest|DifferentialMaintenanceTest|ErrorPropagationTest|BufferPoolPressureTest|ExternalSortTest|EtiBuilderParallelTest|SimdVarintTest|TornPostingsTest|LearnedOffsetsTest'
 
 # The full fault-injection surface: the crash-consistency sweep over every
 # canonical failpoint plus the randomized differential harness.
-FAULT_TESTS='FailpointTest|CrashConsistencyTest|DifferentialMaintenanceTest|ErrorPropagationTest|BufferPoolPressureTest|EtiInvariantsTest|ServerStartupTest|BuildFaultTest'
+FAULT_TESTS='FailpointTest|CrashConsistencyTest|DifferentialMaintenanceTest|ErrorPropagationTest|BufferPoolPressureTest|EtiInvariantsTest|ServerStartupTest|BuildFaultTest|TornPostingsTest|TornPostingsFaultTest'
 
 run_release() {
   echo "=== [ci] Release build + full test suite ==="
@@ -58,7 +63,8 @@ run_sanitizer() {  # $1 = thread|address  $2 = build dir
         eti_accel_concurrency_test tuple_cache_test failpoint_test \
         differential_maintenance_test error_propagation_test \
         buffer_pool_pressure_test external_sort_test \
-        eti_builder_parallel_test
+        eti_builder_parallel_test simd_varint_test torn_postings_test \
+        learned_offsets_test
   FM_TEST_SEED="${FM_TEST_SEED:-101}" \
     ctest --test-dir "$2" --output-on-failure -j "$JOBS" \
         -R "$SANITIZER_TESTS"
@@ -76,7 +82,7 @@ run_faultcheck() {
         failpoint_test crash_consistency_test \
         differential_maintenance_test error_propagation_test \
         buffer_pool_pressure_test eti_invariants_test server_startup_test \
-        build_fault_test
+        build_fault_test torn_postings_test
   ctest --test-dir build-ci-fault --output-on-failure -j "$JOBS" \
         -R "$FAULT_TESTS"
 }
@@ -338,6 +344,63 @@ print("[ci] sharded metrics archived: "
 PYEOF
 }
 
+# The lookup path (DESIGN.md 5i) is a pure speed knob: scalar, simd and
+# learned must produce byte-identical match output, single-engine and
+# through the 4-shard scatter/gather tier (conservative bound policy, the
+# configuration where sharded output is byte-exact). A -DFM_SIMD=OFF
+# build then proves the scalar fallback carries tier-1 on its own (the
+# non-x86 configuration), and bench_lookup_path archives the ablation
+# metrics — the probe-loop p50/p95 per variant — under bench_results/.
+run_lookupcheck() {
+  echo "=== [ci] lookupcheck: scalar|simd|learned parity + FM_SIMD=OFF ==="
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build build-ci-release -j "$JOBS" --target \
+        fuzzymatch_cli bench_lookup_path
+  local cli=build-ci-release/tools/fuzzymatch_cli
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+  "$cli" gen --out "$tmp/ref.csv" --rows 2000 --seed 42
+  "$cli" corrupt --ref "$tmp/ref.csv" --out "$tmp/dirty.csv" --inputs 200
+
+  for path in scalar simd learned; do
+    "$cli" match --ref "$tmp/ref.csv" --input "$tmp/dirty.csv" \
+          --out "$tmp/out.$path.csv" --tokens --lookup-path "$path"
+    "$cli" match --ref "$tmp/ref.csv" --input "$tmp/dirty.csv" \
+          --out "$tmp/out.$path.s4.csv" --tokens --lookup-path "$path" \
+          --bound-policy conservative --shards 4
+  done
+  cmp "$tmp/out.scalar.csv" "$tmp/out.simd.csv"
+  cmp "$tmp/out.scalar.csv" "$tmp/out.learned.csv"
+  cmp "$tmp/out.scalar.s4.csv" "$tmp/out.simd.s4.csv"
+  cmp "$tmp/out.scalar.s4.csv" "$tmp/out.learned.s4.csv"
+  echo "[ci] match output byte-identical across lookup paths (1 and 4 shards)"
+
+  cmake -B build-ci-nosimd -S . -DCMAKE_BUILD_TYPE=Release \
+        -DFM_SIMD=OFF > /dev/null
+  cmake --build build-ci-nosimd -j "$JOBS"
+  ctest --test-dir build-ci-nosimd --output-on-failure -j "$JOBS"
+  echo "[ci] -DFM_SIMD=OFF build passed tier-1"
+
+  mkdir -p bench_results
+  FM_REF_SIZE=2000 FM_NUM_INPUTS=150 FM_METRICS_DIR=bench_results \
+    build-ci-release/bench/bench_lookup_path
+  python3 - bench_results/bench_lookup_path.metrics.json <<'PYEOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+names = set(metrics["counters"]) | set(metrics["gauges"]) \
+        | set(metrics["histograms"])
+for want in ("lookup_path.scalar.probe_p50_ns",
+             "lookup_path.simd.probe_p50_ns",
+             "lookup_path.learned.probe_p50_ns",
+             "lookup_path.simd_vs_scalar_heavy_p50_reduction_pct",
+             "lookup.probes_batched", "lookup.model_hits"):
+    assert want in names, f"lookup metrics archive missing {want}"
+print("[ci] lookup-path metrics archived: "
+      "bench_results/bench_lookup_path.metrics.json")
+PYEOF
+}
+
 case "$STAGE" in
   release)    run_release ;;
   tsan)       run_sanitizer thread build-ci-tsan ;;
@@ -347,6 +410,7 @@ case "$STAGE" in
   obscheck)   run_obscheck ;;
   buildcheck) run_buildcheck ;;
   shardcheck) run_shardcheck ;;
+  lookupcheck) run_lookupcheck ;;
   all)
     run_release
     run_sanitizer thread build-ci-tsan
@@ -356,9 +420,10 @@ case "$STAGE" in
     run_obscheck
     run_buildcheck
     run_shardcheck
+    run_lookupcheck
     ;;
   *)
-    echo "usage: tools/ci.sh [release|tsan|asan|faultcheck|perfsmoke|obscheck|buildcheck|shardcheck|all]" >&2
+    echo "usage: tools/ci.sh [release|tsan|asan|faultcheck|perfsmoke|obscheck|buildcheck|shardcheck|lookupcheck|all]" >&2
     exit 2
     ;;
 esac

@@ -26,6 +26,7 @@
 //                          [--threads N] [--build-threads N]
 //                          [--temp-dir DIR] [--metrics [FILE]]
 //                          [--accel-budget-mb MB] [--tuple-cache-mb MB]
+//                          [--lookup-path scalar|simd|learned]
 //                          [--verbose]
 //       Builds an Error Tolerant Index over the reference CSV and batch-
 //       cleans the input CSV. The output repeats each input row and
@@ -268,6 +269,13 @@ Status ApplyBoundPolicy(const Args& args, FuzzyMatchConfig* config) {
   return Status::OK();
 }
 
+Status ApplyLookupPath(const Args& args, FuzzyMatchConfig* config) {
+  const std::string name =
+      args.Get("lookup-path", LookupPathName(config->lookup_path));
+  FM_ASSIGN_OR_RETURN(config->lookup_path, ParseLookupPath(name));
+  return Status::OK();
+}
+
 Status CmdBuild(const Args& args) {
   const std::string ref_path = args.Get("ref", "");
   const std::string db_path = args.Get("db", "");
@@ -384,6 +392,7 @@ Status CmdMatch(const Args& args) {
           static_cast<int64_t>(config.matcher.tuple_cache_bytes >> 20)))
       << 20;
   FM_RETURN_IF_ERROR(ApplyBoundPolicy(args, &config));
+  FM_RETURN_IF_ERROR(ApplyLookupPath(args, &config));
 
   // Either one engine over the whole relation, or a scatter/gather tier
   // of per-shard engines behind the same MatchSource interface; the
@@ -654,6 +663,7 @@ void PrintUsage() {
       "          [--accel-budget-mb MB] [--tuple-cache-mb MB]\n"
       "          [--shards N] [--replicas-per-shard R]\n"
       "          [--bound-policy aggressive|tight|conservative]\n"
+      "          [--lookup-path scalar|simd|learned]\n"
       "          [--verbose]\n"
       "  trace   --port P [--host A] [--limit N] [--json]\n");
 }

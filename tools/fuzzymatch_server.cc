@@ -6,6 +6,7 @@
 //                     [--q N] [--h N] [--tokens] [--k N] [--threshold C]
 //                     [--load-threshold C]
 //                     [--accel-budget-mb MB] [--tuple-cache-mb MB]
+//                     [--lookup-path scalar|simd|learned]
 //                     [--verbose]
 //
 // Loads the reference CSV, builds the Error Tolerant Index once, then
@@ -219,6 +220,10 @@ Status Run(const Args& args) {
       const int64_t build_threads,
       GetIntInRange(args, "build-threads", 1, 0, 256));
   config.build_threads = static_cast<int>(build_threads);
+  FM_ASSIGN_OR_RETURN(
+      config.lookup_path,
+      ParseLookupPath(
+          args.Get("lookup-path", LookupPathName(config.lookup_path))));
 
   BatchCleaner::Options clean_options;
   FM_ASSIGN_OR_RETURN(clean_options.load_threshold,
@@ -366,6 +371,7 @@ void PrintUsage() {
       "         [--idle-timeout-ms N] [--q N] [--h N] [--tokens] [--k N]\n"
       "         [--threshold C] [--load-threshold C] [--build-threads N]\n"
       "         [--accel-budget-mb MB] [--tuple-cache-mb MB]\n"
+      "         [--lookup-path scalar|simd|learned]\n"
       "         [--slow-trace-ms N] [--recorder-capacity N] [--no-trace]\n"
       "         [--verbose]\n"
       "env: FM_FAILPOINTS=\"name=sleep:MS,name=error\" arms failpoints\n"
