@@ -22,6 +22,7 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -285,6 +286,70 @@ Status RunBench() {
         ->Set(run.p95_ms);
     reg.GetGauge("bench_serving.served_p99_ms_w" + std::to_string(w))
         ->Set(run.p99_ms);
+  }
+
+  // Sweep 4 (run before the sharded sweep so it reuses the live
+  // matcher): online ETI rebuild while serving (DESIGN.md 5j). Clients
+  // hammer the query path in a closed loop while one admin connection
+  // triggers `rebuild`; the swap must not drain them, and with no
+  // concurrent maintenance every response — before, during, after —
+  // must stay byte-identical to the serial ground truth.
+  {
+    server::ServerOptions options;
+    options.workers = std::max<size_t>(2, max_workers);
+    options.queue_capacity = 2 * options.workers + 64;
+    options.rebuild_handler = [&matcher] { return matcher->RebuildEti(); };
+    server::MatchServer srv(matcher.get(), BatchCleaner::Options{}, options);
+    FM_RETURN_IF_ERROR(srv.Start());
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> answered{0};
+    std::atomic<uint64_t> divergent{0};
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < 2; ++c) {
+      clients.emplace_back([&, c] {
+        server::LineClient client;
+        if (!client.Connect("127.0.0.1", srv.port()).ok()) return;
+        size_t i = c;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const size_t idx = i++ % requests.size();
+          auto response = client.Roundtrip(requests[idx]);
+          if (!response.ok() || *response != expected[idx]) {
+            divergent.fetch_add(1);
+          }
+          answered.fetch_add(1);
+        }
+      });
+    }
+
+    server::LineClient admin;
+    FM_RETURN_IF_ERROR(admin.Connect("127.0.0.1", srv.port()));
+    const double rebuild_start = Now();
+    FM_ASSIGN_OR_RETURN(const std::string rebuilt,
+                        admin.Roundtrip("rebuild"));
+    const double rebuild_seconds = Now() - rebuild_start;
+    stop.store(true);
+    for (std::thread& t : clients) t.join();
+    srv.Shutdown();
+    if (rebuilt.rfind("{\"ok\":true", 0) != 0) {
+      return Status::Internal("online rebuild failed: " + rebuilt);
+    }
+    if (divergent.load() > 0) {
+      return Status::Internal(StringPrintf(
+          "%llu responses diverged across the rebuild swap",
+          static_cast<unsigned long long>(divergent.load())));
+    }
+    const double qps_during =
+        static_cast<double>(answered.load()) / rebuild_seconds;
+    std::printf("\nrebuild-while-serving: swap in %.3fs, %llu queries "
+                "answered during it (%.0f q/s), 0 divergent\n\n",
+                rebuild_seconds,
+                static_cast<unsigned long long>(answered.load()),
+                qps_during);
+    reg.GetGauge("bench_serving.rebuild_seconds")->Set(rebuild_seconds);
+    reg.GetGauge("bench_serving.rebuild_qps_during")->Set(qps_during);
+    reg.GetGauge("bench_serving.rebuild_queries_during")
+        ->Set(static_cast<double>(answered.load()));
   }
 
   // Sweep 3: the scatter/gather tier at 1/2/4/8 shards, served over

@@ -14,7 +14,9 @@
 #ifndef FUZZYMATCH_CORE_FUZZY_MATCH_H_
 #define FUZZYMATCH_CORE_FUZZY_MATCH_H_
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -56,14 +58,24 @@ struct FuzzyMatchConfig {
   LookupPath lookup_path = LookupPath::kSimd;
 };
 
+/// What one online ETI rebuild did (see FuzzyMatcher::RebuildEti).
+struct EtiRebuildStats {
+  EtiBuildStats build;
+  /// Maintenance ops that landed mid-build and were replayed from the
+  /// side log onto the shadow index before the swap.
+  uint64_t side_ops_replayed = 0;
+  double total_seconds = 0;
+};
+
 /// A built fuzzy-match operator over one reference relation.
 ///
 /// Thread safety: after Build()/Open() returns, FindMatches and
 /// GetReferenceTuple may be called from any number of threads (the
 /// storage read path is latched and the matcher's aggregate stats are
 /// internally synchronized). InsertReferenceTuple/RemoveReferenceTuple
-/// are writers and remain exclusive: do not run them concurrently with
-/// queries or each other.
+/// serialize against each other and against RebuildEti internally, but
+/// remain writers: do not run them concurrently with queries. RebuildEti
+/// itself is safe to run while queries are being served.
 class FuzzyMatcher : public MatchSource {
  public:
   /// Builds the ETI and weight table for `ref_table_name` inside `db` and
@@ -97,10 +109,25 @@ class FuzzyMatcher : public MatchSource {
   /// queries can match against it immediately. IDF weights are a
   /// main-memory snapshot and drift slightly until the next
   /// Build/Open — acceptable because log-scaled frequencies move slowly.
+  /// With a WAL-backed database the operation is a durable transaction:
+  /// it returns OK only after the dirtied pages are group-committed to
+  /// the log, and a commit failure rolls the in-memory state back so the
+  /// served index matches what recovery will reconstruct.
   Result<Tid> InsertReferenceTuple(const Row& row);
 
-  /// Removes a reference tuple from both the relation and the ETI.
+  /// Removes a reference tuple from both the relation and the ETI. Same
+  /// durability contract as InsertReferenceTuple.
   Status RemoveReferenceTuple(Tid tid);
+
+  /// Online ETI rebuild/compaction (DESIGN.md 5j): builds a fresh ETI
+  /// beside the live one while queries keep being served, captures
+  /// maintenance that lands mid-build in a side log, replays it onto the
+  /// shadow index, re-seeds the read accelerators, and atomically swaps
+  /// the new index in — queries are never drained. Maintenance blocks
+  /// during the reference scan and briefly around the swap. The old
+  /// index is retired from the catalog (in-flight readers finish on it)
+  /// and the swap is made durable with a checkpoint.
+  Result<EtiRebuildStats> RebuildEti();
 
   /// The K-fuzzy-match operation for one input tuple: at most K reference
   /// tuples with fms >= c, most similar first.
@@ -146,19 +173,49 @@ class FuzzyMatcher : public MatchSource {
   const FuzzyMatchConfig& config() const { return config_; }
 
  private:
+  /// One captured maintenance op, replayed onto the shadow index.
+  struct SideOp {
+    bool add = false;
+    Tid tid = 0;
+    Row row;
+  };
+
   FuzzyMatcher() = default;
 
   /// Shared tail of Build() and Open(): wires the components together and
   /// attaches the ETI read accelerator (when budgeted).
   static Result<std::unique_ptr<FuzzyMatcher>> Assemble(
-      FuzzyMatchConfig config, Table* ref, BuiltEti built);
+      Database* db, FuzzyMatchConfig config, Table* ref, BuiltEti built);
+
+  /// The maintenance bodies, under maint_mu_ with the WAL txn open.
+  Result<Tid> InsertLocked(const Row& row);
+  Status RemoveLocked(Tid tid, Row* removed_row);
+
+  /// Replays one side-log op onto `target` (the shadow ETI).
+  Status ReplaySideOp(Eti* target, const SideOp& op);
+
+  /// Canonical name of the live ETI relation.
+  std::string EtiName() const;
 
   FuzzyMatchConfig config_;
+  Database* db_ = nullptr;
   Table* ref_ = nullptr;
   std::unique_ptr<Eti> eti_;
   std::unique_ptr<IdfWeights> weights_;
   EtiBuildStats build_stats_;
   std::unique_ptr<EtiMatcher> matcher_;
+
+  // Maintenance serialization + the rebuild's side-log capture window.
+  // maint_mu_ is held for the whole of every maintenance op; the rebuild
+  // raises maint_blocked_ while the builder scans the reference relation
+  // (maintenance would race the scan) and capturing_ from rebuild start
+  // until the swap.
+  std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
+  bool maint_blocked_ = false;
+  bool capturing_ = false;
+  bool rebuild_active_ = false;
+  std::vector<SideOp> side_log_;
 };
 
 }  // namespace fuzzymatch

@@ -61,7 +61,74 @@ std::string EtiParams::StrategyName() const {
 }
 
 Eti::Eti(Table* rows, BPlusTree* index, EtiParams params)
-    : rows_(rows), index_(index), params_(std::move(params)) {}
+    : params_(std::move(params)) {
+  EtiStorage s;
+  s.rows = rows;
+  s.index = index;
+  InstallStorage(std::move(s));
+}
+
+// std::atomic is not movable, so the compiler cannot generate these; the
+// owner vector moves wholesale, which keeps the published pointer valid.
+Eti::Eti(Eti&& other) noexcept
+    : params_(std::move(other.params_)),
+      storage_owner_(std::move(other.storage_owner_)),
+      lookup_path_(other.lookup_path_),
+      decode_level_(other.decode_level_) {
+  storage_.store(other.storage_.load(std::memory_order_acquire),
+                 std::memory_order_release);
+  other.storage_.store(nullptr, std::memory_order_release);
+}
+
+Eti& Eti::operator=(Eti&& other) noexcept {
+  if (this != &other) {
+    params_ = std::move(other.params_);
+    storage_owner_ = std::move(other.storage_owner_);
+    lookup_path_ = other.lookup_path_;
+    decode_level_ = other.decode_level_;
+    storage_.store(other.storage_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+    other.storage_.store(nullptr, std::memory_order_release);
+  }
+  return *this;
+}
+
+Eti::Eti(const Eti& other)
+    : params_(other.params_),
+      lookup_path_(other.lookup_path_),
+      decode_level_(other.decode_level_) {
+  InstallStorage(EtiStorage(other.storage()));
+}
+
+Eti& Eti::operator=(const Eti& other) {
+  if (this != &other) {
+    params_ = other.params_;
+    lookup_path_ = other.lookup_path_;
+    decode_level_ = other.decode_level_;
+    InstallStorage(EtiStorage(other.storage()));
+  }
+  return *this;
+}
+
+void Eti::InstallStorage(EtiStorage next) {
+  storage_owner_.push_back(std::make_unique<EtiStorage>(std::move(next)));
+  storage_.store(storage_owner_.back().get(), std::memory_order_release);
+}
+
+void Eti::SwapStorage(Table* rows, BPlusTree* index,
+                      std::shared_ptr<EtiAccel> accel,
+                      std::shared_ptr<LearnedOffsets> learned) {
+  EtiStorage next;
+  next.rows = rows;
+  next.index = index;
+  next.accel = std::move(accel);
+  next.learned = std::move(learned);
+  InstallStorage(std::move(next));
+}
+
+void Eti::SwapStorageFrom(const Eti& other) {
+  InstallStorage(EtiStorage(other.storage()));
+}
 
 Schema Eti::RowSchema() {
   return Schema({"qgram", "coordinate", "column", "frequency", "tidlist"});
@@ -105,23 +172,25 @@ Result<EtiEntry> Eti::DecodeEntry(const Row& row) {
 
 void Eti::InvalidateAccel(std::string_view gram, uint32_t coordinate,
                           uint32_t column) {
-  if (accel_ == nullptr && learned_ == nullptr) {
+  const EtiStorage& s = storage();
+  if (s.accel == nullptr && s.learned == nullptr) {
     return;
   }
   FM_FAIL_POINT_VOID("eti.accel_invalidate");
-  if (accel_ != nullptr) {
-    accel_->Invalidate(gram, coordinate, column);
+  if (s.accel != nullptr) {
+    s.accel->Invalidate(gram, coordinate, column);
   }
-  if (learned_ != nullptr) {
-    learned_->Invalidate(IndexKey(gram, coordinate, column));
+  if (s.learned != nullptr) {
+    s.learned->Invalidate(IndexKey(gram, coordinate, column));
   }
 }
 
 Status Eti::MutateEntry(std::string_view gram, uint32_t coordinate,
                         uint32_t column, Tid tid, bool add) {
   FM_FAIL_POINT("eti.mutate_entry");
+  const EtiStorage& s = storage();
   const std::string key = IndexKey(gram, coordinate, column);
-  auto rid_bytes = index_->Get(key);
+  auto rid_bytes = s.index->Get(key);
   if (!rid_bytes.ok()) {
     if (!rid_bytes.status().IsNotFound()) {
       return rid_bytes.status();
@@ -135,14 +204,14 @@ Status Eti::MutateEntry(std::string_view gram, uint32_t coordinate,
     entry.tids = {tid};
     FM_ASSIGN_OR_RETURN(
         const Table::InsertInfo info,
-        rows_->InsertWithLocation(EncodeRow(gram, coordinate, column,
-                                            entry)));
-    const Status indexed = index_->Insert(key, info.rid.Encode());
+        s.rows->InsertWithLocation(EncodeRow(gram, coordinate, column,
+                                             entry)));
+    const Status indexed = s.index->Insert(key, info.rid.Encode());
     if (!indexed.ok()) {
       // Unwind the row insert so a failed coordinate leaves no unindexed
       // orphan behind; if even the unwind fails the orphan is invisible
       // to lookups (nothing points at it) and harmless.
-      const Status unwound = rows_->Delete(info.tid);
+      const Status unwound = s.rows->Delete(info.tid);
       if (!unwound.ok()) {
         FM_LOG(Warning) << "ETI row unwind after failed index insert: "
                         << unwound;
@@ -154,7 +223,7 @@ Status Eti::MutateEntry(std::string_view gram, uint32_t coordinate,
   }
 
   FM_ASSIGN_OR_RETURN(const Rid rid, Rid::Decode(*rid_bytes));
-  FM_ASSIGN_OR_RETURN(const Row row, rows_->GetByRid(rid));
+  FM_ASSIGN_OR_RETURN(const Row row, s.rows->GetByRid(rid));
   FM_ASSIGN_OR_RETURN(EtiEntry entry, DecodeEntry(row));
 
   if (add) {
@@ -200,10 +269,10 @@ Status Eti::MutateEntry(std::string_view gram, uint32_t coordinate,
   // leaves the key resolvable (old or new image) and the retry converges.
   FM_ASSIGN_OR_RETURN(
       const Rid new_rid,
-      rows_->ReplaceByRid(rid, EncodeRow(gram, coordinate, column, entry)));
+      s.rows->ReplaceByRid(rid, EncodeRow(gram, coordinate, column, entry)));
   if (new_rid != rid) {
-    FM_RETURN_IF_ERROR(index_->Put(key, new_rid.Encode()));
-    const Status erased = rows_->EraseRid(rid);
+    FM_RETURN_IF_ERROR(s.index->Put(key, new_rid.Encode()));
+    const Status erased = s.rows->EraseRid(rid);
     if (!erased.ok()) {
       // The superseded image is unreachable (nothing points at it);
       // leaking it is harmless, so the mutation still counts as applied.
@@ -276,11 +345,12 @@ Status Eti::UnindexTuple(Tid tid, const TokenizedTuple& tokens) {
   // mid-tuple failure converge instead of tripping on the coordinates the
   // first attempt already removed.
   bool referenced = coords.empty();  // vacuously done: nothing to remove
+  const EtiStorage& s = storage();
   std::vector<bool> apply(coords.size(), false);
   for (size_t i = 0; i < coords.size(); ++i) {
     const std::string key =
         IndexKey(coords[i].gram, coords[i].coordinate, coords[i].column);
-    auto rid_bytes = index_->Get(key);
+    auto rid_bytes = s.index->Get(key);
     if (!rid_bytes.ok()) {
       if (rid_bytes.status().IsNotFound()) {
         continue;
@@ -288,7 +358,7 @@ Status Eti::UnindexTuple(Tid tid, const TokenizedTuple& tokens) {
       return rid_bytes.status();
     }
     FM_ASSIGN_OR_RETURN(const Rid rid, Rid::Decode(*rid_bytes));
-    FM_ASSIGN_OR_RETURN(const Row row, rows_->GetByRid(rid));
+    FM_ASSIGN_OR_RETURN(const Row row, s.rows->GetByRid(rid));
     FM_ASSIGN_OR_RETURN(const EtiEntry entry, DecodeEntry(row));
     if (entry.is_stop ||
         std::find(entry.tids.begin(), entry.tids.end(), tid) !=
@@ -398,6 +468,9 @@ Result<EtiLookupView> Eti::LookupHashed(uint64_t hash, std::string_view gram,
                                         uint32_t coordinate, uint32_t column,
                                         EtiScratch* scratch) const {
   ProbesCounter().Increment();
+  // One coherent snapshot for the whole probe: a concurrent rebuild swap
+  // cannot mix the old index with the new rows mid-lookup.
+  const EtiStorage& s = storage();
   // Staged encoded key: the learned route needs it up front, the B-tree
   // route below needs it on fallback. Built at most once per probe, into
   // scratch capacity.
@@ -412,11 +485,11 @@ Result<EtiLookupView> Eti::LookupHashed(uint64_t hash, std::string_view gram,
     }
   };
 
-  if (lookup_path_ == LookupPath::kLearned && learned_ != nullptr) {
+  if (lookup_path_ == LookupPath::kLearned && s.learned != nullptr) {
     stage_key();
     EtiLookupView view;
-    switch (learned_->Probe(scratch->key, decode_level_, &scratch->tids,
-                            &view)) {
+    switch (s.learned->Probe(scratch->key, decode_level_, &scratch->tids,
+                             &view)) {
       case LearnedOffsets::Outcome::kHit:
         ProbeHitsCounter().Increment();
         obs::AddTraceCount("accel_hits", 1);
@@ -428,10 +501,10 @@ Result<EtiLookupView> Eti::LookupHashed(uint64_t hash, std::string_view gram,
         obs::AddTraceCount("accel_fallbacks", 1);
         break;  // consult the B-tree
     }
-  } else if (accel_) {
+  } else if (s.accel) {
     EtiLookupView view;
-    switch (accel_->ProbeHashed(hash, gram, coordinate, column,
-                                &scratch->tids, &view)) {
+    switch (s.accel->ProbeHashed(hash, gram, coordinate, column,
+                                 &scratch->tids, &view)) {
       case EtiAccel::Outcome::kHit:
         ProbeHitsCounter().Increment();
         obs::AddTraceCount("accel_hits", 1);
@@ -445,7 +518,7 @@ Result<EtiLookupView> Eti::LookupHashed(uint64_t hash, std::string_view gram,
     }
   }
   stage_key();
-  auto rid_bytes = index_->Get(scratch->key);
+  auto rid_bytes = s.index->Get(scratch->key);
   if (!rid_bytes.ok()) {
     if (rid_bytes.status().IsNotFound()) {
       return EtiLookupView{};
@@ -453,7 +526,7 @@ Result<EtiLookupView> Eti::LookupHashed(uint64_t hash, std::string_view gram,
     return rid_bytes.status();
   }
   FM_ASSIGN_OR_RETURN(const Rid rid, Rid::Decode(*rid_bytes));
-  FM_ASSIGN_OR_RETURN(const Row row, rows_->GetByRid(rid));
+  FM_ASSIGN_OR_RETURN(const Row row, s.rows->GetByRid(rid));
   if (row.size() != 5) {
     return Status::Corruption("ETI row has wrong arity");
   }
@@ -475,8 +548,10 @@ Result<EtiLookupView> Eti::LookupHashed(uint64_t hash, std::string_view gram,
 }
 
 Status Eti::AttachAccelerator(const EtiAccelOptions& options) {
-  FM_ASSIGN_OR_RETURN(accel_, EtiAccel::Build(rows_, options));
-  accel_->SetDecodeLevel(decode_level_);
+  FM_ASSIGN_OR_RETURN(std::shared_ptr<EtiAccel> accel,
+                      EtiAccel::Build(storage().rows, options));
+  accel->SetDecodeLevel(decode_level_);
+  UpdateStorage([&](EtiStorage* s) { s->accel = std::move(accel); });
   return Status::OK();
 }
 
@@ -484,12 +559,15 @@ Status Eti::SetLookupPath(LookupPath path) {
   lookup_path_ = path;
   decode_level_ = path == LookupPath::kScalar ? SimdLevel::kScalar
                                               : DetectSimdLevel();
-  if (accel_ != nullptr) {
-    accel_->SetDecodeLevel(decode_level_);
+  const EtiStorage& s = storage();
+  if (s.accel != nullptr) {
+    s.accel->SetDecodeLevel(decode_level_);
   }
-  if (path == LookupPath::kLearned && learned_ == nullptr) {
-    FM_ASSIGN_OR_RETURN(learned_,
-                        LearnedOffsets::Build(rows_, LearnedOffsetsOptions{}));
+  if (path == LookupPath::kLearned && s.learned == nullptr) {
+    FM_ASSIGN_OR_RETURN(
+        std::shared_ptr<LearnedOffsets> learned,
+        LearnedOffsets::Build(s.rows, LearnedOffsetsOptions{}));
+    UpdateStorage([&](EtiStorage* st) { st->learned = std::move(learned); });
   }
   obs::MetricsRegistry::Global()
       .GetGauge("lookup.variant")

@@ -14,6 +14,7 @@
 #ifndef FUZZYMATCH_ETI_ETI_H_
 #define FUZZYMATCH_ETI_ETI_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -74,12 +75,35 @@ struct EtiScratch {
   std::string key;
 };
 
+/// The swappable quadruple behind an Eti: the persisted rows/index pair
+/// plus the in-memory read accelerators built over them. An online
+/// rebuild assembles a fresh EtiStorage off to the side and installs it
+/// with one atomic pointer store; readers that loaded the old one keep
+/// using it (retired storages stay alive until the Eti dies).
+struct EtiStorage {
+  Table* rows = nullptr;
+  BPlusTree* index = nullptr;
+  /// Shared so copies of the handle keep accelerating the same tables.
+  std::shared_ptr<EtiAccel> accel;
+  std::shared_ptr<LearnedOffsets> learned;
+};
+
 /// Read handle over a built ETI.
 class Eti {
  public:
   /// Attaches to a persisted ETI (rows table + key index); `params` must
   /// be the build-time parameters (the core facade persists them).
   Eti(Table* rows, BPlusTree* index, EtiParams params);
+
+  /// Movable (handed out by value in BuiltEti). Moving while other
+  /// threads read is outside the contract — moves happen at assembly.
+  Eti(Eti&& other) noexcept;
+  Eti& operator=(Eti&& other) noexcept;
+  /// A copy is a handle over a snapshot of the source's current storage
+  /// (rows/index pointers shared, accelerator structures refcounted); it
+  /// does not follow the source's later swaps.
+  Eti(const Eti& other);
+  Eti& operator=(const Eti& other);
 
   /// Fetches the ETI row for (gram, coordinate, column); nullopt when the
   /// combination is not indexed. Convenience wrapper over LookupInto that
@@ -114,15 +138,17 @@ class Eti {
   /// Prefetches the accelerator slot line a future LookupHashed will
   /// touch. No-op when the hash accelerator is not on the probe route.
   void PrefetchProbe(uint64_t hash) const {
-    if (accel_probes_active()) {
-      accel_->PrefetchSlot(hash);
+    const EtiStorage& s = storage();
+    if (s.accel != nullptr && lookup_path_ != LookupPath::kLearned) {
+      s.accel->PrefetchSlot(hash);
     }
   }
 
   /// True when probes go through the hash accelerator (so precomputing
   /// hashes and prefetching slot lines pays off).
   bool accel_probes_active() const {
-    return accel_ != nullptr && lookup_path_ != LookupPath::kLearned;
+    return storage().accel != nullptr &&
+           lookup_path_ != LookupPath::kLearned;
   }
 
   /// Selects the lookup-path variant (writer-phase setup, before
@@ -135,7 +161,7 @@ class Eti {
   LookupPath lookup_path() const { return lookup_path_; }
 
   /// The learned-offset structure, or nullptr (telemetry and tests).
-  const LearnedOffsets* learned() const { return learned_.get(); }
+  const LearnedOffsets* learned() const { return storage().learned.get(); }
 
   /// Builds the in-memory read accelerator over the persisted rows (one
   /// sequential scan, DESIGN.md 5d). Must run before concurrent readers
@@ -143,7 +169,24 @@ class Eti {
   Status AttachAccelerator(const EtiAccelOptions& options);
 
   /// The attached accelerator, or nullptr (telemetry and tests).
-  const EtiAccel* accelerator() const { return accel_.get(); }
+  const EtiAccel* accelerator() const { return storage().accel.get(); }
+
+  /// The live rows table / clustered index (the rebuild orchestration
+  /// needs the names of what it is replacing).
+  Table* rows() const { return storage().rows; }
+  BPlusTree* index() const { return storage().index; }
+
+  /// Atomically installs a replacement storage quadruple — the swap half
+  /// of the online rebuild. The accelerators must already be built over
+  /// `rows`/`index`; in-flight readers finish on the storage they loaded.
+  /// Caller must serialize with maintenance (IndexTuple/UnindexTuple).
+  void SwapStorage(Table* rows, BPlusTree* index,
+                   std::shared_ptr<EtiAccel> accel,
+                   std::shared_ptr<LearnedOffsets> learned);
+
+  /// SwapStorage with `other`'s current quadruple — adopts a fully
+  /// assembled shadow Eti (the rebuild's handle) wholesale.
+  void SwapStorageFrom(const Eti& other);
 
   /// Incremental maintenance (the paper defers this "due to space
   /// constraints"): adds a freshly inserted reference tuple's signature
@@ -163,7 +206,7 @@ class Eti {
   const EtiParams& params() const { return params_; }
 
   /// Number of ETI rows.
-  uint64_t entry_count() const { return rows_->row_count(); }
+  uint64_t entry_count() const { return storage().rows->row_count(); }
 
   /// A MinHasher configured with this index's (q, H, seed).
   MinHasher MakeHasher() const {
@@ -194,12 +237,27 @@ class Eti {
   void InvalidateAccel(std::string_view gram, uint32_t coordinate,
                        uint32_t column);
 
-  Table* rows_;
-  BPlusTree* index_;
+  /// One acquire-load snapshot per operation; every read in the
+  /// operation then sees one coherent quadruple even if a rebuild swaps
+  /// mid-flight.
+  const EtiStorage& storage() const {
+    return *storage_.load(std::memory_order_acquire);
+  }
+  /// Re-publishes the current storage with `mutate` applied (writer-side
+  /// copy-and-swap, used by AttachAccelerator/SetLookupPath).
+  template <typename Fn>
+  void UpdateStorage(Fn&& mutate) {
+    EtiStorage next = storage();
+    mutate(&next);
+    InstallStorage(std::move(next));
+  }
+  void InstallStorage(EtiStorage next);
+
   EtiParams params_;
-  /// Shared so copies of the handle keep accelerating the same tables.
-  std::shared_ptr<EtiAccel> accel_;
-  std::shared_ptr<LearnedOffsets> learned_;
+  /// Current quadruple; retired ones are kept alive in storage_owner_
+  /// for readers that loaded them pre-swap.
+  std::atomic<const EtiStorage*> storage_{nullptr};
+  std::vector<std::unique_ptr<EtiStorage>> storage_owner_;
   LookupPath lookup_path_ = LookupPath::kSimd;
   /// Varint kernel for posting decode on every route (accel, learned,
   /// B-tree); follows lookup_path_.

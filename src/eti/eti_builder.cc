@@ -545,6 +545,9 @@ Status ParallelBuild(Table* ref, Table* eti_table, BPlusTree* eti_index,
   }
   stats->scan_seconds = phase_timer.ElapsedSeconds();
   phase_timer.Reset();
+  if (options.on_scan_complete) {
+    options.on_scan_complete();
+  }
 
   for (auto& q : chunk_queues) {
     q->Close();
@@ -729,7 +732,9 @@ Result<BuiltEti> EtiBuilder::Build(Database* db, Table* ref,
                       ResolveTempDir(db, options.temp_dir));
 
   const std::string eti_name =
-      ref->name() + "_eti_" + params.StrategyName();
+      options.output_name.empty()
+          ? ref->name() + "_eti_" + params.StrategyName()
+          : options.output_name;
   FM_ASSIGN_OR_RETURN(Table * eti_table,
                       db->CreateTable(eti_name, Eti::RowSchema()));
   FM_ASSIGN_OR_RETURN(BPlusTree * eti_index,
@@ -783,6 +788,9 @@ Result<BuiltEti> EtiBuilder::Build(Database* db, Table* ref,
   }
   stats.scan_seconds = phase_timer.ElapsedSeconds();
   phase_timer.Reset();
+  if (options.on_scan_complete) {
+    options.on_scan_complete();
+  }
 
   // Phase 2: sort (the ETI-query's ORDER BY), group, write ETI rows.
   stats.spilled_runs = sorter.spilled_runs();

@@ -21,6 +21,7 @@
 #ifndef FUZZYMATCH_ETI_ETI_BUILDER_H_
 #define FUZZYMATCH_ETI_ETI_BUILDER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -79,6 +80,15 @@ class EtiBuilder {
     /// serial reference pipeline; 0 means one worker per hardware
     /// thread. Any value produces byte-identical persisted output.
     int build_threads = 1;
+    /// Overrides the ETI relation name (default "<ref>_eti_<strategy>").
+    /// The online rebuild builds its shadow index under
+    /// "<default>~rebuild" and renames it into place at swap time.
+    std::string output_name;
+    /// Invoked once when the reference scan has finished (before the
+    /// sort/merge phases, which never touch the reference relation). The
+    /// online rebuild uses this as the barrier after which maintenance
+    /// may resume, captured in a side log.
+    std::function<void()> on_scan_complete;
   };
 
   /// Builds the ETI for `ref` inside `db`. The ETI relation is named

@@ -169,7 +169,12 @@ inline constexpr const char* kWritePathFailpoints[] = {
     "eti.index_tuple",        // Eti::IndexTuple (per-tuple)
     "eti.unindex_tuple",      // Eti::UnindexTuple apply pass
     "eti.accel_invalidate",   // EtiAccel::Invalidate (void site)
+    "wal.append",             // Wal physical log write
+    "wal.fsync",              // Wal group-commit fsync
+    "wal.commit",             // BufferPool::CommitWalTxn (txn commit)
+    "wal.truncate",           // Wal::Truncate (checkpoint log reset)
     "db.checkpoint",          // Database::Checkpoint
+    "db.checkpoint_barrier",  // between data flush and catalog rewrite
 };
 
 /// Arms failpoints from a comma-separated spec string — the out-of-band

@@ -82,6 +82,8 @@ Result<Request> ParseJsonRequest(std::string_view line) {
     request.op = Request::Op::kStatusz;
   } else if (name == "tracez") {
     request.op = Request::Op::kTracez;
+  } else if (name == "rebuild") {
+    request.op = Request::Op::kRebuild;
   } else if (name == "quit") {
     request.op = Request::Op::kQuit;
   } else {
@@ -152,6 +154,10 @@ Result<Request> ParseRequest(std::string_view line) {
     }
     return request;
   }
+  if (line == "rebuild") {
+    request.op = Request::Op::kRebuild;
+    return request;
+  }
   if (line == "quit") {
     request.op = Request::Op::kQuit;
     return request;
@@ -168,7 +174,7 @@ Result<Request> ParseRequest(std::string_view line) {
   }
   return Status::InvalidArgument(
       "unrecognized request (want JSON, match/clean <csv>, ping, metrics, "
-      "statusz, tracez or quit)");
+      "statusz, tracez, rebuild or quit)");
 }
 
 namespace {

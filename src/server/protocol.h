@@ -11,6 +11,7 @@
 //   metrics                      (alias: "GET /metrics") registry dump
 //   statusz                      live server introspection JSON
 //   tracez [N]                   flight-recorder traces (at most N)
+//   rebuild                      admin: online ETI rebuild + atomic swap
 //   quit                         asks the server to close the connection
 //
 // `row` fields are strings or null (null = NULL attribute; the empty
@@ -59,7 +60,16 @@ namespace server {
 
 /// One parsed request line.
 struct Request {
-  enum class Op { kMatch, kClean, kPing, kMetrics, kStatusz, kTracez, kQuit };
+  enum class Op {
+    kMatch,
+    kClean,
+    kPing,
+    kMetrics,
+    kStatusz,
+    kTracez,
+    kRebuild,
+    kQuit,
+  };
 
   Op op = Op::kPing;
   Row row;                      // kMatch / kClean payload

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -223,6 +224,15 @@ void MatchServer::Shutdown() {
   }
   workers_.clear();
 
+  // Every acknowledged response is flushed; now make the backing store
+  // durable (group-commit + fsync the WAL) before the process exits.
+  if (options_.drain_flush) {
+    const Status flushed = options_.drain_flush();
+    if (!flushed.ok()) {
+      FM_LOG(Warning) << "drain flush on shutdown failed: " << flushed;
+    }
+  }
+
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -360,6 +370,12 @@ void MatchServer::ConnectionLoop(Connection* conn) {
     }
     if (request.op == Request::Op::kTracez) {
       if (!WriteAll(conn->fd, HandleTracez(request))) break;
+      continue;
+    }
+    if (request.op == Request::Op::kRebuild) {
+      // Inline on purpose: the rebuild is long-running and the worker
+      // pool must keep serving match/clean traffic while it runs.
+      if (!WriteAll(conn->fd, HandleRebuild())) break;
       continue;
     }
     if (request.op == Request::Op::kQuit) {
@@ -667,6 +683,28 @@ std::string MatchServer::HandleTracez(const Request& request) const {
       request.limit.has_value() ? static_cast<size_t>(*request.limit) : 32);
   out += "}\n";
   return out;
+}
+
+std::string MatchServer::HandleRebuild() {
+  if (!options_.rebuild_handler) {
+    return RenderStatusResponse(
+        Status::NotSupported("this server has no rebuild handler"));
+  }
+  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  const Result<EtiRebuildStats> rebuilt = options_.rebuild_handler();
+  if (!rebuilt.ok()) {
+    return RenderStatusResponse(rebuilt.status());
+  }
+  JsonValue obj = JsonValue::Object();
+  obj.Set("ok", JsonValue::Bool(true));
+  obj.Set("op", JsonValue::String("rebuild"));
+  obj.Set("eti_rows", JsonValue::Number(
+                          static_cast<double>(rebuilt->build.eti_rows)));
+  obj.Set("side_ops_replayed",
+          JsonValue::Number(static_cast<double>(rebuilt->side_ops_replayed)));
+  obj.Set("build_seconds", JsonValue::Number(rebuilt->build.total_seconds));
+  obj.Set("total_seconds", JsonValue::Number(rebuilt->total_seconds));
+  return obj.Dump() + "\n";
 }
 
 }  // namespace server

@@ -33,6 +33,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -86,6 +87,15 @@ struct ServerOptions {
   /// Flight-recorder retention per class (recent ring and outlier ring,
   /// per stripe). 0 keeps the recorder's default.
   size_t recorder_capacity = 64;
+  /// Invoked once by Shutdown() after the last in-flight request has
+  /// flushed and the workers have joined — the graceful-drain hook the
+  /// launcher uses to group-commit and fsync the WAL before exit. A
+  /// non-OK status is logged, not fatal.
+  std::function<Status()> drain_flush;
+  /// Backs the "rebuild" admin verb: runs an online ETI rebuild (build
+  /// beside, replay side log, atomic swap) while queries keep being
+  /// served. Unset = the verb answers an unimplemented error.
+  std::function<Result<EtiRebuildStats>()> rebuild_handler;
 };
 
 class MatchServer {
@@ -176,6 +186,11 @@ class MatchServer {
   std::string HandleStatusz() const;
   std::string HandleTracez(const Request& request) const;
 
+  /// The "rebuild" admin verb, answered inline by the connection thread
+  /// so the worker pool keeps serving queries for its whole duration.
+  /// Serialized: concurrent rebuild requests queue behind rebuild_mu_.
+  std::string HandleRebuild();
+
   /// Joins and erases finished connection threads.
   void ReapConnections();
 
@@ -206,6 +221,7 @@ class MatchServer {
 
   std::mutex conns_mu_;
   std::list<std::unique_ptr<Connection>> conns_;
+  std::mutex rebuild_mu_;
 
   std::atomic<uint64_t> requests_received_{0};
   std::atomic<uint64_t> responses_sent_{0};

@@ -79,6 +79,7 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Build(
       db_options.path = ShardDbPath(options.db_path_base, k);
     }
     db_options.pool_pages = options.pool_pages;
+    db_options.wal_fsync = options.wal_fsync;
     FM_ASSIGN_OR_RETURN(router->shards_[k].db,
                         Database::Open(std::move(db_options)));
     Database* db = router->shards_[k].db.get();
@@ -145,7 +146,7 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Build(
 Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(
     const std::string& db_path_base, size_t num_shards,
     const std::string& strategy_name, const FuzzyMatchConfig& config,
-    size_t pool_pages) {
+    size_t pool_pages, WalFsyncMode wal_fsync) {
   if (num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
@@ -159,6 +160,7 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(
     DatabaseOptions db_options;
     db_options.path = ShardDbPath(db_path_base, k);
     db_options.pool_pages = pool_pages;
+    db_options.wal_fsync = wal_fsync;
     FM_ASSIGN_OR_RETURN(router->shards_[k].db,
                         Database::Open(std::move(db_options)));
     Database* db = router->shards_[k].db.get();

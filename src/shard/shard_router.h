@@ -44,6 +44,9 @@ class ShardRouter {
     std::string db_path_base;
     /// Buffer pool pages per shard database.
     size_t pool_pages = 4096;
+    /// Commit-durability policy of each shard's own write-ahead log
+    /// (file-backed shards only; see DESIGN.md 5j).
+    WalFsyncMode wal_fsync = WalFsyncMode::kGroup;
   };
 
   /// Partitions `ref` into Options::num_shards shard databases, builds
@@ -57,7 +60,8 @@ class ShardRouter {
   static Result<std::unique_ptr<ShardRouter>> Open(
       const std::string& db_path_base, size_t num_shards,
       const std::string& strategy_name, const FuzzyMatchConfig& config,
-      size_t pool_pages = 4096);
+      size_t pool_pages = 4096,
+      WalFsyncMode wal_fsync = WalFsyncMode::kGroup);
 
   /// Persists every shard database (no-op for in-memory shards).
   Status Checkpoint();

@@ -1,12 +1,15 @@
 #include "storage/buffer_pool.h"
 
 #include <cstring>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/wal.h"
 
 namespace fuzzymatch {
 
@@ -116,7 +119,7 @@ Result<size_t> BufferPool::GrabFrame() {
   fr.in_lru = false;
   FM_CHECK_EQ(fr.pin_count, 0u);
   if (fr.dirty) {
-    FM_RETURN_IF_ERROR(FlushFrame(victim));
+    FM_RETURN_IF_ERROR(FlushFrameWithUndo(victim));
   }
   page_to_frame_.erase(fr.page_id);
   fr.page_id = kInvalidPageId;
@@ -137,6 +140,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
       fr.in_lru = false;
     }
     ++fr.pin_count;
+    CaptureBeforeImage(id, fr.data.get());
     return PageGuard(this, it->second, id);
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -148,7 +152,9 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
   fr.page_id = id;
   fr.pin_count = 1;
   fr.dirty = false;
+  fr.txn_dirty = false;
   page_to_frame_[id] = f;
+  CaptureBeforeImage(id, fr.data.get());
   return PageGuard(this, f, id);
 }
 
@@ -161,7 +167,14 @@ Result<PageGuard> BufferPool::New() {
   fr.page_id = id;
   fr.pin_count = 1;
   fr.dirty = true;
+  fr.txn_dirty = txn_active_;
   page_to_frame_[id] = f;
+  // The before-image of a page born inside the transaction is all zeros
+  // (the pager extended the file with a zero page).
+  CaptureBeforeImage(id, fr.data.get());
+  if (txn_active_) {
+    txn_dirtied_.insert(id);
+  }
   return PageGuard(this, f, id);
 }
 
@@ -178,7 +191,12 @@ void BufferPool::Unpin(size_t frame) {
 
 void BufferPool::MarkDirty(size_t frame) {
   std::lock_guard<std::mutex> lock(mu_);
-  frames_[frame].dirty = true;
+  Frame& fr = frames_[frame];
+  fr.dirty = true;
+  if (txn_active_) {
+    fr.txn_dirty = true;
+    txn_dirtied_.insert(fr.page_id);
+  }
 }
 
 Status BufferPool::FlushFrame(size_t frame) {
@@ -188,14 +206,123 @@ Status BufferPool::FlushFrame(size_t frame) {
   return Status::OK();
 }
 
+Status BufferPool::FlushFrameWithUndo(size_t frame) {
+  Frame& fr = frames_[frame];
+  if (fr.txn_dirty && wal_ != nullptr) {
+    // Steal: the page leaves the pool ahead of its commit record, so its
+    // before-image must be durable in the log first — recovery undoes the
+    // write unless a commit supersedes it.
+    const auto it = txn_before_.find(fr.page_id);
+    if (it != txn_before_.end()) {
+      FM_RETURN_IF_ERROR(wal_->AppendUndo(fr.page_id, it->second.get()));
+    } else {
+      FM_LOG(Warning) << "page " << fr.page_id
+                      << " stolen without a before-image";
+    }
+    fr.txn_dirty = false;
+  }
+  return FlushFrame(frame);
+}
+
+void BufferPool::SetWal(Wal* wal) { wal_ = wal; }
+
+void BufferPool::BeginWalTxn() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) {
+    return;
+  }
+  txn_active_ = true;
+}
+
+bool BufferPool::wal_txn_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return txn_active_;
+}
+
+void BufferPool::CaptureBeforeImage(PageId id, const char* data) {
+  if (!txn_active_) {
+    return;
+  }
+  auto& slot = txn_before_[id];
+  if (slot == nullptr) {
+    slot = std::make_unique<char[]>(kPageSize);
+    std::memcpy(slot.get(), data, kPageSize);
+  }
+}
+
+Status BufferPool::CommitWalTxn() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!txn_active_) {
+    return Status::OK();
+  }
+  FM_FAIL_POINT("wal.commit");
+  // After-images: resident frames carry the latest bytes; stolen pages
+  // were flushed to the main file, which therefore does.
+  std::vector<std::unique_ptr<char[]>> images;
+  std::vector<std::pair<PageId, char*>> batch;
+  images.reserve(txn_dirtied_.size());
+  batch.reserve(txn_dirtied_.size());
+  for (const PageId id : txn_dirtied_) {
+    auto img = std::make_unique<char[]>(kPageSize);
+    const auto it = page_to_frame_.find(id);
+    if (it != page_to_frame_.end()) {
+      std::memcpy(img.get(), frames_[it->second].data.get(), kPageSize);
+    } else {
+      FM_RETURN_IF_ERROR(pager_->ReadPage(id, img.get()));
+    }
+    batch.emplace_back(id, img.get());
+    images.push_back(std::move(img));
+  }
+  if (!batch.empty()) {
+    // Blocks until the batch plus its commit record are durable. On error
+    // the transaction stays open: nothing gets acknowledged, and a later
+    // commit (or the caller's retry) re-logs the same pages.
+    FM_RETURN_IF_ERROR(wal_->CommitPages(batch).status());
+    for (const auto& [id, img] : batch) {
+      const auto it = page_to_frame_.find(id);
+      if (it != page_to_frame_.end()) {
+        Frame& fr = frames_[it->second];
+        Page(fr.data.get()).set_lsn(Page(img).lsn());
+        fr.txn_dirty = false;
+      }
+    }
+  }
+  txn_before_.clear();
+  txn_dirtied_.clear();
+  txn_active_ = false;
+  return Status::OK();
+}
+
 Status BufferPool::FlushAll() {
   FM_FAIL_POINT("bufferpool.flush_all");
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t f = 0; f < next_unused_frame_; ++f) {
     if (frames_[f].page_id != kInvalidPageId && frames_[f].dirty) {
-      FM_RETURN_IF_ERROR(FlushFrame(f));
+      FM_RETURN_IF_ERROR(FlushFrameWithUndo(f));
     }
   }
+  return pager_->Sync();
+}
+
+Status BufferPool::FlushAllExcept(PageId skip) {
+  FM_FAIL_POINT("bufferpool.flush_all");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t f = 0; f < next_unused_frame_; ++f) {
+    if (frames_[f].page_id != kInvalidPageId && frames_[f].page_id != skip &&
+        frames_[f].dirty) {
+      FM_RETURN_IF_ERROR(FlushFrameWithUndo(f));
+    }
+  }
+  return pager_->Sync();
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = page_to_frame_.find(id);
+  if (it == page_to_frame_.end() || !frames_[it->second].dirty) {
+    return Status::OK();
+  }
+  FM_RETURN_IF_ERROR(FlushFrameWithUndo(it->second));
   return pager_->Sync();
 }
 

@@ -29,6 +29,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +41,7 @@
 namespace fuzzymatch {
 
 class BufferPool;
+class Wal;
 
 /// Pins one page frame while alive; movable, not copyable. A PageGuard
 /// must stay on the thread that created it or be handed off with external
@@ -104,6 +106,31 @@ class BufferPool {
   /// Writes all dirty frames back to the pager.
   Status FlushAll();
 
+  /// FlushAll, skipping page `skip` (checkpoint write ordering: data
+  /// pages reach the platter before the catalog page is rewritten).
+  Status FlushAllExcept(PageId skip);
+
+  /// Flushes one page if it is resident and dirty, then syncs.
+  Status FlushPage(PageId id);
+
+  /// Attaches the write-ahead log maintenance transactions commit
+  /// through. Call once, before the first BeginWalTxn().
+  void SetWal(Wal* wal);
+
+  /// Starts (or joins) a maintenance transaction: pages fetched from here
+  /// on get a before-image captured on first touch, and dirtied pages are
+  /// logged as a batch by CommitWalTxn(). No-op without a WAL attached.
+  void BeginWalTxn();
+
+  /// Commits the active maintenance transaction: appends the after-image
+  /// of every page dirtied since BeginWalTxn() plus a commit record to
+  /// the WAL and blocks until durable. On error the transaction stays
+  /// open (nothing was acknowledged) and a later commit retries.
+  Status CommitWalTxn();
+
+  /// True while a maintenance transaction is open.
+  bool wal_txn_active() const;
+
   /// Cache statistics (for tests and the resource-requirements bench).
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -122,6 +149,10 @@ class BufferPool {
     PageId page_id = kInvalidPageId;
     uint32_t pin_count = 0;
     bool dirty = false;
+    // Dirtied by the open maintenance transaction and not yet committed
+    // to the WAL. Evicting such a frame is a steal: its before-image goes
+    // to the WAL first.
+    bool txn_dirty = false;
     // Position in lru_ when unpinned and resident.
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
@@ -134,9 +165,17 @@ class BufferPool {
   void MarkDirty(size_t frame);
   /// Caller must hold mu_.
   Status FlushFrame(size_t frame);
+  /// FlushFrame preceded by an undo-record append when the frame is
+  /// transaction-dirty (the steal path). Caller must hold mu_.
+  Status FlushFrameWithUndo(size_t frame);
+  /// Captures page `id`'s before-image on first touch within the open
+  /// transaction. Caller must hold mu_; `data` is the current image.
+  void CaptureBeforeImage(PageId id, const char* data);
 
   Pager* pager_;
-  std::mutex mu_;  // guards frames_ metadata, page_to_frame_, lru_
+  Wal* wal_ = nullptr;
+  mutable std::mutex mu_;  // guards frames_ metadata, page_to_frame_,
+                           // lru_, and the txn_* state
   std::vector<Frame> frames_;
   size_t next_unused_frame_ = 0;
   std::unordered_map<PageId, size_t> page_to_frame_;
@@ -144,6 +183,13 @@ class BufferPool {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+
+  // Maintenance-transaction state (all under mu_). Dirtied pages are a
+  // sorted set so the commit batch — and thus LSN assignment — is
+  // deterministic, which the recovery-idempotence test leans on.
+  bool txn_active_ = false;
+  std::unordered_map<PageId, std::unique_ptr<char[]>> txn_before_;
+  std::set<PageId> txn_dirtied_;
 };
 
 }  // namespace fuzzymatch

@@ -59,6 +59,13 @@ class Page {
   PageId next_page() const;
   void set_next_page(PageId id);
 
+  /// Low 32 bits of the LSN of the last WAL record that logged this page;
+  /// 0 if the page was never committed through the WAL. Observability
+  /// only — recovery redoes full images unconditionally (a torn page can
+  /// carry a fresh LSN over a stale tail).
+  uint32_t lsn() const;
+  void set_lsn(uint32_t lsn);
+
   /// Bytes available for one more record of any size (accounts for the
   /// slot directory entry the insert would add).
   size_t FreeSpace() const;
@@ -119,7 +126,7 @@ class Page {
   static constexpr size_t kSlotCountOff = 2;
   static constexpr size_t kFreeEndOff = 4;   // record data grows down to this
   static constexpr size_t kNextPageOff = 8;
-  // 12..16 reserved.
+  static constexpr size_t kLsnOff = 12;  // low 32 bits of the last WAL LSN
 
   // Slot entry: u16 record offset (0xFFFF = tombstone), u16 record length.
   size_t SlotDirOff(SlotId slot) const {

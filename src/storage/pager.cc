@@ -109,6 +109,27 @@ Result<PageId> Pager::AllocatePage() {
   return id;
 }
 
+Status Pager::EnsureCapacity(PageId id) {
+  if (id == kInvalidPageId) {
+    return Status::ResourceExhausted("pager full");
+  }
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  uint32_t count = page_count_.load(std::memory_order_relaxed);
+  while (count <= id) {
+    if (fd_ >= 0) {
+      std::vector<char> zeros(kPageSize, 0);
+      FM_RETURN_IF_ERROR(WritePageAtUnchecked_(count, zeros.data()));
+    } else {
+      auto buf = std::make_unique<char[]>(kPageSize);
+      std::memset(buf.get(), 0, kPageSize);
+      mem_pages_.push_back(std::move(buf));
+    }
+    page_count_.store(++count, std::memory_order_release);
+    PagesAllocatedCounter().Increment();
+  }
+  return Status::OK();
+}
+
 // Looks up the in-memory buffer of page `id` under the allocation mutex
 // (mem_pages_ may be mid-growth on another thread); the buffer itself is
 // stable once allocated, so the copy happens outside the lock.

@@ -58,6 +58,11 @@ class Pager {
   /// Writes `buf` (kPageSize bytes) to page `id`.
   Status WritePage(PageId id, const char* buf);
 
+  /// Extends the store with zero pages until page `id` exists. Used by
+  /// WAL replay, which may redo pages allocated after the last
+  /// checkpoint (the crash cut the file short of them).
+  Status EnsureCapacity(PageId id);
+
   /// For file-backed pagers, fsyncs the file; no-op in memory mode.
   Status Sync();
 

@@ -1,0 +1,243 @@
+// Tests of the online ETI rebuild/compaction path (DESIGN.md 5j):
+// building a fresh index beside the live one while queries are served,
+// capturing concurrent maintenance in a side log, and atomically
+// swapping the new storage in without a drain.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fuzzy_match.h"
+#include "fault/failpoint.h"
+#include "gen/customer_gen.h"
+
+namespace fuzzymatch {
+namespace {
+
+using fault::Action;
+using fault::FailpointSpec;
+using fault::Failpoints;
+
+constexpr char kStrategy[] = "Q+T_2";
+
+std::string TempDbPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name + "_" +
+         std::to_string(::getpid()) + ".db";
+}
+
+Status PopulateCustomers(Database* db, size_t n) {
+  FM_ASSIGN_OR_RETURN(
+      Table * table,
+      db->CreateTable("customers", CustomerGenerator::CustomerSchema()));
+  CustomerGenOptions options;
+  options.num_tuples = n;
+  CustomerGenerator gen(options);
+  return gen.Populate(table);
+}
+
+FuzzyMatchConfig TestConfig() {
+  FuzzyMatchConfig config;
+  config.eti.signature_size = 2;
+  config.eti.index_tokens = true;
+  return config;
+}
+
+/// A fixed probe set of reference rows, for comparing served output
+/// across a rebuild.
+std::vector<Row> ProbeRows(const FuzzyMatcher& matcher, size_t n) {
+  std::vector<Row> probes;
+  for (Tid tid = 0; probes.size() < n; tid += 7) {
+    auto row = matcher.reference().Get(tid);
+    if (row.ok()) probes.push_back(*row);
+  }
+  return probes;
+}
+
+std::vector<std::vector<Match>> Answers(const FuzzyMatcher& matcher,
+                                        const std::vector<Row>& probes) {
+  std::vector<std::vector<Match>> out;
+  for (const Row& probe : probes) {
+    auto matches = matcher.FindMatches(probe);
+    EXPECT_TRUE(matches.ok()) << matches.status();
+    out.push_back(matches.ok() ? *matches : std::vector<Match>{});
+  }
+  return out;
+}
+
+TEST(EtiRebuildTest, RebuildServesIdenticalOutputAndCompacts) {
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(PopulateCustomers(db->get(), 800).ok());
+  auto matcher = FuzzyMatcher::Build(db->get(), "customers", TestConfig());
+  ASSERT_TRUE(matcher.ok()) << matcher.status();
+
+  // Some maintenance before the rebuild, so the rebuilt index covers a
+  // relation that drifted from the original build.
+  for (int i = 0; i < 5; ++i) {
+    Row row{"rebuildco " + std::to_string(i), std::string("tacoma"),
+            std::string("wa"), std::string("98001")};
+    ASSERT_TRUE((*matcher)->InsertReferenceTuple(row).ok());
+  }
+  ASSERT_TRUE((*matcher)->RemoveReferenceTuple(3).ok());
+  ASSERT_TRUE((*matcher)->RemoveReferenceTuple(9).ok());
+
+  const std::vector<Row> probes = ProbeRows(**matcher, 25);
+  ASSERT_FALSE(probes.empty());
+  const auto before = Answers(**matcher, probes);
+
+  auto stats = (*matcher)->RebuildEti();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->build.reference_tuples, 800u + 5u - 2u);
+  EXPECT_GT(stats->build.eti_rows, 0u);
+  EXPECT_EQ(stats->side_ops_replayed, 0u);
+  EXPECT_GT(stats->total_seconds, 0.0);
+
+  // The swap must be invisible to readers: same matches, same scores.
+  EXPECT_EQ(Answers(**matcher, probes), before);
+
+  // And a second rebuild over the already-compacted index also works.
+  auto again = (*matcher)->RebuildEti();
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(Answers(**matcher, probes), before);
+}
+
+TEST(EtiRebuildTest, RebuildIsDurableAcrossReopen) {
+  const std::string path = TempDbPath("eti_rebuild");
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  Row inserted{"rebuild durable corp", std::string("olympia"),
+               std::string("wa"), std::string("98501")};
+  Tid inserted_tid = 0;
+  {
+    DatabaseOptions options;
+    options.path = path;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(PopulateCustomers(db->get(), 300).ok());
+    auto matcher = FuzzyMatcher::Build(db->get(), "customers", TestConfig());
+    ASSERT_TRUE(matcher.ok()) << matcher.status();
+    auto tid = (*matcher)->InsertReferenceTuple(inserted);
+    ASSERT_TRUE(tid.ok());
+    inserted_tid = *tid;
+    auto stats = (*matcher)->RebuildEti();
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    // The shadow names were renamed over the live ones.
+    const std::string shadow =
+        std::string("customers_eti_") + kStrategy + "~rebuild";
+    EXPECT_TRUE((*db)->GetTable(shadow).status().IsNotFound());
+  }
+  {
+    DatabaseOptions options;
+    options.path = path;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status();
+    auto matcher = FuzzyMatcher::Open(db->get(), "customers", kStrategy);
+    ASSERT_TRUE(matcher.ok()) << matcher.status();
+    EXPECT_EQ((*matcher)->build_stats().reference_tuples, 301u);
+    auto matches = (*matcher)->FindMatches(inserted);
+    ASSERT_TRUE(matches.ok()) << matches.status();
+    ASSERT_FALSE(matches->empty());
+    EXPECT_EQ((*matches)[0].tid, inserted_tid);
+    EXPECT_DOUBLE_EQ((*matches)[0].similarity, 1.0);
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+TEST(EtiRebuildTest, QueriesAreServedThroughoutTheRebuild) {
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(PopulateCustomers(db->get(), 1500).ok());
+  auto matcher = FuzzyMatcher::Build(db->get(), "customers", TestConfig());
+  ASSERT_TRUE(matcher.ok()) << matcher.status();
+
+  const std::vector<Row> probes = ProbeRows(**matcher, 8);
+  const auto expected = Answers(**matcher, probes);
+
+  // No maintenance runs in this test, so every query — before, during,
+  // and after the swap — must see byte-identical output.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      size_t i = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t p = i++ % probes.size();
+        auto matches = (*matcher)->FindMatches(probes[p]);
+        if (!matches.ok() || *matches != expected[p]) {
+          mismatches.fetch_add(1);
+        }
+        queries.fetch_add(1);
+      }
+    });
+  }
+  auto stats = (*matcher)->RebuildEti();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(Answers(**matcher, probes), expected);
+}
+
+TEST(EtiRebuildTest, ConcurrentMaintenanceIsCapturedAndReplayed) {
+#if !FM_FAILPOINTS_ENABLED
+  GTEST_SKIP() << "failpoints compiled out";
+#else
+  auto db = Database::Open(DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(PopulateCustomers(db->get(), 1000).ok());
+  auto matcher = FuzzyMatcher::Build(db->get(), "customers", TestConfig());
+  ASSERT_TRUE(matcher.ok()) << matcher.status();
+
+  // Stall the builder at its first output-row write. By then the
+  // reference scan is complete, so maintenance is unblocked and lands in
+  // the side log — a deterministic capture window.
+  FailpointSpec spec;
+  spec.action = Action::kSleep;
+  spec.sleep_ms = 400;
+  Failpoints::Global().Arm("eti_build.write_row", spec);
+
+  Result<EtiRebuildStats> stats = Status::OK();
+  std::thread rebuild([&] { stats = (*matcher)->RebuildEti(); });
+
+  // Give the rebuild time to reach the stalled write, then mutate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Only one rebuild at a time.
+  EXPECT_TRUE((*matcher)->RebuildEti().status().IsAlreadyExists());
+  std::vector<std::pair<Tid, Row>> added;
+  for (int i = 0; i < 4; ++i) {
+    Row row{"sidelogged " + std::to_string(i) + " llc",
+            std::string("spokane"), std::string("wa"), std::string("99201")};
+    auto tid = (*matcher)->InsertReferenceTuple(row);
+    ASSERT_TRUE(tid.ok()) << tid.status();
+    added.emplace_back(*tid, row);
+  }
+  ASSERT_TRUE((*matcher)->RemoveReferenceTuple(42).ok());
+
+  rebuild.join();
+  Failpoints::Global().DisarmAll();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GE(stats->side_ops_replayed, 1u);
+
+  // Every mid-rebuild insert is matchable on the swapped index, and the
+  // mid-rebuild remove stayed removed.
+  for (const auto& [tid, row] : added) {
+    auto matches = (*matcher)->FindMatches(row);
+    ASSERT_TRUE(matches.ok()) << matches.status();
+    ASSERT_FALSE(matches->empty());
+    EXPECT_EQ((*matches)[0].tid, tid);
+    EXPECT_DOUBLE_EQ((*matches)[0].similarity, 1.0);
+  }
+  EXPECT_TRUE((*matcher)->reference().Get(42).status().IsNotFound());
+#endif
+}
+
+}  // namespace
+}  // namespace fuzzymatch

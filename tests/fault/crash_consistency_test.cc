@@ -316,6 +316,7 @@ TEST_F(CrashConsistencyTest, EveryFailpointCrashRecoversConsistently) {
     SCOPED_TRACE("failpoint=" + name);
     const std::string work = TempPath("work");
     std::filesystem::remove(work);
+    std::filesystem::remove(work + ".wal");
     std::filesystem::copy_file(SeedDbPath(), work);
 
     Failpoints::Global().Reset();
@@ -347,6 +348,7 @@ TEST_F(CrashConsistencyTest, EveryFailpointCrashRecoversConsistently) {
     Failpoints::Global().DisarmAll();
     AuditRecoveredDb(work, /*max_tid=*/kSeedTuples + 8);
     std::filesystem::remove(work);
+    std::filesystem::remove(work + ".wal");
   }
   // Coverage gate: the canonical list is only meaningful if every name
   // actually crashed a run above (checked here, in-process, because each
@@ -360,6 +362,7 @@ TEST_F(CrashConsistencyTest, EveryFailpointCrashRecoversConsistently) {
 TEST_F(CrashConsistencyTest, TornCheckpointWriteFailsCleanOrConsistent) {
   const std::string work = TempPath("torn");
   std::filesystem::remove(work);
+  std::filesystem::remove(work + ".wal");
   std::filesystem::copy_file(SeedDbPath(), work);
   {
     DatabaseOptions options;
@@ -406,11 +409,13 @@ TEST_F(CrashConsistencyTest, TornCheckpointWriteFailsCleanOrConsistent) {
     }
   }
   std::filesystem::remove(work);
+  std::filesystem::remove(work + ".wal");
 }
 
 TEST_F(CrashConsistencyTest, TruncatingCrashFailsReopenCleanly) {
   const std::string work = TempPath("trunc");
   std::filesystem::remove(work);
+  std::filesystem::remove(work + ".wal");
   std::filesystem::copy_file(SeedDbPath(), work);
   {
     DatabaseOptions options;
@@ -436,6 +441,7 @@ TEST_F(CrashConsistencyTest, TruncatingCrashFailsReopenCleanly) {
   ASSERT_FALSE(db.ok());
   EXPECT_TRUE(db.status().IsCorruption()) << db.status();
   std::filesystem::remove(work);
+  std::filesystem::remove(work + ".wal");
 }
 
 }  // namespace

@@ -333,6 +333,60 @@ TEST_F(ServerTest, GracefulDrainCompletesInFlightRequests) {
   EXPECT_FALSE(late.Connect("127.0.0.1", srv->port()).ok());
 }
 
+TEST_F(ServerTest, ShutdownInvokesDrainFlushExactlyOnce) {
+  std::atomic<int> flushes{0};
+  ServerOptions options;
+  options.drain_flush = [&flushes] {
+    flushes.fetch_add(1);
+    return Status::OK();
+  };
+  auto srv = StartServer(options);
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", srv->port()).ok());
+  ASSERT_TRUE(client.Roundtrip("ping").ok());
+  EXPECT_EQ(flushes.load(), 0) << "drain flush must wait for shutdown";
+  srv->Shutdown();
+  EXPECT_EQ(flushes.load(), 1);
+  // The destructor's Shutdown() is a no-op on an already-drained server.
+  srv.reset();
+  EXPECT_EQ(flushes.load(), 1);
+}
+
+TEST_F(ServerTest, RebuildVerbWithoutHandlerIsNotSupported) {
+  auto srv = StartServer();
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", srv->port()).ok());
+  auto response = client.Roundtrip("rebuild");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->rfind("{\"ok\":false", 0), 0u) << *response;
+  EXPECT_NE(response->find("\"code\":\"not_supported\""), std::string::npos)
+      << *response;
+}
+
+TEST_F(ServerTest, RebuildVerbInvokesHandler) {
+  std::atomic<int> rebuilds{0};
+  ServerOptions options;
+  options.rebuild_handler = [&rebuilds]() -> Result<EtiRebuildStats> {
+    rebuilds.fetch_add(1);
+    EtiRebuildStats stats;
+    stats.build.eti_rows = 12345;
+    stats.side_ops_replayed = 7;
+    stats.total_seconds = 0.25;
+    return stats;
+  };
+  auto srv = StartServer(options);
+  LineClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", srv->port()).ok());
+  auto response = client.Roundtrip("{\"op\":\"rebuild\"}");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(rebuilds.load(), 1);
+  EXPECT_EQ(response->rfind("{\"ok\":true", 0), 0u) << *response;
+  EXPECT_NE(response->find("\"op\":\"rebuild\""), std::string::npos);
+  EXPECT_NE(response->find("\"eti_rows\":12345"), std::string::npos)
+      << *response;
+  EXPECT_NE(response->find("\"side_ops_replayed\":7"), std::string::npos);
+}
+
 TEST_F(ServerTest, RegistryInvariantsAfterServing) {
   obs::MetricsRegistry::Global().ResetAll();
   ServerOptions options;

@@ -23,6 +23,11 @@
 #                          # scalar|simd|learned, single-engine and
 #                          # 4-shard; a -DFM_SIMD=OFF build passing
 #                          # tier-1; bench_lookup_path metrics archived
+#   tools/ci.sh walcheck   # durability (DESIGN.md 5j): kill-loop at every
+#                          # WAL/pager failpoint vs the acknowledged-op
+#                          # oracle, log-format + group-commit unit suite,
+#                          # online-rebuild swap under load, and a
+#                          # bench_wal wal.* metrics archive
 #
 # Build trees live under build-ci-* so they never collide with a
 # developer's ./build. JOBS defaults to the machine's core count.
@@ -344,6 +349,48 @@ print("[ci] sharded metrics archived: "
 PYEOF
 }
 
+# The durability contract (DESIGN.md 5j), enforced end to end: the
+# kill-loop arms every WAL and pager failpoint in turn, runs the durable
+# maintenance workload until the simulated power loss fires, reopens, and
+# audits the recovered state against the acknowledged-op oracle — zero
+# acknowledged-op loss, recovered state exactly the committed prefix
+# (torn-write runs additionally allow the ambiguous-commit outcome, but
+# only atomically). The same build carries the WAL format/group-commit
+# unit suite and the online-rebuild swap-under-load suite, all under
+# AddressSanitizer so recovery and rollback paths are leak/UB-checked.
+# A Release bench_wal run then archives the wal.* counter family plus
+# fsync-mode throughput and replay-speed gauges under bench_results/.
+run_walcheck() {
+  echo "=== [ci] walcheck: WAL kill-loop + recovery oracle + metrics ==="
+  cmake -B build-ci-fault -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DFM_FAILPOINTS=ON -DFM_SANITIZE=address > /dev/null
+  cmake --build build-ci-fault -j "$JOBS" --target \
+        wal_test wal_recovery_test eti_rebuild_test
+  ctest --test-dir build-ci-fault --output-on-failure -j "$JOBS" \
+        -R 'WalTest|WalRecoveryTest|EtiRebuildTest'
+  echo "[ci] acked ops survived every WAL/pager failpoint kill"
+
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build build-ci-release -j "$JOBS" --target bench_wal
+  mkdir -p bench_results
+  FM_REF_SIZE=2000 FM_MAINT_OPS=200 FM_METRICS_DIR=bench_results \
+    build-ci-release/bench/bench_wal
+  python3 - bench_results/bench_wal.metrics.json <<'PYEOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+names = set(metrics["counters"]) | set(metrics["gauges"]) \
+        | set(metrics["histograms"])
+for want in ("wal.commits", "wal.fsyncs", "wal.bytes_written",
+             "wal.replay_pages", "wal.truncates",
+             "bench_wal.maint_ops_per_s_always",
+             "bench_wal.maint_ops_per_s_group",
+             "bench_wal.maint_ops_per_s_never",
+             "bench_wal.replay_seconds"):
+    assert want in names, f"wal metrics archive missing {want}"
+print("[ci] wal metrics archived: bench_results/bench_wal.metrics.json")
+PYEOF
+}
+
 # The lookup path (DESIGN.md 5i) is a pure speed knob: scalar, simd and
 # learned must produce byte-identical match output, single-engine and
 # through the 4-shard scatter/gather tier (conservative bound policy, the
@@ -411,6 +458,7 @@ case "$STAGE" in
   buildcheck) run_buildcheck ;;
   shardcheck) run_shardcheck ;;
   lookupcheck) run_lookupcheck ;;
+  walcheck)   run_walcheck ;;
   all)
     run_release
     run_sanitizer thread build-ci-tsan
@@ -421,9 +469,10 @@ case "$STAGE" in
     run_buildcheck
     run_shardcheck
     run_lookupcheck
+    run_walcheck
     ;;
   *)
-    echo "usage: tools/ci.sh [release|tsan|asan|faultcheck|perfsmoke|obscheck|buildcheck|shardcheck|lookupcheck|all]" >&2
+    echo "usage: tools/ci.sh [release|tsan|asan|faultcheck|perfsmoke|obscheck|buildcheck|shardcheck|lookupcheck|walcheck|all]" >&2
     exit 2
     ;;
 esac

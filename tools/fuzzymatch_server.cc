@@ -7,6 +7,7 @@
 //                     [--load-threshold C]
 //                     [--accel-budget-mb MB] [--tuple-cache-mb MB]
 //                     [--lookup-path scalar|simd|learned]
+//                     [--db PATH] [--wal-fsync always|group|never]
 //                     [--verbose]
 //
 // Loads the reference CSV, builds the Error Tolerant Index once, then
@@ -14,7 +15,14 @@
 // src/server/protocol.h) from a fixed worker pool. A full request queue
 // sheds with {"ok":false,"error":"overloaded","shed":true}. SIGTERM and
 // SIGINT trigger a graceful drain: in-flight requests complete and their
-// responses flush before the process exits.
+// responses flush — and, with a file-backed store, the WAL is
+// group-committed and fsynced — before the process exits.
+//
+// --db makes the store file-backed and durable: maintenance commits
+// through a write-ahead log at <PATH>.wal (replayed on the next open),
+// --wal-fsync picks the log's durability/latency trade-off, and a
+// restart with the same --db reattaches to the persisted ETI instead of
+// rebuilding it. The default remains an in-memory store.
 //
 // Try it with netcat:
 //
@@ -45,6 +53,7 @@
 #include "server/server.h"
 #include "shard/shard_router.h"
 #include "shard/sharded_matcher.h"
+#include "storage/wal.h"
 
 using namespace fuzzymatch;
 
@@ -268,12 +277,33 @@ Status Run(const Args& args) {
       const int64_t replicas,
       GetIntInRange(args, "replicas-per-shard", 1, 1, 64));
 
-  FM_ASSIGN_OR_RETURN(auto db, Database::Open(DatabaseOptions{
-                                   .path = "", .pool_pages = 64 * 1024}));
-  FM_ASSIGN_OR_RETURN(Table * ref, LoadCsvTable(db.get(), "ref", ref_path));
+  DatabaseOptions db_options;
+  db_options.path = args.Get("db", "");
+  db_options.pool_pages = 64 * 1024;
+  FM_ASSIGN_OR_RETURN(db_options.wal_fsync,
+                      ParseWalFsyncMode(args.Get("wal-fsync", "group")));
+  FM_ASSIGN_OR_RETURN(auto db, Database::Open(db_options));
+
+  // A file-backed store that already holds the reference relation (a
+  // restart with the same --db) is reattached; otherwise the CSV loads.
+  Table* ref = nullptr;
+  bool reattached = false;
+  if (!db_options.path.empty()) {
+    const Result<Table*> existing = db->GetTable("ref");
+    if (existing.ok()) {
+      ref = *existing;
+      reattached = true;
+    } else if (!existing.status().IsNotFound()) {
+      return existing.status();
+    }
+  }
+  if (ref == nullptr) {
+    FM_ASSIGN_OR_RETURN(ref, LoadCsvTable(db.get(), "ref", ref_path));
+  }
   FM_SLOG(Info, "server.reference_loaded")
       .Field("tuples", ref->row_count())
-      .Field("path", ref_path);
+      .Field("path", reattached ? db_options.path : ref_path)
+      .Field("reattached", reattached);
 
   // Single-database engine, or a scatter/gather tier of per-shard
   // engines hosted in-process — the protocol surface is identical and
@@ -297,8 +327,15 @@ Status Run(const Args& args) {
           .Field("seconds", router->shard(k).build_stats().total_seconds);
     }
   } else {
-    FM_ASSIGN_OR_RETURN(matcher,
-                        FuzzyMatcher::Build(db.get(), "ref", config));
+    // On a reattach the persisted ETI already exists; Open() attaches to
+    // it instead of paying the build again.
+    Result<std::unique_ptr<FuzzyMatcher>> built =
+        FuzzyMatcher::Build(db.get(), "ref", config);
+    if (!built.ok() && built.status().IsAlreadyExists()) {
+      built = FuzzyMatcher::Open(db.get(), "ref", config.eti.StrategyName(),
+                                 config);
+    }
+    FM_ASSIGN_OR_RETURN(matcher, std::move(built));
     FM_SLOG(Info, "server.eti_built")
         .Field("strategy", config.eti.StrategyName())
         .Field("seconds", matcher->build_stats().total_seconds)
@@ -309,6 +346,13 @@ Status Run(const Args& args) {
           .Field("bytes", static_cast<uint64_t>(accel->memory_bytes()))
           .Field("complete", accel->complete());
     }
+  }
+
+  // Graceful drain must not lose acknowledged maintenance: after the
+  // last response flushes, group-commit and fsync the WAL.
+  options.drain_flush = [db = db.get()] { return db->FlushWal(); };
+  if (matcher != nullptr) {
+    options.rebuild_handler = [m = matcher.get()] { return m->RebuildEti(); };
   }
 
   std::unique_ptr<server::MatchServer> srv;
@@ -372,6 +416,7 @@ void PrintUsage() {
       "         [--threshold C] [--load-threshold C] [--build-threads N]\n"
       "         [--accel-budget-mb MB] [--tuple-cache-mb MB]\n"
       "         [--lookup-path scalar|simd|learned]\n"
+      "         [--db PATH] [--wal-fsync always|group|never]\n"
       "         [--slow-trace-ms N] [--recorder-capacity N] [--no-trace]\n"
       "         [--verbose]\n"
       "env: FM_FAILPOINTS=\"name=sleep:MS,name=error\" arms failpoints\n"
